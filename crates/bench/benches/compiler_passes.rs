@@ -1,0 +1,38 @@
+//! Criterion benchmarks over the compiler passes: liveness analysis, the
+//! full pipeline, and the Fig 1 dynamic trace, on the largest workload
+//! kernel (DWT2D).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regmutex_compiler::{analyze, compile, live_trace, CompileOptions};
+use regmutex_sim::GpuConfig;
+use regmutex_workloads::suite;
+
+fn bench_passes(c: &mut Criterion) {
+    let w = suite::by_name("DWT2D").expect("DWT2D exists");
+    let cfg = GpuConfig::gtx480();
+
+    c.bench_function("liveness-dwt2d", |b| b.iter(|| analyze(&w.kernel)));
+
+    c.bench_function("compile-pipeline-dwt2d", |b| {
+        b.iter(|| compile(&w.kernel, &cfg, &CompileOptions::default()).expect("compiles"))
+    });
+
+    c.bench_function("live-trace-dwt2d", |b| b.iter(|| live_trace(&w.kernel, 5_000)));
+
+    c.bench_function("compile-all-16-workloads", |b| {
+        b.iter(|| {
+            suite::all()
+                .iter()
+                .map(|w| {
+                    compile(&w.kernel, &w.table_config(), &CompileOptions::default())
+                        .expect("compiles")
+                        .diagnostics
+                        .acquires
+                })
+                .sum::<u32>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

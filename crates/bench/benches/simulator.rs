@@ -1,0 +1,56 @@
+//! Criterion benchmarks over the simulator: baseline vs RegMutex on a
+//! reduced BFS-like configuration (small grid so `cargo bench` stays quick),
+//! plus grid-size scaling of the raw SM cycle loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regmutex::{Session, Technique};
+use regmutex_sim::{GpuConfig, LaunchConfig};
+use regmutex_workloads::suite;
+
+fn bench_techniques(c: &mut Criterion) {
+    let w = suite::by_name("BFS").expect("BFS exists");
+    let session = Session::new(GpuConfig::gtx480());
+    let compiled = session.compile(&w.kernel).expect("compile");
+    let launch = LaunchConfig::new(30); // 2 CTAs per SM share
+    let mut group = c.benchmark_group("simulate-bfs-30ctas");
+    group.sample_size(10);
+    for t in [
+        Technique::Baseline,
+        Technique::RegMutex,
+        Technique::RegMutexPaired,
+        Technique::Rfv,
+        Technique::Owf,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                session
+                    .run_compiled(&compiled, launch, t)
+                    .expect("run completes")
+                    .cycles()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_scaling(c: &mut Criterion) {
+    let w = suite::by_name("Gaussian").expect("Gaussian exists");
+    let session = Session::new(GpuConfig::gtx480());
+    let compiled = session.compile(&w.kernel).expect("compile");
+    let mut group = c.benchmark_group("simulate-gaussian-grid");
+    group.sample_size(10);
+    for ctas in [15u32, 60, 120] {
+        group.bench_with_input(BenchmarkId::from_parameter(ctas), &ctas, |b, &n| {
+            b.iter(|| {
+                session
+                    .run_compiled(&compiled, LaunchConfig::new(n), Technique::Baseline)
+                    .expect("run completes")
+                    .cycles()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_techniques, bench_grid_scaling);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: warp-scheduler policy (GTO vs LRR).
+//!
+//! The paper evaluates on GPGPU-Sim's default greedy-then-oldest scheduler.
+//! This ablation re-runs the Fig 7 comparison under loose round-robin to
+//! show the RegMutex gain is an occupancy effect, not a scheduling artifact.
+
+use regmutex::{cycle_reduction_percent, Session, Technique};
+use regmutex_bench::{fmt_pct, GeoMean, Table};
+use regmutex_sim::{GpuConfig, SchedulerPolicy};
+use regmutex_workloads::suite;
+
+fn main() {
+    let mut table = Table::new(&["app", "GTO reduction", "LRR reduction"]);
+    let mut avg_gto = GeoMean::new();
+    let mut avg_lrr = GeoMean::new();
+    for w in suite::occupancy_limited() {
+        let mut cells = vec![w.name.to_string()];
+        for (policy, avg) in [
+            (SchedulerPolicy::Gto, &mut avg_gto),
+            (SchedulerPolicy::Lrr, &mut avg_lrr),
+        ] {
+            let mut cfg = GpuConfig::gtx480();
+            cfg.policy = policy;
+            let session = Session::new(cfg);
+            let compiled = session.compile(&w.kernel).expect("compile");
+            let base = session
+                .run_compiled(&compiled, w.launch(), Technique::Baseline)
+                .expect("baseline");
+            let rm = session
+                .run_compiled(&compiled, w.launch(), Technique::RegMutex)
+                .expect("regmutex");
+            assert_eq!(base.stats.checksum, rm.stats.checksum, "{}", w.name);
+            let red = cycle_reduction_percent(&base, &rm);
+            avg.push(red);
+            cells.push(fmt_pct(red));
+        }
+        table.row(cells);
+    }
+    println!("Ablation — RegMutex cycle reduction under GTO vs LRR scheduling\n");
+    table.print();
+    println!(
+        "\naverages: GTO {}, LRR {}",
+        fmt_pct(avg_gto.mean()),
+        fmt_pct(avg_lrr.mean())
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 3: a DWT2D-like code sample and its static register liveness.
+//!
+//! Reconstructs the paper's example: R1 live within a straight-line block;
+//! R3 defined before a branch and used in only one arm — conservatively live
+//! through the sibling block; R2 defined inside an arm and used at the
+//! post-dominator — conservatively live along the other path too. Prints the
+//! per-instruction live vectors the way `nvdisasm` does.
+
+use regmutex_compiler::analyze;
+use regmutex_isa::{ArchReg, KernelBuilder};
+
+fn r(i: u16) -> ArchReg {
+    ArchReg(i)
+}
+
+fn main() {
+    // s0: defs; s1: fall-through arm; s2: join (post-dominator).
+    let mut b = KernelBuilder::new("fig3-dwt2d");
+    b.movi(r(2), 7); //  0: def R2 (used at the join unless redefined)
+    b.movi(r(3), 9); //  1: def R3 (used only in the arm)
+    b.movi(r(1), 1); //  2: def R1
+    b.iadd(r(1), r(1), r(2)); //  3: R1 live range inside s0/s1
+    let join = b.new_label();
+    b.bra_if(join, 500, Some(r(1))); //  4: branch
+    b.imul(r(4), r(3), r(3)); //  5: s1 — last use of R3
+    b.movi(r(2), 3); //  6: s1 — redefinition of R2
+    b.iadd(r(1), r(1), r(4)); //  7: s1
+    b.place(join);
+    b.st_global(r(2), r(1)); //  8: s2 — uses R2 (both defs reach here)
+    b.exit(); //  9
+    let k = b.build().expect("fig3 kernel valid");
+    let lv = analyze(&k);
+
+    println!("Figure 3 — code sample and static register liveness\n");
+    let regs = k.regs_per_thread;
+    let header: String = (0..regs).map(|i| format!(" R{i}")).collect();
+    println!("{:>4}  {:<24} {}", "pc", "instruction", header);
+    for (pc, instr) in k.instrs.iter().enumerate() {
+        let marks: String = (0..regs)
+            .map(|reg| {
+                let live = lv.live_in[pc].contains(reg as usize)
+                    || lv.live_out[pc].contains(reg as usize);
+                if live {
+                    format!(" {:>2}", "x")
+                } else {
+                    format!(" {:>2}", ".")
+                }
+            })
+            .collect();
+        println!("{pc:>4}  {:<24} {marks}", instr.to_string());
+    }
+
+    println!("\nPaper's observations, verified here:");
+    // R3 is live at the branch although used only in one arm.
+    assert!(lv.live_in[4].contains(3));
+    println!("  * R3 (used only in s1) is conservatively live at the branch (pc 4)");
+    // R2's original value is live across the branch because the taken path
+    // reaches the join without the redefinition.
+    assert!(lv.live_out[4].contains(2));
+    println!("  * R2 (redefined in s1, used at s2) is live along both paths");
+    // R3 dies after its last use in the arm.
+    assert!(!lv.live_out[5].contains(3));
+    println!("  * R3 dies after its last use at pc 5");
+}

@@ -1,0 +1,61 @@
+//! Figure 8: register-file size reduction analysis.
+//!
+//! For the 8 applications whose occupancy is *not* register-limited on the
+//! baseline GPU, halve the register file (64 KB per SM, as GPU-Shrink \[3\])
+//! and compare the execution-cycle increase (against the full-RF baseline)
+//! without and with RegMutex, plus the occupancies. Paper reference: 23%
+//! average increase without RegMutex vs 9% with it; MergeSort is the one
+//! workload where RegMutex's heuristic buys no occupancy and costs slightly.
+
+use regmutex::{cycle_increase_percent, Session, Technique};
+use regmutex_bench::{fmt_pct, GeoMean, Table};
+use regmutex_sim::GpuConfig;
+use regmutex_workloads::suite;
+
+fn main() {
+    let full = Session::new(GpuConfig::gtx480());
+    let half = Session::new(GpuConfig::gtx480_half_rf());
+    let mut table = Table::new(&[
+        "app",
+        "increase w/o RegMutex",
+        "increase w/ RegMutex",
+        "occupancy w/o",
+        "occupancy w/",
+        "acquire success",
+    ]);
+    let mut avg_none = GeoMean::new();
+    let mut avg_rm = GeoMean::new();
+    for w in suite::rf_insensitive() {
+        let reference = full
+            .run(&w.kernel, w.launch(), Technique::Baseline)
+            .expect("full-RF reference");
+        let compiled = half.compile(&w.kernel).expect("compile");
+        let none = half
+            .run_compiled(&compiled, w.launch(), Technique::Baseline)
+            .expect("half-RF baseline");
+        let rm = half
+            .run_compiled(&compiled, w.launch(), Technique::RegMutex)
+            .expect("half-RF regmutex");
+        assert_eq!(reference.stats.checksum, rm.stats.checksum, "{}", w.name);
+        let inc_none = cycle_increase_percent(&reference, &none);
+        let inc_rm = cycle_increase_percent(&reference, &rm);
+        avg_none.push(inc_none);
+        avg_rm.push(inc_rm);
+        table.row(vec![
+            w.name.to_string(),
+            fmt_pct(inc_none),
+            fmt_pct(inc_rm),
+            format!("{}%", none.occupancy_percent()),
+            format!("{}%", rm.occupancy_percent()),
+            fmt_pct(100.0 * rm.acquire_success_rate()),
+        ]);
+    }
+    println!("Figure 8 — execution-cycle increase on the half-size register file");
+    println!("(vs the full-RF baseline; paper: ~23% without RegMutex, ~9% with)\n");
+    table.print();
+    println!(
+        "\naverage increase: {} without RegMutex, {} with RegMutex",
+        fmt_pct(avg_none.mean()),
+        fmt_pct(avg_rm.mean())
+    );
+}

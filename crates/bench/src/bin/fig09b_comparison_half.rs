@@ -1,0 +1,61 @@
+//! Figure 9(b): technique comparison on the half-size register file.
+//!
+//! Execution-cycle *increase* over the full-RF baseline for: no technique,
+//! OWF, RFV, and RegMutex. Paper reference: 22.9% (none), 20.6% (OWF), 5.9%
+//! (RFV), 10.8% (RegMutex) on average.
+
+use regmutex::{cycle_increase_percent, Session, Technique};
+use regmutex_bench::{fmt_pct, GeoMean, Table};
+use regmutex_sim::GpuConfig;
+use regmutex_workloads::suite;
+
+fn main() {
+    let full = Session::new(GpuConfig::gtx480());
+    let half = Session::new(GpuConfig::gtx480_half_rf());
+    let mut table = Table::new(&["app", "none", "OWF", "RFV", "RegMutex"]);
+    let mut avg = [
+        GeoMean::new(),
+        GeoMean::new(),
+        GeoMean::new(),
+        GeoMean::new(),
+    ];
+    for w in suite::rf_insensitive() {
+        let reference = full
+            .run(&w.kernel, w.launch(), Technique::Baseline)
+            .expect("full-RF reference");
+        let compiled = half.compile(&w.kernel).expect("compile");
+        let mut cells = vec![w.name.to_string()];
+        for (i, t) in [
+            Technique::Baseline,
+            Technique::Owf,
+            Technique::Rfv,
+            Technique::RegMutex,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let rep = half
+                .run_compiled(&compiled, w.launch(), t)
+                .unwrap_or_else(|e| panic!("{} {t}: {e}", w.name));
+            assert_eq!(
+                reference.stats.checksum, rep.stats.checksum,
+                "{} {t}",
+                w.name
+            );
+            let inc = cycle_increase_percent(&reference, &rep);
+            avg[i].push(inc);
+            cells.push(fmt_pct(inc));
+        }
+        table.row(cells);
+    }
+    println!("Figure 9(b) — execution-cycle increase on the half register file");
+    println!("(paper averages: none 22.9%, OWF 20.6%, RFV 5.9%, RegMutex 10.8%)\n");
+    table.print();
+    println!(
+        "\naverages: none {}, OWF {}, RFV {}, RegMutex {}",
+        fmt_pct(avg[0].mean()),
+        fmt_pct(avg[1].mean()),
+        fmt_pct(avg[2].mean()),
+        fmt_pct(avg[3].mean())
+    );
+}

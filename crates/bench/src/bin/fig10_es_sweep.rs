@@ -1,0 +1,57 @@
+//! Figure 10: sensitivity of kernel performance to the extended-set size.
+//!
+//! For each Fig 7 application, force `|Es|` ∈ {2, 4, 6, 8, 10, 12} and
+//! report the execution-cycle reduction; the heuristic's own pick is marked
+//! with `*`. Paper reference: the best `|Es|` differs per application with
+//! no global trend, and the heuristic picks the best or near-best size.
+
+use regmutex::{cycle_reduction_percent, Session, Technique};
+use regmutex_bench::{fmt_pct, Table};
+use regmutex_compiler::CompileOptions;
+use regmutex_sim::GpuConfig;
+use regmutex_workloads::suite;
+
+/// The paper's sweep values.
+const ES_VALUES: [u16; 6] = [2, 4, 6, 8, 10, 12];
+
+fn main() {
+    let cfg = GpuConfig::gtx480();
+    let mut headers = vec!["app".to_string()];
+    headers.extend(ES_VALUES.iter().map(|e| format!("|Es|={e}")));
+    let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+
+    for w in suite::occupancy_limited() {
+        let base = Session::new(cfg.clone())
+            .run(&w.kernel, w.launch(), Technique::Baseline)
+            .expect("baseline");
+        // The heuristic's own pick, for marking.
+        let heuristic_es = Session::new(cfg.clone())
+            .compile(&w.kernel)
+            .expect("compile")
+            .plan
+            .map(|p| p.es);
+        let mut cells = vec![w.name.to_string()];
+        for es in ES_VALUES {
+            let session = Session::with_options(
+                cfg.clone(),
+                CompileOptions {
+                    force_es: Some(es),
+                    force_apply: true,
+                },
+            );
+            let cell = match session.run(&w.kernel, w.launch(), Technique::RegMutex) {
+                Ok(rep) if rep.plan.is_some() => {
+                    let mark = if heuristic_es == Some(es) { "*" } else { "" };
+                    format!("{}{}", fmt_pct(cycle_reduction_percent(&base, &rep)), mark)
+                }
+                Ok(_) => "n/v".to_string(), // candidate not viable
+                Err(e) => format!("err({e})"),
+            };
+            cells.push(cell);
+        }
+        table.row(cells);
+    }
+    println!("Figure 10 — cycle reduction vs forced |Es| (baseline arch, * = heuristic pick)");
+    println!("(paper: best |Es| varies per app; the heuristic lands on or near the best)\n");
+    table.print();
+}

@@ -1,0 +1,64 @@
+//! Figure 11: theoretical occupancy (a) and acquire success ratio (b) as
+//! the extended-set size varies.
+//!
+//! Paper reference: larger `|Es|` raises occupancy but usually lowers the
+//! chance of a successful acquire — the two opposing forces behind Fig 10.
+
+use regmutex::{Session, Technique};
+use regmutex_bench::{fmt_pct, Table};
+use regmutex_compiler::CompileOptions;
+use regmutex_sim::GpuConfig;
+use regmutex_workloads::suite;
+
+const ES_VALUES: [u16; 6] = [2, 4, 6, 8, 10, 12];
+
+fn main() {
+    let cfg = GpuConfig::gtx480();
+    let mut headers = vec!["app".to_string()];
+    headers.extend(ES_VALUES.iter().map(|e| format!("|Es|={e}")));
+    let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut occ_table = Table::new(&hdr);
+    let mut acq_table = Table::new(&hdr);
+
+    for w in suite::occupancy_limited() {
+        let heuristic_es = Session::new(cfg.clone())
+            .compile(&w.kernel)
+            .expect("compile")
+            .plan
+            .map(|p| p.es);
+        let mut occ_cells = vec![w.name.to_string()];
+        let mut acq_cells = vec![w.name.to_string()];
+        for es in ES_VALUES {
+            let session = Session::with_options(
+                cfg.clone(),
+                CompileOptions {
+                    force_es: Some(es),
+                    force_apply: true,
+                },
+            );
+            match session.run(&w.kernel, w.launch(), Technique::RegMutex) {
+                Ok(rep) if rep.plan.is_some() => {
+                    let mark = if heuristic_es == Some(es) { "*" } else { "" };
+                    occ_cells.push(format!("{}%{}", rep.occupancy_percent(), mark));
+                    acq_cells.push(format!(
+                        "{}{}",
+                        fmt_pct(100.0 * rep.acquire_success_rate()),
+                        mark
+                    ));
+                }
+                _ => {
+                    occ_cells.push("n/v".into());
+                    acq_cells.push("n/v".into());
+                }
+            }
+        }
+        occ_table.row(occ_cells);
+        acq_table.row(acq_cells);
+    }
+    println!("Figure 11(a) — theoretical occupancy vs |Es| (* = heuristic pick)");
+    println!("(paper: occupancy rises with |Es|)\n");
+    occ_table.print();
+    println!("\nFigure 11(b) — successful acquires / executed acquire instructions");
+    println!("(paper: success ratio usually falls as |Es| grows)\n");
+    acq_table.print();
+}

@@ -1,0 +1,90 @@
+//! Figure 12: the paired-warps specialization (§III-C).
+//!
+//! (a) On the baseline architecture: cycle reduction + occupancy for the
+//! Fig 7 applications (paper: 8% average, 4% below default RegMutex; SAD
+//! can even beat the default thanks to higher acquire success).
+//! (b) On the half register file: cycle increase + occupancy for the Fig 8
+//! applications (paper: 17% average increase — 5% better than no technique,
+//! 8% worse than default RegMutex).
+
+use regmutex::{cycle_increase_percent, cycle_reduction_percent, Session, Technique};
+use regmutex_bench::{fmt_pct, GeoMean, Table};
+use regmutex_sim::GpuConfig;
+use regmutex_workloads::suite;
+
+fn main() {
+    // ---- (a) baseline architecture ------------------------------------
+    let session = Session::new(GpuConfig::gtx480());
+    let mut table_a = Table::new(&["app", "paired reduction", "default reduction", "occupancy paired"]);
+    let mut avg_paired = GeoMean::new();
+    let mut avg_default = GeoMean::new();
+    for w in suite::occupancy_limited() {
+        let compiled = session.compile(&w.kernel).expect("compile");
+        let base = session
+            .run_compiled(&compiled, w.launch(), Technique::Baseline)
+            .expect("baseline");
+        let paired = session
+            .run_compiled(&compiled, w.launch(), Technique::RegMutexPaired)
+            .expect("paired");
+        let default = session
+            .run_compiled(&compiled, w.launch(), Technique::RegMutex)
+            .expect("regmutex");
+        assert_eq!(base.stats.checksum, paired.stats.checksum, "{}", w.name);
+        let red_p = cycle_reduction_percent(&base, &paired);
+        let red_d = cycle_reduction_percent(&base, &default);
+        avg_paired.push(red_p);
+        avg_default.push(red_d);
+        table_a.row(vec![
+            w.name.to_string(),
+            fmt_pct(red_p),
+            fmt_pct(red_d),
+            format!("{}%", paired.occupancy_percent()),
+        ]);
+    }
+    println!("Figure 12(a) — paired-warps RegMutex on the baseline architecture");
+    println!("(paper: paired avg 8%, 4% below default RegMutex)\n");
+    table_a.print();
+    println!(
+        "\naverages: paired {}, default {}",
+        fmt_pct(avg_paired.mean()),
+        fmt_pct(avg_default.mean())
+    );
+
+    // ---- (b) half register file ----------------------------------------
+    let full = Session::new(GpuConfig::gtx480());
+    let half = Session::new(GpuConfig::gtx480_half_rf());
+    let mut table_b = Table::new(&["app", "paired increase", "none increase", "occupancy paired"]);
+    let mut avg_paired_b = GeoMean::new();
+    let mut avg_none_b = GeoMean::new();
+    for w in suite::rf_insensitive() {
+        let reference = full
+            .run(&w.kernel, w.launch(), Technique::Baseline)
+            .expect("full-RF reference");
+        let compiled = half.compile(&w.kernel).expect("compile");
+        let none = half
+            .run_compiled(&compiled, w.launch(), Technique::Baseline)
+            .expect("half baseline");
+        let paired = half
+            .run_compiled(&compiled, w.launch(), Technique::RegMutexPaired)
+            .expect("half paired");
+        assert_eq!(reference.stats.checksum, paired.stats.checksum, "{}", w.name);
+        let inc_p = cycle_increase_percent(&reference, &paired);
+        let inc_n = cycle_increase_percent(&reference, &none);
+        avg_paired_b.push(inc_p);
+        avg_none_b.push(inc_n);
+        table_b.row(vec![
+            w.name.to_string(),
+            fmt_pct(inc_p),
+            fmt_pct(inc_n),
+            format!("{}%", paired.occupancy_percent()),
+        ]);
+    }
+    println!("\nFigure 12(b) — paired-warps RegMutex on the half register file");
+    println!("(paper: paired avg +17% vs +22.9% none; default RegMutex is 8% better)\n");
+    table_b.print();
+    println!(
+        "\naverages: paired {}, none {}",
+        fmt_pct(avg_paired_b.mean()),
+        fmt_pct(avg_none_b.mean())
+    );
+}

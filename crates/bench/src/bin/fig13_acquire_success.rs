@@ -1,0 +1,38 @@
+//! Figure 13: acquire-instruction success rate with and without the
+//! paired-warps specialization.
+//!
+//! The 8 Fig 7 applications run on the baseline architecture; the 8 Fig 8
+//! applications on the half register file. Paper reference: paired-warps
+//! usually raises the success rate (the extended set is contended by at most
+//! one partner) even where it cannot raise occupancy.
+
+use regmutex::{Session, Technique};
+use regmutex_bench::{fmt_pct, Table};
+use regmutex_sim::GpuConfig;
+use regmutex_workloads::{suite, Group};
+
+fn main() {
+    let mut table = Table::new(&["app", "arch", "default RegMutex", "paired-warps"]);
+    for w in suite::all() {
+        let (session, arch) = match w.group {
+            Group::OccupancyLimited => (Session::new(GpuConfig::gtx480()), "baseline"),
+            Group::RfInsensitive => (Session::new(GpuConfig::gtx480_half_rf()), "half-RF"),
+        };
+        let compiled = session.compile(&w.kernel).expect("compile");
+        let default = session
+            .run_compiled(&compiled, w.launch(), Technique::RegMutex)
+            .expect("regmutex");
+        let paired = session
+            .run_compiled(&compiled, w.launch(), Technique::RegMutexPaired)
+            .expect("paired");
+        table.row(vec![
+            w.name.to_string(),
+            arch.to_string(),
+            fmt_pct(100.0 * default.acquire_success_rate()),
+            fmt_pct(100.0 * paired.acquire_success_rate()),
+        ]);
+    }
+    println!("Figure 13 — acquire success rate, default vs paired-warps RegMutex");
+    println!("(paper: pairing usually raises the success rate)\n");
+    table.print();
+}

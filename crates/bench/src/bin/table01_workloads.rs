@@ -1,0 +1,42 @@
+//! Table I: the workloads, their per-thread register demand (with the
+//! rounded value in parentheses) and RegMutex's computed base-set size.
+//!
+//! The `|Bs|` column is *computed by the heuristic* on each application's
+//! home architecture (the baseline GPU for the Fig 7 group, the half-RF
+//! variant for the Fig 8 group) and must match the paper's Table I.
+
+use regmutex::Session;
+use regmutex_bench::Table;
+use regmutex_workloads::suite;
+
+fn main() {
+    let mut table = Table::new(&["application", "# regs", "|Bs| (computed)", "|Bs| (paper)", "|Es|", "SRP sections", "group"]);
+    let mut mismatches = 0;
+    for w in suite::all() {
+        let session = Session::new(w.table_config());
+        let compiled = session.compile(&w.kernel).expect("compile");
+        let (bs, es, srp) = match compiled.plan {
+            Some(p) => (p.bs.to_string(), p.es.to_string(), p.srp_sections.to_string()),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        if bs != w.table_bs.to_string() {
+            mismatches += 1;
+        }
+        let rounded = session.config().round_regs(w.table_regs);
+        table.row(vec![
+            w.name.to_string(),
+            format!("{} ({})", w.table_regs, rounded),
+            bs,
+            w.table_bs.to_string(),
+            es,
+            srp,
+            format!("{:?}", w.group),
+        ]);
+    }
+    println!("Table I — workloads, register demand, and RegMutex base-set sizes\n");
+    table.print();
+    println!(
+        "\n{} of 16 computed |Bs| values match the paper's Table I",
+        16 - mismatches
+    );
+}

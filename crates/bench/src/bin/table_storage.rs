@@ -1,0 +1,36 @@
+//! §III-B1 / §IV-C storage-overhead comparison.
+//!
+//! Paper reference: RegMutex adds 384 bits per SM; RFV needs 30,240 bits of
+//! renaming table + 1,024 bits of availability mask (31,264 total) — more
+//! than 81× RegMutex; the paired-warps specialization needs only `Nw/2`
+//! bits.
+
+use regmutex::storage;
+use regmutex_bench::Table;
+use regmutex_sim::GpuConfig;
+
+fn main() {
+    for (label, cfg) in [
+        ("baseline (128 KB RF)", GpuConfig::gtx480()),
+        ("half RF (64 KB)", GpuConfig::gtx480_half_rf()),
+    ] {
+        println!("Storage overhead per SM — {label}\n");
+        let mut table = Table::new(&["technique", "bits", "vs RegMutex"]);
+        let rm = storage::regmutex_bits(&cfg);
+        for row in storage::comparison(&cfg) {
+            let ratio = row.bits as f64 / rm as f64;
+            table.row(vec![
+                row.technique.to_string(),
+                row.bits.to_string(),
+                format!("{ratio:.2}x"),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    let cfg = GpuConfig::gtx480();
+    println!(
+        "RFV / RegMutex = {}x (paper: more than 81x)",
+        storage::rfv_bits(&cfg) / storage::regmutex_bits(&cfg)
+    );
+}

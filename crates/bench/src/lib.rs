@@ -1,0 +1,13 @@
+//! # regmutex-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `src/bin/`), plus shared report-formatting helpers. Each binary prints
+//! the same rows/series the paper's artifact reports, regenerated on the
+//! Rust simulator substrate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+
+pub use report::{fmt_pct, GeoMean, Table};

@@ -1,0 +1,273 @@
+//! Dependency-free argument parsing for the CLI.
+
+use regmutex::Technique;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `list` — print the workload registry.
+    List,
+    /// `disasm <app>` — print a kernel (optionally transformed / annotated).
+    Disasm {
+        /// Workload name.
+        app: String,
+        /// Show the RegMutex-transformed kernel instead of the original.
+        transformed: bool,
+        /// Annotate each instruction with its live-register count.
+        liveness: bool,
+    },
+    /// `run <app>` — simulate one workload under one technique.
+    Run {
+        /// Workload name.
+        app: String,
+        /// Technique to run.
+        technique: Technique,
+        /// Use the half-size register file.
+        half_rf: bool,
+        /// Override the grid size.
+        ctas: Option<u32>,
+        /// Force a specific `|Es|`.
+        force_es: Option<u16>,
+    },
+    /// `compare <app>` — run all techniques and print the comparison.
+    Compare {
+        /// Workload name.
+        app: String,
+        /// Use the half-size register file.
+        half_rf: bool,
+    },
+    /// `trace <app>` — dump the Fig 1 live-register trace as CSV.
+    Trace {
+        /// Workload name.
+        app: String,
+        /// Maximum dynamic instructions.
+        max_steps: usize,
+    },
+    /// `sweep <app>` — the Fig 10 |Es| sweep for one workload.
+    Sweep {
+        /// Workload name.
+        app: String,
+    },
+    /// `help` — usage.
+    Help,
+}
+
+/// Parse failures, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn technique_from(s: &str) -> Result<Technique, ParseError> {
+    match s.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(Technique::Baseline),
+        "regmutex" => Ok(Technique::RegMutex),
+        "paired" | "regmutex-paired" => Ok(Technique::RegMutexPaired),
+        "rfv" => Ok(Technique::Rfv),
+        "owf" => Ok(Technique::Owf),
+        other => Err(ParseError(format!(
+            "unknown technique '{other}' (expected baseline|regmutex|paired|rfv|owf)"
+        ))),
+    }
+}
+
+fn value_of<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, ParseError> {
+    let v = v.ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+    v.parse()
+        .map_err(|_| ParseError(format!("invalid value '{v}' for {flag}")))
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    let app = || -> Result<String, ParseError> {
+        rest.first()
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .ok_or_else(|| ParseError(format!("'{cmd}' needs a workload name; try 'list'")))
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "disasm" => Ok(Command::Disasm {
+            app: app()?,
+            transformed: rest.iter().any(|a| a == "--transformed"),
+            liveness: rest.iter().any(|a| a == "--liveness"),
+        }),
+        "trace" => {
+            let mut max_steps = 20_000usize;
+            let mut it = rest.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--max" => max_steps = value_of("--max", it.next())?,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Trace {
+                app: app()?,
+                max_steps,
+            })
+        }
+        "sweep" => Ok(Command::Sweep { app: app()? }),
+        "compare" => Ok(Command::Compare {
+            app: app()?,
+            half_rf: rest.iter().any(|a| a == "--half-rf"),
+        }),
+        "run" => {
+            let app = app()?;
+            let mut technique = Technique::RegMutex;
+            let mut half_rf = false;
+            let mut ctas = None;
+            let mut force_es = None;
+            let mut it = rest.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--technique" | "-t" => technique = technique_from(
+                        it.next()
+                            .ok_or_else(|| ParseError("--technique needs a value".into()))?,
+                    )?,
+                    "--half-rf" => half_rf = true,
+                    "--ctas" => ctas = Some(value_of("--ctas", it.next())?),
+                    "--force-es" => force_es = Some(value_of("--force-es", it.next())?),
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Run {
+                app,
+                technique,
+                half_rf,
+                ctas,
+                force_es,
+            })
+        }
+        other => Err(ParseError(format!(
+            "unknown command '{other}'; try 'help'"
+        ))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+regmutex-cli — drive the RegMutex (ISCA 2018) reproduction
+
+USAGE:
+  regmutex-cli list
+  regmutex-cli disasm <app> [--transformed] [--liveness]
+  regmutex-cli run <app> [--technique baseline|regmutex|paired|rfv|owf]
+                         [--half-rf] [--ctas N] [--force-es N]
+  regmutex-cli compare <app> [--half-rf]
+  regmutex-cli trace <app> [--max N]
+  regmutex-cli sweep <app>
+  regmutex-cli help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&v(&["help"])), Ok(Command::Help));
+        assert_eq!(parse(&v(&["--help"])), Ok(Command::Help));
+    }
+
+    #[test]
+    fn list_parses() {
+        assert_eq!(parse(&v(&["list"])), Ok(Command::List));
+    }
+
+    #[test]
+    fn disasm_flags() {
+        assert_eq!(
+            parse(&v(&["disasm", "BFS", "--transformed", "--liveness"])),
+            Ok(Command::Disasm {
+                app: "BFS".into(),
+                transformed: true,
+                liveness: true
+            })
+        );
+        assert_eq!(
+            parse(&v(&["disasm", "BFS"])),
+            Ok(Command::Disasm {
+                app: "BFS".into(),
+                transformed: false,
+                liveness: false
+            })
+        );
+    }
+
+    #[test]
+    fn run_full_form() {
+        assert_eq!(
+            parse(&v(&[
+                "run", "SAD", "-t", "rfv", "--half-rf", "--ctas", "90", "--force-es", "8"
+            ])),
+            Ok(Command::Run {
+                app: "SAD".into(),
+                technique: Technique::Rfv,
+                half_rf: true,
+                ctas: Some(90),
+                force_es: Some(8),
+            })
+        );
+    }
+
+    #[test]
+    fn run_defaults_to_regmutex() {
+        assert_eq!(
+            parse(&v(&["run", "BFS"])),
+            Ok(Command::Run {
+                app: "BFS".into(),
+                technique: Technique::RegMutex,
+                half_rf: false,
+                ctas: None,
+                force_es: None,
+            })
+        );
+    }
+
+    #[test]
+    fn technique_aliases() {
+        assert_eq!(technique_from("paired"), Ok(Technique::RegMutexPaired));
+        assert_eq!(technique_from("OWF"), Ok(Technique::Owf));
+        assert!(technique_from("nope").is_err());
+    }
+
+    #[test]
+    fn missing_app_is_an_error() {
+        assert!(parse(&v(&["run"])).is_err());
+        assert!(parse(&v(&["disasm", "--liveness"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(parse(&v(&["run", "BFS", "--what"])).is_err());
+        assert!(parse(&v(&["nonsense"])).is_err());
+    }
+
+    #[test]
+    fn trace_max() {
+        assert_eq!(
+            parse(&v(&["trace", "SAD", "--max", "500"])),
+            Ok(Command::Trace {
+                app: "SAD".into(),
+                max_steps: 500
+            })
+        );
+        assert!(parse(&v(&["trace", "SAD", "--max", "abc"])).is_err());
+    }
+}

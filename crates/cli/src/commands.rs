@@ -1,0 +1,324 @@
+//! Command implementations. Each returns its output as a `String` so tests
+//! can assert on it; `main.rs` prints.
+
+use std::fmt::Write as _;
+
+use regmutex::{cycle_reduction_percent, Session, Technique, ALL_TECHNIQUES};
+use regmutex_compiler::{analyze, live_trace, CompileOptions};
+use regmutex_sim::{GpuConfig, LaunchConfig};
+use regmutex_workloads::{suite, Workload};
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub struct CommandError(pub String);
+
+impl core::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+fn lookup(app: &str) -> Result<Workload, CommandError> {
+    suite::by_name(app).ok_or_else(|| {
+        let names: Vec<&str> = suite::all().iter().map(|w| w.name).collect();
+        CommandError(format!(
+            "unknown workload '{app}'; available: {}",
+            names.join(", ")
+        ))
+    })
+}
+
+fn config(half_rf: bool) -> GpuConfig {
+    if half_rf {
+        GpuConfig::gtx480_half_rf()
+    } else {
+        GpuConfig::gtx480()
+    }
+}
+
+/// `list`
+pub fn list() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>5} {:>5} {:>5} {:>7} {:>6}  group",
+        "app", "regs", "|Bs|", "tpc", "shmem", "grid"
+    );
+    for w in suite::all() {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>5} {:>5} {:>5} {:>7} {:>6}  {:?}",
+            w.name,
+            w.table_regs,
+            w.table_bs,
+            w.kernel.threads_per_cta,
+            w.kernel.shmem_per_cta,
+            w.grid_ctas,
+            w.group
+        );
+    }
+    out
+}
+
+/// `disasm <app>`
+pub fn disasm(app: &str, transformed: bool, liveness: bool) -> Result<String, CommandError> {
+    let w = lookup(app)?;
+    let session = Session::new(w.table_config());
+    let kernel = if transformed {
+        let compiled = session
+            .compile(&w.kernel)
+            .map_err(|e| CommandError(e.to_string()))?;
+        compiled.kernel
+    } else {
+        w.kernel.clone()
+    };
+    if !liveness {
+        return Ok(kernel.to_string());
+    }
+    let lv = analyze(&kernel);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        ".kernel {} // regs={} (live column = live-in count)",
+        kernel.name, kernel.regs_per_thread
+    );
+    for (pc, i) in kernel.instrs.iter().enumerate() {
+        let _ = writeln!(out, "  {pc:4}: [{:>2} live] {i}", lv.count_in(pc));
+    }
+    Ok(out)
+}
+
+/// `run <app> ...`
+pub fn run(
+    app: &str,
+    technique: Technique,
+    half_rf: bool,
+    ctas: Option<u32>,
+    force_es: Option<u16>,
+) -> Result<String, CommandError> {
+    let w = lookup(app)?;
+    let cfg = config(half_rf);
+    let session = Session::with_options(
+        cfg,
+        CompileOptions {
+            force_es,
+            force_apply: force_es.is_some(),
+        },
+    );
+    let launch = LaunchConfig::new(ctas.unwrap_or(w.grid_ctas));
+    let rep = session
+        .run(&w.kernel, launch, technique)
+        .map_err(|e| CommandError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "workload   : {} ({} CTAs)", w.name, launch.grid_ctas);
+    let _ = writeln!(
+        out,
+        "arch       : {}",
+        if half_rf { "GTX480 half RF (64 KB/SM)" } else { "GTX480 (128 KB/SM)" }
+    );
+    let _ = writeln!(out, "technique  : {technique}");
+    if let Some(p) = rep.plan {
+        let _ = writeln!(
+            out,
+            "plan       : |Bs|={} |Es|={} sections={} occupancy={} warps",
+            p.bs, p.es, p.srp_sections, p.occupancy_warps
+        );
+    }
+    let _ = writeln!(out, "cycles     : {}", rep.cycles());
+    let _ = writeln!(out, "ipc        : {:.3}", rep.stats.ipc());
+    let _ = writeln!(
+        out,
+        "occupancy  : {}% theoretical, {:.1} warps achieved",
+        rep.occupancy_percent(),
+        rep.stats.achieved_occupancy_warps()
+    );
+    if rep.stats.acquire_attempts > 0 {
+        let _ = writeln!(
+            out,
+            "acquires   : {} attempts, {:.1}% successful",
+            rep.stats.acquire_attempts,
+            100.0 * rep.acquire_success_rate()
+        );
+    }
+    if rep.stats.spills > 0 {
+        let _ = writeln!(out, "spills     : {}", rep.stats.spills);
+    }
+    let _ = writeln!(out, "storage    : +{} bits/SM", rep.storage_overhead_bits);
+    let _ = writeln!(out, "checksum   : {:#018x}", rep.stats.checksum);
+    Ok(out)
+}
+
+/// `compare <app>`
+pub fn compare(app: &str, half_rf: bool) -> Result<String, CommandError> {
+    let w = lookup(app)?;
+    let session = Session::new(config(half_rf));
+    let compiled = session
+        .compile(&w.kernel)
+        .map_err(|e| CommandError(e.to_string()))?;
+    let launch = w.launch();
+    let base = session
+        .run_compiled(&compiled, launch, Technique::Baseline)
+        .map_err(|e| CommandError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {} — baseline {} cycles, occupancy {}%\n",
+        w.name,
+        if half_rf { "half RF" } else { "GTX480" },
+        base.cycles(),
+        base.occupancy_percent()
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>10} {:>10} {:>12}",
+        "technique", "cycles", "reduction", "occupancy", "storage bits"
+    );
+    for t in ALL_TECHNIQUES {
+        let rep = session
+            .run_compiled(&compiled, launch, t)
+            .map_err(|e| CommandError(format!("{t}: {e}")))?;
+        if rep.stats.checksum != base.stats.checksum {
+            return Err(CommandError(format!("{t}: functional divergence")));
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>9.1}% {:>9}% {:>12}",
+            t.to_string(),
+            rep.cycles(),
+            cycle_reduction_percent(&base, &rep),
+            rep.occupancy_percent(),
+            rep.storage_overhead_bits
+        );
+    }
+    Ok(out)
+}
+
+/// `trace <app>`
+pub fn trace(app: &str, max_steps: usize) -> Result<String, CommandError> {
+    let w = lookup(app)?;
+    let t = live_trace(&w.kernel, max_steps);
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — live% per executed instruction", w.name);
+    let _ = writeln!(out, "instruction,live_percent");
+    for (i, p) in t.percentages().iter().enumerate() {
+        let _ = writeln!(out, "{i},{p:.2}");
+    }
+    if t.truncated {
+        let _ = writeln!(out, "# truncated at {max_steps} steps");
+    }
+    Ok(out)
+}
+
+/// `sweep <app>`
+pub fn sweep(app: &str) -> Result<String, CommandError> {
+    let w = lookup(app)?;
+    let cfg = w.table_config();
+    let base = Session::new(cfg.clone())
+        .run(&w.kernel, w.launch(), Technique::Baseline)
+        .map_err(|e| CommandError(e.to_string()))?;
+    let heuristic = Session::new(cfg.clone())
+        .compile(&w.kernel)
+        .map_err(|e| CommandError(e.to_string()))?
+        .plan
+        .map(|p| p.es);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} |Es| sweep (baseline {} cycles; * = heuristic pick)\n",
+        w.name,
+        base.cycles()
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>10} {:>10} {:>10} {:>9}",
+        "|Es|", "cycles", "reduction", "occupancy", "acq-rate"
+    );
+    for es in [2u16, 4, 6, 8, 10, 12] {
+        let session = Session::with_options(
+            cfg.clone(),
+            CompileOptions {
+                force_es: Some(es),
+                force_apply: true,
+            },
+        );
+        match session.run(&w.kernel, w.launch(), Technique::RegMutex) {
+            Ok(rep) if rep.plan.is_some() => {
+                let mark = if heuristic == Some(es) { "*" } else { " " };
+                let _ = writeln!(
+                    out,
+                    "{es:>4}{mark} {:>10} {:>9.1}% {:>9}% {:>8.1}%",
+                    rep.cycles(),
+                    cycle_reduction_percent(&base, &rep),
+                    rep.occupancy_percent(),
+                    100.0 * rep.acquire_success_rate()
+                );
+            }
+            Ok(_) => {
+                let _ = writeln!(out, "{es:>5} {:>10}", "not viable");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{es:>5} error: {e}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_mentions_all_16() {
+        let out = list();
+        assert_eq!(out.lines().count(), 17); // header + 16
+        assert!(out.contains("BFS"));
+        assert!(out.contains("TPACF"));
+    }
+
+    #[test]
+    fn unknown_workload_reports_options() {
+        let err = disasm("nope", false, false).unwrap_err();
+        assert!(err.0.contains("available"));
+    }
+
+    #[test]
+    fn disasm_transformed_contains_primitives() {
+        let plain = disasm("BFS", false, false).unwrap();
+        assert!(!plain.contains("acq.es"));
+        let transformed = disasm("BFS", true, false).unwrap();
+        assert!(transformed.contains("acq.es"));
+        assert!(transformed.contains("rel.es"));
+    }
+
+    #[test]
+    fn disasm_liveness_annotates() {
+        let out = disasm("Gaussian", false, true).unwrap();
+        assert!(out.contains("live]"));
+    }
+
+    #[test]
+    fn run_reports_plan_and_cycles() {
+        let out = run("Gaussian", Technique::RegMutex, true, Some(30), None).unwrap();
+        assert!(out.contains("plan"));
+        assert!(out.contains("cycles"));
+        assert!(out.contains("checksum"));
+    }
+
+    #[test]
+    fn trace_emits_csv() {
+        let out = trace("SAD", 100).unwrap();
+        assert!(out.starts_with("# SAD"));
+        assert!(out.lines().count() > 50);
+    }
+
+    #[test]
+    fn compare_covers_all_techniques() {
+        let out = compare("Gaussian", true).unwrap();
+        for t in ["baseline", "regmutex", "regmutex-paired", "rfv", "owf"] {
+            assert!(out.contains(t), "missing {t}");
+        }
+    }
+}

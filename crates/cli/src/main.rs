@@ -1,0 +1,43 @@
+//! Thin shell over the command library.
+
+use regmutex_cli::{commands, parse, Command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", regmutex_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match cmd {
+        Command::Help => {
+            print!("{}", regmutex_cli::args::USAGE);
+            return;
+        }
+        Command::List => Ok(commands::list()),
+        Command::Disasm {
+            app,
+            transformed,
+            liveness,
+        } => commands::disasm(&app, transformed, liveness),
+        Command::Run {
+            app,
+            technique,
+            half_rf,
+            ctas,
+            force_es,
+        } => commands::run(&app, technique, half_rf, ctas, force_es),
+        Command::Compare { app, half_rf } => commands::compare(&app, half_rf),
+        Command::Trace { app, max_steps } => commands::trace(&app, max_steps),
+        Command::Sweep { app } => commands::sweep(&app),
+    };
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

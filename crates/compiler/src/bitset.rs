@@ -1,0 +1,187 @@
+//! A dense fixed-capacity bitset used for register live sets.
+
+/// Dense bitset over `u64` blocks. Capacity is fixed at construction; all
+/// operations on indices beyond the capacity panic (they would indicate a
+/// compiler bug).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Empty set with room for `capacity` elements.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            blocks: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn index(&self, i: usize) -> (usize, u64) {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        (i / 64, 1u64 << (i % 64))
+    }
+
+    /// Insert `i`; returns true if newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (b, m) = self.index(i);
+        let was = self.blocks[b] & m != 0;
+        self.blocks[b] |= m;
+        !was
+    }
+
+    /// Remove `i`; returns true if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (b, m) = self.index(i);
+        let was = self.blocks[b] & m != 0;
+        self.blocks[b] &= !m;
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        let (b, m) = self.index(i);
+        self.blocks[b] & m != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True if no elements.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self -= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterate over set elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            core::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let t = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(bi * 64 + t)
+                }
+            })
+        })
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect indices into a bitset sized to the largest element + 1.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map(|m| m + 1).unwrap_or(0);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn union_and_subtract() {
+        let mut a = BitSet::new(70);
+        a.insert(1);
+        a.insert(65);
+        let mut b = BitSet::new(70);
+        b.insert(2);
+        b.insert(65);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b)); // idempotent
+        assert_eq!(a.len(), 3);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: BitSet = [5usize, 1, 99, 64].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 64, 99]);
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = BitSet::new(10);
+        assert!(s.is_empty());
+        s.insert(3);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn out_of_capacity_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn union_capacity_mismatch_panics() {
+        let mut a = BitSet::new(4);
+        let b = BitSet::new(8);
+        a.union_with(&b);
+    }
+}

@@ -1,0 +1,251 @@
+//! Control-flow graph construction over the flat instruction vector.
+
+use regmutex_isa::{Kernel, Op};
+
+/// A basic block: instructions `[start, end)` (end exclusive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// Index of the terminator (last instruction of the block).
+    pub fn terminator(&self) -> u32 {
+        self.end - 1
+    }
+
+    /// Instruction indices in this block.
+    pub fn pcs(&self) -> core::ops::Range<u32> {
+        self.start..self.end
+    }
+}
+
+/// Control-flow graph: blocks in program order, plus a pc→block map.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in ascending `start` order.
+    pub blocks: Vec<BasicBlock>,
+    /// Block id containing each instruction.
+    pub block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Build the CFG of a (validated) kernel.
+    pub fn build(kernel: &Kernel) -> Self {
+        let n = kernel.instrs.len();
+        assert!(n > 0, "CFG of empty kernel");
+
+        // Leaders: instruction 0, every branch target, every instruction
+        // following a terminator.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, i) in kernel.instrs.iter().enumerate() {
+            match i.op {
+                Op::Bra { target, .. } => {
+                    leader[target as usize] = true;
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Op::Exit => {
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for pc in 1..=n {
+            if pc == n || leader[pc] {
+                let id = blocks.len();
+                for x in start..pc {
+                    block_of[x] = id;
+                }
+                blocks.push(BasicBlock {
+                    start: start as u32,
+                    end: pc as u32,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+                start = pc;
+            }
+        }
+
+        // Edges.
+        let nb = blocks.len();
+        for b in 0..nb {
+            let term = blocks[b].terminator() as usize;
+            let mut succs = Vec::new();
+            match kernel.instrs[term].op {
+                Op::Exit => {}
+                Op::Bra { target, .. } => {
+                    succs.push(block_of[target as usize]);
+                    // All our branch kinds are conditional: fall-through is
+                    // always possible.
+                    if term + 1 < n {
+                        let ft = block_of[term + 1];
+                        if !succs.contains(&ft) {
+                            succs.push(ft);
+                        }
+                    }
+                }
+                _ => {
+                    if term + 1 < n {
+                        succs.push(block_of[term + 1]);
+                    }
+                }
+            }
+            blocks[b].succs = succs.clone();
+            for s in succs {
+                blocks[s].preds.push(b);
+            }
+        }
+
+        Cfg { blocks, block_of }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the CFG has no blocks (never for valid kernels).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Reverse post-order over blocks (good iteration order for forward
+    /// problems; its reverse suits backward dataflow).
+    pub fn reverse_post_order(&self) -> Vec<usize> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS from block 0.
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        visited[0] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < self.blocks[b].succs.len() {
+                let s = self.blocks[b].succs[*next];
+                *next += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        // Unreachable blocks (possible after aggressive edits): append in
+        // program order so analyses still cover them conservatively.
+        for b in 0..self.blocks.len() {
+            if !visited[b] {
+                post.push(b);
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmutex_isa::{ArchReg, KernelBuilder, TripCount};
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1).iadd(r(1), r(0), r(0)).exit();
+        let cfg = Cfg::build(&b.build().unwrap());
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+        assert_eq!(cfg.blocks[0].start, 0);
+        assert_eq!(cfg.blocks[0].end, 3);
+    }
+
+    #[test]
+    fn loop_creates_back_edge() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1); // block 0
+        let top = b.here();
+        b.iadd(r(0), r(0), r(0)); // block 1 (loop body)
+        b.bra_loop(top, TripCount::Fixed(3));
+        b.exit(); // block 2
+        let k = b.build().unwrap();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.len(), 3);
+        // body -> {body, exit}
+        let body = cfg.block_of[1];
+        assert!(cfg.blocks[body].succs.contains(&body));
+        assert_eq!(cfg.blocks[body].preds.len(), 2); // entry + itself
+    }
+
+    #[test]
+    fn if_skip_diamond() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1); // b0 (with branch terminator below)
+        let skip = b.new_label();
+        b.bra_if(skip, 500, Some(r(0)));
+        b.iadd(r(1), r(0), r(0)); // b1
+        b.place(skip);
+        b.exit(); // b2
+        let cfg = Cfg::build(&b.build().unwrap());
+        assert_eq!(cfg.len(), 3);
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+        assert_eq!(cfg.blocks[1].succs, vec![2]);
+        assert_eq!(cfg.blocks[2].preds.len(), 2);
+    }
+
+    #[test]
+    fn block_of_maps_every_pc() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1);
+        let skip = b.new_label();
+        b.bra_div(skip, 100, None);
+        b.iadd(r(1), r(0), r(0));
+        b.place(skip);
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = Cfg::build(&k);
+        for pc in 0..k.len() {
+            let blk = &cfg.blocks[cfg.block_of[pc]];
+            assert!((blk.start as usize) <= pc && pc < blk.end as usize);
+        }
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1);
+        let top = b.here();
+        b.iadd(r(0), r(0), r(0));
+        let skip = b.new_label();
+        b.bra_if(skip, 100, None);
+        b.imul(r(1), r(0), r(0));
+        b.place(skip);
+        b.bra_loop(top, TripCount::Fixed(2));
+        b.exit();
+        let cfg = Cfg::build(&b.build().unwrap());
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo.len(), cfg.len());
+        assert_eq!(rpo[0], 0);
+        let mut sorted = rpo.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..cfg.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,368 @@
+//! Architected register index compaction (§III-A4).
+//!
+//! Outside acquire regions, every accessed architected index must stay below
+//! `|Bs|` so the two-segment `Y = X + B` mapping remains valid while the
+//! extended set is released. Two mechanisms establish that invariant:
+//!
+//! 1. **Escape moves**: a value produced in an extended-index register inside
+//!    a region but consumed after the release is MOVed into a free base-set
+//!    index right after its definition (while the extended set is still
+//!    held), and the consuming uses are renamed — the paper's "move any live
+//!    values in the extended register set to available registers in the base
+//!    set … and apply register location renaming for all the uses until the
+//!    end of its current live range".
+//! 2. **Def renaming**: a definition that targets an extended index while
+//!    outside any region is renamed (with its uses) to a free base index
+//!    directly — no MOV needed.
+//!
+//! Both pick the lowest free base index whose value is not live at the edit
+//! point and which is untouched across the renamed span. If no such index
+//! exists the candidate `|Bs|` is rejected and the caller falls back to the
+//! next `|Es|` candidate.
+
+use regmutex_isa::{ArchReg, Instr, Kernel, Op};
+
+use crate::edit::{insert_at, insert_flag};
+use crate::liveness::{analyze, Liveness};
+
+/// Why compaction could not establish the index invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactError {
+    /// A kernel input (read-before-write) lives in an extended index and is
+    /// used outside every region; there is no definition to move it after.
+    InputInExtendedSet {
+        /// The offending register.
+        reg: u16,
+    },
+    /// No base-set index is free across the renamed span.
+    NoFreeBaseRegister {
+        /// Edit location.
+        at: u32,
+        /// Register that needed a new home.
+        reg: u16,
+    },
+    /// The fixpoint did not converge (pathological kernel shape).
+    NoProgress,
+}
+
+impl core::fmt::Display for CompactError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CompactError::InputInExtendedSet { reg } => {
+                write!(f, "kernel input R{reg} lives in the extended set")
+            }
+            CompactError::NoFreeBaseRegister { at, reg } => {
+                write!(f, "no free base register for R{reg} at pc {at}")
+            }
+            CompactError::NoProgress => write!(f, "compaction did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for CompactError {}
+
+/// Establish the index invariant for base-set size `bs`, editing `kernel`
+/// and the parallel `in_region` flags in place. Returns the number of
+/// inserted MOV instructions.
+///
+/// # Errors
+///
+/// See [`CompactError`]; on error the kernel may be partially edited and
+/// must be discarded by the caller.
+pub fn compact(
+    kernel: &mut Kernel,
+    in_region: &mut Vec<bool>,
+    bs: u16,
+) -> Result<u32, CompactError> {
+    let mut movs = 0u32;
+    let cap = kernel.instrs.len() * 8 + 64;
+    for _ in 0..cap {
+        let lv = analyze(kernel);
+        let Some((pc, reg, is_read)) = first_violation(kernel, in_region, bs) else {
+            return Ok(movs);
+        };
+        if is_read {
+            // Find the reaching definition in straight-line order.
+            let dpc = (0..pc as usize)
+                .rev()
+                .find(|&p| kernel.instrs[p].dst == Some(ArchReg(reg)))
+                .ok_or(CompactError::InputInExtendedSet { reg })?;
+            escape_move(kernel, in_region, &lv, bs, dpc as u32, reg)?;
+            movs += 1;
+        } else {
+            rename_def(kernel, &lv, bs, pc, reg)?;
+        }
+    }
+    Err(CompactError::NoProgress)
+}
+
+/// First non-region access to an index >= bs: `(pc, reg, is_read)`.
+/// Reads are reported before writes so escape moves fix incoming values
+/// before defs get renamed.
+fn first_violation(kernel: &Kernel, in_region: &[bool], bs: u16) -> Option<(u32, u16, bool)> {
+    for (pc, i) in kernel.instrs.iter().enumerate() {
+        if in_region[pc] {
+            continue;
+        }
+        if let Some(s) = i.srcs.iter().find(|s| s.0 >= bs) {
+            return Some((pc as u32, s.0, true));
+        }
+        if let Some(d) = i.dst.filter(|d| d.0 >= bs) {
+            return Some((pc as u32, d.0, false));
+        }
+    }
+    None
+}
+
+/// Rename reads of `reg` to `new` starting at `from`, stopping at the next
+/// write of `reg` (whose reads, if any, are renamed first). Returns the pc
+/// of the last renamed read (or `from` when none).
+fn rename_reads_until_redef(kernel: &mut Kernel, from: usize, reg: u16, new: u16) -> usize {
+    let mut last = from;
+    for pc in from..kernel.instrs.len() {
+        let i = &mut kernel.instrs[pc];
+        let mut touched = false;
+        for s in &mut i.srcs {
+            if s.0 == reg {
+                *s = ArchReg(new);
+                touched = true;
+            }
+        }
+        if touched {
+            last = pc;
+        }
+        if i.dst == Some(ArchReg(reg)) {
+            break;
+        }
+    }
+    last
+}
+
+/// Find the lowest base index free for a value spanning `[span_start,
+/// span_end]`: not live at the span start and untouched within the span.
+fn find_free_base(
+    kernel: &Kernel,
+    lv: &Liveness,
+    bs: u16,
+    span_start: usize,
+    span_end: usize,
+    avoid: u16,
+) -> Option<u16> {
+    'cand: for f in 0..bs {
+        if f == avoid {
+            continue;
+        }
+        // Live at span start (the value would be clobbered)?
+        if span_start < lv.live_in.len()
+            && lv.live_in[span_start.min(lv.live_in.len() - 1)].contains(f as usize)
+        {
+            continue;
+        }
+        for pc in span_start..=span_end.min(kernel.instrs.len() - 1) {
+            let i = &kernel.instrs[pc];
+            if i.srcs.iter().any(|s| s.0 == f) || i.dst == Some(ArchReg(f)) {
+                continue 'cand;
+            }
+        }
+        return Some(f);
+    }
+    None
+}
+
+/// Mechanism 1: insert `mov f <- reg` at the *end of the defining region*
+/// (pressure there is back down to ≤ `|Bs|`, so a base index is free — this
+/// is the paper's "move … right before releasing the extended register
+/// set") and rename the post-region reads.
+fn escape_move(
+    kernel: &mut Kernel,
+    in_region: &mut Vec<bool>,
+    lv: &Liveness,
+    bs: u16,
+    dpc: u32,
+    reg: u16,
+) -> Result<(), CompactError> {
+    // Walk to the end of the region containing the def; if the def is
+    // somehow outside a region (shouldn't happen — it would have been a
+    // write violation first), fall back to right after the def.
+    let mut end = dpc as usize;
+    while end + 1 < kernel.instrs.len() && in_region[end] && in_region[end + 1] {
+        end += 1;
+    }
+    let insert_pos = end + 1;
+    // Probe the rename span on a scratch copy to know its extent before
+    // choosing `f`.
+    let mut probe = kernel.clone();
+    let last_use = rename_reads_until_redef(&mut probe, insert_pos, reg, reg).max(insert_pos);
+    let f = find_free_base(kernel, lv, bs, insert_pos, last_use, reg).ok_or(
+        CompactError::NoFreeBaseRegister {
+            at: insert_pos as u32,
+            reg,
+        },
+    )?;
+    rename_reads_until_redef(kernel, insert_pos, reg, f);
+    insert_at(
+        kernel,
+        insert_pos as u32,
+        Instr::new(Op::Mov, Some(ArchReg(f)), vec![ArchReg(reg)]),
+        false,
+    );
+    // The MOV reads the extended register, so it must sit inside the region
+    // (before the future release).
+    insert_flag(in_region, insert_pos as u32, in_region[dpc as usize]);
+    Ok(())
+}
+
+/// Mechanism 2: rename the def at `pc` (and its uses) to a free base index.
+fn rename_def(
+    kernel: &mut Kernel,
+    lv: &Liveness,
+    bs: u16,
+    pc: u32,
+    reg: u16,
+) -> Result<(), CompactError> {
+    let pc = pc as usize;
+    let mut probe = kernel.clone();
+    let last_use = rename_reads_until_redef(&mut probe, pc + 1, reg, reg).max(pc);
+    let f = find_free_base(kernel, lv, bs, pc, last_use, reg).ok_or(
+        CompactError::NoFreeBaseRegister {
+            at: pc as u32,
+            reg,
+        },
+    )?;
+    kernel.instrs[pc].dst = Some(ArchReg(f));
+    rename_reads_until_redef(kernel, pc + 1, reg, f);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liveness::analyze;
+    use crate::regions::find_regions;
+    use regmutex_isa::KernelBuilder;
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    /// Pressure spike with a value escaping the region in a high index:
+    /// r9 defined amid pressure, consumed at the low-pressure tail.
+    fn escaping_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("esc");
+        b.movi(r(0), 1); // pc0
+        for i in 4..9 {
+            b.movi(r(i), u64::from(i)); // pc1..5: pressure builds
+        }
+        b.imad(r(9), r(4), r(5), r(6)); // pc6: def r9 (escapee)
+        b.imad(r(1), r(7), r(8), r(9)); // pc7: consume most
+        b.st_global(r(0), r(9)); // pc8: r9 used at low pressure
+        b.st_global(r(0), r(1)); // pc9
+        b.exit(); // pc10
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn escape_move_inserted_and_invariant_holds() {
+        let mut k = escaping_kernel();
+        let bs = 6u16;
+        let lv = analyze(&k);
+        let mut regions = find_regions(&k, &lv, bs).unwrap();
+        let movs = compact(&mut k, &mut regions, bs).unwrap();
+        assert!(movs >= 1, "an escape MOV is required");
+        // Invariant: outside regions no index >= bs is touched.
+        for (pc, i) in k.instrs.iter().enumerate() {
+            if !regions[pc] {
+                assert!(
+                    i.srcs.iter().chain(i.dst.iter()).all(|x| x.0 < bs),
+                    "pc {pc}: {i} violates index invariant"
+                );
+            }
+        }
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn def_rename_without_mov() {
+        // A def to a high index at low pressure: renamed, no MOV.
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(9), 5);
+        b.st_global(r(9), r(9));
+        b.exit();
+        let mut k = b.build().unwrap();
+        // No live-count region; the high-index accesses initially force
+        // region membership, but with bs=4 regions would engulf them… use
+        // regions = all-false to exercise pure renaming.
+        let mut regions = vec![false; k.len()];
+        let movs = compact(&mut k, &mut regions, 4).unwrap();
+        assert_eq!(movs, 0);
+        assert!(k
+            .instrs
+            .iter()
+            .all(|i| i.srcs.iter().chain(i.dst.iter()).all(|x| x.0 < 4)));
+        // Functionally: the store still stores the moved value's register.
+        assert_eq!(k.len(), 3);
+    }
+
+    #[test]
+    fn no_violation_is_noop() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1).st_global(r(0), r(0)).exit();
+        let mut k = b.build().unwrap();
+        let before = k.clone();
+        let mut regions = vec![false; k.len()];
+        assert_eq!(compact(&mut k, &mut regions, 4).unwrap(), 0);
+        assert_eq!(k, before);
+    }
+
+    #[test]
+    fn input_in_extended_set_rejected() {
+        // r9 read before any write, outside a region.
+        let mut b = KernelBuilder::new("k");
+        b.st_global(r(9), r(9));
+        b.exit();
+        let mut k = b.build().unwrap();
+        let mut regions = vec![false; k.len()];
+        assert_eq!(
+            compact(&mut k, &mut regions, 4),
+            Err(CompactError::InputInExtendedSet { reg: 9 })
+        );
+    }
+
+    #[test]
+    fn no_free_base_register_rejected() {
+        // bs = 2 but both base regs stay live across the escape span.
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1);
+        b.movi(r(1), 2);
+        b.movi(r(5), 3); // def in "region"
+        b.st_global(r(0), r(5)); // use outside
+        b.st_global(r(0), r(1));
+        b.exit();
+        let mut k = b.build().unwrap();
+        let mut regions = vec![false, false, true, false, false, false];
+        assert!(matches!(
+            compact(&mut k, &mut regions, 2),
+            Err(CompactError::NoFreeBaseRegister { .. })
+        ));
+    }
+
+    #[test]
+    fn rename_stops_at_redefinition() {
+        // r9 defined, used, then redefined inside a later (region) pc; the
+        // rename of the first range must not touch the second.
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(9), 1); // pc0: def #1 (outside region)
+        b.st_global(r(9), r(9)); // pc1: use of def #1
+        b.movi(r(9), 2); // pc2: def #2 (inside region)
+        b.st_global(r(9), r(9)); // pc3: inside region
+        b.exit();
+        let mut k = b.build().unwrap();
+        let mut regions = vec![false, false, true, true, false];
+        compact(&mut k, &mut regions, 4).unwrap();
+        // def #2 and its use keep r9 (they're in-region).
+        assert_eq!(k.instrs[2].dst, Some(r(9)));
+        assert!(k.instrs[3].srcs.contains(&r(9)));
+        // def #1 renamed below bs.
+        assert!(k.instrs[0].dst.unwrap().0 < 4);
+    }
+}

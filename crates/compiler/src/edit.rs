@@ -1,0 +1,116 @@
+//! Instruction insertion with branch-target fix-up.
+//!
+//! Inserting an instruction shifts every later pc by one; all absolute
+//! branch targets must be remapped. Whether a branch that targeted exactly
+//! the insertion point should now land *on* the inserted instruction (an
+//! injected acquire must be executed by jumps into its region) or *after*
+//! it (a compaction MOV belongs only to the fall-through path of its def;
+//! an injected release must not run on paths that never acquired) is the
+//! caller's choice.
+
+use regmutex_isa::{Instr, Kernel, Op};
+
+/// Insert `instr` at position `at` in `kernel` (existing instruction at `at`
+/// moves to `at + 1`). When `jumps_land_on_inserted` is true, branches that
+/// targeted `at` now execute the inserted instruction first; otherwise they
+/// keep targeting the original instruction.
+pub fn insert_at(kernel: &mut Kernel, at: u32, instr: Instr, jumps_land_on_inserted: bool) {
+    for i in &mut kernel.instrs {
+        if let Op::Bra { ref mut target, .. } = i.op {
+            if *target > at || (*target == at && !jumps_land_on_inserted) {
+                *target += 1;
+            }
+        }
+    }
+    kernel.instrs.insert(at as usize, instr);
+    let used = kernel.max_reg_used();
+    if used > kernel.regs_per_thread {
+        kernel.regs_per_thread = used;
+    }
+}
+
+/// Insert into a parallel per-pc vector (e.g. region flags), mirroring
+/// [`insert_at`].
+pub fn insert_flag<T: Copy>(flags: &mut Vec<T>, at: u32, value: T) {
+    flags.insert(at as usize, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmutex_isa::{ArchReg, Instr, KernelBuilder, Op, TripCount};
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    fn loop_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1); // pc0
+        let top = b.here();
+        b.iadd(r(0), r(0), r(0)); // pc1
+        b.bra_loop(top, TripCount::Fixed(2)); // pc2 -> 1
+        b.exit(); // pc3
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn insert_after_target_keeps_target() {
+        let mut k = loop_kernel();
+        insert_at(&mut k, 3, Instr::new(Op::RelEs, None, vec![]), false);
+        assert_eq!(k.instrs[2].branch_target(), Some(1));
+        assert!(matches!(k.instrs[3].op, Op::RelEs));
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn insert_before_target_shifts_it() {
+        let mut k = loop_kernel();
+        insert_at(&mut k, 0, Instr::new(Op::AcqEs, None, vec![]), true);
+        // Loop target 1 -> 2.
+        assert_eq!(k.instrs[3].branch_target(), Some(2));
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn jump_lands_on_inserted_when_requested() {
+        let mut k = loop_kernel();
+        // Insert an acquire right at the loop head; the back edge must now
+        // execute it.
+        insert_at(&mut k, 1, Instr::new(Op::AcqEs, None, vec![]), true);
+        assert!(matches!(k.instrs[1].op, Op::AcqEs));
+        assert_eq!(k.instrs[3].branch_target(), Some(1)); // still 1 = the acquire
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn jump_skips_inserted_when_requested() {
+        let mut k = loop_kernel();
+        // Insert a MOV at the loop head that only the fall-through from pc0
+        // should execute.
+        insert_at(
+            &mut k,
+            1,
+            Instr::new(Op::Mov, Some(r(1)), vec![r(0)]),
+            false,
+        );
+        assert!(matches!(k.instrs[1].op, Op::Mov));
+        assert_eq!(k.instrs[3].branch_target(), Some(2)); // skips the MOV
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn regs_per_thread_grows_with_new_registers() {
+        let mut k = loop_kernel();
+        assert_eq!(k.regs_per_thread, 1);
+        insert_at(&mut k, 1, Instr::new(Op::Mov, Some(r(7)), vec![r(0)]), false);
+        assert_eq!(k.regs_per_thread, 8);
+    }
+
+    #[test]
+    fn insert_flag_mirrors() {
+        let mut flags = vec![false, true, true];
+        insert_flag(&mut flags, 1, true);
+        assert_eq!(flags, vec![false, true, true, true]);
+    }
+}

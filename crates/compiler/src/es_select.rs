@@ -1,0 +1,309 @@
+//! Extended-register-set size selection (§III-A2).
+//!
+//! Candidates for `|Es|` are the even roundings of
+//! `R · {0.1, 0.15, 0.2, 0.25, 0.3, 0.35}` (R = the kernel's register demand
+//! rounded to the allocation granularity, the paper's parenthesized Table I
+//! values). Among candidates the heuristic keeps those maximizing the
+//! theoretical occupancy computed *with the base set only*, then prefers the
+//! smallest `|Es|` whose Shared Register Pool holds more sections than half
+//! the SM's warp capacity (so that more than half the warps on the SM could
+//! be in the acquire state concurrently); if no candidate reaches that bar, the
+//! smallest occupancy-maximizing candidate wins (largest `|Bs|`, least
+//! program disturbance). Two deadlock rules prune candidates: the SRP must
+//! fit at least one section, and `|Bs|` must cover the live registers at
+//! every CTA-wide barrier (§III-A2, "Deadlock Avoidance").
+
+use regmutex_isa::{Kernel, Op};
+use regmutex_sim::{occupancy, GpuConfig, KernelResources};
+
+use crate::liveness::Liveness;
+
+/// The paper's empirically-derived fraction set.
+pub const ES_FRACTIONS: [f64; 6] = [0.10, 0.15, 0.20, 0.25, 0.30, 0.35];
+
+/// Evaluation record for one `|Es|` candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateEval {
+    /// Candidate extended-set size.
+    pub es: u16,
+    /// Implied base-set size (`round(R) − es`).
+    pub bs: u16,
+    /// Register-only occupancy (warps) with the base set — the quantity the
+    /// heuristic maximizes ("occupancy calculated only with the base set
+    /// size", i.e. ignoring non-register limits that the base set cannot
+    /// influence).
+    pub selection_warps: u32,
+    /// Full theoretical occupancy (warps) with the base set, all resource
+    /// limits applied — determines the resident-warp capacity and thereby
+    /// the SRP size.
+    pub occupancy_warps: u32,
+    /// SRP sections available at that occupancy.
+    pub srp_sections: u32,
+    /// Passes both deadlock-avoidance rules.
+    pub viable: bool,
+    /// More SRP sections than half the SM's warp capacity.
+    pub majority_concurrent: bool,
+}
+
+/// Result of the selection heuristic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EsSelection {
+    /// All candidates, ranked: the chosen one first, then fallbacks in
+    /// preference order (for compilation retries), then non-viable ones.
+    pub ranked: Vec<CandidateEval>,
+    /// The rounded register demand the candidates divide (`|Bs| + |Es|`).
+    pub total_regs: u16,
+    /// Baseline occupancy (warps) with conventional static allocation.
+    pub baseline_warps: u32,
+}
+
+impl EsSelection {
+    /// The heuristic's pick, if any viable candidate exists.
+    pub fn chosen(&self) -> Option<&CandidateEval> {
+        self.ranked.first().filter(|c| c.viable)
+    }
+}
+
+/// Round `x` to the nearest even integer, ties rounding up.
+fn round_to_even(x: f64) -> u16 {
+    ((x / 2.0 + 0.5).floor() * 2.0) as u16
+}
+
+/// Theoretical occupancy with a raw (granularity-1) per-thread register
+/// count — the paper's SRP arithmetic allocates base sets unrounded.
+fn occupancy_raw(cfg: &GpuConfig, res: KernelResources, regs: u16) -> occupancy::Occupancy {
+    let mut raw_cfg = cfg.clone();
+    raw_cfg.reg_alloc_granularity = 1;
+    occupancy::theoretical(
+        &raw_cfg,
+        KernelResources {
+            regs_per_thread: regs,
+            ..res
+        },
+    )
+}
+
+/// Evaluate one candidate.
+pub fn evaluate_candidate(
+    cfg: &GpuConfig,
+    res: KernelResources,
+    total_regs: u16,
+    es: u16,
+    barrier_live_max: u16,
+) -> CandidateEval {
+    let bs = total_regs.saturating_sub(es);
+    // Selection occupancy: registers (and warp/CTA slots) only.
+    let sel = occupancy_raw(
+        cfg,
+        KernelResources {
+            shmem_per_cta: 0,
+            ..res
+        },
+        bs,
+    );
+    // Capacity occupancy: every resource limit applies.
+    let full = occupancy_raw(cfg, res, bs);
+    let rows = cfg.reg_rows_per_sm();
+    let base_rows = full.warps * u32::from(bs);
+    let srp_rows = rows.saturating_sub(base_rows);
+    let srp_sections = if es == 0 {
+        0
+    } else {
+        (srp_rows / u32::from(es)).min(cfg.max_warps_per_sm)
+    };
+    let viable = es > 0 && bs > 0 && srp_sections >= 1 && bs >= barrier_live_max;
+    // "More than half of the warps on the SM … in the acquire state": the
+    // threshold is against the SM's warp capacity (Nw), which is the only
+    // reading consistent with both the §III-A2 worked example (26 > 24
+    // passes, 16 fails) and the Table I |Bs| values.
+    let majority_concurrent = srp_sections * 2 > cfg.max_warps_per_sm;
+    CandidateEval {
+        es,
+        bs,
+        selection_warps: sel.warps,
+        occupancy_warps: full.warps,
+        srp_sections,
+        viable,
+        majority_concurrent,
+    }
+}
+
+/// Maximum live-register count at any CTA-wide barrier (`bar.sync`) of the
+/// kernel (deadlock rule 2 input). Zero when the kernel has no barriers.
+pub fn barrier_live_max(kernel: &Kernel, liveness: &Liveness) -> u16 {
+    kernel
+        .instrs
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i.op, Op::Bar))
+        .map(|(pc, _)| liveness.count_in(pc).max(liveness.count_out(pc)) as u16)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Run the §III-A2 heuristic for a kernel with demand `res` on `cfg`.
+///
+/// `barrier_live_max` comes from [`barrier_live_max`]; pass 0 for
+/// barrier-free kernels.
+pub fn select(cfg: &GpuConfig, res: KernelResources, barrier_live_max: u16) -> EsSelection {
+    let total = cfg.round_regs(res.regs_per_thread) as u16;
+    let baseline = occupancy::theoretical(cfg, res);
+
+    let mut cands: Vec<u16> = ES_FRACTIONS
+        .iter()
+        .map(|f| round_to_even(f * f64::from(total)))
+        .filter(|&e| e > 0 && e < total)
+        .collect();
+    cands.sort_unstable();
+    cands.dedup();
+
+    let mut evals: Vec<CandidateEval> = cands
+        .into_iter()
+        .map(|es| evaluate_candidate(cfg, res, total, es, barrier_live_max))
+        .collect();
+
+    // Rank: viable first; within viable: selection occupancy descending,
+    // then majority-concurrent before not, then smallest |Es|.
+    evals.sort_by_key(|c| {
+        (
+            !c.viable,
+            core::cmp::Reverse(c.selection_warps),
+            !c.majority_concurrent,
+            c.es,
+        )
+    });
+
+    EsSelection {
+        ranked: evals,
+        total_regs: total,
+        baseline_warps: baseline.warps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_to_even_matches_paper_example() {
+        // 24 ⊙ {0.1,0.15,0.2,0.25,0.3,0.35} -> {2,4,6,8} after even-rounding.
+        let mut set: Vec<u16> = ES_FRACTIONS
+            .iter()
+            .map(|f| round_to_even(24.0 * f))
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn round_to_even_ties_round_up() {
+        assert_eq!(round_to_even(7.0), 8);
+        assert_eq!(round_to_even(6.0), 6);
+        assert_eq!(round_to_even(6.6), 6);
+        assert_eq!(round_to_even(11.2), 12);
+        assert_eq!(round_to_even(5.4), 6);
+        assert_eq!(round_to_even(3.6), 4);
+        assert_eq!(round_to_even(2.4), 2);
+        assert_eq!(round_to_even(8.4), 8);
+    }
+
+    #[test]
+    fn paper_example_sections() {
+        // §III-A2 worked example: kernel asks 24 regs, 256-thread CTAs,
+        // registers the only limit. Es = 4,6,8 -> Bs = 20,18,16 -> full
+        // occupancy; SRP sections 16, 26, 32.
+        let cfg = GpuConfig::gtx480();
+        let res = KernelResources::new(24, 0, 256);
+        let e4 = evaluate_candidate(&cfg, res, 24, 4, 0);
+        let e6 = evaluate_candidate(&cfg, res, 24, 6, 0);
+        let e8 = evaluate_candidate(&cfg, res, 24, 8, 0);
+        assert_eq!(e4.occupancy_warps, 48);
+        assert_eq!(e6.occupancy_warps, 48);
+        assert_eq!(e8.occupancy_warps, 48);
+        assert_eq!(e4.srp_sections, 16);
+        assert_eq!(e6.srp_sections, 26);
+        assert_eq!(e8.srp_sections, 32);
+        assert!(!e4.majority_concurrent); // 16 <= 24
+        assert!(e6.majority_concurrent); // 26 > 24
+        assert!(e8.majority_concurrent);
+    }
+
+    #[test]
+    fn paper_example_selection_is_es6() {
+        let cfg = GpuConfig::gtx480();
+        let res = KernelResources::new(24, 0, 256);
+        let sel = select(&cfg, res, 0);
+        let chosen = sel.chosen().expect("viable candidate");
+        assert_eq!(chosen.es, 6);
+        assert_eq!(chosen.bs, 18);
+    }
+
+    #[test]
+    fn barrier_rule_prunes_small_base_sets() {
+        let cfg = GpuConfig::gtx480();
+        let res = KernelResources::new(24, 0, 256);
+        // If 20 registers are live at a barrier, Bs must be >= 20 -> only
+        // Es ∈ {2,4} remain viable.
+        let sel = select(&cfg, res, 20);
+        let chosen = sel.chosen().expect("viable candidate");
+        assert!(chosen.bs >= 20, "bs = {}", chosen.bs);
+        for c in &sel.ranked {
+            if c.viable {
+                assert!(c.bs >= 20);
+            }
+        }
+    }
+
+    #[test]
+    fn srp_must_fit_one_section() {
+        // A huge CTA demand where the base allocation eats the whole file:
+        // candidates whose SRP is empty must be non-viable.
+        let cfg = GpuConfig::gtx480();
+        // 1024-thread CTAs at 32 regs: 32 warps/CTA.
+        let res = KernelResources::new(32, 0, 1024);
+        let sel = select(&cfg, res, 0);
+        for c in &sel.ranked {
+            if c.srp_sections == 0 {
+                assert!(!c.viable);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_candidates_for_tiny_kernels() {
+        let cfg = GpuConfig::gtx480();
+        let res = KernelResources::new(2, 0, 256);
+        let sel = select(&cfg, res, 0);
+        // round(2*0.35)=0 -> no candidates survive the >0 filter... the
+        // fraction table gives at most round_to_even(4*0.35)=2 for total=4.
+        assert_eq!(sel.total_regs, 4);
+        // Whatever survives must be strictly between 0 and total.
+        for c in &sel.ranked {
+            assert!(c.es > 0 && c.es < 4);
+        }
+    }
+
+    #[test]
+    fn ranked_keeps_all_candidates() {
+        let cfg = GpuConfig::gtx480();
+        let res = KernelResources::new(32, 0, 256);
+        let sel = select(&cfg, res, 0);
+        assert!(!sel.ranked.is_empty());
+        // Ranked head is viable (this kernel is register-limited).
+        assert!(sel.chosen().is_some());
+        // Baseline occupancy recorded for reference.
+        assert!(sel.baseline_warps > 0);
+    }
+
+    #[test]
+    fn table1_split_bfs() {
+        // BFS: 21 regs (rounds to 24) -> expect the same pick as the worked
+        // example: Es=6, Bs=18 (Table I).
+        let cfg = GpuConfig::gtx480();
+        let res = KernelResources::new(21, 0, 256);
+        let sel = select(&cfg, res, 0);
+        let chosen = sel.chosen().unwrap();
+        assert_eq!((chosen.bs, chosen.es), (18, 6));
+    }
+}

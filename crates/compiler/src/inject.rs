@@ -1,0 +1,145 @@
+//! Acquire/release primitive injection (§III-A3).
+//!
+//! For every maximal acquire region, an `acq.es` is inserted immediately
+//! before its first instruction (branches targeting the region entry land on
+//! the acquire) and a `rel.es` immediately after its last instruction
+//! (branches targeting the instruction after the region skip the release —
+//! they arrive on paths that never acquired).
+
+use regmutex_isa::{Instr, Kernel, Op};
+
+use crate::edit::insert_at;
+use crate::regions::region_spans;
+
+/// Injection counts, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InjectStats {
+    /// `acq.es` instructions inserted.
+    pub acquires: u32,
+    /// `rel.es` instructions inserted.
+    pub releases: u32,
+}
+
+/// Insert acquire/release primitives around every region. `in_region` must
+/// be the (possibly compaction-adjusted) per-pc membership flags for
+/// `kernel` as it currently stands.
+pub fn inject(kernel: &mut Kernel, in_region: &[bool]) -> InjectStats {
+    assert_eq!(kernel.instrs.len(), in_region.len(), "flag length mismatch");
+    let mut stats = InjectStats::default();
+    // Descending order keeps earlier span coordinates valid.
+    for (start, end) in region_spans(in_region).into_iter().rev() {
+        insert_at(
+            kernel,
+            end + 1,
+            Instr::new(Op::RelEs, None, vec![]),
+            false,
+        );
+        insert_at(kernel, start, Instr::new(Op::AcqEs, None, vec![]), true);
+        stats.acquires += 1;
+        stats.releases += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmutex_isa::{ArchReg, KernelBuilder, TripCount};
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    #[test]
+    fn single_region_wrapped() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1); // pc0
+        b.movi(r(1), 2); // pc1 (region)
+        b.iadd(r(2), r(1), r(0)); // pc2 (region)
+        b.st_global(r(0), r(2)); // pc3
+        b.exit(); // pc4
+        let mut k = b.build().unwrap();
+        let flags = vec![false, true, true, false, false];
+        let s = inject(&mut k, &flags);
+        assert_eq!((s.acquires, s.releases), (1, 1));
+        assert!(matches!(k.instrs[1].op, Op::AcqEs));
+        assert!(matches!(k.instrs[4].op, Op::RelEs));
+        assert!(k.validate().is_ok());
+        assert_eq!(k.len(), 7);
+    }
+
+    #[test]
+    fn two_regions_wrapped_independently() {
+        let mut b = KernelBuilder::new("k");
+        for i in 0..6u16 {
+            b.movi(r(i % 3), u64::from(i));
+        }
+        b.exit();
+        let mut k = b.build().unwrap();
+        let flags = vec![true, false, false, true, true, false, false];
+        let s = inject(&mut k, &flags);
+        assert_eq!(s.acquires, 2);
+        assert!(matches!(k.instrs[0].op, Op::AcqEs));
+        assert!(matches!(k.instrs[2].op, Op::RelEs));
+        assert!(matches!(k.instrs[5].op, Op::AcqEs));
+        assert!(matches!(k.instrs[8].op, Op::RelEs));
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn back_edge_to_region_start_lands_on_acquire() {
+        // Loop whose whole body is the region: back edge must re-execute the
+        // acquire (a no-op when still held).
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1); // pc0
+        let top = b.here();
+        b.iadd(r(0), r(0), r(0)); // pc1 (region)
+        b.bra_loop(top, TripCount::Fixed(2)); // pc2 (region) -> 1
+        b.st_global(r(0), r(0)); // pc3
+        b.exit();
+        let mut k = b.build().unwrap();
+        let flags = vec![false, true, true, false, false];
+        inject(&mut k, &flags);
+        // Layout: movi, acq, iadd, bra->1(acq), rel, st, exit.
+        assert!(matches!(k.instrs[1].op, Op::AcqEs));
+        assert_eq!(k.instrs[3].branch_target(), Some(1));
+        assert!(matches!(k.instrs[4].op, Op::RelEs));
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn forward_jump_past_region_skips_release() {
+        // Branch at pc1 jumps to pc5 (just past the region): after injection
+        // it must bypass the release.
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1); // pc0
+        let after = b.new_label();
+        b.bra_if(after, 500, None); // pc1 -> 5
+        b.movi(r(1), 2); // pc2 (region)
+        b.iadd(r(2), r(1), r(0)); // pc3 (region)
+        b.movi(r(0), 9); // pc4 (region)
+        b.place(after);
+        b.st_global(r(0), r(0)); // pc5
+        b.exit();
+        let mut k = b.build().unwrap();
+        let flags = vec![false, false, true, true, true, false, false];
+        inject(&mut k, &flags);
+        // Layout: movi, bra, acq, movi, iadd, movi, rel, st, exit.
+        assert!(matches!(k.instrs[2].op, Op::AcqEs));
+        assert!(matches!(k.instrs[6].op, Op::RelEs));
+        // The branch target skips both acquire and release: old 5 -> new 7.
+        assert_eq!(k.instrs[1].branch_target(), Some(7));
+        assert!(matches!(k.instrs[7].op, regmutex_isa::Op::St(_)));
+    }
+
+    #[test]
+    fn no_regions_no_changes() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1).exit();
+        let mut k = b.build().unwrap();
+        let before = k.clone();
+        let s = inject(&mut k, &[false, false]);
+        assert_eq!(s, InjectStats::default());
+        assert_eq!(k, before);
+    }
+}

@@ -1,0 +1,41 @@
+//! # regmutex-compiler
+//!
+//! The RegMutex compiler support of §III-A: four methodical steps applied at
+//! the last stage of compilation (architected registers, not SSA):
+//!
+//! 1. **Register liveness analysis** ([`liveness`]) — backward dataflow over
+//!    the CFG with the paper's conservative divergence treatment.
+//! 2. **Extended register set size determination** ([`es_select`]) — the
+//!    candidate-fraction heuristic with both deadlock-avoidance rules.
+//! 3. **Acquire/release primitive injection** ([`inject`]) — around the
+//!    branch-closed acquire regions found by [`regions`].
+//! 4. **Architected register index compaction** ([`compact`]) — escape MOVs
+//!    plus use renaming so released code only touches base-set indices.
+//!
+//! [`compile`] chains the steps and statically [`verify`]s the result;
+//! [`trace`] provides the Fig 1 dynamic live-register instrumentation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitset;
+pub mod cfg;
+pub mod compact;
+pub mod edit;
+pub mod es_select;
+pub mod inject;
+pub mod liveness;
+pub mod pipeline;
+pub mod regions;
+pub mod trace;
+pub mod verify;
+
+pub use bitset::BitSet;
+pub use cfg::{BasicBlock, Cfg};
+pub use compact::CompactError;
+pub use es_select::{barrier_live_max, select, CandidateEval, EsSelection, ES_FRACTIONS};
+pub use liveness::{analyze, Liveness};
+pub use pipeline::{compile, CompileOptions, CompiledKernel, Diagnostics, RegPlan};
+pub use regions::{find_regions, region_spans, RegionError};
+pub use trace::{live_trace, live_trace_with, LiveTrace};
+pub use verify::{verify_transformed, VerifyError};

@@ -1,0 +1,300 @@
+//! Acquire-region discovery.
+//!
+//! A region is a maximal range of instructions during which the warp must
+//! hold its extended register set: initially every point where the live
+//! register count exceeds `|Bs|` (§III-A3), then *widened to branch-closure*
+//! so that no control-flow edge can enter a region past its acquire or leave
+//! it around its release. Widening is a fixpoint: for any branch whose source
+//! and target disagree about region membership (except branches that land
+//! exactly on a region's first instruction, which will land on the injected
+//! acquire), the whole span between them joins the region.
+
+use regmutex_isa::{Kernel, Op};
+
+use crate::liveness::Liveness;
+
+/// Error cases that make a `|Bs|` candidate unusable for this kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionError {
+    /// After widening, a CTA barrier ended up inside an acquire region —
+    /// holding `Es` across a barrier risks the inter-warp deadlock §III-A2
+    /// rules out.
+    BarrierInRegion {
+        /// The barrier's pc.
+        pc: u32,
+    },
+}
+
+impl core::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RegionError::BarrierInRegion { pc } => {
+                write!(f, "barrier at pc {pc} falls inside an acquire region")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// Per-instruction region membership for base-set size `bs`, or an error if
+/// the widened regions violate the barrier deadlock rule.
+pub fn find_regions(kernel: &Kernel, liveness: &Liveness, bs: u16) -> Result<Vec<bool>, RegionError> {
+    let n = kernel.instrs.len();
+    let bs = bs as usize;
+    // Pressure at an instruction counts live-in ∪ live-out: the destination
+    // coexists with the sources, so a def that pushes the set past |Bs|
+    // needs the extended set *at* the defining instruction.
+    let mut in_region: Vec<bool> = (0..n)
+        .map(|pc| {
+            let mut u = liveness.live_in[pc].clone();
+            u.union_with(&liveness.live_out[pc]);
+            u.len() > bs
+        })
+        .collect();
+
+    // Note: accesses to indices >= bs at *low-count* points are left to the
+    // compaction pass (escape MOVs / def renaming); the final verifier
+    // rejects any candidate for which compaction could not re-home them.
+
+    widen(kernel, &mut in_region);
+
+    for (pc, i) in kernel.instrs.iter().enumerate() {
+        if in_region[pc] && matches!(i.op, Op::Bar) {
+            return Err(RegionError::BarrierInRegion { pc: pc as u32 });
+        }
+    }
+    Ok(in_region)
+}
+
+/// Is `pc` the first instruction of its region?
+fn is_region_start(in_region: &[bool], pc: usize) -> bool {
+    in_region[pc] && (pc == 0 || !in_region[pc - 1])
+}
+
+/// Branch-closure widening to a fixpoint.
+fn widen(kernel: &Kernel, in_region: &mut [bool]) {
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (pc, i) in kernel.instrs.iter().enumerate() {
+            let Some(target) = i.branch_target() else {
+                continue;
+            };
+            let t = target as usize;
+            let (lo, hi) = (pc.min(t), pc.max(t));
+            let fill = if in_region[t] && !in_region[pc] {
+                // Entering a region sideways — fine only when landing on its
+                // first instruction (the jump will land on the acquire).
+                !is_region_start(in_region, t)
+            } else {
+                // Leaving a region around its release.
+                in_region[pc] && !in_region[t]
+            };
+            if fill {
+                for x in in_region.iter_mut().take(hi + 1).skip(lo) {
+                    if !*x {
+                        *x = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Maximal `[start, end]` (inclusive) runs of region membership.
+pub fn region_spans(in_region: &[bool]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut start = None;
+    for (pc, &r) in in_region.iter().enumerate() {
+        match (r, start) {
+            (true, None) => start = Some(pc),
+            (false, Some(s)) => {
+                spans.push((s as u32, pc as u32 - 1));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        spans.push((s as u32, in_region.len() as u32 - 1));
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liveness::analyze;
+    use regmutex_isa::{ArchReg, KernelBuilder, TripCount};
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    /// Build a kernel with a low-pressure prefix, a high-pressure middle
+    /// (6 live regs), and a low-pressure tail.
+    fn spike_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("spike");
+        b.movi(r(0), 1); // pc0
+        b.iadd(r(1), r(0), r(0)); // pc1: 2 live
+        // High-pressure: define r2..r5 then consume all.
+        for i in 2..6 {
+            b.movi(r(i), u64::from(i)); // pc2..5
+        }
+        b.imad(r(1), r(2), r(3), r(4)); // pc6
+        b.imad(r(1), r(1), r(5), r(0)); // pc7
+        b.st_global(r(0), r(1)); // pc8: 2 live
+        b.exit(); // pc9
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn spike_region_found() {
+        let k = spike_kernel();
+        let lv = analyze(&k);
+        assert_eq!(lv.max_pressure(), 6);
+        let regions = find_regions(&k, &lv, 4).unwrap();
+        let spans = region_spans(&regions);
+        assert_eq!(spans.len(), 1);
+        let (s, e) = spans[0];
+        // The spike covers the defs of the extra registers through their
+        // last uses.
+        assert!(s >= 2 && s <= 5, "start {s}");
+        assert!((6..=7).contains(&e), "end {e}");
+        // Low-pressure prefix/tail are outside.
+        assert!(!regions[0]);
+        assert!(!regions[8]);
+    }
+
+    #[test]
+    fn no_region_when_bs_covers_pressure() {
+        let k = spike_kernel();
+        let lv = analyze(&k);
+        let regions = find_regions(&k, &lv, 6).unwrap();
+        assert!(region_spans(&regions).is_empty());
+    }
+
+    #[test]
+    fn high_index_access_at_low_count_is_left_to_compaction() {
+        // Only 2 values live: no live-count region even though index 9 >=
+        // bs=4 is touched — the compaction pass re-homes such accesses.
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(9), 5);
+        b.st_global(r(9), r(9));
+        b.exit();
+        let k = b.build().unwrap();
+        let lv = analyze(&k);
+        let regions = find_regions(&k, &lv, 4).unwrap();
+        assert!(region_spans(&regions).is_empty());
+    }
+
+    #[test]
+    fn region_inside_loop_body_needs_no_widening() {
+        // The pressure spike is wholly inside the loop body: acquire and
+        // release both execute every iteration; no widening required.
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1); // pc0
+        let top = b.here();
+        b.iadd(r(1), r(0), r(0)); // pc1: low pressure
+        for i in 2..6 {
+            b.movi(r(i), 3); // pc2..5: pressure rises
+        }
+        b.imad(r(0), r(2), r(3), r(4)); // pc6
+        b.imad(r(0), r(0), r(5), r(1)); // pc7: spike dies here
+        b.bra_loop(top, TripCount::Fixed(3)); // pc8 -> 1 (low pressure)
+        b.st_global(r(0), r(0)); // pc9
+        b.exit();
+        let k = b.build().unwrap();
+        let lv = analyze(&k);
+        let regions = find_regions(&k, &lv, 4).unwrap();
+        let spans = region_spans(&regions);
+        assert_eq!(spans.len(), 1);
+        let (s, e) = spans[0];
+        assert!(s >= 2, "start {s}");
+        assert!(e <= 7, "end {e}"); // release lands before the back edge
+        assert!(!regions[8] && !regions[9]);
+    }
+
+    #[test]
+    fn loop_back_edge_widens_when_pressure_spans_it() {
+        // The spike's values stay live ACROSS the back edge (consumed after
+        // the loop), so the branch is in-region while the loop head is not:
+        // widening must pull the whole loop in.
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1); // pc0
+        let top = b.here();
+        b.iadd(r(1), r(0), r(0)); // pc1: loop head, low pressure initially
+        for i in 2..7 {
+            b.movi(r(i), 3); // pc2..6: pressure rises to 7
+        }
+        b.bra_loop(top, TripCount::Fixed(3)); // pc7 -> 1, spike live across
+        b.imad(r(0), r(2), r(3), r(4)); // pc8: consume after loop
+        b.imad(r(0), r(0), r(5), r(6)); // pc9
+        b.st_global(r(0), r(0)); // pc10
+        b.exit();
+        let k = b.build().unwrap();
+        let lv = analyze(&k);
+        let regions = find_regions(&k, &lv, 4).unwrap();
+        // The branch (pc7) is in-region; its target pc1 must be too.
+        assert!(regions[7]);
+        assert!(regions[1], "loop head must join the region");
+    }
+
+    #[test]
+    fn forward_skip_into_region_widens_back_to_branch() {
+        // A divergent skip jumps into the middle of what would be a region:
+        // widening must extend the region back to the branch.
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1); // pc0
+        let skip = b.new_label();
+        b.bra_div(skip, 500, None); // pc1
+        for i in 2..6 {
+            b.movi(r(i), 3); // pc2..5
+        }
+        b.imad(r(1), r(2), r(3), r(4)); // pc6
+        b.place(skip);
+        b.imad(r(1), r(1), r(5), r(0)); // pc7 (skip target, inside pressure)
+        b.st_global(r(0), r(1)); // pc8
+        b.exit();
+        let k = b.build().unwrap();
+        let lv = analyze(&k);
+        let regions = find_regions(&k, &lv, 4).unwrap();
+        // pc7 is a region instruction reachable from the branch at pc1; the
+        // branch must be inside the region (so the acquire lands before it)
+        // unless pc7 is a region start.
+        if regions[7] && !is_region_start(&regions, 7) {
+            assert!(regions[1], "branch source must join the region");
+        }
+    }
+
+    #[test]
+    fn barrier_inside_region_rejected() {
+        let mut b = KernelBuilder::new("k");
+        for i in 0..6 {
+            b.movi(r(i), 1); // pressure 6
+        }
+        b.bar(); // barrier while 6 regs live
+        b.imad(r(0), r(1), r(2), r(3));
+        b.imad(r(0), r(0), r(4), r(5));
+        b.st_global(r(0), r(0));
+        b.exit();
+        let k = b.build().unwrap();
+        let lv = analyze(&k);
+        assert!(matches!(
+            find_regions(&k, &lv, 4),
+            Err(RegionError::BarrierInRegion { .. })
+        ));
+        // With a big enough base set the barrier is fine.
+        assert!(find_regions(&k, &lv, 6).is_ok());
+    }
+
+    #[test]
+    fn region_spans_basic() {
+        let v = vec![false, true, true, false, true];
+        assert_eq!(region_spans(&v), vec![(1, 2), (4, 4)]);
+        assert_eq!(region_spans(&[false, false]), vec![]);
+        assert_eq!(region_spans(&[true]), vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Dynamic live-register traces (the paper's Fig 1 instrumentation).
+//!
+//! Executes one warp's control flow (same behavioral-branch semantics as the
+//! simulator, keyed by branch ordinals) and records the static live-register
+//! count at every executed instruction. The Y axis of Fig 1 is
+//! `live / allocated`; [`LiveTrace::percentages`] reproduces it.
+
+use regmutex_isa::{decide, mix, BranchBehavior, Kernel, Op};
+use std::collections::HashMap;
+
+use crate::liveness::{analyze, Liveness};
+
+/// A dynamic trace of live-register counts.
+#[derive(Debug, Clone)]
+pub struct LiveTrace {
+    /// Live count at each executed instruction, in execution order.
+    pub live_counts: Vec<u32>,
+    /// The kernel's allocated (declared) register count.
+    pub allocated: u32,
+    /// True if the trace hit the step cap before the warp exited.
+    pub truncated: bool,
+}
+
+impl LiveTrace {
+    /// `live/allocated` percentages per executed instruction (Fig 1's Y).
+    pub fn percentages(&self) -> Vec<f64> {
+        let a = f64::from(self.allocated.max(1));
+        self.live_counts
+            .iter()
+            .map(|&c| 100.0 * f64::from(c) / a)
+            .collect()
+    }
+
+    /// Mean utilization percentage over the trace.
+    pub fn mean_utilization(&self) -> f64 {
+        let p = self.percentages();
+        if p.is_empty() {
+            0.0
+        } else {
+            p.iter().sum::<f64>() / p.len() as f64
+        }
+    }
+}
+
+/// Trace the warp `(cta, warp_in_cta)` through `kernel` for at most
+/// `max_steps` dynamic instructions, using precomputed `liveness`.
+pub fn live_trace_with(
+    kernel: &Kernel,
+    liveness: &Liveness,
+    cta: u32,
+    warp_in_cta: u32,
+    max_steps: usize,
+) -> LiveTrace {
+    // Mirror the simulator's keys so traces match simulated control flow.
+    let warp_key = mix(kernel.seed, u64::from(cta) * 4096 + u64::from(warp_in_cta));
+
+    // Branch ordinals.
+    let mut ordinal = vec![u32::MAX; kernel.instrs.len()];
+    let mut next = 0u32;
+    for (pc, i) in kernel.instrs.iter().enumerate() {
+        if matches!(i.op, Op::Bra { .. }) {
+            ordinal[pc] = next;
+            next += 1;
+        }
+    }
+
+    let mut live_counts = Vec::new();
+    let mut loop_counters: HashMap<u32, u32> = HashMap::new();
+    let mut occurrences: HashMap<u32, u32> = HashMap::new();
+    let mut pc = 0u32;
+    let mut truncated = true;
+    for _ in 0..max_steps {
+        let i = &kernel.instrs[pc as usize];
+        live_counts.push(liveness.count_in(pc as usize) as u32);
+        match i.op {
+            Op::Exit => {
+                truncated = false;
+                break;
+            }
+            Op::Bra { target, behavior } => {
+                let ord = ordinal[pc as usize];
+                match behavior {
+                    BranchBehavior::Loop { trips } => {
+                        let remaining = loop_counters.entry(ord).or_insert_with(|| {
+                            trips
+                                .resolve(warp_key, mix(kernel.seed, u64::from(ord)))
+                                .max(1)
+                                - 1
+                        });
+                        if *remaining > 0 {
+                            *remaining -= 1;
+                            pc = target;
+                        } else {
+                            loop_counters.remove(&ord);
+                            pc += 1;
+                        }
+                    }
+                    BranchBehavior::If { taken_permille } => {
+                        let occ = occurrences.entry(ord).or_insert(0);
+                        *occ += 1;
+                        let taken = decide(
+                            taken_permille,
+                            warp_key ^ mix(u64::from(ord), 0xB4A),
+                            u64::from(*occ),
+                        );
+                        pc = if taken { target } else { pc + 1 };
+                    }
+                    BranchBehavior::Divergent { taken_permille } => {
+                        // Single-thread view: lane 0's decision.
+                        let occ = occurrences.entry(ord).or_insert(0);
+                        *occ += 1;
+                        let taken = decide(
+                            taken_permille,
+                            mix(warp_key, 0),
+                            mix(u64::from(ord), u64::from(*occ)),
+                        );
+                        pc = if taken { target } else { pc + 1 };
+                    }
+                }
+            }
+            _ => pc += 1,
+        }
+    }
+
+    LiveTrace {
+        live_counts,
+        allocated: u32::from(kernel.regs_per_thread),
+        truncated,
+    }
+}
+
+/// Convenience wrapper: analyze liveness and trace warp (0, 0).
+pub fn live_trace(kernel: &Kernel, max_steps: usize) -> LiveTrace {
+    let lv = analyze(kernel);
+    live_trace_with(kernel, &lv, 0, 0, max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmutex_isa::{ArchReg, KernelBuilder, TripCount};
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    #[test]
+    fn straight_line_trace_counts_every_instruction() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1).iadd(r(1), r(0), r(0)).st_global(r(0), r(1)).exit();
+        let t = live_trace(&b.build().unwrap(), 1000);
+        assert_eq!(t.live_counts.len(), 4);
+        assert!(!t.truncated);
+        assert_eq!(t.live_counts[0], 0); // nothing live before the first def
+    }
+
+    #[test]
+    fn loop_repeats_in_trace() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1);
+        let top = b.here();
+        b.iadd(r(0), r(0), r(0));
+        b.bra_loop(top, TripCount::Fixed(4));
+        b.exit();
+        let t = live_trace(&b.build().unwrap(), 1000);
+        // movi + 4*(iadd,bra) + exit = 10.
+        assert_eq!(t.live_counts.len(), 10);
+    }
+
+    #[test]
+    fn utilization_reflects_pressure_spike() {
+        let mut b = KernelBuilder::new("k");
+        b.declared_regs(10);
+        b.movi(r(0), 1);
+        for i in 1..8 {
+            b.movi(r(i), 2);
+        }
+        b.imad(r(0), r(1), r(2), r(3));
+        b.imad(r(0), r(4), r(5), r(6));
+        b.iadd(r(0), r(0), r(7));
+        b.st_global(r(0), r(0));
+        b.exit();
+        let t = live_trace(&b.build().unwrap(), 1000);
+        let p = t.percentages();
+        let peak = p.iter().cloned().fold(0.0f64, f64::max);
+        assert!(peak >= 70.0, "peak {peak}");
+        assert!(p[0] < 10.0);
+        assert!(t.mean_utilization() < peak);
+    }
+
+    #[test]
+    fn truncation_flag_set_when_capped() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1);
+        let top = b.here();
+        b.iadd(r(0), r(0), r(0));
+        b.bra_loop(top, TripCount::Fixed(1000));
+        b.exit();
+        let t = live_trace(&b.build().unwrap(), 50);
+        assert!(t.truncated);
+        assert_eq!(t.live_counts.len(), 50);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let mut b = KernelBuilder::new("k");
+        b.seed(99);
+        b.movi(r(0), 1);
+        let skip = b.new_label();
+        b.bra_if(skip, 500, None);
+        b.iadd(r(1), r(0), r(0));
+        b.place(skip);
+        b.exit();
+        let k = b.build().unwrap();
+        let a = live_trace(&k, 100);
+        let b2 = live_trace(&k, 100);
+        assert_eq!(a.live_counts, b2.live_counts);
+    }
+}

@@ -1,0 +1,266 @@
+//! Static verification of a transformed kernel.
+//!
+//! A forward must-dataflow over the CFG tracks whether the extended set is
+//! held. The transformed program is correct for the two-segment hardware
+//! mapping iff:
+//!
+//! 1. every access to an architected index ≥ `|Bs|` happens while *held* on
+//!    **all** paths,
+//! 2. no CTA barrier executes while held on **any** path (deadlock rule),
+//! 3. no warp can exit while two paths disagree in a way that matters.
+//!
+//! Redundant acquires/releases are fine (the hardware treats them as no-ops,
+//! §III), so `Held → acquire` and `NotHeld → release` are not errors.
+
+use regmutex_isa::{Kernel, Op};
+
+use crate::cfg::Cfg;
+
+/// Lattice for the held-state dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Held {
+    /// Not yet computed.
+    Unknown,
+    /// Extended set definitely not held.
+    No,
+    /// Extended set definitely held.
+    Yes,
+    /// Paths disagree.
+    Conflict,
+}
+
+impl Held {
+    fn meet(self, other: Held) -> Held {
+        use Held::*;
+        match (self, other) {
+            (Unknown, x) | (x, Unknown) => x,
+            (a, b) if a == b => a,
+            _ => Conflict,
+        }
+    }
+}
+
+/// Verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// An extended-index access may execute without holding the set.
+    UnprotectedExtendedAccess {
+        /// Offending pc.
+        pc: u32,
+        /// Offending register index.
+        reg: u16,
+    },
+    /// A barrier may execute while the extended set is held.
+    BarrierWhileHeld {
+        /// Offending pc.
+        pc: u32,
+    },
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VerifyError::UnprotectedExtendedAccess { pc, reg } => {
+                write!(f, "extended register R{reg} accessed at pc {pc} without holding Es")
+            }
+            VerifyError::BarrierWhileHeld { pc } => {
+                write!(f, "barrier at pc {pc} may execute while Es is held")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify the transformed `kernel` against base-set size `bs`.
+///
+/// # Errors
+///
+/// The first [`VerifyError`] in program order.
+pub fn verify_transformed(kernel: &Kernel, bs: u16) -> Result<(), VerifyError> {
+    let cfg = Cfg::build(kernel);
+    let nb = cfg.len();
+    let mut entry_state = vec![Held::Unknown; nb];
+    entry_state[0] = Held::No;
+
+    // Fixpoint over block entry states.
+    let order = cfg.reverse_post_order();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let mut state = entry_state[b];
+            if state == Held::Unknown {
+                continue;
+            }
+            for pc in cfg.blocks[b].pcs() {
+                match kernel.instrs[pc as usize].op {
+                    Op::AcqEs => state = Held::Yes,
+                    Op::RelEs => state = Held::No,
+                    _ => {}
+                }
+            }
+            for &s in &cfg.blocks[b].succs {
+                let merged = entry_state[s].meet(state);
+                if merged != entry_state[s] {
+                    entry_state[s] = merged;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Walk every block with its entry state, checking accesses.
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let mut state = entry_state[b];
+        for pc in blk.pcs() {
+            let i = &kernel.instrs[pc as usize];
+            match i.op {
+                Op::AcqEs => state = Held::Yes,
+                Op::RelEs => state = Held::No,
+                Op::Bar => {
+                    if matches!(state, Held::Yes | Held::Conflict) {
+                        return Err(VerifyError::BarrierWhileHeld { pc });
+                    }
+                }
+                _ => {
+                    for reg in i.srcs.iter().chain(i.dst.iter()) {
+                        if reg.0 >= bs && state != Held::Yes {
+                            return Err(VerifyError::UnprotectedExtendedAccess {
+                                pc,
+                                reg: reg.0,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmutex_isa::{ArchReg, KernelBuilder, TripCount};
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    #[test]
+    fn protected_access_passes() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1);
+        b.acq_es();
+        b.movi(r(9), 2);
+        b.iadd(r(0), r(9), r(0));
+        b.rel_es();
+        b.st_global(r(0), r(0));
+        b.exit();
+        let k = b.build().unwrap();
+        assert!(verify_transformed(&k, 4).is_ok());
+    }
+
+    #[test]
+    fn unprotected_access_fails() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(9), 2);
+        b.exit();
+        let k = b.build().unwrap();
+        assert_eq!(
+            verify_transformed(&k, 4),
+            Err(VerifyError::UnprotectedExtendedAccess { pc: 0, reg: 9 })
+        );
+    }
+
+    #[test]
+    fn access_after_release_fails() {
+        let mut b = KernelBuilder::new("k");
+        b.acq_es();
+        b.movi(r(9), 2);
+        b.rel_es();
+        b.st_global(r(9), r(9));
+        b.exit();
+        let k = b.build().unwrap();
+        assert!(matches!(
+            verify_transformed(&k, 4),
+            Err(VerifyError::UnprotectedExtendedAccess { pc: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn barrier_while_held_fails() {
+        let mut b = KernelBuilder::new("k");
+        b.acq_es();
+        b.bar();
+        b.rel_es();
+        b.exit();
+        let k = b.build().unwrap();
+        assert_eq!(
+            verify_transformed(&k, 4),
+            Err(VerifyError::BarrierWhileHeld { pc: 1 })
+        );
+    }
+
+    #[test]
+    fn barrier_outside_held_passes() {
+        let mut b = KernelBuilder::new("k");
+        b.acq_es();
+        b.movi(r(9), 1);
+        b.rel_es();
+        b.bar();
+        b.exit();
+        let k = b.build().unwrap();
+        assert!(verify_transformed(&k, 4).is_ok());
+    }
+
+    #[test]
+    fn conflicting_paths_fail_on_extended_access() {
+        // One path acquires, the other skips it; the join accesses R9.
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1);
+        let join = b.new_label();
+        b.bra_if(join, 500, None);
+        b.acq_es();
+        b.place(join);
+        b.movi(r(9), 2);
+        b.rel_es();
+        b.exit();
+        let k = b.build().unwrap();
+        assert!(matches!(
+            verify_transformed(&k, 4),
+            Err(VerifyError::UnprotectedExtendedAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn loop_with_acquire_inside_passes() {
+        // acquire/release both inside the loop: every iteration re-acquires.
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1);
+        let top = b.here();
+        b.acq_es();
+        b.iadd(r(9), r(0), r(0));
+        b.mov(r(0), r(9));
+        b.rel_es();
+        b.bra_loop(top, TripCount::Fixed(3));
+        b.st_global(r(0), r(0));
+        b.exit();
+        let k = b.build().unwrap();
+        assert!(verify_transformed(&k, 4).is_ok());
+    }
+
+    #[test]
+    fn redundant_acquire_is_fine() {
+        let mut b = KernelBuilder::new("k");
+        b.acq_es();
+        b.acq_es();
+        b.movi(r(9), 1);
+        b.rel_es();
+        b.rel_es();
+        b.exit();
+        let k = b.build().unwrap();
+        assert!(verify_transformed(&k, 4).is_ok());
+    }
+}

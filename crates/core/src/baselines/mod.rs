@@ -1,0 +1,6 @@
+//! Comparator techniques from the paper's Fig 9: Register File
+//! Virtualization (Jeon et al. \[3\]) and Owner-Warp-First resource sharing
+//! (Jatala et al. \[7\]).
+
+pub mod owf;
+pub mod rfv;

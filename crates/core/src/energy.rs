@@ -1,0 +1,134 @@
+//! A first-order register-file energy model (extension).
+//!
+//! The paper motivates RegMutex with cost: "GPU programs can sustain
+//! approximately the same performance with the lower number of registers
+//! hence yielding higher performance per dollar", and cites GPUWattch-style
+//! power numbers (RFV claims 20%/30% dynamic/overall RF power savings from
+//! halving the file). This module provides the corresponding first-order
+//! estimate on top of the simulator's counters:
+//!
+//! * **dynamic** energy = per-row access energy × (reads + writes) × warp
+//!   size (every architected access touches one 32-lane row),
+//! * **static** (leakage) energy = per-register leakage power × register
+//!   count × cycles.
+//!
+//! Default coefficients are normalized to a Fermi-class 128 KB file; only
+//! *ratios* between configurations are meaningful, which is all the
+//! "performance per dollar" argument needs.
+
+use regmutex_sim::{GpuConfig, SimStats};
+
+/// Energy coefficients. Units are arbitrary-but-consistent (report ratios).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per warp-row read (per 32 × 32-bit operand fetch).
+    pub read_energy: f64,
+    /// Energy per warp-row write.
+    pub write_energy: f64,
+    /// Leakage power per thread-register per cycle.
+    pub leakage_per_reg_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // Roughly GPUWattch-flavoured proportions: a row write costs ~1.2x a
+        // read; leakage of the full 32K-register file integrated over the
+        // average instruction's latency is the same order as its access
+        // energy.
+        EnergyModel {
+            read_energy: 1.0,
+            write_energy: 1.2,
+            leakage_per_reg_cycle: 6e-5,
+        }
+    }
+}
+
+/// An energy estimate for one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyEstimate {
+    /// Dynamic (access) energy.
+    pub dynamic: f64,
+    /// Static (leakage) energy, proportional to RF size × cycles.
+    pub leakage: f64,
+}
+
+impl EnergyEstimate {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.dynamic + self.leakage
+    }
+}
+
+impl EnergyModel {
+    /// Estimate the register-file energy of a run on `cfg`.
+    pub fn estimate(&self, cfg: &GpuConfig, stats: &SimStats) -> EnergyEstimate {
+        let accesses = stats.reg_reads as f64 * self.read_energy
+            + stats.reg_writes as f64 * self.write_energy;
+        // The simulator models `simulated_sms` of `num_sms`; leakage scales
+        // with the simulated portion only, keeping ratios consistent.
+        let sms = f64::from(cfg.simulated_sms.min(cfg.num_sms).max(1));
+        EnergyEstimate {
+            dynamic: accesses,
+            leakage: self.leakage_per_reg_cycle
+                * f64::from(cfg.regs_per_sm)
+                * sms
+                * stats.cycles as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(reads: u64, writes: u64, cycles: u64) -> SimStats {
+        SimStats {
+            reg_reads: reads,
+            reg_writes: writes,
+            cycles,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dynamic_scales_with_accesses() {
+        let m = EnergyModel::default();
+        let cfg = GpuConfig::gtx480();
+        let a = m.estimate(&cfg, &stats(100, 50, 1000));
+        let b = m.estimate(&cfg, &stats(200, 100, 1000));
+        assert!((b.dynamic / a.dynamic - 2.0).abs() < 1e-9);
+        assert_eq!(a.leakage, b.leakage);
+    }
+
+    #[test]
+    fn leakage_scales_with_rf_size_and_cycles() {
+        let m = EnergyModel::default();
+        let full = GpuConfig::gtx480();
+        let half = GpuConfig::gtx480_half_rf();
+        let s = stats(100, 50, 1000);
+        let ef = m.estimate(&full, &s);
+        let eh = m.estimate(&half, &s);
+        assert!((ef.leakage / eh.leakage - 2.0).abs() < 1e-9);
+        let s2 = stats(100, 50, 2000);
+        let e2 = m.estimate(&full, &s2);
+        assert!((e2.leakage / ef.leakage - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let m = EnergyModel::default();
+        let cfg = GpuConfig::gtx480();
+        let r = m.estimate(&cfg, &stats(100, 0, 1));
+        let w = m.estimate(&cfg, &stats(0, 100, 1));
+        assert!(w.dynamic > r.dynamic);
+    }
+
+    #[test]
+    fn total_is_sum() {
+        let e = EnergyEstimate {
+            dynamic: 3.0,
+            leakage: 4.0,
+        };
+        assert_eq!(e.total(), 7.0);
+    }
+}

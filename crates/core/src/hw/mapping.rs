@@ -1,0 +1,135 @@
+//! Architected→physical register mapping in the Operand Collector (Fig 6).
+//!
+//! The baseline computes `Y = X + Coeff × Widx`. RegMutex augments it with a
+//! comparator and a mux: `X < |Bs|` selects the base segment
+//! (`X + |Bs| × Widx`), otherwise the SRP segment
+//! (`SRPoffset + (X − |Bs|) + |Es| × LUT[Widx]`). `|Bs|`, `|Es|` and
+//! `SRPoffset` are supplied by the compiler at kernel launch.
+
+/// Baseline mapping: statically reserved, warp-indexed blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineMapping {
+    /// Registers per warp (`Coeff`), fixed per kernel launch.
+    pub coeff: u32,
+}
+
+impl BaselineMapping {
+    /// `Y = X + Coeff × Widx`.
+    pub fn translate(&self, widx: u32, x: u32) -> u32 {
+        x + self.coeff * widx
+    }
+}
+
+/// RegMutex's augmented mapping (Fig 6 (b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegMutexMapping {
+    /// Base-set size per thread (`|Bs|`).
+    pub bs: u32,
+    /// Extended-set size per thread (`|Es|`).
+    pub es: u32,
+    /// Offset of the Shared Register Pool within the register file.
+    pub srp_offset: u32,
+}
+
+impl RegMutexMapping {
+    /// Translate architected index `x` for warp `widx`. For extended indices
+    /// the warp's acquired SRP section must be supplied (`lut_entry`);
+    /// `None` models an access without a held section, which the hardware
+    /// cannot map.
+    pub fn translate(&self, widx: u32, lut_entry: Option<u32>, x: u32) -> Option<u32> {
+        if x < self.bs {
+            Some(x + self.bs * widx)
+        } else {
+            let section = lut_entry?;
+            Some(self.srp_offset + self.es * section + (x - self.bs))
+        }
+    }
+
+    /// Highest physical index the base segment may produce for `max_warps`.
+    pub fn base_segment_end(&self, max_warps: u32) -> u32 {
+        self.bs * max_warps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_linear() {
+        let m = BaselineMapping { coeff: 24 };
+        assert_eq!(m.translate(0, 0), 0);
+        assert_eq!(m.translate(0, 5), 5);
+        assert_eq!(m.translate(2, 5), 53);
+    }
+
+    #[test]
+    fn regmutex_base_segment() {
+        let m = RegMutexMapping {
+            bs: 18,
+            es: 6,
+            srp_offset: 864,
+        };
+        assert_eq!(m.translate(0, None, 17), Some(17));
+        assert_eq!(m.translate(3, None, 0), Some(54));
+        // Base accesses ignore the LUT entirely.
+        assert_eq!(m.translate(3, Some(9), 0), Some(54));
+    }
+
+    #[test]
+    fn regmutex_extended_segment_uses_lut() {
+        let m = RegMutexMapping {
+            bs: 18,
+            es: 6,
+            srp_offset: 864,
+        };
+        // X = 18 is extended index 0 of the warp's section.
+        assert_eq!(m.translate(7, Some(0), 18), Some(864));
+        assert_eq!(m.translate(7, Some(2), 18), Some(876));
+        assert_eq!(m.translate(7, Some(2), 23), Some(881));
+    }
+
+    #[test]
+    fn extended_access_without_section_fails() {
+        let m = RegMutexMapping {
+            bs: 18,
+            es: 6,
+            srp_offset: 864,
+        };
+        assert_eq!(m.translate(0, None, 18), None);
+    }
+
+    #[test]
+    fn segments_are_disjoint_in_paper_config() {
+        // Fermi worked example: 48 warps × 18 base rows end at 864, where
+        // the SRP begins; 26 sections × 6 = 156 rows fit in 1024 − 864.
+        let m = RegMutexMapping {
+            bs: 18,
+            es: 6,
+            srp_offset: 864,
+        };
+        assert_eq!(m.base_segment_end(48), 864);
+        let last = m.translate(0, Some(25), 23).unwrap();
+        assert!(last < 1024, "last SRP row {last}");
+    }
+
+    #[test]
+    fn no_overlap_between_warps_or_sections() {
+        let m = RegMutexMapping {
+            bs: 4,
+            es: 2,
+            srp_offset: 32,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..8 {
+            for x in 0..4 {
+                assert!(seen.insert(m.translate(w, None, x).unwrap()));
+            }
+        }
+        for s in 0..4 {
+            for x in 4..6 {
+                assert!(seen.insert(m.translate(0, Some(s), x).unwrap()));
+            }
+        }
+    }
+}

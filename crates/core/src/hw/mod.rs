@@ -1,0 +1,4 @@
+//! The hardware structures RegMutex adds to the SM (Fig 4–6).
+
+pub mod bitmask;
+pub mod mapping;

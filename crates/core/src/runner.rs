@@ -1,0 +1,541 @@
+//! High-level experiment runner: compile a kernel for a technique, simulate
+//! it, and report the metrics the paper's figures are built from.
+
+use std::sync::Arc;
+
+use regmutex_compiler::{analyze, compile, CompileOptions, CompiledKernel, RegPlan};
+use regmutex_isa::{Kernel, ValidateKernelError};
+use regmutex_sim::manager::RegisterManager;
+use regmutex_sim::{
+    occupancy, run_kernel, GpuConfig, KernelResources, LaunchConfig, SchedulerPolicy, SimError,
+    SimStats, StaticManager,
+};
+
+use crate::baselines::owf::OwfManager;
+use crate::baselines::rfv::RfvManager;
+use crate::manager::RegMutexManager;
+use crate::paired::PairedWarpsManager;
+
+/// A register-allocation technique under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Conventional static/exclusive allocation (§II).
+    Baseline,
+    /// RegMutex with the communal Shared Register Pool (§III).
+    RegMutex,
+    /// The paired-warps specialization (§III-C).
+    RegMutexPaired,
+    /// Register File Virtualization, Jeon et al. \[3\].
+    Rfv,
+    /// Resource sharing + Owner-Warp-First, Jatala et al. \[7\].
+    Owf,
+}
+
+impl core::fmt::Display for Technique {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Technique::Baseline => "baseline",
+            Technique::RegMutex => "regmutex",
+            Technique::RegMutexPaired => "regmutex-paired",
+            Technique::Rfv => "rfv",
+            Technique::Owf => "owf",
+        };
+        f.write_str(s)
+    }
+}
+
+/// All five techniques, in the paper's comparison order.
+pub const ALL_TECHNIQUES: [Technique; 5] = [
+    Technique::Baseline,
+    Technique::RegMutex,
+    Technique::RegMutexPaired,
+    Technique::Rfv,
+    Technique::Owf,
+];
+
+/// Errors from [`Session::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The kernel failed structural validation.
+    InvalidKernel(ValidateKernelError),
+    /// The simulation aborted.
+    Sim(SimError),
+}
+
+impl core::fmt::Display for RunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RunError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
+            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ValidateKernelError> for RunError {
+    fn from(e: ValidateKernelError) -> Self {
+        RunError::InvalidKernel(e)
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// Everything one simulated configuration produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The technique that ran.
+    pub technique: Technique,
+    /// Kernel name.
+    pub kernel_name: String,
+    /// Simulation counters.
+    pub stats: SimStats,
+    /// The compiler's register plan (RegMutex variants; `None` when the
+    /// kernel ran untransformed).
+    pub plan: Option<RegPlan>,
+    /// Theoretical occupancy (warps) under this technique.
+    pub theoretical_occupancy_warps: u32,
+    /// Warp-slot ceiling (for percentages).
+    pub max_warps: u32,
+    /// Hardware storage the technique adds to the SM, in bits.
+    pub storage_overhead_bits: u64,
+}
+
+impl RunReport {
+    /// Execution cycles.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Theoretical occupancy as a percentage.
+    pub fn occupancy_percent(&self) -> u32 {
+        (100.0 * f64::from(self.theoretical_occupancy_warps) / f64::from(self.max_warps.max(1)))
+            .round() as u32
+    }
+
+    /// Acquire success rate (1.0 when no acquires executed).
+    pub fn acquire_success_rate(&self) -> f64 {
+        self.stats.acquire_success_rate()
+    }
+}
+
+/// `100 × (base − other) / base`: the paper's "execution cycle reduction"
+/// (higher is better).
+pub fn cycle_reduction_percent(baseline: &RunReport, other: &RunReport) -> f64 {
+    let b = baseline.cycles() as f64;
+    if b == 0.0 {
+        0.0
+    } else {
+        100.0 * (b - other.cycles() as f64) / b
+    }
+}
+
+/// `100 × (other − base) / base`: the paper's "execution cycle increase"
+/// (lower is better; used for the half-register-file studies).
+pub fn cycle_increase_percent(baseline: &RunReport, other: &RunReport) -> f64 {
+    -cycle_reduction_percent(baseline, other)
+}
+
+/// Runs kernels under a fixed GPU configuration.
+#[derive(Debug, Clone)]
+pub struct Session {
+    cfg: GpuConfig,
+    options: CompileOptions,
+}
+
+impl Session {
+    /// A session on `cfg` with default compile options.
+    pub fn new(cfg: GpuConfig) -> Self {
+        Session {
+            cfg,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// Override compile options (e.g. `force_es` for sensitivity sweeps).
+    pub fn with_options(cfg: GpuConfig, options: CompileOptions) -> Self {
+        Session { cfg, options }
+    }
+
+    /// The session's GPU configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Compile `kernel` with this session's configuration and options.
+    ///
+    /// # Errors
+    ///
+    /// Structural kernel validation errors only.
+    pub fn compile(&self, kernel: &Kernel) -> Result<CompiledKernel, ValidateKernelError> {
+        compile(kernel, &self.cfg, &self.options)
+    }
+
+    /// Run `kernel` under `technique`.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::InvalidKernel`] or [`RunError::Sim`] (deadlock/watchdog).
+    pub fn run(
+        &self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        technique: Technique,
+    ) -> Result<RunReport, RunError> {
+        let compiled = self.compile(kernel)?;
+        self.run_compiled(&compiled, launch, technique)
+    }
+
+    /// Run an already-compiled kernel under `technique` (lets callers reuse
+    /// one compilation across techniques).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Sim`] on deadlock or watchdog expiry.
+    pub fn run_compiled(
+        &self,
+        compiled: &CompiledKernel,
+        launch: LaunchConfig,
+        technique: Technique,
+    ) -> Result<RunReport, RunError> {
+        self.run_compiled_inner(compiled, launch, technique, false)
+            .map(|(rep, _)| rep)
+    }
+
+    /// Like [`Session::run_compiled`], but records issue-stage trace events
+    /// on the first simulated SM (see
+    /// [`regmutex_sim::render_timeline`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run_compiled`].
+    pub fn run_compiled_traced(
+        &self,
+        compiled: &CompiledKernel,
+        launch: LaunchConfig,
+        technique: Technique,
+    ) -> Result<(RunReport, Vec<regmutex_sim::TraceEvent>), RunError> {
+        self.run_compiled_inner(compiled, launch, technique, true)
+    }
+
+    fn run_compiled_inner(
+        &self,
+        compiled: &CompiledKernel,
+        launch: LaunchConfig,
+        technique: Technique,
+        traced: bool,
+    ) -> Result<(RunReport, Vec<regmutex_sim::TraceEvent>), RunError> {
+        let cfg = &self.cfg;
+        let original = &compiled.original;
+        let res = KernelResources::new(
+            original.regs_per_thread,
+            original.shmem_per_cta,
+            original.threads_per_cta,
+        );
+        let wpc = original.warps_per_cta(cfg.warp_size);
+        let baseline_occ = occupancy::theoretical(cfg, res);
+
+        // Pick the kernel image, manager factory, scheduler policy, and
+        // theoretical occupancy for this technique.
+        let (kernel_to_run, plan) = match technique {
+            Technique::RegMutex | Technique::RegMutexPaired => {
+                (&compiled.kernel, compiled.plan)
+            }
+            _ => (original, None),
+        };
+
+        let mut run_cfg = cfg.clone();
+        if technique == Technique::Owf {
+            run_cfg.policy = SchedulerPolicy::OwnerWarpFirst;
+        }
+
+        let make: Box<dyn Fn() -> Box<dyn RegisterManager>> = match technique {
+            Technique::Baseline => {
+                let c = cfg.clone();
+                let regs = original.regs_per_thread;
+                Box::new(move || Box::new(StaticManager::new(&c, regs)))
+            }
+            Technique::RegMutex => match plan {
+                Some(p) => {
+                    let c = cfg.clone();
+                    Box::new(move || Box::new(RegMutexManager::new(&c, &p)))
+                }
+                None => {
+                    let c = cfg.clone();
+                    let regs = original.regs_per_thread;
+                    Box::new(move || Box::new(StaticManager::new(&c, regs)))
+                }
+            },
+            Technique::RegMutexPaired => match plan {
+                Some(p) => {
+                    let c = cfg.clone();
+                    Box::new(move || Box::new(PairedWarpsManager::new(&c, &p)))
+                }
+                None => {
+                    let c = cfg.clone();
+                    let regs = original.regs_per_thread;
+                    Box::new(move || Box::new(StaticManager::new(&c, regs)))
+                }
+            },
+            Technique::Rfv => {
+                let c = cfg.clone();
+                let dead = Arc::new(compiled.dead_after.clone());
+                let regs = original.regs_per_thread;
+                let avg = average_live(original);
+                Box::new(move || Box::new(RfvManager::new(&c, Arc::clone(&dead), regs, avg)))
+            }
+            Technique::Owf => {
+                let c = cfg.clone();
+                let regs = original.regs_per_thread;
+                // OWF's lock is held to the end of the program, so sharing
+                // combined with CTA barriers can form lock/barrier wait
+                // cycles (warp A at its barrier for C; C on a lock held by
+                // D; D at its barrier for B; B on A's lock). Jatala et
+                // al. \[7\] handle synchronization with mechanisms we do not
+                // model; our OWF shares only for barrier-free kernels and
+                // runs barrier kernels unshared.
+                let has_barrier = original.count_ops(|o| matches!(o, regmutex_isa::Op::Bar)) > 0;
+                if regs >= 4 && !has_barrier {
+                    let t = OwfManager::choose_threshold(&c, regs);
+                    Box::new(move || Box::new(OwfManager::new(&c, regs, t)))
+                } else {
+                    Box::new(move || Box::new(StaticManager::new(&c, regs)))
+                }
+            }
+        };
+
+        let probe = make();
+        let storage_bits = probe.storage_overhead_bits();
+        let theoretical = match technique {
+            Technique::Baseline => baseline_occ.warps,
+            Technique::RegMutex => plan.map(|p| p.occupancy_warps).unwrap_or(baseline_occ.warps),
+            Technique::RegMutexPaired => match plan {
+                Some(p) => {
+                    let per_pair = 2 * u32::from(p.bs) + u32::from(p.es);
+                    cta_granular_warps(cfg, res, (cfg.reg_rows_per_sm() / per_pair) * 2, wpc)
+                }
+                None => baseline_occ.warps,
+            },
+            Technique::Rfv => {
+                let per_warp = (average_live(original).ceil() as u32 + 2).max(1);
+                cta_granular_warps(cfg, res, cfg.reg_rows_per_sm() / per_warp, wpc)
+            }
+            Technique::Owf => {
+                let regs = u32::from(original.regs_per_thread);
+                let has_barrier = original.count_ops(|o| matches!(o, regmutex_isa::Op::Bar)) > 0;
+                if regs >= 4 && !has_barrier {
+                    let t = u32::from(OwfManager::choose_threshold(cfg, original.regs_per_thread));
+                    cta_granular_warps(cfg, res, (cfg.reg_rows_per_sm() / (regs + t)) * 2, wpc)
+                } else {
+                    baseline_occ.warps
+                }
+            }
+        };
+        drop(probe);
+
+        let (stats, trace) = if traced {
+            regmutex_sim::run_kernel_traced(&run_cfg, kernel_to_run, launch, |_| make())?
+        } else {
+            (run_kernel(&run_cfg, kernel_to_run, launch, |_| make())?, Vec::new())
+        };
+
+        Ok((RunReport {
+            technique,
+            kernel_name: original.name.clone(),
+            stats,
+            plan: match technique {
+                Technique::RegMutex | Technique::RegMutexPaired => plan,
+                _ => None,
+            },
+            theoretical_occupancy_warps: theoretical,
+            max_warps: cfg.max_warps_per_sm,
+            storage_overhead_bits: storage_bits,
+        }, trace))
+    }
+}
+
+/// Mean live-register count over the kernel's static instructions.
+pub fn average_live(kernel: &Kernel) -> f64 {
+    let lv = analyze(kernel);
+    if kernel.is_empty() {
+        return 0.0;
+    }
+    let total: usize = (0..kernel.len()).map(|pc| lv.count_in(pc)).sum();
+    total as f64 / kernel.len() as f64
+}
+
+/// CTA-granular occupancy given a technique-specific warp capacity.
+fn cta_granular_warps(cfg: &GpuConfig, res: KernelResources, warp_capacity: u32, wpc: u32) -> u32 {
+    let by_warps = cfg.max_warps_per_sm / wpc;
+    let by_capacity = warp_capacity / wpc;
+    let by_shmem = if res.shmem_per_cta == 0 {
+        u32::MAX
+    } else {
+        cfg.shmem_per_sm / res.shmem_per_cta
+    };
+    let ctas = by_warps
+        .min(by_capacity)
+        .min(by_shmem)
+        .min(cfg.max_ctas_per_sm);
+    ctas * wpc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmutex_isa::{ArchReg, KernelBuilder, TripCount};
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    /// A register-hungry, memory-bound kernel (24 regs/thread) whose
+    /// occupancy is register-limited on Fermi: a long low-pressure phase of
+    /// dependent global loads, then a short high-pressure spike — the shape
+    /// the paper's Fig 1 documents for real workloads.
+    fn hungry_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("hungry");
+        b.threads_per_cta(256);
+        b.declared_regs(24);
+        b.movi(r(0), 1);
+        b.movi(r(1), 2);
+        let top = b.here();
+        // Memory-bound low-pressure phase.
+        let inner = b.here();
+        b.ld_global(r(2), r(0));
+        b.ld_global(r(3), r(1));
+        b.iadd(r(1), r(2), r(1));
+        b.iadd(r(0), r(3), r(0));
+        b.bra_loop(inner, TripCount::Fixed(8));
+        // Short high-pressure spike.
+        for i in 2..24 {
+            b.movi(r(i), u64::from(i));
+        }
+        for i in (2..24).step_by(2) {
+            b.imad(r(1), r(i), r(i + 1), r(1));
+        }
+        b.bra_loop(top, TripCount::Fixed(2));
+        b.st_global(r(0), r(1));
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn baseline_and_regmutex_checksums_match() {
+        let s = Session::new(GpuConfig::gtx480());
+        let k = hungry_kernel();
+        let launch = LaunchConfig::new(30);
+        let base = s.run(&k, launch, Technique::Baseline).unwrap();
+        let rm = s.run(&k, launch, Technique::RegMutex).unwrap();
+        assert_eq!(
+            base.stats.checksum, rm.stats.checksum,
+            "compiler transformation must preserve semantics"
+        );
+        assert!(rm.plan.is_some());
+        assert!(rm.stats.acquire_attempts > 0);
+    }
+
+    #[test]
+    fn regmutex_raises_occupancy_and_reduces_cycles() {
+        let s = Session::new(GpuConfig::gtx480());
+        let k = hungry_kernel();
+        // Enough CTAs that the occupancy difference matters: the baseline
+        // fits 5 CTAs per SM, RegMutex 6.
+        let launch = LaunchConfig::new(12 * 15);
+        let base = s.run(&k, launch, Technique::Baseline).unwrap();
+        let rm = s.run(&k, launch, Technique::RegMutex).unwrap();
+        assert!(
+            rm.theoretical_occupancy_warps > base.theoretical_occupancy_warps,
+            "{} vs {}",
+            rm.theoretical_occupancy_warps,
+            base.theoretical_occupancy_warps
+        );
+        let red = cycle_reduction_percent(&base, &rm);
+        assert!(red > 0.0, "reduction {red:.1}%");
+    }
+
+    #[test]
+    fn all_techniques_complete_and_agree_functionally() {
+        let s = Session::new(GpuConfig::gtx480());
+        let k = hungry_kernel();
+        let launch = LaunchConfig::new(15);
+        let mut checksums = Vec::new();
+        for t in ALL_TECHNIQUES {
+            let rep = s.run(&k, launch, t).unwrap_or_else(|e| panic!("{t}: {e}"));
+            checksums.push((t, rep.stats.checksum));
+        }
+        let first = checksums[0].1;
+        for (t, c) in checksums {
+            assert_eq!(c, first, "{t} diverged functionally");
+        }
+    }
+
+    #[test]
+    fn storage_bits_ranking_matches_paper() {
+        let s = Session::new(GpuConfig::gtx480());
+        let k = hungry_kernel();
+        let launch = LaunchConfig::new(15);
+        let rm = s.run(&k, launch, Technique::RegMutex).unwrap();
+        let rfv = s.run(&k, launch, Technique::Rfv).unwrap();
+        let paired = s.run(&k, launch, Technique::RegMutexPaired).unwrap();
+        assert_eq!(rm.storage_overhead_bits, 384);
+        assert_eq!(rfv.storage_overhead_bits, 31_264);
+        assert!(rfv.storage_overhead_bits / rm.storage_overhead_bits >= 81);
+        assert!(paired.storage_overhead_bits < rm.storage_overhead_bits);
+    }
+
+    #[test]
+    fn reduction_and_increase_are_negatives() {
+        let s = Session::new(GpuConfig::gtx480());
+        let k = hungry_kernel();
+        let launch = LaunchConfig::new(15);
+        let base = s.run(&k, launch, Technique::Baseline).unwrap();
+        let rm = s.run(&k, launch, Technique::RegMutex).unwrap();
+        let red = cycle_reduction_percent(&base, &rm);
+        let inc = cycle_increase_percent(&base, &rm);
+        assert!((red + inc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forced_es_session() {
+        let s = Session::with_options(
+            GpuConfig::gtx480(),
+            CompileOptions {
+                force_es: Some(8),
+                force_apply: false,
+            },
+        );
+        let k = hungry_kernel();
+        let rep = s.run(&k, LaunchConfig::new(15), Technique::RegMutex).unwrap();
+        assert_eq!(rep.plan.unwrap().es, 8);
+    }
+
+    #[test]
+    fn half_rf_baseline_slower_regmutex_recovers() {
+        let k = hungry_kernel();
+        let launch = LaunchConfig::new(45);
+        let full = Session::new(GpuConfig::gtx480());
+        let half = Session::new(GpuConfig::gtx480_half_rf());
+        let base_full = full.run(&k, launch, Technique::Baseline).unwrap();
+        let base_half = half.run(&k, launch, Technique::Baseline).unwrap();
+        let rm_half = half.run(&k, launch, Technique::RegMutex).unwrap();
+        let inc_none = cycle_increase_percent(&base_full, &base_half);
+        let inc_rm = cycle_increase_percent(&base_full, &rm_half);
+        assert!(inc_none > 0.0, "halving the RF must hurt: {inc_none:.1}%");
+        assert!(
+            inc_rm < inc_none,
+            "RegMutex must recover: {inc_rm:.1}% vs {inc_none:.1}%"
+        );
+    }
+
+    #[test]
+    fn average_live_positive_for_real_kernels() {
+        let k = hungry_kernel();
+        let avg = average_live(&k);
+        assert!(avg > 1.0 && avg < 24.0, "avg {avg}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Model-based property tests: the Fig 4/5 hardware structures (SRP bitmask
+//! with FFZ, warp-status bitmask, section LUT) driven by random
+//! acquire/release sequences against a plain `HashSet`/`HashMap` model.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+use regmutex::hw::bitmask::{SectionLut, SrpBitmask, WarpStatusBitmask};
+
+/// One random hardware operation.
+#[derive(Debug, Clone, Copy)]
+enum HwOp {
+    /// Warp `w` executes an acquire.
+    Acquire(u32),
+    /// Warp `w` executes a release.
+    Release(u32),
+}
+
+fn ops_strategy(nw: u32) -> impl Strategy<Value = Vec<HwOp>> {
+    prop::collection::vec(
+        (0..nw, prop::bool::ANY).prop_map(|(w, acq)| if acq { HwOp::Acquire(w) } else { HwOp::Release(w) }),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The bitmask/LUT implementation of Fig 5 agrees with a reference model
+    /// (a set of free sections + a warp→section map) on every step, for any
+    /// interleaving of (possibly redundant) acquires and releases.
+    #[test]
+    fn fig5_procedures_match_reference_model(
+        nw in 2u32..48,
+        valid in 1u32..48,
+        ops in ops_strategy(48),
+    ) {
+        let valid = valid.min(nw);
+        let mut status = WarpStatusBitmask::new(nw);
+        let mut srp = SrpBitmask::new(nw, valid);
+        let mut lut = SectionLut::new(nw);
+
+        // Reference model.
+        let mut model_free: HashSet<u32> = (0..valid).collect();
+        let mut model_held: HashMap<u32, u32> = HashMap::new(); // warp -> section
+
+        for op in ops {
+            match op {
+                HwOp::Acquire(w) => {
+                    let w = w % nw;
+                    if status.get(w) {
+                        // Nested acquire: no effect (§III).
+                        prop_assert!(model_held.contains_key(&w));
+                        continue;
+                    }
+                    match srp.ffz() {
+                        Some(section) => {
+                            // Hardware grants the lowest free section; the
+                            // model must agree it is free, and FFZ must be
+                            // the minimum.
+                            prop_assert!(model_free.contains(&section));
+                            prop_assert_eq!(
+                                Some(section),
+                                model_free.iter().min().copied()
+                            );
+                            srp.set(section);
+                            lut.set(w, section);
+                            status.set(w);
+                            model_free.remove(&section);
+                            model_held.insert(w, section);
+                        }
+                        None => {
+                            prop_assert!(model_free.is_empty(), "FFZ missed a free section");
+                        }
+                    }
+                }
+                HwOp::Release(w) => {
+                    let w = w % nw;
+                    if !status.get(w) {
+                        prop_assert!(!model_held.contains_key(&w));
+                        continue; // redundant release: no effect
+                    }
+                    let section = lut.get(w);
+                    prop_assert_eq!(model_held.remove(&w), Some(section));
+                    status.unset(w);
+                    srp.unset(section);
+                    model_free.insert(section);
+                }
+            }
+            // Global invariants after every step.
+            prop_assert_eq!(status.count() as usize, model_held.len());
+            prop_assert_eq!(
+                srp.acquired_count(valid) as usize,
+                valid as usize - model_free.len()
+            );
+            // No two warps map to the same section.
+            let mut seen = HashSet::new();
+            for (&w, &s) in &model_held {
+                prop_assert!(seen.insert(s), "section {s} double-held");
+                prop_assert_eq!(lut.get(w), s);
+            }
+        }
+    }
+
+    /// Sections beyond `valid` are never granted, for any workload.
+    #[test]
+    fn invalid_sections_never_granted(valid in 1u32..8, ops in ops_strategy(8)) {
+        let nw = 8;
+        let mut status = WarpStatusBitmask::new(nw);
+        let mut srp = SrpBitmask::new(nw, valid);
+        for op in ops {
+            match op {
+                HwOp::Acquire(w) if !status.get(w % nw) => {
+                    if let Some(s) = srp.ffz() {
+                        prop_assert!(s < valid, "granted invalid section {s}");
+                        srp.set(s);
+                        status.set(w % nw);
+                        // Track with the status bit only; release below.
+                    }
+                }
+                HwOp::Release(_) => { /* keep it held: strictly monotone fill */ }
+                _ => {}
+            }
+        }
+    }
+}

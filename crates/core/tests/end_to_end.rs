@@ -1,0 +1,324 @@
+//! End-to-end tests of the technique managers under the full simulator on
+//! small, hand-analyzable configurations.
+
+use regmutex::{cycle_reduction_percent, RegMutexManager, Session, Technique};
+use regmutex_compiler::{CompileOptions, RegPlan};
+use regmutex_isa::{ArchReg, Kernel, KernelBuilder, TripCount};
+use regmutex_sim::{run_kernel, GpuConfig, LaunchConfig};
+
+fn r(i: u16) -> ArchReg {
+    ArchReg(i)
+}
+
+/// A kernel whose pressure spikes to 12 regs with a 6-reg low phase.
+fn spiky_kernel(loops: u32) -> Kernel {
+    let mut b = KernelBuilder::new("spiky");
+    b.threads_per_cta(32);
+    for i in 0..4 {
+        b.movi(r(i), u64::from(i) + 1);
+    }
+    let top = b.here();
+    b.ld_global(r(4), r(0));
+    b.iadd(r(1), r(4), r(1));
+    for i in 4..12 {
+        b.xor(r(i), r(i % 4), r(1));
+    }
+    for i in (4..12).step_by(2) {
+        b.imad(r(1), r(i), r(i + 1), r(1));
+    }
+    b.bra_loop(top, TripCount::Fixed(loops));
+    b.st_global(r(0), r(1));
+    b.st_global(r(2), r(3));
+    b.exit();
+    b.build().unwrap()
+}
+
+#[test]
+fn regmutex_time_shares_a_single_section() {
+    // 2 warp slots, RF sized so the baseline serializes but RegMutex fits
+    // both warps' base sets plus one shared section.
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.max_warps_per_sm = 2;
+    cfg.max_ctas_per_sm = 2;
+    cfg.regs_per_sm = 20 * 32; // 20 rows: baseline (12 rounded) fits 1 warp
+    let kernel = spiky_kernel(6);
+
+    let session = Session::with_options(
+        cfg.clone(),
+        CompileOptions {
+            force_es: Some(6), // Bs = 6: two base sets (12) + one section (6)
+            force_apply: true,
+        },
+    );
+    let base = session
+        .run(&kernel, LaunchConfig::new(2), Technique::Baseline)
+        .expect("baseline");
+    let rm = session
+        .run(&kernel, LaunchConfig::new(2), Technique::RegMutex)
+        .expect("regmutex");
+    assert_eq!(base.stats.checksum, rm.stats.checksum);
+    let plan = rm.plan.expect("transformed");
+    assert_eq!((plan.bs, plan.es), (6, 6));
+    assert_eq!(plan.srp_sections, 1);
+    assert!(rm.stats.acquire_attempts > rm.stats.acquire_successes,
+        "a single section must force retries");
+    assert!(
+        rm.cycles() < base.cycles(),
+        "overlapped base phases must win: {} vs {}",
+        rm.cycles(),
+        base.cycles()
+    );
+}
+
+#[test]
+fn manager_rejects_admission_beyond_base_segment() {
+    // Direct manager-level scenario driven through the simulator: a plan
+    // sized for 2 resident warps must refuse a third CTA until one retires.
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.max_warps_per_sm = 4;
+    cfg.regs_per_sm = 18 * 32; // 18 rows
+    let plan = RegPlan {
+        bs: 6,
+        es: 6,
+        total_regs: 12,
+        srp_sections: 1,
+        occupancy_warps: 2, // base segment = 12 rows, SRP = rows 12..18
+    };
+    let kernel = spiky_kernel(2);
+    // Transform the kernel with matching |Bs| = 6. Compile against a config
+    // with enough rows for the heuristic's own SRP math; the run below then
+    // uses the hand-crafted tighter plan.
+    let mut compile_cfg = cfg.clone();
+    compile_cfg.regs_per_sm = 30 * 32; // room for a viable SRP in the heuristic's own math
+    let session = Session::with_options(
+        compile_cfg,
+        CompileOptions {
+            force_es: Some(6),
+            force_apply: true,
+        },
+    );
+    let compiled = session.compile(&kernel).expect("compile");
+    assert!(compiled.is_transformed());
+    let stats = run_kernel(&cfg, &compiled.kernel, LaunchConfig::new(4), |_| {
+        Box::new(RegMutexManager::new(&cfg, &plan))
+    })
+    .expect("completes despite serialization");
+    assert_eq!(stats.ctas, 4);
+    // With 2-warp residency, at most 2 warps ever co-run: achieved occupancy
+    // cannot exceed the base segment.
+    assert!(stats.achieved_occupancy_warps() <= 2.01);
+}
+
+#[test]
+fn rfv_spills_under_extreme_pressure_but_stays_correct() {
+    let mut cfg = GpuConfig::test_tiny();
+    // 10 rows: below even a single warp's 12-register pressure peak, so the
+    // lone resident warp must dry out and self-evict (spill) to progress.
+    // (The static baseline cannot even admit a CTA on this file — RFV's
+    // virtualization is the only way to run here; the functional reference
+    // comes from a full-size file.)
+    cfg.regs_per_sm = 10 * 32;
+    let kernel = spiky_kernel(3);
+    let launch = LaunchConfig::new(2);
+    let reference = Session::new(GpuConfig::test_tiny())
+        .run(&kernel, launch, Technique::Baseline)
+        .expect("full-size reference");
+    let session = Session::new(cfg);
+    let compiled = session.compile(&kernel).expect("compile");
+    let rfv = session
+        .run_compiled(&compiled, launch, Technique::Rfv)
+        .expect("rfv");
+    assert_eq!(reference.stats.checksum, rfv.stats.checksum);
+    assert!(rfv.stats.spills > 0, "the dry file must trigger spills");
+}
+
+#[test]
+fn paired_contends_only_within_pairs() {
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.max_warps_per_sm = 4;
+    cfg.regs_per_sm = 2 * (2 * 6 + 6) * 32; // exactly two pair blocks
+    let kernel = spiky_kernel(4);
+    let session = Session::with_options(
+        cfg,
+        CompileOptions {
+            force_es: Some(6),
+            force_apply: true,
+        },
+    );
+    let launch = LaunchConfig::new(4);
+    let base = session
+        .run(&kernel, launch, Technique::Baseline)
+        .expect("baseline");
+    let paired = session
+        .run(&kernel, launch, Technique::RegMutexPaired)
+        .expect("paired");
+    assert_eq!(base.stats.checksum, paired.stats.checksum);
+    assert!(paired.stats.acquire_attempts >= paired.stats.acquire_successes);
+    assert!(paired.stats.releases > 0);
+}
+
+#[test]
+fn barrier_kernels_respect_deadlock_rule_under_both_regmutex_flavours() {
+    // A kernel with a barrier at low pressure: the heuristic must produce a
+    // plan whose |Bs| covers the barrier live set, and both RegMutex
+    // flavours must run to completion.
+    let mut b = KernelBuilder::new("barrier");
+    b.threads_per_cta(64);
+    for i in 0..4 {
+        b.movi(r(i), 7 + u64::from(i));
+    }
+    let top = b.here();
+    b.bar();
+    for i in 4..12 {
+        b.xor(r(i), r(i % 4), r(1));
+    }
+    for i in (4..12).step_by(2) {
+        b.imad(r(1), r(i), r(i + 1), r(1));
+    }
+    b.st_global(r(0), r(1));
+    b.bra_loop(top, TripCount::Fixed(3));
+    b.st_global(r(2), r(3));
+    b.exit();
+    let kernel = b.build().unwrap();
+
+    let session = Session::with_options(
+        GpuConfig::test_tiny(),
+        CompileOptions {
+            force_es: Some(4),
+            force_apply: true,
+        },
+    );
+    let compiled = session.compile(&kernel).expect("compile");
+    if let Some(plan) = compiled.plan {
+        assert!(plan.bs >= 4, "barrier live set covered");
+        let launch = LaunchConfig::new(4);
+        let base = session
+            .run_compiled(&compiled, launch, Technique::Baseline)
+            .expect("baseline");
+        for t in [Technique::RegMutex, Technique::RegMutexPaired] {
+            let rep = session
+                .run_compiled(&compiled, launch, t)
+                .unwrap_or_else(|e| panic!("{t}: {e}"));
+            assert_eq!(base.stats.checksum, rep.stats.checksum, "{t}");
+        }
+    }
+}
+
+#[test]
+fn occupancy_gain_drives_the_win_not_the_instructions() {
+    // With a launch small enough that occupancy never differs (1 CTA per
+    // SM), RegMutex can only lose (extra instructions) — the gain in the
+    // large-launch case is therefore the occupancy effect.
+    let cfg = GpuConfig::gtx480();
+    let kernel = {
+        let mut b = KernelBuilder::new("occ-proof");
+        b.threads_per_cta(256);
+        b.declared_regs(24);
+        for i in 0..4 {
+            b.movi(r(i), u64::from(i) + 1);
+        }
+        let top = b.here();
+        // A long latency-bound phase so that occupancy matters...
+        let inner = b.here();
+        b.ld_global(r(4), r(0));
+        b.ld_global(r(5), r(1));
+        b.iadd(r(1), r(4), r(1));
+        b.iadd(r(0), r(5), r(0));
+        b.bra_loop(inner, TripCount::Fixed(8));
+        // ...and a short pressure spike.
+        for i in 4..24 {
+            b.xor(r(i), r(i % 4), r(1));
+        }
+        for i in (4..24).step_by(2) {
+            b.imad(r(1), r(i), r(i + 1), r(1));
+        }
+        b.bra_loop(top, TripCount::Fixed(2));
+        b.st_global(r(0), r(1));
+        b.st_global(r(2), r(3));
+        b.exit();
+        b.build().unwrap()
+    };
+    let session = Session::new(cfg);
+    let compiled = session.compile(&kernel).expect("compile");
+    assert!(compiled.is_transformed());
+
+    let small = LaunchConfig::new(15); // 1 CTA per SM: no occupancy effect
+    let base_s = session
+        .run_compiled(&compiled, small, Technique::Baseline)
+        .unwrap();
+    let rm_s = session
+        .run_compiled(&compiled, small, Technique::RegMutex)
+        .unwrap();
+    let delta_small = cycle_reduction_percent(&base_s, &rm_s);
+    assert!(
+        delta_small <= 1.0,
+        "no occupancy headroom -> no win, got {delta_small:.1}%"
+    );
+
+    let large = LaunchConfig::new(180);
+    let base_l = session
+        .run_compiled(&compiled, large, Technique::Baseline)
+        .unwrap();
+    let rm_l = session
+        .run_compiled(&compiled, large, Technique::RegMutex)
+        .unwrap();
+    let delta_large = cycle_reduction_percent(&base_l, &rm_l);
+    assert!(
+        delta_large > delta_small + 3.0,
+        "occupancy must drive the win: {delta_large:.1}% vs {delta_small:.1}%"
+    );
+}
+
+#[test]
+fn traced_run_reconstructs_the_fig2_dynamics() {
+    use regmutex_sim::TraceKind;
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.max_warps_per_sm = 2;
+    cfg.max_ctas_per_sm = 2;
+    cfg.regs_per_sm = 20 * 32;
+    let kernel = spiky_kernel(4);
+    let session = Session::with_options(
+        cfg.clone(),
+        CompileOptions {
+            force_es: Some(6),
+            force_apply: true,
+        },
+    );
+    let compiled = session.compile(&kernel).expect("compile");
+    let (rep, trace) = session
+        .run_compiled_traced(&compiled, LaunchConfig::new(2), Technique::RegMutex)
+        .expect("traced run");
+    assert!(!trace.is_empty());
+
+    // The event stream is internally consistent with the counters.
+    let successes = trace
+        .iter()
+        .filter(|e| e.kind == TraceKind::AcquireSuccess)
+        .count() as u64;
+    let stalls = trace
+        .iter()
+        .filter(|e| e.kind == TraceKind::AcquireStall)
+        .count() as u64;
+    assert_eq!(successes, rep.stats.acquire_successes);
+    assert_eq!(successes + stalls, rep.stats.acquire_attempts);
+    let exits = trace
+        .iter()
+        .filter(|e| e.kind == TraceKind::WarpExit)
+        .count() as u64;
+    assert_eq!(exits, rep.stats.warps);
+
+    // Events are time-ordered per warp and the rendered timeline shows a
+    // hold for both warps.
+    for w in 0..2u32 {
+        let cycles: Vec<u64> = trace
+            .iter()
+            .filter(|e| e.warp == w)
+            .map(|e| e.cycle)
+            .collect();
+        assert!(cycles.windows(2).all(|p| p[0] <= p[1]), "warp {w} unordered");
+    }
+    let timeline = regmutex_sim::render_timeline(&trace, cfg.max_warps_per_sm, 60);
+    assert!(timeline.contains("W0"));
+    assert!(timeline.contains("W1"));
+    assert!(timeline.contains('='), "no hold visible:\n{timeline}");
+}

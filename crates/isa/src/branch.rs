@@ -1,0 +1,185 @@
+//! Behavioral branch models.
+//!
+//! Real GPU kernels branch on data. We have no data sets (the paper's inputs
+//! come from Rodinia/Parboil binaries we cannot run), so branches in this ISA
+//! carry a *behavior* that tells the simulator how the branch resolves:
+//! deterministic loop trip counts (optionally varying per warp), uniform
+//! pseudo-random if/else decisions, and intra-warp divergent skips. All
+//! decisions are derived from seeded hashes, so simulations are exactly
+//! reproducible.
+
+/// Number of times the body guarded by a loop branch executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TripCount {
+    /// Every warp iterates exactly `n` times.
+    Fixed(u32),
+    /// Warp `w` iterates `base + hash(w, seed) % (spread + 1)` times,
+    /// modelling data-dependent loop bounds that differ across warps.
+    PerWarp {
+        /// Minimum trips for any warp.
+        base: u32,
+        /// Maximum extra trips on top of `base`.
+        spread: u32,
+    },
+}
+
+impl TripCount {
+    /// Resolve the trip count for one warp. `seed` comes from the kernel so
+    /// that different kernels decorrelate; `warp_key` identifies the dynamic
+    /// warp (e.g. global warp id).
+    pub fn resolve(self, warp_key: u64, seed: u64) -> u32 {
+        match self {
+            TripCount::Fixed(n) => n,
+            TripCount::PerWarp { base, spread } => {
+                if spread == 0 {
+                    base
+                } else {
+                    base + (mix(warp_key, seed) % (spread as u64 + 1)) as u32
+                }
+            }
+        }
+    }
+
+    /// The mean trip count across warps (used by static cost estimates).
+    pub fn mean(self) -> f64 {
+        match self {
+            TripCount::Fixed(n) => n as f64,
+            TripCount::PerWarp { base, spread } => base as f64 + spread as f64 / 2.0,
+        }
+    }
+}
+
+/// How a `Bra` instruction resolves at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchBehavior {
+    /// A backward loop branch: taken while the (per-warp, per-entry) counter
+    /// is positive, so the loop body runs `trips` times per loop entry.
+    /// All lanes of a warp iterate together (warp-uniform loop bounds).
+    Loop {
+        /// Trip count of the guarded loop body.
+        trips: TripCount,
+    },
+    /// A warp-uniform forward branch: with probability `taken_permille`/1000
+    /// the whole warp jumps to the target, otherwise it falls through.
+    /// Decisions are pseudo-random per dynamic execution, seeded.
+    If {
+        /// Probability of taking the branch, in thousandths.
+        taken_permille: u16,
+    },
+    /// An intra-warp divergent forward skip: roughly `taken_permille`/1000 of
+    /// the active lanes jump to the target (the reconvergence point) while the
+    /// rest execute the fall-through region. The simulator serializes the two
+    /// paths with a SIMT mask and reconverges at the target.
+    Divergent {
+        /// Fraction of lanes that skip to the target, in thousandths.
+        taken_permille: u16,
+    },
+}
+
+impl BranchBehavior {
+    /// True for behaviors that may split the active mask of a warp.
+    pub fn is_divergent(self) -> bool {
+        matches!(self, BranchBehavior::Divergent { .. })
+    }
+}
+
+/// A cheap, high-quality 64-bit mixer (splitmix64 finalizer) used for all
+/// behavioral decisions. Deterministic and dependency-free.
+#[inline]
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x1234_5678_9ABC_DEF0);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive a boolean decision with probability `permille`/1000 from a hash of
+/// the inputs. Used for `If` and lane membership of `Divergent` branches.
+#[inline]
+pub fn decide(permille: u16, key_a: u64, key_b: u64) -> bool {
+    debug_assert!(permille <= 1000, "permille out of range: {permille}");
+    (mix(key_a, key_b) % 1000) < permille as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_trip_count_ignores_warp() {
+        assert_eq!(TripCount::Fixed(7).resolve(0, 0), 7);
+        assert_eq!(TripCount::Fixed(7).resolve(99, 42), 7);
+        assert_eq!(TripCount::Fixed(7).mean(), 7.0);
+    }
+
+    #[test]
+    fn per_warp_trip_count_within_bounds() {
+        let t = TripCount::PerWarp { base: 4, spread: 3 };
+        for w in 0..256 {
+            let n = t.resolve(w, 12345);
+            assert!((4..=7).contains(&n), "warp {w} got {n}");
+        }
+        assert_eq!(t.mean(), 5.5);
+    }
+
+    #[test]
+    fn per_warp_trip_count_is_deterministic() {
+        let t = TripCount::PerWarp { base: 1, spread: 9 };
+        assert_eq!(t.resolve(17, 3), t.resolve(17, 3));
+    }
+
+    #[test]
+    fn per_warp_zero_spread_is_fixed() {
+        let t = TripCount::PerWarp { base: 5, spread: 0 };
+        for w in 0..16 {
+            assert_eq!(t.resolve(w, 1), 5);
+        }
+    }
+
+    #[test]
+    fn decide_extremes() {
+        for k in 0..64 {
+            assert!(!decide(0, k, 7));
+            assert!(decide(1000, k, 7));
+        }
+    }
+
+    #[test]
+    fn decide_roughly_matches_probability() {
+        let mut taken = 0;
+        let n = 10_000;
+        for k in 0..n {
+            if decide(250, k, 99) {
+                taken += 1;
+            }
+        }
+        let frac = taken as f64 / n as f64;
+        assert!((0.22..=0.28).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn divergence_flag() {
+        assert!(BranchBehavior::Divergent { taken_permille: 10 }.is_divergent());
+        assert!(!BranchBehavior::If { taken_permille: 10 }.is_divergent());
+        assert!(!BranchBehavior::Loop {
+            trips: TripCount::Fixed(1)
+        }
+        .is_divergent());
+    }
+
+    #[test]
+    fn mix_spreads_bits() {
+        // Not a statistical test, just a regression guard against an
+        // accidentally-degenerate mixer.
+        let a = mix(0, 0);
+        let b = mix(1, 0);
+        let c = mix(0, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_ne!(a.count_ones(), 0);
+    }
+}

@@ -1,0 +1,492 @@
+//! Convenience builder for assembling kernels with labels and structured
+//! control-flow helpers.
+
+use crate::branch::{BranchBehavior, TripCount};
+use crate::instr::{Instr, Op, Space};
+use crate::kernel::{Kernel, ValidateKernelError};
+use crate::reg::ArchReg;
+
+/// A control-flow label handed out by [`KernelBuilder::new_label`] and bound
+/// with [`KernelBuilder::place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental kernel assembler.
+///
+/// ```
+/// use regmutex_isa::{KernelBuilder, ArchReg, TripCount};
+///
+/// let mut b = KernelBuilder::new("axpy");
+/// b.threads_per_cta(128);
+/// let (x, y, acc) = (ArchReg(0), ArchReg(1), ArchReg(2));
+/// b.movi(x, 3).movi(y, 5).movi(acc, 0);
+/// let top = b.here();
+/// b.ffma(acc, x, y, acc);
+/// b.bra_loop(top, TripCount::Fixed(4));
+/// b.st_global(x, acc).exit();
+/// let kernel = b.build().expect("valid kernel");
+/// assert_eq!(kernel.threads_per_cta, 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    /// (instruction index, label) pairs to patch at build time.
+    fixups: Vec<(usize, Label)>,
+    shmem_per_cta: u32,
+    threads_per_cta: u32,
+    declared_regs: Option<u16>,
+    seed: u64,
+}
+
+/// Errors from [`KernelBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildKernelError {
+    /// A label used by a branch was never [`KernelBuilder::place`]d.
+    UnplacedLabel(usize),
+    /// Structural validation of the finished kernel failed.
+    Invalid(ValidateKernelError),
+}
+
+impl core::fmt::Display for BuildKernelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BuildKernelError::UnplacedLabel(i) => write!(f, "label {i} was never placed"),
+            BuildKernelError::Invalid(e) => write!(f, "invalid kernel: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildKernelError {}
+
+impl From<ValidateKernelError> for BuildKernelError {
+    fn from(e: ValidateKernelError) -> Self {
+        BuildKernelError::Invalid(e)
+    }
+}
+
+impl KernelBuilder {
+    /// Start building a kernel with the given name. Defaults: 256 threads
+    /// per CTA, no shared memory, seed 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            shmem_per_cta: 0,
+            threads_per_cta: 256,
+            declared_regs: None,
+            seed: 0,
+        }
+    }
+
+    /// Set threads per CTA.
+    pub fn threads_per_cta(&mut self, n: u32) -> &mut Self {
+        self.threads_per_cta = n;
+        self
+    }
+
+    /// Set shared-memory bytes per CTA.
+    pub fn shmem_per_cta(&mut self, bytes: u32) -> &mut Self {
+        self.shmem_per_cta = bytes;
+        self
+    }
+
+    /// Override the declared architected register count (otherwise inferred
+    /// as `max index used + 1`). The declared count may exceed the inferred
+    /// one (padding registers), never undercut it.
+    pub fn declared_regs(&mut self, n: u16) -> &mut Self {
+        self.declared_regs = Some(n);
+        self
+    }
+
+    /// Set the behavioral-branch seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Current instruction index (where the *next* instruction will land).
+    pub fn pc(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Create a label bound to the current position (for backward branches).
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.place(l);
+        l
+    }
+
+    /// Create an unbound label (for forward branches); bind with [`place`].
+    ///
+    /// [`place`]: KernelBuilder::place
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) -> &mut Self {
+        assert!(self.labels[label.0].is_none(), "label placed twice");
+        self.labels[label.0] = Some(self.pc());
+        self
+    }
+
+    /// Emit a raw instruction.
+    pub fn emit(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    fn emit3(&mut self, op: Op, d: ArchReg, a: ArchReg, b: ArchReg, c: ArchReg) -> &mut Self {
+        self.emit(Instr::new(op, Some(d), vec![a, b, c]))
+    }
+
+    fn emit2(&mut self, op: Op, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit(Instr::new(op, Some(d), vec![a, b]))
+    }
+
+    fn emit1(&mut self, op: Op, d: ArchReg, a: ArchReg) -> &mut Self {
+        self.emit(Instr::new(op, Some(d), vec![a]))
+    }
+
+    /// `d = imm`
+    pub fn movi(&mut self, d: ArchReg, imm: u64) -> &mut Self {
+        self.emit(Instr::new(Op::MovImm(imm), Some(d), vec![]))
+    }
+
+    /// `d = a`
+    pub fn mov(&mut self, d: ArchReg, a: ArchReg) -> &mut Self {
+        self.emit1(Op::Mov, d, a)
+    }
+
+    /// `d = a + b` (integer)
+    pub fn iadd(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::IAdd, d, a, b)
+    }
+
+    /// `d = a - b` (integer)
+    pub fn isub(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::ISub, d, a, b)
+    }
+
+    /// `d = a * b` (integer)
+    pub fn imul(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::IMul, d, a, b)
+    }
+
+    /// `d = a * b + c` (integer)
+    pub fn imad(&mut self, d: ArchReg, a: ArchReg, b: ArchReg, c: ArchReg) -> &mut Self {
+        self.emit3(Op::IMad, d, a, b, c)
+    }
+
+    /// `d = a & b`
+    pub fn and(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::And, d, a, b)
+    }
+
+    /// `d = a | b`
+    pub fn or(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::Or, d, a, b)
+    }
+
+    /// `d = a ^ b`
+    pub fn xor(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::Xor, d, a, b)
+    }
+
+    /// `d = a << b`
+    pub fn shl(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::Shl, d, a, b)
+    }
+
+    /// `d = a >> b`
+    pub fn shr(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::Shr, d, a, b)
+    }
+
+    /// `d = min(a, b)`
+    pub fn imin(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::IMin, d, a, b)
+    }
+
+    /// `d = max(a, b)`
+    pub fn imax(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::IMax, d, a, b)
+    }
+
+    /// `d = compare(a, b)` — predicate-producing compare.
+    pub fn setp(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::SetP, d, a, b)
+    }
+
+    /// `d = c ? a : b`
+    pub fn sel(&mut self, d: ArchReg, a: ArchReg, b: ArchReg, c: ArchReg) -> &mut Self {
+        self.emit3(Op::Sel, d, a, b, c)
+    }
+
+    /// `d = a + b` (float)
+    pub fn fadd(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::FAdd, d, a, b)
+    }
+
+    /// `d = a * b` (float)
+    pub fn fmul(&mut self, d: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.emit2(Op::FMul, d, a, b)
+    }
+
+    /// `d = a * b + c` (fused)
+    pub fn ffma(&mut self, d: ArchReg, a: ArchReg, b: ArchReg, c: ArchReg) -> &mut Self {
+        self.emit3(Op::FFma, d, a, b, c)
+    }
+
+    /// `d = 1 / a` (SFU)
+    pub fn frcp(&mut self, d: ArchReg, a: ArchReg) -> &mut Self {
+        self.emit1(Op::FRcp, d, a)
+    }
+
+    /// `d = sqrt(a)` (SFU)
+    pub fn fsqrt(&mut self, d: ArchReg, a: ArchReg) -> &mut Self {
+        self.emit1(Op::FSqrt, d, a)
+    }
+
+    /// `d = exp(a)` (SFU)
+    pub fn fexp(&mut self, d: ArchReg, a: ArchReg) -> &mut Self {
+        self.emit1(Op::FExp, d, a)
+    }
+
+    /// `d = global[addr]`
+    pub fn ld_global(&mut self, d: ArchReg, addr: ArchReg) -> &mut Self {
+        self.emit(Instr::new(Op::Ld(Space::Global), Some(d), vec![addr]))
+    }
+
+    /// `global[addr] = v`
+    pub fn st_global(&mut self, addr: ArchReg, v: ArchReg) -> &mut Self {
+        self.emit(Instr::new(Op::St(Space::Global), None, vec![addr, v]))
+    }
+
+    /// `d = shared[addr]`
+    pub fn ld_shared(&mut self, d: ArchReg, addr: ArchReg) -> &mut Self {
+        self.emit(Instr::new(Op::Ld(Space::Shared), Some(d), vec![addr]))
+    }
+
+    /// `shared[addr] = v`
+    pub fn st_shared(&mut self, addr: ArchReg, v: ArchReg) -> &mut Self {
+        self.emit(Instr::new(Op::St(Space::Shared), None, vec![addr, v]))
+    }
+
+    /// CTA barrier (`bar.sync`).
+    pub fn bar(&mut self) -> &mut Self {
+        self.emit(Instr::new(Op::Bar, None, vec![]))
+    }
+
+    /// RegMutex acquire primitive (normally compiler-injected; exposed for
+    /// tests and hand-written kernels).
+    pub fn acq_es(&mut self) -> &mut Self {
+        self.emit(Instr::new(Op::AcqEs, None, vec![]))
+    }
+
+    /// RegMutex release primitive.
+    pub fn rel_es(&mut self) -> &mut Self {
+        self.emit(Instr::new(Op::RelEs, None, vec![]))
+    }
+
+    /// Warp exit.
+    pub fn exit(&mut self) -> &mut Self {
+        self.emit(Instr::new(Op::Exit, None, vec![]))
+    }
+
+    fn bra(&mut self, label: Label, behavior: BranchBehavior, pred: Option<ArchReg>) -> &mut Self {
+        let idx = self.instrs.len();
+        let srcs = pred.map(|p| vec![p]).unwrap_or_default();
+        self.instrs.push(Instr::new(
+            Op::Bra { target: u32::MAX, behavior },
+            None,
+            srcs,
+        ));
+        self.fixups.push((idx, label));
+        self
+    }
+
+    /// Backward loop branch: jump to `target` while the per-warp counter runs.
+    pub fn bra_loop(&mut self, target: Label, trips: TripCount) -> &mut Self {
+        self.bra(target, BranchBehavior::Loop { trips }, None)
+    }
+
+    /// Backward loop branch that also reads a predicate register (keeps the
+    /// predicate live across the loop, as real compare-and-branch code does).
+    pub fn bra_loop_pred(&mut self, target: Label, trips: TripCount, pred: ArchReg) -> &mut Self {
+        self.bra(target, BranchBehavior::Loop { trips }, Some(pred))
+    }
+
+    /// Warp-uniform forward branch taken with probability `permille`/1000.
+    pub fn bra_if(&mut self, target: Label, permille: u16, pred: Option<ArchReg>) -> &mut Self {
+        self.bra(target, BranchBehavior::If { taken_permille: permille }, pred)
+    }
+
+    /// Divergent forward skip: ~`permille`/1000 of lanes jump to `target`.
+    pub fn bra_div(&mut self, target: Label, permille: u16, pred: Option<ArchReg>) -> &mut Self {
+        self.bra(
+            target,
+            BranchBehavior::Divergent { taken_permille: permille },
+            pred,
+        )
+    }
+
+    /// Finish: patch labels, infer register count, validate.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildKernelError::UnplacedLabel`] if a referenced label was never
+    /// placed, or [`BuildKernelError::Invalid`] if structural validation
+    /// fails.
+    pub fn build(&self) -> Result<Kernel, BuildKernelError> {
+        let mut instrs = self.instrs.clone();
+        for &(idx, label) in &self.fixups {
+            let pos = self.labels[label.0].ok_or(BuildKernelError::UnplacedLabel(label.0))?;
+            if let Op::Bra { ref mut target, .. } = instrs[idx].op {
+                *target = pos;
+            }
+        }
+        let mut kernel = Kernel {
+            name: self.name.clone(),
+            instrs,
+            regs_per_thread: 0,
+            shmem_per_cta: self.shmem_per_cta,
+            threads_per_cta: self.threads_per_cta,
+            seed: self.seed,
+        };
+        let inferred = kernel.max_reg_used();
+        kernel.regs_per_thread = match self.declared_regs {
+            Some(declared) => declared.max(inferred),
+            None => inferred,
+        };
+        kernel.validate()?;
+        Ok(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Op;
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    #[test]
+    fn straight_line_build() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1).movi(r(1), 2).iadd(r(2), r(0), r(1));
+        b.st_global(r(0), r(2)).exit();
+        let k = b.build().unwrap();
+        assert_eq!(k.regs_per_thread, 3);
+        assert_eq!(k.len(), 5);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn loop_labels_resolve_backward() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 0);
+        let top = b.here();
+        b.iadd(r(0), r(0), r(0));
+        b.bra_loop(top, TripCount::Fixed(3));
+        b.exit();
+        let k = b.build().unwrap();
+        assert_eq!(k.instrs[2].branch_target(), Some(1));
+    }
+
+    #[test]
+    fn forward_label_resolves() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 0);
+        let skip = b.new_label();
+        b.bra_if(skip, 500, Some(r(0)));
+        b.iadd(r(1), r(0), r(0));
+        b.place(skip);
+        b.exit();
+        let k = b.build().unwrap();
+        assert_eq!(k.instrs[1].branch_target(), Some(3));
+        // Predicate is a read.
+        assert_eq!(k.instrs[1].reads(), &[r(0)]);
+    }
+
+    #[test]
+    fn unplaced_label_errors() {
+        let mut b = KernelBuilder::new("k");
+        let l = b.new_label();
+        b.bra_if(l, 10, None);
+        b.exit();
+        assert_eq!(b.build(), Err(BuildKernelError::UnplacedLabel(0)));
+    }
+
+    #[test]
+    fn declared_regs_pads_up_never_down() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(9), 1).exit();
+        b.declared_regs(4); // below the inferred 10 -> clamped up
+        let k = b.build().unwrap();
+        assert_eq!(k.regs_per_thread, 10);
+
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(3), 1).exit();
+        b.declared_regs(20);
+        assert_eq!(b.build().unwrap().regs_per_thread, 20);
+    }
+
+    #[test]
+    fn metadata_setters() {
+        let mut b = KernelBuilder::new("k");
+        b.threads_per_cta(512).shmem_per_cta(4096).seed(77);
+        b.exit();
+        let k = b.build().unwrap();
+        assert_eq!(k.threads_per_cta, 512);
+        assert_eq!(k.shmem_per_cta, 4096);
+        assert_eq!(k.seed, 77);
+        assert_eq!(k.name, "k");
+    }
+
+    #[test]
+    fn regmutex_primitives_emit() {
+        let mut b = KernelBuilder::new("k");
+        b.acq_es().rel_es().exit();
+        let k = b.build().unwrap();
+        assert_eq!(k.count_ops(Op::is_regmutex_primitive), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label placed twice")]
+    fn double_place_panics() {
+        let mut b = KernelBuilder::new("k");
+        let l = b.new_label();
+        b.place(l);
+        b.place(l);
+    }
+
+    #[test]
+    fn divergent_and_memory_helpers() {
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 4);
+        let skip = b.new_label();
+        b.bra_div(skip, 250, None);
+        b.ld_global(r(1), r(0));
+        b.ld_shared(r(2), r(0));
+        b.st_shared(r(0), r(2));
+        b.frcp(r(3), r(1));
+        b.place(skip);
+        b.bar();
+        b.exit();
+        let k = b.build().unwrap();
+        assert!(k.validate().is_ok());
+        assert_eq!(k.count_ops(|o| matches!(o, Op::Bar)), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Human-readable disassembly of kernels and instructions.
+
+use core::fmt;
+
+use crate::branch::BranchBehavior;
+use crate::instr::{Instr, Op, Space};
+use crate::kernel::Kernel;
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::IAdd => "iadd",
+            Op::ISub => "isub",
+            Op::IMul => "imul",
+            Op::IMad => "imad",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Shl => "shl",
+            Op::Shr => "shr",
+            Op::IMin => "imin",
+            Op::IMax => "imax",
+            Op::SetP => "setp",
+            Op::Sel => "sel",
+            Op::FAdd => "fadd",
+            Op::FMul => "fmul",
+            Op::FFma => "ffma",
+            Op::FRcp => "frcp",
+            Op::FSqrt => "fsqrt",
+            Op::FExp => "fexp",
+            Op::Mov => "mov",
+            Op::MovImm(v) => return write!(f, "movi 0x{v:x}"),
+            Op::Ld(Space::Global) => "ld.global",
+            Op::Ld(Space::Shared) => "ld.shared",
+            Op::St(Space::Global) => "st.global",
+            Op::St(Space::Shared) => "st.shared",
+            Op::Bra { target, behavior } => {
+                return match behavior {
+                    BranchBehavior::Loop { trips } => write!(f, "bra.loop @{target} {trips:?}"),
+                    BranchBehavior::If { taken_permille } => {
+                        write!(f, "bra.if @{target} p={taken_permille}‰")
+                    }
+                    BranchBehavior::Divergent { taken_permille } => {
+                        write!(f, "bra.div @{target} p={taken_permille}‰")
+                    }
+                }
+            }
+            Op::Bar => "bar.sync",
+            Op::AcqEs => "acq.es",
+            Op::RelEs => "rel.es",
+            Op::Exit => "exit",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+            if !self.srcs.is_empty() {
+                write!(f, ",")?;
+            }
+        }
+        for (i, s) in self.srcs.iter().enumerate() {
+            if i > 0 || self.dst.is_some() {
+                write!(f, " {s}")?;
+            } else {
+                write!(f, " {s}")?;
+            }
+            if i + 1 < self.srcs.len() {
+                write!(f, ",")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            ".kernel {} // regs={} shmem={} tpc={}",
+            self.name, self.regs_per_thread, self.shmem_per_cta, self.threads_per_cta
+        )?;
+        for (pc, i) in self.instrs.iter().enumerate() {
+            writeln!(f, "  {pc:4}: {i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::branch::TripCount;
+    use crate::reg::ArchReg;
+
+    #[test]
+    fn instruction_display_forms() {
+        let r = ArchReg;
+        let i = Instr::new(Op::IMad, Some(r(4)), vec![r(1), r(2), r(3)]);
+        assert_eq!(i.to_string(), "imad R4, R1, R2, R3");
+        let s = Instr::new(Op::St(Space::Global), None, vec![r(0), r(1)]);
+        assert_eq!(s.to_string(), "st.global R0, R1");
+        let m = Instr::new(Op::MovImm(255), Some(r(7)), vec![]);
+        assert_eq!(m.to_string(), "movi 0xff R7");
+        let b = Instr::new(Op::Bar, None, vec![]);
+        assert_eq!(b.to_string(), "bar.sync");
+    }
+
+    #[test]
+    fn kernel_display_lists_instructions() {
+        let mut b = KernelBuilder::new("demo");
+        b.movi(ArchReg(0), 1);
+        let top = b.here();
+        b.iadd(ArchReg(0), ArchReg(0), ArchReg(0));
+        b.bra_loop(top, TripCount::Fixed(2));
+        b.exit();
+        let k = b.build().unwrap();
+        let text = k.to_string();
+        assert!(text.contains(".kernel demo"));
+        assert!(text.contains("bra.loop @1"));
+        assert!(text.contains("exit"));
+        assert_eq!(text.lines().count(), 1 + k.len());
+    }
+}

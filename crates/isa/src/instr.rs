@@ -1,0 +1,258 @@
+//! Instructions of the synthetic warp-level ISA.
+//!
+//! The ISA is deliberately SASS-flavoured: three-operand ALU ops, explicit
+//! global/shared loads and stores, a CTA barrier (`Bar`, the PTX `bar.sync`),
+//! and the two RegMutex primitives `AcqEs`/`RelEs` that the compiler injects
+//! (§III-A3 of the paper). Operands are architected registers only; immediate
+//! values are folded into `MovImm`.
+
+use crate::branch::BranchBehavior;
+use crate::reg::ArchReg;
+
+/// Memory space of a load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Off-chip global memory: long latency, bounded concurrency per SM.
+    Global,
+    /// SM-local scratchpad (CUDA `__shared__`): short fixed latency.
+    Shared,
+}
+
+/// Functional-unit / latency class of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyClass {
+    /// Simple integer/float pipe.
+    Alu,
+    /// Special function unit (reciprocal, sqrt, exp...).
+    Sfu,
+    /// Shared-memory access.
+    SharedMem,
+    /// Global-memory access.
+    GlobalMem,
+    /// Control / synchronization (branch, barrier, acquire, release, exit).
+    Control,
+}
+
+/// Operation kinds. Arithmetic opcodes are distinguished where it matters for
+/// latency (`Sfu` vs `Alu`) and for the functional value layer (so that
+/// different programs hash differently); otherwise they are interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Integer add.
+    IAdd,
+    /// Integer subtract.
+    ISub,
+    /// Integer multiply.
+    IMul,
+    /// Integer multiply-add (3 sources).
+    IMad,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Shift right.
+    Shr,
+    /// Integer minimum.
+    IMin,
+    /// Integer maximum.
+    IMax,
+    /// Set-predicate style compare (result in a normal register here).
+    SetP,
+    /// Select between two sources keyed on a third.
+    Sel,
+    /// Float add.
+    FAdd,
+    /// Float multiply.
+    FMul,
+    /// Fused multiply-add (3 sources).
+    FFma,
+    /// Reciprocal (SFU).
+    FRcp,
+    /// Square root (SFU).
+    FSqrt,
+    /// Exponential (SFU).
+    FExp,
+    /// Register-to-register move.
+    Mov,
+    /// Load an immediate constant.
+    MovImm(u64),
+    /// Memory load from `Space`; source operand is the address register.
+    Ld(Space),
+    /// Memory store to `Space`; sources are `[addr, value]`.
+    St(Space),
+    /// Branch to instruction index `target` with the given behaviour. The
+    /// optional predicate source register (if present in `srcs`) is *read*.
+    Bra {
+        /// Absolute instruction index of the branch target.
+        target: u32,
+        /// How the branch resolves (loop / uniform-if / divergent skip).
+        behavior: BranchBehavior,
+    },
+    /// CTA-wide barrier (`bar.sync`): every warp of the CTA must arrive.
+    Bar,
+    /// Acquire the extended register set from the Shared Register Pool.
+    /// Injected by the RegMutex compiler; a no-op under other techniques.
+    AcqEs,
+    /// Release the extended register set back to the Shared Register Pool.
+    RelEs,
+    /// Warp terminates.
+    Exit,
+}
+
+impl Op {
+    /// The latency/functional-unit class of this op.
+    pub fn latency_class(&self) -> LatencyClass {
+        match self {
+            Op::FRcp | Op::FSqrt | Op::FExp => LatencyClass::Sfu,
+            Op::Ld(Space::Shared) | Op::St(Space::Shared) => LatencyClass::SharedMem,
+            Op::Ld(Space::Global) | Op::St(Space::Global) => LatencyClass::GlobalMem,
+            Op::Bra { .. } | Op::Bar | Op::AcqEs | Op::RelEs | Op::Exit => LatencyClass::Control,
+            _ => LatencyClass::Alu,
+        }
+    }
+
+    /// True if the op is one of the RegMutex compiler-to-hardware primitives.
+    pub fn is_regmutex_primitive(&self) -> bool {
+        matches!(self, Op::AcqEs | Op::RelEs)
+    }
+
+    /// True for control-flow terminators of a basic block.
+    pub fn ends_block(&self) -> bool {
+        matches!(self, Op::Bra { .. } | Op::Exit)
+    }
+}
+
+/// One decoded instruction: an op, an optional destination register, and up
+/// to three source registers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// The operation.
+    pub op: Op,
+    /// Destination architected register, if the op writes one.
+    pub dst: Option<ArchReg>,
+    /// Source architected registers (0–3).
+    pub srcs: Vec<ArchReg>,
+}
+
+impl Instr {
+    /// Construct an instruction, validating the operand shape for the op.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if the operand count is impossible for the
+    /// op, e.g. a store with a destination.
+    pub fn new(op: Op, dst: Option<ArchReg>, srcs: Vec<ArchReg>) -> Self {
+        debug_assert!(srcs.len() <= 3, "at most 3 sources supported");
+        if matches!(op, Op::St(_)) {
+            debug_assert!(dst.is_none(), "stores write no register");
+            debug_assert_eq!(srcs.len(), 2, "store takes [addr, value]");
+        }
+        if matches!(op, Op::Ld(_)) {
+            debug_assert!(dst.is_some(), "loads write a register");
+            debug_assert_eq!(srcs.len(), 1, "load takes [addr]");
+        }
+        Instr { op, dst, srcs }
+    }
+
+    /// Registers read by this instruction.
+    pub fn reads(&self) -> &[ArchReg] {
+        &self.srcs
+    }
+
+    /// Register written by this instruction, if any.
+    pub fn writes(&self) -> Option<ArchReg> {
+        self.dst
+    }
+
+    /// Highest architected register index referenced, if any register is.
+    pub fn max_reg(&self) -> Option<u16> {
+        self.srcs
+            .iter()
+            .map(|r| r.0)
+            .chain(self.dst.map(|r| r.0))
+            .max()
+    }
+
+    /// The branch target if this is a branch.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self.op {
+            Op::Bra { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::TripCount;
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    #[test]
+    fn latency_classes() {
+        assert_eq!(Op::IAdd.latency_class(), LatencyClass::Alu);
+        assert_eq!(Op::FFma.latency_class(), LatencyClass::Alu);
+        assert_eq!(Op::FRcp.latency_class(), LatencyClass::Sfu);
+        assert_eq!(Op::Ld(Space::Global).latency_class(), LatencyClass::GlobalMem);
+        assert_eq!(Op::Ld(Space::Shared).latency_class(), LatencyClass::SharedMem);
+        assert_eq!(Op::Bar.latency_class(), LatencyClass::Control);
+        assert_eq!(Op::AcqEs.latency_class(), LatencyClass::Control);
+    }
+
+    #[test]
+    fn regmutex_primitive_detection() {
+        assert!(Op::AcqEs.is_regmutex_primitive());
+        assert!(Op::RelEs.is_regmutex_primitive());
+        assert!(!Op::Bar.is_regmutex_primitive());
+    }
+
+    #[test]
+    fn block_terminators() {
+        assert!(Op::Exit.ends_block());
+        assert!(Op::Bra {
+            target: 0,
+            behavior: BranchBehavior::Loop {
+                trips: TripCount::Fixed(2)
+            }
+        }
+        .ends_block());
+        assert!(!Op::IAdd.ends_block());
+    }
+
+    #[test]
+    fn reads_writes_and_max_reg() {
+        let i = Instr::new(Op::IMad, Some(r(9)), vec![r(1), r(2), r(3)]);
+        assert_eq!(i.writes(), Some(r(9)));
+        assert_eq!(i.reads(), &[r(1), r(2), r(3)]);
+        assert_eq!(i.max_reg(), Some(9));
+
+        let s = Instr::new(Op::St(Space::Global), None, vec![r(4), r(5)]);
+        assert_eq!(s.writes(), None);
+        assert_eq!(s.max_reg(), Some(5));
+
+        let b = Instr::new(Op::Bar, None, vec![]);
+        assert_eq!(b.max_reg(), None);
+    }
+
+    #[test]
+    fn branch_target_accessor() {
+        let b = Instr::new(
+            Op::Bra {
+                target: 17,
+                behavior: BranchBehavior::If { taken_permille: 500 },
+            },
+            None,
+            vec![r(0)],
+        );
+        assert_eq!(b.branch_target(), Some(17));
+        let a = Instr::new(Op::IAdd, Some(r(1)), vec![r(0), r(0)]);
+        assert_eq!(a.branch_target(), None);
+    }
+}

@@ -1,0 +1,317 @@
+//! Kernel container and validation.
+
+use crate::branch::BranchBehavior;
+use crate::instr::{Instr, Op};
+
+/// Errors produced by [`Kernel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateKernelError {
+    /// The kernel has no instructions.
+    Empty,
+    /// A branch at `pc` targets an instruction index outside the kernel.
+    TargetOutOfRange {
+        /// Branch location.
+        pc: u32,
+        /// Offending target.
+        target: u32,
+    },
+    /// A `Loop` branch at `pc` must jump backward (to its loop header).
+    LoopNotBackward {
+        /// Branch location.
+        pc: u32,
+    },
+    /// An `If`/`Divergent` branch at `pc` must jump forward (structured
+    /// skip-style control flow; loops use `Loop`).
+    SkipNotForward {
+        /// Branch location.
+        pc: u32,
+    },
+    /// No `Exit` instruction is reachable: the warp could never terminate.
+    NoExit,
+    /// The final instruction can fall off the end of the program.
+    FallsOffEnd,
+    /// An architected register index ≥ `limit` was used.
+    RegisterOutOfRange {
+        /// Offending register index.
+        reg: u16,
+        /// Maximum allowed architected registers.
+        limit: u16,
+    },
+}
+
+impl core::fmt::Display for ValidateKernelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ValidateKernelError::Empty => write!(f, "kernel has no instructions"),
+            ValidateKernelError::TargetOutOfRange { pc, target } => {
+                write!(f, "branch at {pc} targets out-of-range index {target}")
+            }
+            ValidateKernelError::LoopNotBackward { pc } => {
+                write!(f, "loop branch at {pc} does not jump backward")
+            }
+            ValidateKernelError::SkipNotForward { pc } => {
+                write!(f, "if/divergent branch at {pc} does not jump forward")
+            }
+            ValidateKernelError::NoExit => write!(f, "kernel contains no exit instruction"),
+            ValidateKernelError::FallsOffEnd => {
+                write!(f, "control can fall off the end of the kernel")
+            }
+            ValidateKernelError::RegisterOutOfRange { reg, limit } => {
+                write!(f, "architected register R{reg} exceeds the limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateKernelError {}
+
+/// Maximum architected registers per thread this ISA allows (Fermi's limit
+/// is 63 for real SASS; we keep headroom for synthetic kernels).
+pub const MAX_ARCH_REGS: u16 = 255;
+
+/// A GPU kernel: a flat instruction vector (branch targets are absolute
+/// instruction indices) plus the launch-relevant resource metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Human-readable kernel name (used in reports).
+    pub name: String,
+    /// The instruction stream.
+    pub instrs: Vec<Instr>,
+    /// Architected registers per thread the kernel declares (the maximum
+    /// live-anywhere register count; *not* rounded to a multiple of 4 —
+    /// resource rounding is the simulator's job, as in GPGPU-Sim).
+    pub regs_per_thread: u16,
+    /// Bytes of SM-local shared memory each CTA uses.
+    pub shmem_per_cta: u32,
+    /// Threads per CTA (must be a multiple of the warp size for simplicity).
+    pub threads_per_cta: u32,
+    /// Seed feeding all behavioral branch decisions for this kernel.
+    pub seed: u64,
+}
+
+impl Kernel {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the kernel has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The highest architected register index used, plus one; 0 if none.
+    pub fn max_reg_used(&self) -> u16 {
+        self.instrs
+            .iter()
+            .filter_map(Instr::max_reg)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0)
+    }
+
+    /// Warps per CTA given a warp size.
+    pub fn warps_per_cta(&self, warp_size: u32) -> u32 {
+        self.threads_per_cta.div_ceil(warp_size)
+    }
+
+    /// Count of instructions with the given op predicate (used by tests and
+    /// compiler diagnostics).
+    pub fn count_ops(&self, mut pred: impl FnMut(&Op) -> bool) -> usize {
+        self.instrs.iter().filter(|i| pred(&i.op)).count()
+    }
+
+    /// Structural validation: branch-target sanity, loop direction, exit
+    /// reachability, register-range checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateKernelError`] found.
+    pub fn validate(&self) -> Result<(), ValidateKernelError> {
+        if self.instrs.is_empty() {
+            return Err(ValidateKernelError::Empty);
+        }
+        let n = self.instrs.len() as u32;
+        let mut has_exit = false;
+        for (pc, i) in self.instrs.iter().enumerate() {
+            let pc = pc as u32;
+            if let Some(reg) = i.max_reg() {
+                if reg >= MAX_ARCH_REGS {
+                    return Err(ValidateKernelError::RegisterOutOfRange {
+                        reg,
+                        limit: MAX_ARCH_REGS,
+                    });
+                }
+            }
+            match i.op {
+                Op::Bra { target, behavior } => {
+                    if target >= n {
+                        return Err(ValidateKernelError::TargetOutOfRange { pc, target });
+                    }
+                    match behavior {
+                        BranchBehavior::Loop { .. } => {
+                            if target > pc {
+                                return Err(ValidateKernelError::LoopNotBackward { pc });
+                            }
+                        }
+                        BranchBehavior::If { .. } | BranchBehavior::Divergent { .. } => {
+                            if target <= pc {
+                                return Err(ValidateKernelError::SkipNotForward { pc });
+                            }
+                        }
+                    }
+                }
+                Op::Exit => has_exit = true,
+                _ => {}
+            }
+        }
+        if !has_exit {
+            return Err(ValidateKernelError::NoExit);
+        }
+        // The final instruction must not fall through past the end: it has to
+        // be an Exit or an unconditional-enough terminator. We require Exit
+        // or a backward Loop branch followed by nothing is still a fall-off,
+        // so simply require the last instruction to be Exit.
+        if !matches!(self.instrs.last().map(|i| &i.op), Some(Op::Exit)) {
+            return Err(ValidateKernelError::FallsOffEnd);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::TripCount;
+    use crate::reg::ArchReg;
+
+    fn iadd(d: u16, a: u16, b: u16) -> Instr {
+        Instr::new(Op::IAdd, Some(ArchReg(d)), vec![ArchReg(a), ArchReg(b)])
+    }
+
+    fn exit() -> Instr {
+        Instr::new(Op::Exit, None, vec![])
+    }
+
+    fn kernel(instrs: Vec<Instr>) -> Kernel {
+        Kernel {
+            name: "t".into(),
+            instrs,
+            regs_per_thread: 8,
+            shmem_per_cta: 0,
+            threads_per_cta: 32,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn empty_kernel_rejected() {
+        assert_eq!(kernel(vec![]).validate(), Err(ValidateKernelError::Empty));
+    }
+
+    #[test]
+    fn valid_straight_line_kernel() {
+        let k = kernel(vec![iadd(2, 0, 1), exit()]);
+        assert!(k.validate().is_ok());
+        assert_eq!(k.max_reg_used(), 3);
+        assert_eq!(k.len(), 2);
+        assert!(!k.is_empty());
+    }
+
+    #[test]
+    fn missing_exit_rejected() {
+        let k = kernel(vec![iadd(2, 0, 1)]);
+        assert_eq!(k.validate(), Err(ValidateKernelError::NoExit));
+    }
+
+    #[test]
+    fn fall_off_end_rejected() {
+        let k = kernel(vec![exit(), iadd(2, 0, 1)]);
+        assert_eq!(k.validate(), Err(ValidateKernelError::FallsOffEnd));
+    }
+
+    #[test]
+    fn branch_target_bounds_checked() {
+        let k = kernel(vec![
+            Instr::new(
+                Op::Bra {
+                    target: 99,
+                    behavior: BranchBehavior::If { taken_permille: 10 },
+                },
+                None,
+                vec![],
+            ),
+            exit(),
+        ]);
+        assert_eq!(
+            k.validate(),
+            Err(ValidateKernelError::TargetOutOfRange { pc: 0, target: 99 })
+        );
+    }
+
+    #[test]
+    fn loop_must_branch_backward() {
+        let k = kernel(vec![
+            Instr::new(
+                Op::Bra {
+                    target: 1,
+                    behavior: BranchBehavior::Loop {
+                        trips: TripCount::Fixed(3),
+                    },
+                },
+                None,
+                vec![],
+            ),
+            exit(),
+        ]);
+        assert_eq!(k.validate(), Err(ValidateKernelError::LoopNotBackward { pc: 0 }));
+    }
+
+    #[test]
+    fn skip_must_branch_forward() {
+        let k = kernel(vec![
+            iadd(1, 0, 0),
+            Instr::new(
+                Op::Bra {
+                    target: 0,
+                    behavior: BranchBehavior::Divergent { taken_permille: 100 },
+                },
+                None,
+                vec![],
+            ),
+            exit(),
+        ]);
+        assert_eq!(k.validate(), Err(ValidateKernelError::SkipNotForward { pc: 1 }));
+    }
+
+    #[test]
+    fn register_limit_enforced() {
+        let k = kernel(vec![iadd(255, 0, 0), exit()]);
+        assert!(matches!(
+            k.validate(),
+            Err(ValidateKernelError::RegisterOutOfRange { reg: 255, .. })
+        ));
+    }
+
+    #[test]
+    fn warps_per_cta_rounds_up() {
+        let mut k = kernel(vec![exit()]);
+        k.threads_per_cta = 96;
+        assert_eq!(k.warps_per_cta(32), 3);
+        k.threads_per_cta = 100;
+        assert_eq!(k.warps_per_cta(32), 4);
+    }
+
+    #[test]
+    fn count_ops_counts() {
+        let k = kernel(vec![iadd(1, 0, 0), iadd(2, 1, 1), exit()]);
+        assert_eq!(k.count_ops(|o| matches!(o, Op::IAdd)), 2);
+        assert_eq!(k.count_ops(|o| matches!(o, Op::Exit)), 1);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = ValidateKernelError::TargetOutOfRange { pc: 1, target: 9 };
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Register and identifier newtypes shared across the workspace.
+
+use core::fmt;
+
+/// An *architected* register index, i.e. the register number a kernel binary
+/// names (`R0`, `R1`, ...). Architected registers are mapped to [`PhysReg`]s
+/// by a register manager at run time.
+///
+/// ```
+/// use regmutex_isa::ArchReg;
+/// let r = ArchReg(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(format!("{r}"), "R5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(pub u16);
+
+impl ArchReg {
+    /// The raw index as a `usize`, handy for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A *physical* register slot in an SM's register file.
+///
+/// Physical registers are warp-granular in this model: one `PhysReg` stands
+/// for a full 32-lane × 32-bit register row, matching how GPGPU-Sim and the
+/// paper account register-file capacity (32 K thread-registers per SM =
+/// 1 K warp-granular rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u32);
+
+impl PhysReg {
+    /// The raw slot index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A warp slot index *within one SM* (0 .. `max_warps_per_sm`).
+///
+/// This is the `Widx` of the paper's `Y = X + Coeff × Widx` mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WarpId(pub u32);
+
+impl WarpId {
+    /// The raw slot index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WarpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}", self.0)
+    }
+}
+
+/// A Cooperative Thread Array (thread block) id, global across the launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtaId(pub u32);
+
+impl CtaId {
+    /// The raw id as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CtaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CTA{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn newtypes_display() {
+        assert_eq!(ArchReg(0).to_string(), "R0");
+        assert_eq!(PhysReg(1023).to_string(), "P1023");
+        assert_eq!(WarpId(47).to_string(), "W47");
+        assert_eq!(CtaId(7).to_string(), "CTA7");
+    }
+
+    #[test]
+    fn newtypes_are_ordered_and_hashable() {
+        assert!(ArchReg(3) < ArchReg(4));
+        assert!(PhysReg(0) < PhysReg(1));
+        let mut set = HashSet::new();
+        set.insert(WarpId(1));
+        assert!(set.contains(&WarpId(1)));
+        assert!(!set.contains(&WarpId(2)));
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(ArchReg(9).index(), 9);
+        assert_eq!(PhysReg(12).index(), 12);
+        assert_eq!(WarpId(3).index(), 3);
+        assert_eq!(CtaId(2).index(), 2);
+    }
+}

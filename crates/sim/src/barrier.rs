@@ -1,0 +1,119 @@
+//! CTA barrier (`bar.sync`) tracking.
+
+use std::collections::HashMap;
+
+use regmutex_isa::CtaId;
+
+/// Tracks barrier arrivals per CTA resident on one SM.
+#[derive(Debug, Clone, Default)]
+pub struct BarrierUnit {
+    /// Per CTA: (arrived, expected). `expected` shrinks as warps exit.
+    state: HashMap<CtaId, (u32, u32)>,
+}
+
+impl BarrierUnit {
+    /// Empty unit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a CTA with `warps` participating warps.
+    pub fn register_cta(&mut self, cta: CtaId, warps: u32) {
+        let prev = self.state.insert(cta, (0, warps));
+        debug_assert!(prev.is_none(), "CTA registered twice at barrier unit");
+    }
+
+    /// Remove a retired CTA.
+    pub fn retire_cta(&mut self, cta: CtaId) {
+        self.state.remove(&cta);
+    }
+
+    /// A warp of `cta` arrived at a barrier. Returns `true` when this arrival
+    /// completes the barrier (the caller must then release all waiting warps
+    /// and reset via this method's internal reset).
+    pub fn arrive(&mut self, cta: CtaId) -> bool {
+        let entry = self
+            .state
+            .get_mut(&cta)
+            .expect("barrier arrival from unregistered CTA");
+        entry.0 += 1;
+        debug_assert!(entry.0 <= entry.1, "more arrivals than expected");
+        if entry.0 == entry.1 {
+            entry.0 = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A warp of `cta` exited: it no longer participates in barriers.
+    /// Returns `true` if its departure completes a barrier the remaining
+    /// warps were waiting on.
+    pub fn warp_exited(&mut self, cta: CtaId) -> bool {
+        let entry = self
+            .state
+            .get_mut(&cta)
+            .expect("exit from unregistered CTA");
+        entry.1 -= 1;
+        if entry.1 > 0 && entry.0 == entry.1 {
+            entry.0 = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of warps currently waiting at a barrier for `cta`.
+    pub fn arrived(&self, cta: CtaId) -> u32 {
+        self.state.get(&cta).map(|e| e.0).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_completes_on_last_arrival() {
+        let mut b = BarrierUnit::new();
+        b.register_cta(CtaId(0), 3);
+        assert!(!b.arrive(CtaId(0)));
+        assert!(!b.arrive(CtaId(0)));
+        assert!(b.arrive(CtaId(0)));
+        // Counter reset: next barrier round starts fresh.
+        assert_eq!(b.arrived(CtaId(0)), 0);
+        assert!(!b.arrive(CtaId(0)));
+    }
+
+    #[test]
+    fn warp_exit_can_complete_barrier() {
+        let mut b = BarrierUnit::new();
+        b.register_cta(CtaId(1), 2);
+        assert!(!b.arrive(CtaId(1)));
+        // The other warp exits instead of arriving: barrier completes.
+        assert!(b.warp_exited(CtaId(1)));
+    }
+
+    #[test]
+    fn warp_exit_without_waiters_is_quiet() {
+        let mut b = BarrierUnit::new();
+        b.register_cta(CtaId(2), 2);
+        assert!(!b.warp_exited(CtaId(2)));
+        assert!(!b.warp_exited(CtaId(2)));
+    }
+
+    #[test]
+    fn retire_clears_state() {
+        let mut b = BarrierUnit::new();
+        b.register_cta(CtaId(3), 4);
+        b.arrive(CtaId(3));
+        b.retire_cta(CtaId(3));
+        assert_eq!(b.arrived(CtaId(3)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered CTA")]
+    fn arrival_from_unknown_cta_panics() {
+        BarrierUnit::new().arrive(CtaId(9));
+    }
+}

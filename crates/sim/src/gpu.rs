@@ -1,0 +1,435 @@
+//! Whole-device simulation loop.
+
+use std::sync::Arc;
+
+use regmutex_isa::{CtaId, Kernel};
+
+use crate::config::{GpuConfig, LaunchConfig};
+use crate::manager::RegisterManager;
+use crate::sm::{KernelImage, Sm};
+use crate::stats::SimStats;
+
+/// Fatal simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No instruction issued device-wide for an implausibly long interval:
+    /// the configuration deadlocked (e.g. an unsatisfiable acquire).
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Last cycle with progress.
+        last_progress: u64,
+    },
+    /// The absolute cycle bound was exceeded.
+    WatchdogExpired {
+        /// The bound.
+        limit: u64,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, last_progress } => write!(
+                f,
+                "no progress since cycle {last_progress} (watchdog fired at {cycle}): deadlock"
+            ),
+            SimError::WatchdogExpired { limit } => {
+                write!(f, "simulation exceeded {limit} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Run `kernel` on `cfg` with per-SM register managers produced by
+/// `manager_factory` (one call per simulated SM).
+///
+/// CTAs are split evenly across the device's `num_sms`; only
+/// `cfg.simulated_sms` of them are actually simulated (SM-local effects —
+/// which is all RegMutex changes — are identical across SMs, so simulating
+/// one SM with its share of the grid reproduces per-SM behaviour).
+///
+/// # Errors
+///
+/// [`SimError::Deadlock`] if no instruction issues device-wide for longer
+/// than a conservative bound, or [`SimError::WatchdogExpired`] at
+/// `cfg.watchdog_cycles`.
+pub fn run_kernel(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager>,
+) -> Result<SimStats, SimError> {
+    run_inner(cfg, kernel, launch, manager_factory, false).map(|(stats, _)| stats)
+}
+
+/// Like [`run_kernel`], but records issue-stage [`TraceEvent`]s on the first
+/// simulated SM and returns them with the stats (see
+/// [`render_timeline`](crate::trace::render_timeline)).
+///
+/// # Errors
+///
+/// Same as [`run_kernel`].
+pub fn run_kernel_traced(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager>,
+) -> Result<(SimStats, Vec<crate::trace::TraceEvent>), SimError> {
+    run_inner(cfg, kernel, launch, manager_factory, true)
+}
+
+fn run_inner(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    mut manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager>,
+    traced: bool,
+) -> Result<(SimStats, Vec<crate::trace::TraceEvent>), SimError> {
+    debug_assert!(kernel.validate().is_ok(), "running an invalid kernel");
+    let image = Arc::new(KernelImage::new(kernel.clone()));
+    let simulated = cfg.simulated_sms.min(cfg.num_sms).max(1);
+
+    let mut next_cta = 0u32;
+    let mut sms: Vec<Sm> = (0..simulated)
+        .map(|sm_id| {
+            let n = launch.ctas_for_sm(sm_id, cfg);
+            let ctas: Vec<CtaId> = (next_cta..next_cta + n).map(CtaId).collect();
+            next_cta += n;
+            Sm::new(cfg.clone(), Arc::clone(&image), manager_factory(sm_id), ctas)
+        })
+        .collect();
+    if traced {
+        if let Some(sm) = sms.first_mut() {
+            sm.enable_tracing();
+        }
+    }
+
+    // A generous no-progress bound: longest structural wait is a full memory
+    // pipe plus barrier convergence; 64 round trips is far beyond anything
+    // a live configuration produces.
+    let stall_limit = u64::from(cfg.gmem_latency) * 64 + 50_000;
+
+    let mut now = 0u64;
+    loop {
+        let mut all_idle = true;
+        for sm in &mut sms {
+            sm.step(now);
+            all_idle &= sm.idle();
+        }
+        if all_idle {
+            break;
+        }
+        let last_progress = sms.iter().map(|s| s.last_progress).max().unwrap_or(0);
+        if now > last_progress + stall_limit {
+            return Err(SimError::Deadlock {
+                cycle: now,
+                last_progress,
+            });
+        }
+        now += 1;
+        if now >= cfg.watchdog_cycles {
+            return Err(SimError::WatchdogExpired {
+                limit: cfg.watchdog_cycles,
+            });
+        }
+    }
+
+    let mut total = SimStats::default();
+    for sm in &sms {
+        total.merge(&sm.stats);
+        total.spills += sm.manager().spill_count();
+    }
+    let trace = sms
+        .first_mut()
+        .map(|sm| sm.take_trace())
+        .unwrap_or_default();
+    Ok((total, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::StaticManager;
+    use regmutex_isa::{ArchReg, KernelBuilder, TripCount};
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    fn run(kernel: &Kernel, cfg: &GpuConfig, ctas: u32) -> SimStats {
+        let regs = kernel.regs_per_thread;
+        run_kernel(cfg, kernel, LaunchConfig::new(ctas), |_| {
+            Box::new(StaticManager::new(cfg, regs))
+        })
+        .expect("simulation completes")
+    }
+
+    #[test]
+    fn straight_line_kernel_completes() {
+        let mut b = KernelBuilder::new("k");
+        b.threads_per_cta(64);
+        b.movi(r(0), 1).movi(r(1), 2).iadd(r(2), r(0), r(1));
+        b.st_global(r(0), r(2)).exit();
+        let k = b.build().unwrap();
+        let cfg = GpuConfig::test_tiny();
+        let stats = run(&k, &cfg, 2);
+        assert_eq!(stats.ctas, 2);
+        assert_eq!(stats.warps, 4);
+        // 2 CTAs * 2 warps * 5 instructions.
+        assert_eq!(stats.instructions, 20);
+        assert!(stats.cycles > 0);
+        assert_ne!(stats.checksum, 0);
+    }
+
+    #[test]
+    fn dependent_chain_respects_latency() {
+        // A chain of dependent adds: cycles must be at least
+        // chain_length * alu_latency for a single warp.
+        let mut b = KernelBuilder::new("chain");
+        b.threads_per_cta(32);
+        b.movi(r(0), 1);
+        for _ in 0..10 {
+            b.iadd(r(0), r(0), r(0));
+        }
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = GpuConfig::test_tiny();
+        let stats = run(&k, &cfg, 1);
+        assert!(
+            stats.cycles >= 10 * u64::from(cfg.alu_latency),
+            "cycles {} too low",
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn independent_instructions_pipeline() {
+        // Independent adds issue back-to-back: far fewer cycles than the
+        // dependent chain.
+        let mut dep = KernelBuilder::new("dep");
+        dep.threads_per_cta(32);
+        dep.movi(r(0), 1);
+        for _ in 0..20 {
+            dep.iadd(r(0), r(0), r(0));
+        }
+        dep.exit();
+
+        let mut ind = KernelBuilder::new("ind");
+        ind.threads_per_cta(32);
+        ind.movi(r(0), 1);
+        for i in 0..20u16 {
+            ind.iadd(r(1 + i % 8), r(0), r(0));
+        }
+        ind.exit();
+
+        let cfg = GpuConfig::test_tiny();
+        let dep_stats = run(&dep.build().unwrap(), &cfg, 1);
+        let ind_stats = run(&ind.build().unwrap(), &cfg, 1);
+        assert!(ind_stats.cycles < dep_stats.cycles);
+    }
+
+    #[test]
+    fn loop_trip_counts_multiply_instructions() {
+        let mut b = KernelBuilder::new("loop");
+        b.threads_per_cta(32);
+        b.movi(r(0), 1);
+        let top = b.here();
+        b.iadd(r(1), r(0), r(0));
+        b.bra_loop(top, TripCount::Fixed(5));
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = GpuConfig::test_tiny();
+        let stats = run(&k, &cfg, 1);
+        // movi + 5*(iadd+bra) + exit = 12 per warp.
+        assert_eq!(stats.instructions, 12);
+    }
+
+    #[test]
+    fn barrier_synchronizes_whole_cta() {
+        let mut b = KernelBuilder::new("bar");
+        b.threads_per_cta(64); // 2 warps
+        b.movi(r(0), 7);
+        b.bar();
+        b.st_global(r(0), r(0));
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = GpuConfig::test_tiny();
+        let stats = run(&k, &cfg, 1);
+        assert_eq!(stats.instructions, 8);
+    }
+
+    #[test]
+    fn divergent_branch_executes_both_paths() {
+        let mut b = KernelBuilder::new("div");
+        b.threads_per_cta(32);
+        b.movi(r(0), 3);
+        let skip = b.new_label();
+        b.bra_div(skip, 500, None);
+        b.iadd(r(1), r(0), r(0)); // only non-taken lanes
+        b.place(skip);
+        b.st_global(r(0), r(0));
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = GpuConfig::test_tiny();
+        let stats = run(&k, &cfg, 1);
+        // With p=500 over 32 lanes, a split is overwhelmingly likely: the
+        // body executes once with a partial mask; instruction count is the
+        // full path (divergence costs mask bookkeeping, not extra instrs
+        // here because the body is on one side only).
+        assert_eq!(stats.instructions, 5);
+    }
+
+    #[test]
+    fn memory_latency_dominates_single_warp() {
+        let mut b = KernelBuilder::new("mem");
+        b.threads_per_cta(32);
+        b.movi(r(0), 64);
+        b.ld_global(r(1), r(0));
+        b.iadd(r(2), r(1), r(1)); // depends on the load
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = GpuConfig::test_tiny();
+        let stats = run(&k, &cfg, 1);
+        assert!(stats.cycles >= u64::from(cfg.gmem_latency));
+        assert_eq!(stats.mem_requests, 1);
+    }
+
+    #[test]
+    fn more_warps_hide_memory_latency() {
+        // Memory-bound kernel; throughput should improve with more CTAs
+        // resident (classic occupancy effect the paper exploits).
+        let mut b = KernelBuilder::new("mem");
+        b.threads_per_cta(32);
+        b.movi(r(0), 1);
+        let top = b.here();
+        b.ld_global(r(1), r(0));
+        b.iadd(r(0), r(1), r(0));
+        b.bra_loop(top, TripCount::Fixed(8));
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = GpuConfig::test_tiny();
+        let one = run(&k, &cfg, 1);
+        let four = run(&k, &cfg, 4);
+        let cpc_one = one.cycles as f64; // 1 CTA
+        let cpc_four = four.cycles as f64 / 4.0; // amortized per CTA
+        assert!(
+            cpc_four < cpc_one * 0.7,
+            "per-CTA cycles {cpc_four} vs {cpc_one}: latency not hidden"
+        );
+    }
+
+    #[test]
+    fn checksum_is_deterministic() {
+        let mut b = KernelBuilder::new("det");
+        b.threads_per_cta(64);
+        b.movi(r(0), 5).ld_global(r(1), r(0)).st_global(r(1), r(1)).exit();
+        let k = b.build().unwrap();
+        let cfg = GpuConfig::test_tiny();
+        let a = run(&k, &cfg, 3);
+        let b2 = run(&k, &cfg, 3);
+        assert_eq!(a.checksum, b2.checksum);
+        assert_eq!(a.cycles, b2.cycles);
+    }
+
+    #[test]
+    fn checksum_independent_of_scheduler_policy() {
+        let mut b = KernelBuilder::new("pol");
+        b.threads_per_cta(64);
+        b.movi(r(0), 5);
+        let top = b.here();
+        b.ld_global(r(1), r(0));
+        b.iadd(r(0), r(1), r(0));
+        b.st_global(r(0), r(1));
+        b.bra_loop(top, TripCount::PerWarp { base: 2, spread: 3 });
+        b.exit();
+        let k = b.build().unwrap();
+        let mut cfg = GpuConfig::test_tiny();
+        let gto = run(&k, &cfg, 3);
+        cfg.policy = crate::config::SchedulerPolicy::Lrr;
+        let lrr = run(&k, &cfg, 3);
+        assert_eq!(gto.checksum, lrr.checksum);
+    }
+
+    #[test]
+    fn watchdog_detects_unsatisfiable_acquire() {
+        // A kernel that acquires under a manager that always stalls.
+        struct NeverAcquire(StaticManager);
+        impl RegisterManager for NeverAcquire {
+            fn name(&self) -> &'static str {
+                "never-acquire"
+            }
+            fn try_admit_cta(
+                &mut self,
+                l: &mut crate::manager::Ledger,
+                c: CtaId,
+                s: &[regmutex_isa::WarpId],
+            ) -> bool {
+                self.0.try_admit_cta(l, c, s)
+            }
+            fn retire_cta(
+                &mut self,
+                l: &mut crate::manager::Ledger,
+                c: CtaId,
+                s: &[regmutex_isa::WarpId],
+            ) {
+                self.0.retire_cta(l, c, s)
+            }
+            fn try_acquire(
+                &mut self,
+                _l: &mut crate::manager::Ledger,
+                _w: regmutex_isa::WarpId,
+            ) -> crate::manager::AcquireResult {
+                crate::manager::AcquireResult::Stalled
+            }
+            fn release(&mut self, _l: &mut crate::manager::Ledger, _w: regmutex_isa::WarpId) {}
+            fn translate(
+                &self,
+                w: regmutex_isa::WarpId,
+                r: ArchReg,
+            ) -> Option<regmutex_isa::PhysReg> {
+                self.0.translate(w, r)
+            }
+            fn on_warp_exit(&mut self, _l: &mut crate::manager::Ledger, _w: regmutex_isa::WarpId) {}
+        }
+
+        let mut b = KernelBuilder::new("stuck");
+        b.threads_per_cta(32);
+        b.acq_es().exit();
+        let k = b.build().unwrap();
+        let mut cfg = GpuConfig::test_tiny();
+        cfg.gmem_latency = 10; // shrink the stall bound for test speed
+        let res = run_kernel(&cfg, &k, LaunchConfig::new(1), |_| {
+            Box::new(NeverAcquire(StaticManager::new(&cfg, k.regs_per_thread)))
+        });
+        assert!(matches!(res, Err(SimError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn static_occupancy_limits_resident_ctas() {
+        // Tiny config: 64 rows. 20 regs/thread -> 20 rows/warp; a 2-warp CTA
+        // needs 40 rows, so only 1 CTA fits at a time even though 4 CTA
+        // slots exist. Cycles should therefore scale ~linearly in CTAs.
+        let mut b = KernelBuilder::new("occ");
+        b.threads_per_cta(64);
+        b.declared_regs(20);
+        b.movi(r(0), 1);
+        let top = b.here();
+        b.ld_global(r(1), r(0));
+        b.iadd(r(0), r(1), r(0));
+        b.bra_loop(top, TripCount::Fixed(4));
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = GpuConfig::test_tiny();
+        let one = run(&k, &cfg, 1);
+        let two = run(&k, &cfg, 2);
+        assert!(
+            two.cycles as f64 > one.cycles as f64 * 1.7,
+            "CTAs should serialize: {} vs {}",
+            two.cycles,
+            one.cycles
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Theoretical occupancy calculation (the CUDA occupancy model for Fermi).
+//!
+//! Occupancy is "the ratio of the number of warps residing on the SM over
+//! the maximum number of warps that warp schedulers in the SM allow for
+//! residency" (§II). It is limited per CTA by warp slots, register file
+//! capacity (with per-thread rounding and CTA-granular allocation), shared
+//! memory, and the CTA-slot count.
+
+use crate::config::GpuConfig;
+
+/// Per-CTA resource demand of a kernel, as the occupancy model sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Architected registers per thread (unrounded).
+    pub regs_per_thread: u16,
+    /// Shared memory bytes per CTA.
+    pub shmem_per_cta: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+}
+
+impl KernelResources {
+    /// Resource demand of a kernel from its metadata.
+    pub fn new(regs_per_thread: u16, shmem_per_cta: u32, threads_per_cta: u32) -> Self {
+        KernelResources {
+            regs_per_thread,
+            shmem_per_cta,
+            threads_per_cta,
+        }
+    }
+}
+
+/// Which resource bound the occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Limiter {
+    /// Warp slots (full occupancy).
+    WarpSlots,
+    /// Register-file capacity.
+    Registers,
+    /// Shared-memory capacity.
+    SharedMem,
+    /// CTA slots.
+    CtaSlots,
+}
+
+/// Result of the occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Resident CTAs per SM.
+    pub ctas: u32,
+    /// Resident warps per SM (`ctas × warps_per_cta`).
+    pub warps: u32,
+    /// Maximum warps the SM supports (`GpuConfig::max_warps_per_sm`).
+    pub max_warps: u32,
+    /// The binding resource (first of warp/regs/shmem/cta in that order).
+    pub limiter: Limiter,
+}
+
+impl Occupancy {
+    /// Occupancy as a fraction in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.max_warps == 0 {
+            0.0
+        } else {
+            self.warps as f64 / self.max_warps as f64
+        }
+    }
+
+    /// Occupancy as an integer percentage (rounded).
+    pub fn percent(&self) -> u32 {
+        (self.fraction() * 100.0).round() as u32
+    }
+}
+
+/// Compute the theoretical occupancy of a kernel on `cfg`.
+///
+/// Registers are rounded to the allocation granularity per thread and
+/// allocated per CTA; a CTA is only resident if *all* of its warps fit.
+///
+/// ```
+/// use regmutex_sim::{occupancy, GpuConfig, KernelResources};
+/// let cfg = GpuConfig::gtx480();
+/// // 31 regs/thread (rounds to 32), 256 threads/CTA, no shared memory:
+/// // each CTA needs 8 warps * 32 regs * 32 lanes = 8192 registers, so the
+/// // 32K register file fits 4 CTAs = 32 warps of the maximum 48.
+/// let occ = occupancy::theoretical(&cfg, KernelResources::new(31, 0, 256));
+/// assert_eq!(occ.warps, 32);
+/// assert_eq!(occ.limiter, occupancy::Limiter::Registers);
+/// ```
+pub fn theoretical(cfg: &GpuConfig, res: KernelResources) -> Occupancy {
+    let warps_per_cta = res.threads_per_cta.div_ceil(cfg.warp_size).max(1);
+
+    let by_warps = cfg.max_warps_per_sm / warps_per_cta;
+
+    let regs_per_cta = cfg.regs_per_warp(res.regs_per_thread) * warps_per_cta;
+    let by_regs = if regs_per_cta == 0 {
+        u32::MAX
+    } else {
+        cfg.regs_per_sm / regs_per_cta
+    };
+
+    let by_shmem = if res.shmem_per_cta == 0 {
+        u32::MAX
+    } else {
+        cfg.shmem_per_sm / res.shmem_per_cta
+    };
+
+    let by_ctas = cfg.max_ctas_per_sm;
+
+    let ctas = by_warps.min(by_regs).min(by_shmem).min(by_ctas);
+    let limiter = if ctas == by_warps {
+        Limiter::WarpSlots
+    } else if ctas == by_regs {
+        Limiter::Registers
+    } else if ctas == by_shmem {
+        Limiter::SharedMem
+    } else {
+        Limiter::CtaSlots
+    };
+
+    Occupancy {
+        ctas,
+        warps: ctas * warps_per_cta,
+        max_warps: cfg.max_warps_per_sm,
+        limiter,
+    }
+}
+
+/// Occupancy assuming only the *base register set* is statically allocated —
+/// the quantity the RegMutex compiler maximizes when picking `|Es|`
+/// (§III-A2: "the even numbers that result in the highest occupancy
+/// calculated only with the base set size").
+pub fn theoretical_with_base_set(cfg: &GpuConfig, res: KernelResources, bs: u16) -> Occupancy {
+    theoretical(
+        cfg,
+        KernelResources {
+            regs_per_thread: bs,
+            ..res
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::gtx480()
+    }
+
+    #[test]
+    fn full_occupancy_small_kernel() {
+        // 16 regs/thread, 256 threads: 8 warps/CTA * 16 * 32 = 4096 regs ->
+        // 8 CTAs by regs; warp slots allow 6 CTAs (48/8). Warp-limited.
+        let occ = theoretical(&cfg(), KernelResources::new(16, 0, 256));
+        assert_eq!(occ.ctas, 6);
+        assert_eq!(occ.warps, 48);
+        assert_eq!(occ.limiter, Limiter::WarpSlots);
+        assert_eq!(occ.percent(), 100);
+    }
+
+    #[test]
+    fn register_limited_kernel() {
+        // Paper §III-A2 example: >32 regs/thread on Fermi cannot reach 48
+        // warps: 48 warps * 24 regs * 32 = 36864 > 32768.
+        let occ = theoretical(&cfg(), KernelResources::new(24, 0, 256));
+        // 8 warps/CTA * 24 * 32 = 6144 regs/CTA -> 5 CTAs = 40 warps.
+        assert_eq!(occ.ctas, 5);
+        assert_eq!(occ.warps, 40);
+        assert_eq!(occ.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn paper_example_20_regs_full_occupancy() {
+        // §III-A2: Fermi "supports up to 20 registers per thread without
+        // limiting the occupancy": 48 * 20 * 32 = 30720 <= 32768.
+        let occ = theoretical(&cfg(), KernelResources::new(20, 0, 256));
+        assert_eq!(occ.warps, 48);
+        // And 21 regs rounds to 24 which does limit it.
+        let occ = theoretical(&cfg(), KernelResources::new(21, 0, 256));
+        assert!(occ.warps < 48);
+    }
+
+    #[test]
+    fn shmem_limited_kernel() {
+        let occ = theoretical(&cfg(), KernelResources::new(16, 24 * 1024, 128));
+        assert_eq!(occ.ctas, 2);
+        assert_eq!(occ.limiter, Limiter::SharedMem);
+        assert_eq!(occ.warps, 8);
+    }
+
+    #[test]
+    fn cta_slot_limited_kernel() {
+        // Tiny CTAs: 32 threads each -> warp slots would allow 48 CTAs but
+        // only 8 CTA slots exist.
+        let occ = theoretical(&cfg(), KernelResources::new(8, 0, 32));
+        assert_eq!(occ.ctas, 8);
+        assert_eq!(occ.limiter, Limiter::CtaSlots);
+        assert_eq!(occ.warps, 8);
+    }
+
+    #[test]
+    fn zero_register_kernel_unbounded_by_regs() {
+        let occ = theoretical(&cfg(), KernelResources::new(0, 0, 256));
+        assert_eq!(occ.limiter, Limiter::WarpSlots);
+    }
+
+    #[test]
+    fn occupancy_monotonic_in_registers() {
+        let c = cfg();
+        let mut last = u32::MAX;
+        for r in 1..=64u16 {
+            let occ = theoretical(&c, KernelResources::new(r, 0, 256));
+            assert!(occ.warps <= last, "regs={r}");
+            last = occ.warps;
+        }
+    }
+
+    #[test]
+    fn base_set_variant_overrides_registers() {
+        let c = cfg();
+        let res = KernelResources::new(44, 0, 256);
+        let full = theoretical(&c, res);
+        let base = theoretical_with_base_set(&c, res, 20);
+        assert!(base.warps > full.warps);
+        assert_eq!(base.warps, 48);
+    }
+
+    #[test]
+    fn fraction_and_percent() {
+        let occ = Occupancy {
+            ctas: 3,
+            warps: 24,
+            max_warps: 48,
+            limiter: Limiter::Registers,
+        };
+        assert!((occ.fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(occ.percent(), 50);
+    }
+
+    #[test]
+    fn odd_thread_counts_round_warps_up() {
+        let occ = theoretical(&cfg(), KernelResources::new(16, 0, 100));
+        // 100 threads -> 4 warps per CTA.
+        assert_eq!(occ.warps % 4, 0);
+    }
+}

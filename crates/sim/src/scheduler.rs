@@ -1,0 +1,114 @@
+//! Warp scheduler ordering policies.
+//!
+//! Each SM has `num_schedulers` schedulers; warp slot `s` belongs to
+//! scheduler `s % num_schedulers` (Fermi-style static partitioning). A
+//! scheduler ranks its candidate warps each cycle and the SM issues from the
+//! first candidate that can actually issue.
+
+use crate::config::SchedulerPolicy;
+
+/// Per-scheduler persistent state.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerState {
+    /// Slot of the warp issued last cycle (GTO greediness).
+    pub last_issued: Option<u32>,
+    /// Round-robin cursor (LRR).
+    pub rr_cursor: u32,
+}
+
+/// A candidate warp as the policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Warp slot.
+    pub slot: u32,
+    /// Admission age (smaller = older).
+    pub age: u64,
+    /// Technique-supplied priority (owner-warp-first); higher = preferred.
+    pub priority: u8,
+}
+
+/// Order `candidates` in place according to `policy`.
+///
+/// * GTO: the greedily-held warp first (if still a candidate), then oldest
+///   first.
+/// * LRR: rotation starting after the cursor.
+/// * OwnerWarpFirst: priority (descending), then GTO order.
+pub fn order_candidates(
+    policy: SchedulerPolicy,
+    state: &SchedulerState,
+    candidates: &mut Vec<Candidate>,
+) {
+    match policy {
+        SchedulerPolicy::Gto => {
+            candidates.sort_by_key(|c| (c.slot != state.last_issued.unwrap_or(u32::MAX), c.age));
+        }
+        SchedulerPolicy::Lrr => {
+            let cur = state.rr_cursor;
+            candidates.sort_by_key(|c| (c.slot <= cur, c.slot));
+        }
+        SchedulerPolicy::OwnerWarpFirst => {
+            candidates.sort_by_key(|c| {
+                (
+                    core::cmp::Reverse(c.priority),
+                    c.slot != state.last_issued.unwrap_or(u32::MAX),
+                    c.age,
+                )
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(slot: u32, age: u64, priority: u8) -> Candidate {
+        Candidate { slot, age, priority }
+    }
+
+    #[test]
+    fn gto_prefers_last_issued_then_oldest() {
+        let st = SchedulerState {
+            last_issued: Some(4),
+            rr_cursor: 0,
+        };
+        let mut v = vec![c(0, 5, 0), c(2, 1, 0), c(4, 9, 0)];
+        order_candidates(SchedulerPolicy::Gto, &st, &mut v);
+        assert_eq!(v[0].slot, 4); // greedy
+        assert_eq!(v[1].slot, 2); // oldest
+        assert_eq!(v[2].slot, 0);
+    }
+
+    #[test]
+    fn gto_without_greedy_warp_is_oldest_first() {
+        let st = SchedulerState::default();
+        let mut v = vec![c(0, 5, 0), c(2, 1, 0)];
+        order_candidates(SchedulerPolicy::Gto, &st, &mut v);
+        assert_eq!(v[0].slot, 2);
+    }
+
+    #[test]
+    fn lrr_rotates_after_cursor() {
+        let st = SchedulerState {
+            last_issued: None,
+            rr_cursor: 2,
+        };
+        let mut v = vec![c(0, 0, 0), c(2, 0, 0), c(4, 0, 0), c(6, 0, 0)];
+        order_candidates(SchedulerPolicy::Lrr, &st, &mut v);
+        let slots: Vec<u32> = v.iter().map(|x| x.slot).collect();
+        assert_eq!(slots, vec![4, 6, 0, 2]);
+    }
+
+    #[test]
+    fn owf_puts_owners_first() {
+        let st = SchedulerState {
+            last_issued: Some(0),
+            rr_cursor: 0,
+        };
+        let mut v = vec![c(0, 0, 0), c(2, 9, 1), c(4, 3, 0)];
+        order_candidates(SchedulerPolicy::OwnerWarpFirst, &st, &mut v);
+        assert_eq!(v[0].slot, 2); // owner beats greedy
+        assert_eq!(v[1].slot, 0); // then greedy
+        assert_eq!(v[2].slot, 4);
+    }
+}

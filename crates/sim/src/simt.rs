@@ -1,0 +1,134 @@
+//! SIMT divergence bookkeeping.
+//!
+//! Divergent forward skips serialize the two sides of a branch: the lanes
+//! that *don't* take the skip execute the fall-through region first while the
+//! taken lanes wait at the reconvergence point (the branch target, which is
+//! the immediate post-dominator for our structured skip branches). Nested
+//! skips nest on the stack.
+
+/// One pending reconvergence: `pending_mask` lanes rejoin when the warp's PC
+/// reaches `reconv_pc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconvEntry {
+    /// Program counter at which the masked-off lanes rejoin.
+    pub reconv_pc: u32,
+    /// Lanes waiting at `reconv_pc`.
+    pub pending_mask: u64,
+}
+
+/// A per-warp SIMT reconvergence stack.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimtStack {
+    entries: Vec<ReconvEntry>,
+}
+
+impl SimtStack {
+    /// An empty stack (fully converged warp).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no divergence is outstanding.
+    pub fn is_converged(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Record a divergence: `taken_mask` lanes jump to `reconv_pc` and wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taken_mask` is zero (a uniform branch must not be pushed).
+    pub fn diverge(&mut self, reconv_pc: u32, taken_mask: u64) {
+        assert!(taken_mask != 0, "divergence with empty taken mask");
+        self.entries.push(ReconvEntry {
+            reconv_pc,
+            pending_mask: taken_mask,
+        });
+    }
+
+    /// If `pc` is the innermost reconvergence point, pop it and return the
+    /// lanes to merge back; repeats for stacked entries at the same PC.
+    /// Returns the union of all rejoined masks (0 if none).
+    pub fn reconverge_at(&mut self, pc: u32) -> u64 {
+        let mut rejoined = 0u64;
+        while let Some(top) = self.entries.last() {
+            if top.reconv_pc == pc {
+                rejoined |= top.pending_mask;
+                self.entries.pop();
+            } else {
+                break;
+            }
+        }
+        rejoined
+    }
+}
+
+/// A full lane mask for the given warp size.
+pub fn full_mask(warp_size: u32) -> u64 {
+    if warp_size >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << warp_size) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mask_widths() {
+        assert_eq!(full_mask(32), 0xFFFF_FFFF);
+        assert_eq!(full_mask(1), 1);
+        assert_eq!(full_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn converged_initially() {
+        let s = SimtStack::new();
+        assert!(s.is_converged());
+        assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn diverge_and_reconverge() {
+        let mut s = SimtStack::new();
+        s.diverge(10, 0b1100);
+        assert!(!s.is_converged());
+        assert_eq!(s.reconverge_at(9), 0);
+        assert_eq!(s.reconverge_at(10), 0b1100);
+        assert!(s.is_converged());
+    }
+
+    #[test]
+    fn nested_divergence_pops_inner_first() {
+        let mut s = SimtStack::new();
+        s.diverge(20, 0b1000); // outer
+        s.diverge(10, 0b0100); // inner
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.reconverge_at(10), 0b0100);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.reconverge_at(20), 0b1000);
+        assert!(s.is_converged());
+    }
+
+    #[test]
+    fn stacked_entries_at_same_pc_merge_together() {
+        let mut s = SimtStack::new();
+        s.diverge(10, 0b0010);
+        s.diverge(10, 0b0001);
+        assert_eq!(s.reconverge_at(10), 0b0011);
+        assert!(s.is_converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty taken mask")]
+    fn empty_divergence_panics() {
+        SimtStack::new().diverge(5, 0);
+    }
+}

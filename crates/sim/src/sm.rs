@@ -1,0 +1,591 @@
+//! The streaming-multiprocessor cycle engine.
+//!
+//! Each cycle the SM: retires completed memory requests, tallies residency,
+//! lets every warp scheduler pick the best candidate warp that can actually
+//! issue (greedy-then-oldest by default), executes that instruction both
+//! *temporally* (scoreboard, latencies, structural limits, barrier and
+//! acquire semantics at the issue stage — where the paper places RegMutex's
+//! allocation logic, §III-B1) and *functionally* (value layer + store
+//! checksums), and finally retires CTAs whose warps all exited, admitting
+//! queued CTAs into the freed resources.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use regmutex_isa::{decide, mix, BranchBehavior, CtaId, Kernel, LatencyClass, Op, WarpId};
+
+use crate::barrier::BarrierUnit;
+use crate::config::GpuConfig;
+use crate::manager::{AcquireResult, Ledger, RegisterManager};
+use crate::memory::MemoryPipe;
+use crate::scheduler::{order_candidates, Candidate, SchedulerState};
+use crate::simt::full_mask;
+use crate::stats::SimStats;
+use crate::value;
+use crate::trace::{TraceEvent, TraceKind};
+use crate::warp::{StallReason, WarpState};
+
+/// A kernel plus per-PC derived tables the SM needs at issue time.
+#[derive(Debug)]
+pub struct KernelImage {
+    /// The kernel being executed.
+    pub kernel: Kernel,
+    /// For every PC holding a branch: its ordinal among the kernel's
+    /// branches. Behavioral decisions key on ordinals, not PCs, so that
+    /// compiler transformations which only insert non-branch instructions
+    /// (acquire/release injection, MOV compaction) leave control flow —
+    /// and therefore checksums — unchanged.
+    branch_ordinal: Vec<u32>,
+}
+
+impl KernelImage {
+    /// Precompute derived tables for `kernel`.
+    pub fn new(kernel: Kernel) -> Self {
+        let mut ordinals = Vec::with_capacity(kernel.instrs.len());
+        let mut next = 0u32;
+        for i in &kernel.instrs {
+            if matches!(i.op, Op::Bra { .. }) {
+                ordinals.push(next);
+                next += 1;
+            } else {
+                ordinals.push(u32::MAX);
+            }
+        }
+        KernelImage {
+            kernel,
+            branch_ordinal: ordinals,
+        }
+    }
+
+    /// Branch ordinal at `pc` (must be a branch).
+    fn ordinal(&self, pc: u32) -> u32 {
+        let o = self.branch_ordinal[pc as usize];
+        debug_assert_ne!(o, u32::MAX, "ordinal queried at non-branch pc {pc}");
+        o
+    }
+}
+
+#[derive(Debug)]
+struct ResidentCta {
+    cta: CtaId,
+    slots: Vec<WarpId>,
+    live_warps: u32,
+    shmem: u32,
+}
+
+/// One simulated streaming multiprocessor.
+pub struct Sm {
+    cfg: GpuConfig,
+    image: Arc<KernelImage>,
+    manager: Box<dyn RegisterManager>,
+    /// Ownership ledger over register rows (invariant checking).
+    pub ledger: Ledger,
+    barrier: BarrierUnit,
+    mem: MemoryPipe,
+    warps: Vec<Option<WarpState>>,
+    sched: Vec<SchedulerState>,
+    resident: Vec<ResidentCta>,
+    pending_ctas: VecDeque<CtaId>,
+    shmem_used: u32,
+    age_counter: u64,
+    /// Counters for this SM.
+    pub stats: SimStats,
+    /// Cycle of the most recent issued instruction (progress watchdog).
+    pub last_progress: u64,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Sm {
+    /// Create an SM that will execute `ctas` (queued) with `manager`.
+    pub fn new(
+        cfg: GpuConfig,
+        image: Arc<KernelImage>,
+        manager: Box<dyn RegisterManager>,
+        ctas: impl IntoIterator<Item = CtaId>,
+    ) -> Self {
+        let rows = cfg.reg_rows_per_sm();
+        let max_warps = cfg.max_warps_per_sm as usize;
+        let nsched = cfg.num_schedulers as usize;
+        let mem = MemoryPipe::new(cfg.max_outstanding_mem, cfg.gmem_latency, cfg.mem_issue_per_cycle);
+        Sm {
+            cfg,
+            image,
+            manager,
+            ledger: Ledger::new(rows),
+            barrier: BarrierUnit::new(),
+            mem,
+            warps: (0..max_warps).map(|_| None).collect(),
+            sched: (0..nsched).map(|_| SchedulerState::default()).collect(),
+            resident: Vec::new(),
+            pending_ctas: ctas.into_iter().collect(),
+            shmem_used: 0,
+            age_counter: 0,
+            stats: SimStats::default(),
+            last_progress: 0,
+            trace: None,
+        }
+    }
+
+    /// Start recording issue-stage trace events (see [`crate::trace`]).
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded events (empty if tracing was never enabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// All work (queued and resident) finished?
+    pub fn idle(&self) -> bool {
+        self.pending_ctas.is_empty() && self.resident.is_empty()
+    }
+
+    /// Immutable view of the register manager (for reports).
+    pub fn manager(&self) -> &dyn RegisterManager {
+        self.manager.as_ref()
+    }
+
+    /// Resident, unfinished warps right now.
+    pub fn resident_warps(&self) -> u32 {
+        self.warps
+            .iter()
+            .flatten()
+            .filter(|w| !w.done)
+            .count() as u32
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self, now: u64) {
+        if self.idle() {
+            return;
+        }
+        self.mem.begin_cycle(now);
+        self.fill_ctas();
+
+        self.stats.resident_warp_cycles += u64::from(self.resident_warps());
+
+        let nsched = self.sched.len();
+        let mut candidates: Vec<Candidate> = Vec::with_capacity(self.warps.len());
+        for sid in 0..nsched {
+            candidates.clear();
+            for slot in (sid..self.warps.len()).step_by(nsched) {
+                if let Some(w) = &self.warps[slot] {
+                    if w.issuable() {
+                        candidates.push(Candidate {
+                            slot: slot as u32,
+                            age: w.age,
+                            priority: self.manager.scheduling_priority(WarpId(slot as u32)),
+                        });
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                self.stats.empty_scheduler_cycles += 1;
+                continue;
+            }
+            order_candidates(self.cfg.policy, &self.sched[sid], &mut candidates);
+            let mut first_block: Option<StallReason> = None;
+            let mut issued = false;
+            for c in candidates.iter() {
+                match self.try_issue(c.slot as usize, now) {
+                    Ok(()) => {
+                        self.sched[sid].last_issued = Some(c.slot);
+                        self.sched[sid].rr_cursor = c.slot;
+                        self.last_progress = now;
+                        issued = true;
+                        break;
+                    }
+                    Err(reason) => {
+                        first_block.get_or_insert(reason);
+                    }
+                }
+            }
+            if !issued {
+                if let Some(r) = first_block {
+                    self.stats.note_stall(r);
+                }
+            }
+        }
+
+        self.retire_finished_ctas();
+        self.stats.cycles = now + 1;
+        self.stats.mem_requests = self.mem.total_requests;
+    }
+
+    /// Attempt to issue the next instruction of the warp in `slot`.
+    fn try_issue(&mut self, slot: usize, now: u64) -> Result<(), StallReason> {
+        // --- Phase 1: everything that needs &mut warp -------------------
+        let wid = WarpId(slot as u32);
+        enum After {
+            None,
+            BarrierComplete(CtaId),
+            Exit(CtaId, u64),
+        }
+        let after = {
+            let image = Arc::clone(&self.image);
+            let w = self.warps[slot].as_mut().expect("issuing absent warp");
+
+            // Reconverge masked-off lanes arriving at their rejoin point.
+            let rejoined = w.simt.reconverge_at(w.pc);
+            w.active_mask |= rejoined;
+
+            let instr = &image.kernel.instrs[w.pc as usize];
+
+            // Scoreboard: RAW + WAW.
+            w.drain_scoreboard(now);
+            if instr.srcs.iter().any(|s| w.reg_pending(s.0))
+                || instr.dst.map(|d| w.reg_pending(d.0)).unwrap_or(false)
+            {
+                return Err(StallReason::Scoreboard);
+            }
+
+            match instr.op {
+                Op::Bar => {
+                    debug_assert!(w.simt.is_converged(), "barrier inside divergence");
+                    w.pc += 1;
+                    w.issued += 1;
+                    self.stats.instructions += 1;
+                    let cta = w.cta;
+                    w.at_barrier = true;
+                    if self.barrier.arrive(cta) {
+                        // Completed by this arrival (includes self).
+                        After::BarrierComplete(cta)
+                    } else {
+                        After::None
+                    }
+                }
+                Op::AcqEs => {
+                    self.stats.acquire_attempts += 1;
+                    match self.manager.try_acquire(&mut self.ledger, wid) {
+                        AcquireResult::Acquired | AcquireResult::NoOp => {
+                            self.stats.acquire_successes += 1;
+                            w.pc += 1;
+                            w.issued += 1;
+                            self.stats.instructions += 1;
+                            if let Some(t) = self.trace.as_mut() {
+                                t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::AcquireSuccess });
+                            }
+                            After::None
+                        }
+                        AcquireResult::Stalled => {
+                            if let Some(t) = self.trace.as_mut() {
+                                t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::AcquireStall });
+                            }
+                            return Err(StallReason::Acquire);
+                        }
+                    }
+                }
+                Op::RelEs => {
+                    self.manager.release(&mut self.ledger, wid);
+                    self.stats.releases += 1;
+                    w.pc += 1;
+                    w.issued += 1;
+                    self.stats.instructions += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::Release });
+                    }
+                    After::None
+                }
+                Op::Exit => {
+                    debug_assert!(w.simt.is_converged(), "exit inside divergence");
+                    w.done = true;
+                    w.issued += 1;
+                    self.stats.instructions += 1;
+                    self.manager.on_warp_exit(&mut self.ledger, wid);
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::WarpExit });
+                    }
+                    After::Exit(w.cta, w.checksum)
+                }
+                Op::Bra { target, behavior } => {
+                    let ord = image.ordinal(w.pc);
+                    match behavior {
+                        BranchBehavior::Loop { trips } => {
+                            let key = w.warp_key;
+                            let seed = image.kernel.seed;
+                            let remaining = w.loop_counters.entry(ord).or_insert_with(|| {
+                                trips.resolve(key, mix(seed, u64::from(ord))).max(1) - 1
+                            });
+                            if *remaining > 0 {
+                                *remaining -= 1;
+                                w.pc = target;
+                            } else {
+                                w.loop_counters.remove(&ord);
+                                w.pc += 1;
+                            }
+                        }
+                        BranchBehavior::If { taken_permille } => {
+                            let occ = w.occurrences.entry(ord).or_insert(0);
+                            *occ += 1;
+                            let taken = decide(
+                                taken_permille,
+                                w.warp_key ^ mix(u64::from(ord), 0xB4A),
+                                u64::from(*occ),
+                            );
+                            w.pc = if taken { target } else { w.pc + 1 };
+                        }
+                        BranchBehavior::Divergent { taken_permille } => {
+                            let occ = w.occurrences.entry(ord).or_insert(0);
+                            *occ += 1;
+                            let occ = *occ;
+                            let mut taken_mask = 0u64;
+                            for lane in 0..self.cfg.warp_size as u64 {
+                                let bit = 1u64 << lane;
+                                if w.active_mask & bit != 0
+                                    && decide(
+                                        taken_permille,
+                                        mix(w.warp_key, lane),
+                                        mix(u64::from(ord), u64::from(occ)),
+                                    )
+                                {
+                                    taken_mask |= bit;
+                                }
+                            }
+                            if taken_mask == w.active_mask {
+                                w.pc = target;
+                            } else if taken_mask == 0 {
+                                w.pc += 1;
+                            } else {
+                                w.simt.diverge(target, taken_mask);
+                                w.active_mask &= !taken_mask;
+                                w.pc += 1;
+                            }
+                        }
+                    }
+                    w.issued += 1;
+                    self.stats.instructions += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::Issue { pc: w.pc } });
+                    }
+                    After::None
+                }
+                _ => {
+                    // Register-operand instruction (ALU / SFU / memory / mov).
+                    if !self
+                        .manager
+                        .pre_access(&mut self.ledger, wid, instr, w.pc, now)
+                    {
+                        return Err(StallReason::RegAlloc);
+                    }
+                    // Validate every operand's physical mapping + ownership,
+                    // and (when bank modelling is on) count operand-collector
+                    // bank conflicts among the source rows.
+                    let mut src_banks: [Option<u32>; 3] = [None; 3];
+                    let mut bank_extra = 0u64;
+                    for (i, reg) in instr.srcs.iter().chain(instr.dst.iter()).enumerate() {
+                        let phys = self.manager.translate(wid, *reg).unwrap_or_else(|| {
+                            panic!(
+                                "{}: no mapping for {reg} of {wid} at pc {}",
+                                self.manager.name(),
+                                w.pc
+                            )
+                        });
+                        if let Err(v) = self.ledger.check(phys.0, wid) {
+                            panic!("{}: ledger violation: {v}", self.manager.name());
+                        }
+                        if self.cfg.reg_banks > 0 && i < instr.srcs.len() {
+                            let bank = phys.0 % self.cfg.reg_banks;
+                            if src_banks[..i.min(3)].iter().flatten().any(|&b| b == bank) {
+                                bank_extra += 1; // gather over an extra cycle
+                            }
+                            if i < 3 {
+                                src_banks[i] = Some(bank);
+                            }
+                        }
+                    }
+                    match instr.op.latency_class() {
+                        LatencyClass::GlobalMem => {
+                            let Some(ready) = self.mem.try_issue() else {
+                                return Err(StallReason::MemoryStructural);
+                            };
+                            match instr.op {
+                                Op::Ld(_) => {
+                                    let addr = w.read(instr.srcs[0].0);
+                                    let v = value::load_value(addr);
+                                    let dst = instr.dst.expect("load has dst");
+                                    w.write(dst.0, v);
+                                    w.set_pending(dst.0, ready + bank_extra);
+                                }
+                                Op::St(_) => {
+                                    let addr = w.read(instr.srcs[0].0);
+                                    let v = w.read(instr.srcs[1].0);
+                                    w.checksum = value::fold_store(w.checksum, addr, v);
+                                }
+                                _ => unreachable!(),
+                            }
+                        }
+                        LatencyClass::SharedMem => {
+                            let ready = now + u64::from(self.cfg.shmem_latency) + bank_extra;
+                            let salt = mix(u64::from(w.cta.0), 0x5A4E_D000);
+                            match instr.op {
+                                Op::Ld(_) => {
+                                    let addr = w.read(instr.srcs[0].0) ^ salt;
+                                    let v = value::load_value(addr);
+                                    let dst = instr.dst.expect("load has dst");
+                                    w.write(dst.0, v);
+                                    w.set_pending(dst.0, ready);
+                                }
+                                Op::St(_) => {
+                                    let addr = w.read(instr.srcs[0].0) ^ salt;
+                                    let v = w.read(instr.srcs[1].0);
+                                    w.checksum = value::fold_store(w.checksum, addr, v);
+                                }
+                                _ => unreachable!(),
+                            }
+                        }
+                        LatencyClass::Alu | LatencyClass::Sfu => {
+                            let lat = if instr.op.latency_class() == LatencyClass::Sfu {
+                                self.cfg.sfu_latency
+                            } else {
+                                self.cfg.alu_latency
+                            };
+                            let srcs: Vec<u64> =
+                                instr.srcs.iter().map(|s| w.read(s.0)).collect();
+                            let v = value::eval(instr, &srcs);
+                            if let Some(d) = instr.dst {
+                                w.write(d.0, v);
+                                w.set_pending(d.0, now + u64::from(lat) + bank_extra);
+                            }
+                        }
+                        LatencyClass::Control => unreachable!("handled above"),
+                    }
+                    self.stats.reg_reads += instr.srcs.len() as u64;
+                    self.stats.reg_writes += u64::from(instr.dst.is_some());
+                    self.manager.post_issue(&mut self.ledger, wid, instr, w.pc);
+                    if let Some(t) = self.trace.as_mut() {
+                        t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::Issue { pc: w.pc } });
+                    }
+                    w.pc += 1;
+                    w.issued += 1;
+                    self.stats.instructions += 1;
+                    After::None
+                }
+            }
+        };
+
+        // --- Phase 2: effects that touch other warps / CTA records -------
+        match after {
+            After::None => {}
+            After::BarrierComplete(cta) => {
+                if let Some(rc) = self.resident.iter().find(|r| r.cta == cta) {
+                    for &s in &rc.slots {
+                        if let Some(w) = self.warps[s.index()].as_mut() {
+                            w.at_barrier = false;
+                        }
+                    }
+                }
+            }
+            After::Exit(cta, warp_checksum) => {
+                self.stats.checksum = value::combine_checksums(self.stats.checksum, warp_checksum);
+                if self.barrier.warp_exited(cta) {
+                    if let Some(rc) = self.resident.iter().find(|r| r.cta == cta) {
+                        for &s in &rc.slots {
+                            if let Some(w) = self.warps[s.index()].as_mut() {
+                                w.at_barrier = false;
+                            }
+                        }
+                    }
+                }
+                if let Some(rc) = self.resident.iter_mut().find(|r| r.cta == cta) {
+                    rc.live_warps -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Admit queued CTAs while resources allow.
+    fn fill_ctas(&mut self) {
+        let wpc = self.image.kernel.warps_per_cta(self.cfg.warp_size) as usize;
+        let kernel_shmem = self.image.kernel.shmem_per_cta;
+        let regs = self.image.kernel.regs_per_thread;
+        while let Some(&next) = self.pending_ctas.front() {
+            if self.resident.len() >= self.cfg.max_ctas_per_sm as usize {
+                break;
+            }
+            if self.shmem_used + kernel_shmem > self.cfg.shmem_per_sm {
+                break;
+            }
+            let slots: Vec<WarpId> = self
+                .warps
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.is_none())
+                .map(|(i, _)| WarpId(i as u32))
+                .take(wpc)
+                .collect();
+            if slots.len() < wpc {
+                break;
+            }
+            if !self.manager.try_admit_cta(&mut self.ledger, next, &slots) {
+                break;
+            }
+            let fm = full_mask(self.cfg.warp_size);
+            for (i, &slot) in slots.iter().enumerate() {
+                if let Some(t) = self.trace.as_mut() {
+                    t.push(TraceEvent {
+                        cycle: self.stats.cycles,
+                        warp: slot.0,
+                        kind: TraceKind::WarpLaunch,
+                    });
+                }
+                self.warps[slot.index()] = Some(WarpState::new(
+                    slot,
+                    next,
+                    i as u32,
+                    self.image.kernel.seed,
+                    regs,
+                    fm,
+                    self.age_counter,
+                ));
+                self.age_counter += 1;
+            }
+            self.barrier.register_cta(next, wpc as u32);
+            self.resident.push(ResidentCta {
+                cta: next,
+                slots,
+                live_warps: wpc as u32,
+                shmem: kernel_shmem,
+            });
+            self.shmem_used += kernel_shmem;
+            self.pending_ctas.pop_front();
+            self.stats.ctas += 1;
+            self.stats.warps += wpc as u64;
+        }
+    }
+
+    /// Retire CTAs whose warps all exited; free their resources.
+    fn retire_finished_ctas(&mut self) {
+        let mut retired_any = false;
+        let mut i = 0;
+        while i < self.resident.len() {
+            if self.resident[i].live_warps == 0 {
+                let rc = self.resident.swap_remove(i);
+                self.manager.retire_cta(&mut self.ledger, rc.cta, &rc.slots);
+                self.barrier.retire_cta(rc.cta);
+                self.shmem_used -= rc.shmem;
+                for s in &rc.slots {
+                    self.warps[s.index()] = None;
+                }
+                retired_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if retired_any {
+            self.fill_ctas();
+        }
+    }
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("manager", &self.manager.name())
+            .field("resident_ctas", &self.resident.len())
+            .field("pending_ctas", &self.pending_ctas.len())
+            .field("cycles", &self.stats.cycles)
+            .finish()
+    }
+}

@@ -1,0 +1,161 @@
+//! Simulation statistics.
+
+use std::collections::HashMap;
+
+use crate::warp::StallReason;
+
+/// Counters collected by one SM (and merged across SMs by the GPU loop).
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total cycles until the last CTA retired (max across SMs when merged).
+    pub cycles: u64,
+    /// Dynamic instructions issued.
+    pub instructions: u64,
+    /// CTAs executed.
+    pub ctas: u64,
+    /// Warps launched.
+    pub warps: u64,
+    /// `acq.es` issue attempts (every retry counts, matching the paper's
+    /// "all acquire instructions executed" denominator in Fig 11b/13).
+    pub acquire_attempts: u64,
+    /// Successful acquires.
+    pub acquire_successes: u64,
+    /// `rel.es` executed.
+    pub releases: u64,
+    /// Scheduler-cycle stall attribution: for every scheduler-cycle in which
+    /// no warp issued, the blocking reason of the best-ranked candidate.
+    pub stall_cycles: HashMap<StallReason, u64>,
+    /// Scheduler-cycles with no resident candidate at all.
+    pub empty_scheduler_cycles: u64,
+    /// Sum over cycles of resident (non-done) warps, for achieved occupancy.
+    pub resident_warp_cycles: u64,
+    /// Functional checksum of all stores (order-independent).
+    pub checksum: u64,
+    /// RFV emergency spills performed (0 for other techniques).
+    pub spills: u64,
+    /// Global-memory requests issued.
+    pub mem_requests: u64,
+    /// Register-file reads (source operands of issued instructions,
+    /// warp-granular rows).
+    pub reg_reads: u64,
+    /// Register-file writes (destination operands, warp-granular rows).
+    pub reg_writes: u64,
+}
+
+impl SimStats {
+    /// Record one stalled scheduler-cycle.
+    pub fn note_stall(&mut self, reason: StallReason) {
+        *self.stall_cycles.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Fraction of acquire attempts that succeeded (1.0 when none executed).
+    pub fn acquire_success_rate(&self) -> f64 {
+        if self.acquire_attempts == 0 {
+            1.0
+        } else {
+            self.acquire_successes as f64 / self.acquire_attempts as f64
+        }
+    }
+
+    /// Average resident warps per cycle.
+    pub fn achieved_occupancy_warps(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.resident_warp_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Issued instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Merge another SM's counters into this one (cycles take the max,
+    /// checksums combine order-independently, counts add).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.instructions += other.instructions;
+        self.ctas += other.ctas;
+        self.warps += other.warps;
+        self.acquire_attempts += other.acquire_attempts;
+        self.acquire_successes += other.acquire_successes;
+        self.releases += other.releases;
+        for (r, n) in &other.stall_cycles {
+            *self.stall_cycles.entry(*r).or_insert(0) += n;
+        }
+        self.empty_scheduler_cycles += other.empty_scheduler_cycles;
+        self.resident_warp_cycles += other.resident_warp_cycles;
+        self.checksum = crate::value::combine_checksums(self.checksum, other.checksum);
+        self.spills += other.spills;
+        self.mem_requests += other.mem_requests;
+        self.reg_reads += other.reg_reads;
+        self.reg_writes += other.reg_writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_rate_defaults_to_one() {
+        let s = SimStats::default();
+        assert_eq!(s.acquire_success_rate(), 1.0);
+    }
+
+    #[test]
+    fn acquire_rate_counts() {
+        let s = SimStats {
+            acquire_attempts: 10,
+            acquire_successes: 7,
+            ..Default::default()
+        };
+        assert!((s.acquire_success_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_and_occupancy() {
+        let s = SimStats {
+            cycles: 100,
+            instructions: 250,
+            resident_warp_cycles: 1600,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.achieved_occupancy_warps() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_takes_max_cycles_and_sums_counts() {
+        let mut a = SimStats {
+            cycles: 100,
+            instructions: 10,
+            ..Default::default()
+        };
+        a.note_stall(StallReason::Scoreboard);
+        let mut b = SimStats {
+            cycles: 80,
+            instructions: 5,
+            ..Default::default()
+        };
+        b.note_stall(StallReason::Scoreboard);
+        b.note_stall(StallReason::Acquire);
+        a.merge(&b);
+        assert_eq!(a.cycles, 100);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.stall_cycles[&StallReason::Scoreboard], 2);
+        assert_eq!(a.stall_cycles[&StallReason::Acquire], 1);
+    }
+
+    #[test]
+    fn zero_cycles_edge_cases() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.achieved_occupancy_warps(), 0.0);
+    }
+}

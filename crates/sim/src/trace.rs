@@ -1,0 +1,189 @@
+//! Cycle-level event tracing and timeline rendering.
+//!
+//! When tracing is enabled (see [`run_kernel_traced`]), the SM records one
+//! event per issue-stage action. The [`render_timeline`] helper turns an
+//! event stream into the paper's Fig 2-style per-warp timeline: which warps
+//! are resident, executing, holding their extended set, or stalled at an
+//! acquire, cycle bucket by cycle bucket.
+//!
+//! [`run_kernel_traced`]: crate::run_kernel_traced
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The warp became resident (its CTA was admitted).
+    WarpLaunch,
+    /// The warp issued the instruction at `pc`.
+    Issue {
+        /// Program counter of the issued instruction.
+        pc: u32,
+    },
+    /// The warp acquired an extended set.
+    AcquireSuccess,
+    /// The warp attempted an acquire and stalled.
+    AcquireStall,
+    /// The warp released its extended set.
+    Release,
+    /// The warp finished.
+    WarpExit,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event happened.
+    pub cycle: u64,
+    /// Warp slot within the SM.
+    pub warp: u32,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+/// Per-warp, per-bucket state glyphs for the timeline.
+const GLYPH_ABSENT: char = ' ';
+const GLYPH_RESIDENT: char = '.';
+const GLYPH_EXEC: char = '-';
+const GLYPH_HELD: char = '=';
+const GLYPH_STALL: char = 'x';
+
+/// Render an event stream as a per-warp timeline over `buckets` equal time
+/// buckets. Legend: space = not resident, `.` = resident but idle in the
+/// bucket, `-` = issued instructions, `=` = holding the extended set,
+/// `x` = stalled at an acquire.
+pub fn render_timeline(events: &[TraceEvent], max_warps: u32, buckets: usize) -> String {
+    let end = events.iter().map(|e| e.cycle).max().unwrap_or(0) + 1;
+    let bucket_len = end.div_ceil(buckets as u64).max(1);
+    let nbuckets = end.div_ceil(bucket_len) as usize;
+
+    // Track interval state per warp.
+    let nw = max_warps as usize;
+    let mut launched: Vec<Option<u64>> = vec![None; nw];
+    let mut exited: Vec<Option<u64>> = vec![None; nw];
+    let mut holding: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nw]; // [from, to)
+    let mut hold_start: Vec<Option<u64>> = vec![None; nw];
+    let mut issues: Vec<Vec<u64>> = vec![Vec::new(); nw];
+    let mut stalls: Vec<Vec<u64>> = vec![Vec::new(); nw];
+
+    for e in events {
+        let w = e.warp as usize;
+        if w >= nw {
+            continue;
+        }
+        match e.kind {
+            TraceKind::WarpLaunch => launched[w] = launched[w].or(Some(e.cycle)),
+            TraceKind::Issue { .. } => issues[w].push(e.cycle),
+            TraceKind::AcquireSuccess => hold_start[w] = Some(e.cycle),
+            TraceKind::AcquireStall => stalls[w].push(e.cycle),
+            TraceKind::Release => {
+                if let Some(s) = hold_start[w].take() {
+                    holding[w].push((s, e.cycle));
+                }
+            }
+            TraceKind::WarpExit => {
+                exited[w] = Some(e.cycle);
+                if let Some(s) = hold_start[w].take() {
+                    holding[w].push((s, e.cycle));
+                }
+            }
+        }
+    }
+    for w in 0..nw {
+        if let Some(s) = hold_start[w].take() {
+            holding[w].push((s, end));
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(
+        "legend: ' ' absent  '.' resident-idle  '-' executing  '=' holding Es  'x' acquire-stall\n",
+    );
+    for w in 0..nw {
+        let Some(start) = launched[w] else { continue };
+        let stop = exited[w].unwrap_or(end);
+        let mut line = String::with_capacity(nbuckets);
+        for b in 0..nbuckets {
+            let lo = b as u64 * bucket_len;
+            let hi = lo + bucket_len;
+            let glyph = if hi <= start || lo >= stop {
+                GLYPH_ABSENT
+            } else if stalls[w].iter().any(|&c| lo <= c && c < hi) {
+                GLYPH_STALL
+            } else if holding[w].iter().any(|&(f, t)| f < hi && lo < t) {
+                GLYPH_HELD
+            } else if issues[w].iter().any(|&c| lo <= c && c < hi) {
+                GLYPH_EXEC
+            } else {
+                GLYPH_RESIDENT
+            };
+            line.push(glyph);
+        }
+        out.push_str(&format!("W{w:<3} |{line}|\n"));
+    }
+    out.push_str(&format!(
+        "      0{:>width$}\n",
+        format!("{end} cycles"),
+        width = nbuckets.saturating_sub(1)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, warp: u32, kind: TraceKind) -> TraceEvent {
+        TraceEvent { cycle, warp, kind }
+    }
+
+    #[test]
+    fn timeline_marks_phases() {
+        let events = vec![
+            ev(0, 0, TraceKind::WarpLaunch),
+            ev(1, 0, TraceKind::Issue { pc: 0 }),
+            ev(10, 0, TraceKind::AcquireSuccess),
+            ev(12, 0, TraceKind::Issue { pc: 1 }),
+            ev(20, 0, TraceKind::Release),
+            ev(30, 0, TraceKind::WarpExit),
+            ev(0, 1, TraceKind::WarpLaunch),
+            ev(11, 1, TraceKind::AcquireStall),
+            ev(21, 1, TraceKind::AcquireSuccess),
+            ev(29, 1, TraceKind::Release),
+            ev(35, 1, TraceKind::WarpExit),
+        ];
+        let s = render_timeline(&events, 2, 12);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("legend"));
+        assert!(lines[1].starts_with("W0"));
+        assert!(lines[1].contains('='), "warp 0 holds: {s}");
+        assert!(lines[2].contains('x'), "warp 1 stalls: {s}");
+        assert!(lines[2].contains('='), "warp 1 eventually holds: {s}");
+    }
+
+    #[test]
+    fn absent_warps_are_skipped() {
+        let events = vec![ev(0, 3, TraceKind::WarpLaunch)];
+        let s = render_timeline(&events, 8, 4);
+        assert!(s.contains("W3"));
+        assert!(!s.contains("W0"));
+    }
+
+    #[test]
+    fn empty_trace_renders_legend_only() {
+        let s = render_timeline(&[], 4, 8);
+        assert!(s.starts_with("legend"));
+        assert_eq!(s.lines().count(), 2); // legend + axis
+    }
+
+    #[test]
+    fn unreleased_hold_extends_to_end() {
+        let events = vec![
+            ev(0, 0, TraceKind::WarpLaunch),
+            ev(2, 0, TraceKind::AcquireSuccess),
+            ev(9, 0, TraceKind::Issue { pc: 5 }), // extends the trace to 10 cycles
+        ];
+        let s = render_timeline(&events, 1, 5);
+        let w0 = s.lines().nth(1).unwrap();
+        // The hold covers cycles [2, 10): at least 3 of the 5 buckets.
+        assert!(w0.matches('=').count() >= 3, "{s}");
+    }
+}

@@ -1,0 +1,71 @@
+//! BFS (Rodinia): level-synchronous breadth-first search.
+//!
+//! Character: memory-bound frontier expansion with divergent visited checks
+//! and data-dependent neighbor counts; register pressure spikes when a
+//! frontier node's neighborhood is expanded. Table I: 21 regs (24 rounded),
+//! `|Bs| = 18`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{dependent_loads, epilogue, pressure_spike, r, varied, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 21;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 18;
+
+/// Build the synthetic BFS kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("BFS");
+    b.threads_per_cta(256).seed(0xBF5);
+    // Persistent state: r0 node cursor, r1 frontier accumulator, r2 level,
+    // r3 visited base, r4 queue base, r5 scratch seed.
+    for i in 0..6 {
+        b.movi(r(i), 0x40 + u64::from(i));
+    }
+    let levels = b.here();
+    {
+        // Neighbor scan: data-dependent length, divergent visited check.
+        let scan = b.here();
+        b.ld_global(r(6), r(0)); // edge list
+        b.iadd(r(0), r(6), r(0));
+        let skip = b.new_label();
+        b.bra_div(skip, 350, Some(r(6))); // already-visited lanes skip
+        b.ld_global(r(6), r(3));
+        b.iadd(r(1), r(6), r(1));
+        b.place(skip);
+        b.bra_loop_pred(scan, varied(4, 4), r(6));
+        // Frontier update: the high-pressure expansion (r6..r20 = 15 regs;
+        // peak = 6 persistent + 15 = 21).
+        pressure_spike(&mut b, 6, 20, r(1), SpikeStyle::IntMad, &[r(2), r(3), r(4), r(5)]);
+        // Publish the new frontier.
+        b.st_global(r(4), r(1));
+        dependent_loads(&mut b, r(4), r(6), 1);
+        b.bra_loop(levels, TripCount::Fixed(4));
+    }
+    b.st_global(r(3), r(2));
+    b.st_global(r(4), r(5));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("BFS kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "BFS",
+        kernel: kernel(),
+        grid_ctas: 240,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::OccupancyLimited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

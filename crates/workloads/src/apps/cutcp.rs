@@ -1,0 +1,73 @@
+//! CUTCP (Parboil): cutoff-limited Coulombic potential on a lattice.
+//!
+//! Character: FMA-dense inner loops over atoms with an SFU reciprocal per
+//! distance computation; pressure spikes in the unrolled potential
+//! accumulation. Table I: 25 regs (28 rounded), `|Bs| = 20`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{epilogue, pressure_spike, r, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 25;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 20;
+
+/// Build the synthetic CUTCP kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("CUTCP");
+    b.threads_per_cta(256).seed(0xC07C);
+    // r0 lattice point, r1 potential acc, r2..r5 atom coordinates base,
+    // r6 cutoff.
+    for i in 0..7 {
+        b.movi(r(i), 0x80 + u64::from(i));
+    }
+    let atoms = b.here();
+    {
+        // Distance computation: load an atom, rcp for 1/r.
+        let inner = b.here();
+        b.ld_global(r(7), r(2));
+        b.fadd(r(2), r(7), r(2));
+        b.frcp(r(8), r(7));
+        b.ffma(r(1), r(8), r(6), r(1));
+        b.bra_loop(inner, TripCount::Fixed(5));
+        // Unrolled potential accumulation: r7..r24 = 18 regs; peak = 7 + 18
+        // = 25.
+        pressure_spike(
+            &mut b,
+            7,
+            24,
+            r(1),
+            SpikeStyle::FloatFma,
+            &[r(3), r(4), r(5), r(6)],
+        );
+        b.st_global(r(0), r(1));
+        b.bra_loop(atoms, TripCount::Fixed(3));
+    }
+    b.st_global(r(2), r(3));
+    b.st_global(r(4), r(5));
+    b.st_global(r(6), r(0));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("CUTCP kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "CUTCP",
+        kernel: kernel(),
+        grid_ctas: 180,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::OccupancyLimited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

@@ -1,0 +1,81 @@
+//! DWT2D (Rodinia): 2-D discrete wavelet transform.
+//!
+//! Character: very wide straight-line filter banks (row pass then column
+//! pass) with the highest register demand of the suite; modest memory
+//! traffic between passes. Table I: 44 regs, `|Bs| = 38`. The 13-warp CTA
+//! geometry makes a single CTA consume over half the register file, so the
+//! baseline runs one CTA per SM while RegMutex fits two (the paper's Fig 1b
+//! shows DWT2D's deep utilization valleys between filter banks).
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{epilogue, independent_loads, pressure_spike, r, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 44;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 38;
+
+/// Build the synthetic DWT2D kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("DWT2D");
+    b.threads_per_cta(416).seed(0xD72D);
+    // r0 row cursor, r1 acc, r2 col cursor, r3..r7 filter coefficients.
+    for i in 0..8 {
+        b.movi(r(i), 0x200 + u64::from(i));
+    }
+    let tiles = b.here();
+    {
+        // Load a tile strip.
+        independent_loads(&mut b, &[r(0), r(2)], &[r(8), r(9)], r(1));
+        // Row-pass then column-pass filter banks run back to back — most of
+        // DWT2D's dynamic instructions hold the extended set, which is what
+        // limits its RegMutex gains in the paper despite the doubled
+        // occupancy.
+        pressure_spike(
+            &mut b,
+            8,
+            43,
+            r(1),
+            SpikeStyle::FloatFma,
+            &[r(3), r(4), r(5), r(6), r(7)],
+        );
+        b.st_global(r(0), r(1));
+        pressure_spike(
+            &mut b,
+            8,
+            43,
+            r(1),
+            SpikeStyle::FloatFma,
+            &[r(4), r(5), r(6), r(7), r(3)],
+        );
+        b.st_global(r(2), r(1));
+        b.bra_loop(tiles, TripCount::Fixed(3));
+    }
+    b.st_global(r(3), r(4));
+    b.st_global(r(5), r(6));
+    b.st_global(r(7), r(0));
+    epilogue(&mut b, r(2), r(1));
+    b.build().expect("DWT2D kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "DWT2D",
+        kernel: kernel(),
+        grid_ctas: 90,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::OccupancyLimited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

@@ -1,0 +1,61 @@
+//! Gaussian (Rodinia): Gaussian elimination.
+//!
+//! Character: a small row-update kernel with modest register demand (the
+//! lightest of the suite); registers never limit occupancy on the baseline
+//! GPU, so it belongs to the Fig 8 half-register-file study. Table I: 12
+//! regs, `|Bs| = 8`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{dependent_loads, epilogue, pressure_spike, r, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 12;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 8;
+
+/// Build the synthetic Gaussian kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("Gaussian");
+    b.threads_per_cta(192).seed(0x6A55);
+    // r0 row cursor, r1 acc, r2 pivot, r3 multiplier, r4 column base.
+    for i in 0..5 {
+        b.movi(r(i), 0xA00 + u64::from(i));
+    }
+    let rows = b.here();
+    {
+        let cols = b.here();
+        dependent_loads(&mut b, r(0), r(5), 1);
+        b.fmul(r(5), r(5), r(3));
+        b.fadd(r(1), r(5), r(1));
+        b.bra_loop(cols, TripCount::Fixed(6));
+        // Row-update spike: r5..r11 = 7; peak = 5 + 7 = 12.
+        pressure_spike(&mut b, 5, 11, r(1), SpikeStyle::FloatFma, &[r(2), r(3), r(4)]);
+        b.st_global(r(4), r(1));
+        b.bra_loop(rows, TripCount::Fixed(3));
+    }
+    b.st_global(r(2), r(3));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("Gaussian kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "Gaussian",
+        kernel: kernel(),
+        grid_ctas: 300,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::RfInsensitive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

@@ -1,0 +1,74 @@
+//! HeartWall (Rodinia): ultrasound heart-wall tracking.
+//!
+//! Character: per-window template matching with mild divergence; shared
+//! memory holds the template so occupancy on the baseline GPU is bounded by
+//! shared memory, not registers (Fig 8 group). Table I: 28 regs,
+//! `|Bs| = 20`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{epilogue, pressure_spike, r, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 28;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 20;
+
+/// Build the synthetic HeartWall kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("HeartWall");
+    b.threads_per_cta(256).shmem_per_cta(13_000).seed(0x4EA7);
+    // r0 window cursor, r1 correlation acc, r2 template base, r3 frame
+    // base, r4 epsilon, r5 scale.
+    for i in 0..6 {
+        b.movi(r(i), 0xB00 + u64::from(i));
+    }
+    let windows = b.here();
+    {
+        let points = b.here();
+        b.ld_shared(r(6), r(2));
+        b.ld_global(r(7), r(3));
+        b.iadd(r(3), r(7), r(3));
+        let skip = b.new_label();
+        b.bra_div(skip, 250, Some(r(6)));
+        b.ffma(r(1), r(6), r(7), r(1));
+        b.place(skip);
+        b.bra_loop(points, TripCount::Fixed(5));
+        // Correlation spike: r6..r27 = 22; peak = 6 + 22 = 28.
+        pressure_spike(
+            &mut b,
+            6,
+            27,
+            r(1),
+            SpikeStyle::FloatFma,
+            &[r(2), r(4), r(5)],
+        );
+        b.st_global(r(0), r(1));
+        b.bra_loop(windows, TripCount::Fixed(3));
+    }
+    b.st_global(r(2), r(3));
+    b.st_global(r(4), r(5));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("HeartWall kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "HeartWall",
+        kernel: kernel(),
+        grid_ctas: 120,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::RfInsensitive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

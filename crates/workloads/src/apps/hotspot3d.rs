@@ -1,0 +1,74 @@
+//! HotSpot3D (Rodinia): 3-D thermal stencil.
+//!
+//! Character: a time-step loop with a CTA barrier between steps, shared-
+//! memory tile exchange, and a pressure spike in the 7-point interpolation.
+//! Table I: 32 regs, `|Bs| = 24`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{
+    dependent_loads, epilogue, independent_loads, pressure_spike, r, shared_exchange, SpikeStyle,
+};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 32;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 24;
+
+/// Build the synthetic HotSpot3D kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("HotSpot3D");
+    b.threads_per_cta(160).shmem_per_cta(6144).seed(0x4075);
+    // r0 cell index, r1 temperature acc, r2 z-stride, r3..r7 conductances.
+    for i in 0..8 {
+        b.movi(r(i), 0x300 + u64::from(i));
+    }
+    let steps = b.here();
+    {
+        // Tile handoff from the previous step: the time-step barrier comes
+        // first (live count there stays far below |Bs|), and the global
+        // gathers *after* it stagger the warps before the pressure spike —
+        // as the real kernel's halo loads do.
+        shared_exchange(&mut b, r(0), r(1), r(8));
+        b.iadd(r(1), r(8), r(1));
+        independent_loads(&mut b, &[r(0), r(2)], &[r(8), r(9)], r(1));
+        dependent_loads(&mut b, r(2), r(8), 2);
+        // Interpolation spike: r8..r31 = 24 regs; peak = 8 + 24 = 32.
+        pressure_spike(
+            &mut b,
+            8,
+            31,
+            r(1),
+            SpikeStyle::FloatFma,
+            &[r(3), r(4), r(5), r(6), r(7)],
+        );
+        b.st_shared(r(0), r(1));
+        b.bra_loop(steps, TripCount::Fixed(4));
+    }
+    b.st_global(r(3), r(4));
+    b.st_global(r(5), r(6));
+    b.st_global(r(7), r(2));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("HotSpot3D kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "HotSpot3D",
+        kernel: kernel(),
+        grid_ctas: 270,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::OccupancyLimited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

@@ -1,0 +1,71 @@
+//! LavaMD (Rodinia): molecular-dynamics neighbor-box force computation.
+//!
+//! Character: per-box particle loops with shared-memory staging of neighbor
+//! particles (large shared footprint bounds baseline occupancy — Fig 8
+//! group) and a wide force-accumulation spike. Table I: 37 regs (40
+//! rounded), `|Bs| = 28`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{epilogue, pressure_spike, r, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 37;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 28;
+
+/// Build the synthetic LavaMD kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("LavaMD");
+    b.threads_per_cta(96).shmem_per_cta(9_600).seed(0x1A3A);
+    // r0 box cursor, r1 force acc, r2 particle base, r3..r6 position/charge.
+    for i in 0..7 {
+        b.movi(r(i), 0xC00 + u64::from(i));
+    }
+    let boxes = b.here();
+    {
+        let particles = b.here();
+        b.ld_shared(r(7), r(2));
+        b.ld_global(r(8), r(0));
+        b.iadd(r(0), r(8), r(0));
+        b.frcp(r(9), r(7));
+        b.ffma(r(1), r(9), r(8), r(1));
+        b.bra_loop(particles, TripCount::Fixed(4));
+        // Force accumulation spike: r7..r36 = 30; peak = 7 + 30 = 37.
+        pressure_spike(
+            &mut b,
+            7,
+            36,
+            r(1),
+            SpikeStyle::FloatFma,
+            &[r(3), r(4), r(5), r(6)],
+        );
+        b.st_global(r(2), r(1));
+        b.bra_loop(boxes, TripCount::Fixed(3));
+    }
+    b.st_global(r(3), r(4));
+    b.st_global(r(5), r(6));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("LavaMD kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "LavaMD",
+        kernel: kernel(),
+        grid_ctas: 90,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::RfInsensitive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

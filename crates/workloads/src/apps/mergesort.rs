@@ -1,0 +1,92 @@
+//! MergeSort (CUDA SDK): shared-memory merge sort.
+//!
+//! Character: barrier-heavy merge steps over a shared-memory tile. The
+//! barrier carries 11 live registers, so the `|Es| = 6` candidate (with
+//! `|Bs| = 10 < 11`) violates deadlock rule 2 and the heuristic lands on
+//! `|Es| = 4 / |Bs| = 12` — which, with the shared-memory tile already
+//! bounding residency, buys *no occupancy* on the half-RF architecture. The
+//! paper reports exactly this: MergeSort is the one application where
+//! RegMutex adds a slight slowdown (instruction overhead, no gain).
+//! Table I: 15 regs (16 rounded), `|Bs| = 12`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{epilogue, pressure_spike, r, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 15;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 12;
+
+/// Build the synthetic MergeSort kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("MergeSort");
+    b.threads_per_cta(192).shmem_per_cta(9_600).seed(0x3E56);
+    // Persistent: r0 tile cursor, r1 key acc, r2 lo, r3 hi, r4 out base,
+    // r5 rank, r6 stride.
+    for i in 0..7 {
+        b.movi(r(i), 0xD00 + u64::from(i));
+    }
+    let steps = b.here();
+    {
+        // Merge-path search: a run of comparisons and gathers per step (the
+        // bulk of the dynamic instructions, so the injected acquire/release
+        // overhead stays small, as the paper's "slight increase" implies).
+        let search = b.here();
+        b.ld_global(r(7), r(2));
+        b.ld_shared(r(8), r(3));
+        b.sel(r(9), r(7), r(8), r(5));
+        b.iadd(r(1), r(9), r(1));
+        b.bra_loop(search, TripCount::Fixed(6));
+        // Load the pair of runs to merge.
+        b.ld_shared(r(7), r(2));
+        b.ld_shared(r(8), r(3));
+        b.imin(r(9), r(7), r(8));
+        b.imax(r(10), r(7), r(8));
+        // Merge-step barrier: live = r0..r6 (7) + r7..r10 (4) = 11, pinned
+        // by keeping all four comparison temps live across it.
+        b.bar();
+        b.st_shared(r(4), r(9));
+        b.st_shared(r(5), r(10));
+        b.iadd(r(1), r(7), r(1));
+        b.iadd(r(1), r(8), r(1));
+        // Rank-computation spike: r7..r14 = 8; peak = 7 + 8 = 15.
+        pressure_spike(&mut b, 7, 14, r(1), SpikeStyle::IntMad, &[r(2), r(3), r(6)]);
+        b.bra_loop(steps, TripCount::Fixed(5));
+    }
+    b.st_global(r(2), r(3));
+    b.st_global(r(4), r(5));
+    b.st_global(r(6), r(0));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("MergeSort kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "MergeSort",
+        kernel: kernel(),
+        grid_ctas: 210,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::RfInsensitive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use regmutex_compiler::{analyze, barrier_live_max};
+
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+
+    #[test]
+    fn barrier_carries_exactly_11_live_registers() {
+        let k = super::kernel();
+        let lv = analyze(&k);
+        assert_eq!(barrier_live_max(&k, &lv), 11);
+    }
+}

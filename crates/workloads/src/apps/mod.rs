@@ -1,0 +1,18 @@
+//! One module per Table I application.
+
+pub mod bfs;
+pub mod cutcp;
+pub mod dwt2d;
+pub mod gaussian;
+pub mod heartwall;
+pub mod hotspot3d;
+pub mod lavamd;
+pub mod mergesort;
+pub mod montecarlo;
+pub mod mriq;
+pub mod particlefilter;
+pub mod radixsort;
+pub mod sad;
+pub mod spmv;
+pub mod srad;
+pub mod tpacf;

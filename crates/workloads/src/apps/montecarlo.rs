@@ -1,0 +1,86 @@
+//! MonteCarlo (CUDA SDK): Monte-Carlo option pricing.
+//!
+//! Character: per-thread RNG chains feeding a payoff accumulation, with a
+//! CTA-wide reduction barrier (11 live registers at the barrier keeps the
+//! `|Bs| = 10` candidate out, landing the heuristic on `|Bs| = 12`).
+//! Table I: 13 regs (16 rounded), `|Bs| = 12`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{epilogue, pressure_spike, r, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 13;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 12;
+
+/// Build the synthetic MonteCarlo kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("MonteCarlo");
+    b.threads_per_cta(192).seed(0x3047);
+    // Persistent: r0 path cursor, r1 payoff acc, r2 rng state, r3 drift,
+    // r4 vol, r5 strike, r6 reduction base.
+    for i in 0..7 {
+        b.movi(r(i), 0xE00 + u64::from(i));
+    }
+    let batches = b.here();
+    {
+        // RNG chain + path step; the market-data gather makes the path loop
+        // latency-bound, so occupancy matters.
+        let pathsteps = b.here();
+        b.imul(r(2), r(2), r(3));
+        b.xor(r(2), r(2), r(4));
+        b.ld_global(r(7), r(2));
+        b.fexp(r(8), r(7));
+        b.ffma(r(1), r(8), r(5), r(1));
+        b.bra_loop(pathsteps, TripCount::Fixed(6));
+        // Partial-sum exchange: keep 4 temps (r7..r10) live across the
+        // barrier so it carries exactly 7 + 4 = 11 live registers.
+        b.iadd(r(7), r(1), r(2));
+        b.iadd(r(8), r(1), r(3));
+        b.iadd(r(9), r(1), r(4));
+        b.iadd(r(10), r(1), r(5));
+        b.bar();
+        b.st_shared(r(6), r(7));
+        b.iadd(r(1), r(8), r(1));
+        b.iadd(r(1), r(9), r(1));
+        b.iadd(r(1), r(10), r(1));
+        // Payoff spike: r7..r12 = 6; peak = 7 + 6 = 13.
+        pressure_spike(&mut b, 7, 12, r(1), SpikeStyle::IntMad, &[r(3), r(4), r(5)]);
+        b.bra_loop(batches, TripCount::Fixed(4));
+    }
+    b.st_global(r(3), r(4));
+    b.st_global(r(5), r(6));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("MonteCarlo kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "MonteCarlo",
+        kernel: kernel(),
+        grid_ctas: 210,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::RfInsensitive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use regmutex_compiler::{analyze, barrier_live_max};
+
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+
+    #[test]
+    fn barrier_carries_exactly_11_live_registers() {
+        let k = super::kernel();
+        let lv = analyze(&k);
+        assert_eq!(barrier_live_max(&k, &lv), 11);
+    }
+}

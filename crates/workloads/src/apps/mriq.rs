@@ -1,0 +1,64 @@
+//! MRI-Q (Parboil): magnetic-resonance image reconstruction (Q matrix).
+//!
+//! Character: a long, regular FMA loop over sample points with SFU
+//! trigonometry (modelled as `fexp`/`fsqrt`), very little divergence, and
+//! a spike in the unrolled phase accumulation. Table I: 21 regs (24
+//! rounded), `|Bs| = 18`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{epilogue, pressure_spike, r, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 21;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 18;
+
+/// Build the synthetic MRI-Q kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("MRI-Q");
+    b.threads_per_cta(256).seed(0x3219);
+    // r0 sample cursor, r1 Q-real acc, r2 Q-imag acc, r3..r5 k-space.
+    for i in 0..6 {
+        b.movi(r(i), 0x500 + u64::from(i));
+    }
+    let samples = b.here();
+    {
+        let inner = b.here();
+        b.ld_global(r(6), r(0));
+        b.iadd(r(0), r(6), r(0));
+        b.fexp(r(7), r(6));
+        b.ffma(r(1), r(7), r(3), r(1));
+        b.fsqrt(r(8), r(7));
+        b.ffma(r(2), r(8), r(4), r(2));
+        b.bra_loop(inner, TripCount::Fixed(6));
+        // Unrolled phase accumulation: r6..r20 = 15; peak = 6 + 15 = 21.
+        pressure_spike(&mut b, 6, 20, r(1), SpikeStyle::FloatFma, &[r(3), r(4), r(5)]);
+        b.bra_loop(samples, TripCount::Fixed(3));
+    }
+    b.st_global(r(3), r(2));
+    b.st_global(r(4), r(5));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("MRI-Q kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "MRI-Q",
+        kernel: kernel(),
+        grid_ctas: 240,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::OccupancyLimited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

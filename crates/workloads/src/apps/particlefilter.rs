@@ -1,0 +1,86 @@
+//! ParticleFilter (Rodinia): sequential Monte-Carlo object tracking.
+//!
+//! Character: branchy resampling with per-warp varied trip counts and
+//! frequent likelihood-evaluation spikes; the paper singles it out (with
+//! DWT2D and SAD) as suffering SRP contention because its large `|Es| = 12`
+//! leaves only a handful of sections. Table I: 32 regs, `|Bs| = 20`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{dependent_loads, epilogue, pressure_spike, r, varied, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 32;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 20;
+
+/// Build the synthetic ParticleFilter kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("ParticleFilter");
+    b.threads_per_cta(256).seed(0x9F17);
+    // r0 particle cursor, r1 weight acc, r2 state x, r3 state y, r4 noise,
+    // r5 threshold.
+    for i in 0..6 {
+        b.movi(r(i), 0x600 + u64::from(i));
+    }
+    let frames = b.here();
+    {
+        // Propagate + weigh particles (branchy, data-dependent).
+        let particles = b.here();
+        dependent_loads(&mut b, r(0), r(6), 1);
+        let cheap = b.new_label();
+        b.bra_if(cheap, 400, Some(r(6)));
+        b.imul(r(2), r(6), r(2));
+        b.iadd(r(3), r(6), r(3));
+        b.place(cheap);
+        b.bra_loop_pred(particles, varied(3, 4), r(6));
+        // Likelihood evaluation + resampling spikes run back to back:
+        // r6..r31 = 26; peak = 6 + 26 = 32. The long holds against only a
+        // handful of SRP sections (|Es| = 12) are the contention the paper
+        // reports for ParticleFilter.
+        pressure_spike(
+            &mut b,
+            6,
+            31,
+            r(1),
+            SpikeStyle::IntMad,
+            &[r(2), r(3), r(4), r(5)],
+        );
+        b.st_global(r(4), r(1));
+        pressure_spike(
+            &mut b,
+            6,
+            31,
+            r(1),
+            SpikeStyle::IntMad,
+            &[r(3), r(4), r(5), r(2)],
+        );
+        b.st_global(r(5), r(1));
+        b.bra_loop(frames, TripCount::Fixed(3));
+    }
+    b.st_global(r(2), r(3));
+    b.st_global(r(5), r(0));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("ParticleFilter kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "ParticleFilter",
+        kernel: kernel(),
+        grid_ctas: 180,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::OccupancyLimited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

@@ -1,0 +1,76 @@
+//! RadixSort (CUDA SDK): LSD radix sort.
+//!
+//! Character: one pass per digit with shared-memory histogram/scatter and a
+//! CTA barrier per pass; the bucket-scatter bookkeeping spikes register
+//! pressure. Table I: 33 regs (36 rounded), `|Bs| = 30`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{dependent_loads, epilogue, pressure_spike, r, shared_exchange, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 33;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 30;
+
+/// Build the synthetic RadixSort kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("RadixSort");
+    b.threads_per_cta(128).shmem_per_cta(4096).seed(0x4AD1);
+    // r0 key cursor, r1 digit acc, r2 shift, r3 mask, r4 bucket base,
+    // r5 scatter base, r6 scratch.
+    for i in 0..7 {
+        b.movi(r(i), 0x700 + u64::from(i));
+    }
+    let passes = b.here();
+    {
+        // Digit extraction over a strip of keys.
+        let keys = b.here();
+        dependent_loads(&mut b, r(0), r(7), 1);
+        b.shr(r(7), r(7), r(2));
+        b.and(r(7), r(7), r(3));
+        b.iadd(r(1), r(7), r(1));
+        b.bra_loop(keys, TripCount::Fixed(4));
+        // Scatter bookkeeping spike: r7..r32 = 26; peak = 7 + 26 = 33. The
+        // spike runs *before* the histogram barrier, so warps reach their
+        // acquires staggered by the key loads rather than in lockstep.
+        pressure_spike(
+            &mut b,
+            7,
+            32,
+            r(1),
+            SpikeStyle::IntMad,
+            &[r(2), r(3), r(4), r(5), r(6)],
+        );
+        // Histogram exchange across the CTA (barrier lives well under |Bs|).
+        shared_exchange(&mut b, r(4), r(1), r(7));
+        b.iadd(r(1), r(7), r(1));
+        b.st_global(r(5), r(1));
+        b.bra_loop(passes, TripCount::Fixed(4));
+    }
+    b.st_global(r(2), r(3));
+    b.st_global(r(4), r(6));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("RadixSort kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "RadixSort",
+        kernel: kernel(),
+        grid_ctas: 300,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::OccupancyLimited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

@@ -1,0 +1,76 @@
+//! SAD (Parboil): sum-of-absolute-differences block matching (H.264).
+//!
+//! Character: deeply nested block-match loops whose inner comparison is a
+//! frequent, large pressure spike — the paper's example of occupancy gains
+//! *not* translating into speedup because the big `|Es| = 12` leaves few SRP
+//! sections and warps contend at acquires. Table I: 30 regs (32 rounded),
+//! `|Bs| = 20`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{dependent_loads, epilogue, independent_loads, pressure_spike, r, varied, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 30;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 20;
+
+/// Build the synthetic SAD kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("SAD");
+    b.threads_per_cta(256).seed(0x5AD);
+    // r0 block cursor, r1 SAD acc, r2 ref base, r3 cur base, r4 best,
+    // r5 stride.
+    for i in 0..6 {
+        b.movi(r(i), 0x900 + u64::from(i));
+    }
+    let blocks = b.here();
+    {
+        let candidates = b.here();
+        // Fetch both macroblock rows, then walk the reference window
+        // (dependent accesses lengthen the memory phase).
+        independent_loads(&mut b, &[r(2), r(3)], &[r(6), r(7)], r(1));
+        dependent_loads(&mut b, r(3), r(6), 1);
+        b.imin(r(4), r(1), r(4));
+        // The row-difference spike runs once per candidate: r6..r29 = 24;
+        // peak = 6 + 24 = 30. Spikes are frequent relative to the short
+        // fetch phase, which is what drives SRP contention.
+        pressure_spike(
+            &mut b,
+            6,
+            29,
+            r(1),
+            SpikeStyle::IntMad,
+            &[r(2), r(3), r(4), r(5)],
+        );
+        b.imax(r(4), r(1), r(4));
+        b.bra_loop(candidates, varied(2, 2));
+        b.st_global(r(0), r(4));
+        b.bra_loop(blocks, TripCount::Fixed(3));
+    }
+    b.st_global(r(2), r(3));
+    b.st_global(r(5), r(0));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("SAD kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "SAD",
+        kernel: kernel(),
+        grid_ctas: 180,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::OccupancyLimited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

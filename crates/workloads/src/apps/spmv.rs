@@ -1,0 +1,83 @@
+//! SPMV (Parboil): sparse matrix–vector multiply (JDS format).
+//!
+//! Character: heavily memory-bound row loops (column indices, values, and
+//! gathered vector entries), one partial-sum barrier per stripe (11 live
+//! registers there), and a short unrolled-accumulation spike. Table I: 16
+//! regs, `|Bs| = 12`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{epilogue, pressure_spike, r, varied, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 16;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 12;
+
+/// Build the synthetic SPMV kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("SPMV");
+    b.threads_per_cta(192).seed(0x59317);
+    // Persistent: r0 row cursor, r1 dot acc, r2 col base, r3 val base,
+    // r4 vec base, r5 row length, r6 stripe base, r7 perm base, r8 scratch
+    // seed, r9 output base.
+    for i in 0..10 {
+        b.movi(r(i), 0xF00 + u64::from(i));
+    }
+    let stripes = b.here();
+    {
+        // Gather loop: col index -> gathered vector entry -> accumulate
+        // (kept at two loads so the low phase stays under |Bs| = 12).
+        let nnz = b.here();
+        b.ld_global(r(10), r(2)); // column index
+        b.iadd(r(2), r(10), r(2));
+        b.ld_global(r(11), r(10)); // gathered vector entry
+        b.ffma(r(1), r(11), r(8), r(1));
+        b.bra_loop_pred(nnz, varied(4, 3), r(5));
+        // Stripe barrier: persistent 10 + r10 live across = 11.
+        b.iadd(r(10), r(1), r(8));
+        b.bar();
+        b.st_shared(r(6), r(10));
+        b.iadd(r(1), r(10), r(1));
+        // Unrolled accumulation spike: r10..r15 = 6; peak = 10 + 6 = 16.
+        pressure_spike(&mut b, 10, 15, r(1), SpikeStyle::IntMad, &[r(7), r(8), r(9)]);
+        b.st_global(r(9), r(1));
+        b.bra_loop(stripes, TripCount::Fixed(3));
+    }
+    b.st_global(r(2), r(3));
+    b.st_global(r(4), r(5));
+    b.st_global(r(6), r(7));
+    b.st_global(r(8), r(0));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("SPMV kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "SPMV",
+        kernel: kernel(),
+        grid_ctas: 210,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::RfInsensitive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use regmutex_compiler::{analyze, barrier_live_max};
+
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+
+    #[test]
+    fn barrier_carries_exactly_11_live_registers() {
+        let k = super::kernel();
+        let lv = analyze(&k);
+        assert_eq!(barrier_live_max(&k, &lv), 11);
+    }
+}

@@ -1,0 +1,66 @@
+//! SRAD (Rodinia): speckle-reducing anisotropic diffusion.
+//!
+//! Character: two image-update phases per iteration (gradient, then
+//! diffusion update), each with its own moderate pressure spike; uniform
+//! branches gate saturation clamps. Table I: 18 regs (20 rounded),
+//! `|Bs| = 12`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{epilogue, independent_loads, pressure_spike, r, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 18;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 12;
+
+/// Build the synthetic SRAD kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("SRAD");
+    b.threads_per_cta(160).seed(0x54AD);
+    // Persistent: r0 pixel cursor, r1 acc, r2 north base, r3 south base,
+    // r4 lambda, r5 q0.
+    for i in 0..6 {
+        b.movi(r(i), 0x1100 + u64::from(i));
+    }
+    let iters = b.here();
+    {
+        // Phase 1: gradient gather + spike (r6..r17 = 12; peak 6 + 12 = 18).
+        independent_loads(&mut b, &[r(2), r(3)], &[r(6), r(7)], r(1));
+        let noclamp = b.new_label();
+        b.bra_if(noclamp, 300, Some(r(1)));
+        b.imin(r(1), r(1), r(4));
+        b.place(noclamp);
+        pressure_spike(&mut b, 6, 17, r(1), SpikeStyle::FloatFma, &[r(2), r(4), r(5)]);
+        b.st_global(r(2), r(1));
+        // Phase 2: diffusion update + second spike.
+        independent_loads(&mut b, &[r(3), r(0)], &[r(6), r(7)], r(1));
+        pressure_spike(&mut b, 6, 17, r(1), SpikeStyle::FloatFma, &[r(3), r(5), r(4)]);
+        b.st_global(r(3), r(1));
+        b.bra_loop(iters, TripCount::Fixed(3));
+    }
+    b.st_global(r(4), r(5));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("SRAD kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "SRAD",
+        kernel: kernel(),
+        grid_ctas: 180,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::RfInsensitive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

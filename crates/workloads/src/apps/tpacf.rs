@@ -1,0 +1,76 @@
+//! TPACF (Parboil): two-point angular correlation function.
+//!
+//! Character: histogram accumulation over galaxy-pair angular distances —
+//! bin-search loops with uniform branches and a correlation spike per tile;
+//! shared memory holds per-CTA histograms, bounding baseline occupancy
+//! (Fig 8 group). Table I: 28 regs, `|Bs| = 20`.
+
+use regmutex_isa::{Kernel, KernelBuilder, TripCount};
+
+use crate::gen::{dependent_loads, epilogue, pressure_spike, r, varied, SpikeStyle};
+use crate::{Group, Workload};
+
+/// Table I registers per thread.
+pub const REGS: u16 = 28;
+/// Table I base-set size.
+pub const TABLE_BS: u16 = 20;
+
+/// Build the synthetic TPACF kernel.
+pub fn kernel() -> Kernel {
+    let mut b = KernelBuilder::new("TPACF");
+    b.threads_per_cta(256).shmem_per_cta(13_000).seed(0x79AC);
+    // Persistent: r0 pair cursor, r1 histogram acc, r2 data base,
+    // r3 random base, r4 bin scale, r5 bin count.
+    for i in 0..6 {
+        b.movi(r(i), 0x1200 + u64::from(i));
+    }
+    let tiles = b.here();
+    {
+        // Pair-distance loop with a bin search (uniform branches).
+        let pairs = b.here();
+        dependent_loads(&mut b, r(2), r(6), 1);
+        b.shr(r(7), r(6), r(4));
+        let found = b.new_label();
+        b.bra_if(found, 450, Some(r(7)));
+        b.iadd(r(1), r(7), r(1));
+        b.place(found);
+        b.ld_shared(r(6), r(3));
+        b.iadd(r(1), r(6), r(1));
+        b.bra_loop_pred(pairs, varied(4, 2), r(5));
+        // Correlation spike: r6..r27 = 22; peak = 6 + 22 = 28.
+        pressure_spike(
+            &mut b,
+            6,
+            27,
+            r(1),
+            SpikeStyle::IntMad,
+            &[r(2), r(3), r(4), r(5)],
+        );
+        b.st_shared(r(3), r(1));
+        b.bra_loop(tiles, TripCount::Fixed(3));
+    }
+    b.st_global(r(2), r(4));
+    b.st_global(r(3), r(5));
+    epilogue(&mut b, r(0), r(1));
+    b.build().expect("TPACF kernel is structurally valid")
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "TPACF",
+        kernel: kernel(),
+        grid_ctas: 120,
+        table_regs: REGS,
+        table_bs: TABLE_BS,
+        group: Group::RfInsensitive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_compliance() {
+        crate::test_support::check(&super::workload());
+    }
+}

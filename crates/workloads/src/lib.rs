@@ -1,0 +1,151 @@
+//! # regmutex-workloads
+//!
+//! Synthetic stand-ins for the 16 Table I benchmark kernels (Rodinia,
+//! Parboil, CUDA SDK). We cannot run the real CUDA binaries (no GPU, no
+//! PTXPlus), so each generator reproduces the properties RegMutex interacts
+//! with: the application's architected register count (Table I), a
+//! register-pressure profile with the Fig 1 shape (long low-pressure phases,
+//! short spikes), its memory/divergence/barrier character, and a CTA
+//! geometry under which the §III-A2 heuristic selects exactly the Table I
+//! `|Bs|` on the architecture where the paper evaluates that application
+//! (the GTX480 baseline for the occupancy-limited Fig 7 group, the
+//! half-register-file variant for the Fig 8 group).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod gen;
+pub mod suite;
+
+use regmutex_isa::Kernel;
+use regmutex_sim::{GpuConfig, LaunchConfig};
+
+/// Which experiment group an application belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// Fig 7: occupancy limited by register demand on the baseline GPU.
+    OccupancyLimited,
+    /// Fig 8: registers do not limit occupancy on the baseline GPU; these
+    /// applications are evaluated on the half-register-file architecture.
+    RfInsensitive,
+}
+
+/// One benchmark application.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Application name (matching the paper's Table I).
+    pub name: &'static str,
+    /// The synthesized kernel.
+    pub kernel: Kernel,
+    /// Whole-device grid size used by the experiments.
+    pub grid_ctas: u32,
+    /// Table I registers per thread (unrounded).
+    pub table_regs: u16,
+    /// Table I base-set size the heuristic must reproduce.
+    pub table_bs: u16,
+    /// Experiment group.
+    pub group: Group,
+}
+
+impl Workload {
+    /// The launch configuration for this application's experiments.
+    pub fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.grid_ctas)
+    }
+
+    /// The architecture on which Table I's `|Bs|` applies: the GTX480
+    /// baseline for the Fig 7 group, the half-RF variant for the Fig 8
+    /// group.
+    pub fn table_config(&self) -> GpuConfig {
+        match self.group {
+            Group::OccupancyLimited => GpuConfig::gtx480(),
+            Group::RfInsensitive => GpuConfig::gtx480_half_rf(),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use regmutex_compiler::{compile, CompileOptions};
+    use regmutex_sim::{occupancy, GpuConfig, KernelResources, Limiter};
+
+    use crate::{Group, Workload};
+
+    /// Table-compliance oracle shared by every application's tests:
+    /// * the kernel validates and declares exactly the Table I register
+    ///   count, with a real pressure spike above `|Bs|`;
+    /// * on the group's home architecture, the §III-A2 heuristic picks
+    ///   exactly the Table I `|Bs|` and injects acquire/release pairs;
+    /// * group membership matches the occupancy limiter on the baseline
+    ///   GPU (Fig 7 = register-limited, Fig 8 = not).
+    pub fn check(w: &Workload) {
+        w.kernel.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(w.kernel.regs_per_thread, w.table_regs, "{}", w.name);
+
+        let lv = regmutex_compiler::analyze(&w.kernel);
+        let peak = lv.max_pressure() as u16;
+        assert!(
+            peak > w.table_bs && peak <= w.table_regs,
+            "{}: pressure peak {peak} outside ({}, {}]",
+            w.name,
+            w.table_bs,
+            w.table_regs
+        );
+
+        let cfg = w.table_config();
+        let compiled = compile(&w.kernel, &cfg, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let plan = compiled.plan.unwrap_or_else(|| {
+            panic!(
+                "{}: RegMutex not applied; rejects: {:?}",
+                w.name, compiled.diagnostics.rejected
+            )
+        });
+        assert_eq!(plan.bs, w.table_bs, "{}: plan {plan:?}", w.name);
+        assert_eq!(
+            plan.es,
+            cfg.round_regs(w.table_regs) as u16 - w.table_bs,
+            "{}",
+            w.name
+        );
+        assert!(compiled.diagnostics.acquires >= 1, "{}", w.name);
+        assert_eq!(
+            compiled.diagnostics.acquires, compiled.diagnostics.releases,
+            "{}",
+            w.name
+        );
+
+        let baseline = occupancy::theoretical(
+            &GpuConfig::gtx480(),
+            KernelResources::new(
+                w.kernel.regs_per_thread,
+                w.kernel.shmem_per_cta,
+                w.kernel.threads_per_cta,
+            ),
+        );
+        match w.group {
+            Group::OccupancyLimited => {
+                assert_eq!(baseline.limiter, Limiter::Registers, "{}", w.name)
+            }
+            Group::RfInsensitive => {
+                assert_ne!(baseline.limiter, Limiter::Registers, "{}", w.name)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_accessors() {
+        let w = suite::by_name("BFS").expect("BFS exists");
+        assert_eq!(w.launch().grid_ctas, w.grid_ctas);
+        assert_eq!(w.group, Group::OccupancyLimited);
+        assert_eq!(w.table_config().regs_per_sm, 32_768);
+        let g = suite::by_name("Gaussian").expect("Gaussian exists");
+        assert_eq!(g.table_config().regs_per_sm, 16_384);
+    }
+}

@@ -1,0 +1,39 @@
+//! Occupancy-boost scenario: run the paper's occupancy-limited workloads
+//! (Fig 7 group) under every technique and print the comparison, including
+//! the hardware storage each one costs — the paper's central trade-off.
+//!
+//! ```sh
+//! cargo run --release --example occupancy_boost
+//! ```
+
+use regmutex_repro::prelude::*;
+
+use regmutex::{cycle_reduction_percent, ALL_TECHNIQUES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let session = Session::new(GpuConfig::gtx480());
+    for w in suite::occupancy_limited().into_iter().take(3) {
+        let compiled = session.compile(&w.kernel)?;
+        let base = session.run_compiled(&compiled, w.launch(), Technique::Baseline)?;
+        println!(
+            "== {} ({} regs/thread, baseline occupancy {}%, {} cycles)",
+            w.name,
+            w.table_regs,
+            base.occupancy_percent(),
+            base.cycles()
+        );
+        for t in ALL_TECHNIQUES.into_iter().skip(1) {
+            let rep = session.run_compiled(&compiled, w.launch(), t)?;
+            assert_eq!(base.stats.checksum, rep.stats.checksum);
+            println!(
+                "   {:<16} {:>6.1}% reduction | occupancy {:>3}% | +{} bits of SM storage",
+                rep.technique.to_string(),
+                cycle_reduction_percent(&base, &rep),
+                rep.occupancy_percent(),
+                rep.storage_overhead_bits
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Register-file-shrink scenario (the paper's §IV-B): run a workload on an
+//! architecture with half the register file and show that RegMutex lets it
+//! keep (most of) its full-RF performance — "higher performance per dollar".
+//!
+//! ```sh
+//! cargo run --release --example small_register_file
+//! ```
+
+use regmutex_repro::prelude::*;
+
+use regmutex::cycle_increase_percent;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = Session::new(GpuConfig::gtx480());
+    let half = Session::new(GpuConfig::gtx480_half_rf());
+
+    for name in ["HeartWall", "SPMV", "TPACF", "MergeSort"] {
+        let w = suite::by_name(name).expect("known workload");
+        let reference = full.run(&w.kernel, w.launch(), Technique::Baseline)?;
+        let compiled = half.compile(&w.kernel)?;
+        let without = half.run_compiled(&compiled, w.launch(), Technique::Baseline)?;
+        let with = half.run_compiled(&compiled, w.launch(), Technique::RegMutex)?;
+        assert_eq!(reference.stats.checksum, with.stats.checksum);
+
+        println!("== {name}: full-RF reference {} cycles", reference.cycles());
+        println!(
+            "   half RF, no technique : {:>8} cycles ({:+.1}%)",
+            without.cycles(),
+            cycle_increase_percent(&reference, &without)
+        );
+        println!(
+            "   half RF, RegMutex     : {:>8} cycles ({:+.1}%)",
+            with.cycles(),
+            cycle_increase_percent(&reference, &with)
+        );
+        match compiled.plan {
+            Some(p) => println!(
+                "   plan: |Bs| = {}, |Es| = {}, {} SRP sections\n",
+                p.bs, p.es, p.srp_sections
+            ),
+            None => println!("   plan: RegMutex not applied\n"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # regmutex-repro
+//!
+//! Facade crate for the RegMutex (ISCA 2018) reproduction workspace. It
+//! re-exports the member crates under stable module names so the workspace's
+//! `examples/` and `tests/` can use one import root:
+//!
+//! ```
+//! use regmutex_repro::prelude::*;
+//!
+//! let cfg = GpuConfig::gtx480();
+//! assert_eq!(cfg.max_warps_per_sm, 48);
+//! ```
+//!
+//! See the individual crates for the real APIs:
+//! - [`isa`] — the synthetic warp-level GPU instruction set,
+//! - [`compiler`] — liveness analysis, |Es| selection, acquire/release
+//!   injection, register index compaction,
+//! - [`sim`] — the cycle-level SM simulator substrate,
+//! - [`core`] — the RegMutex microarchitecture, baselines, and runner API,
+//! - [`workloads`] — the 16 synthetic Table I benchmark kernels.
+
+pub use regmutex as core;
+pub use regmutex_compiler as compiler;
+pub use regmutex_isa as isa;
+pub use regmutex_sim as sim;
+pub use regmutex_workloads as workloads;
+
+/// Commonly used items, re-exported for examples and integration tests.
+pub mod prelude {
+    pub use regmutex::{RunReport, Session, Technique};
+    pub use regmutex_compiler::{compile, CompileOptions, CompiledKernel};
+    pub use regmutex_isa::{Kernel, KernelBuilder};
+    pub use regmutex_sim::{GpuConfig, LaunchConfig};
+    pub use regmutex_workloads::{suite, Workload};
+}

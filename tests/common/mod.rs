@@ -1,0 +1,172 @@
+//! Shared test support: a generator of random *structured* kernels for
+//! property tests.
+//!
+//! Kernels are built from a segment grammar (ALU chains, memory accesses,
+//! pressure spikes, loops, uniform/divergent skips, barriers) under a fixed
+//! register discipline: persistent registers live for the whole kernel,
+//! temporaries rotate through a small window, and spikes use the indices
+//! above it. This mirrors how the workload generators are built, while
+//! proptest explores the structural space.
+
+use proptest::prelude::*;
+use regmutex_isa::{ArchReg, Kernel, KernelBuilder, TripCount};
+
+/// Number of persistent registers (r0..r3).
+const PERSISTENT: u16 = 4;
+/// Temp window (r4..r5).
+const TEMPS: u16 = 2;
+/// First spike register.
+const SPIKE_LO: u16 = PERSISTENT + TEMPS;
+
+/// One structural element of a generated kernel.
+#[derive(Debug, Clone)]
+pub enum Seg {
+    /// `n` dependent ALU instructions on persistent registers.
+    Alu(u8),
+    /// A global load + consume (temp-register landing).
+    Load,
+    /// A global store of a persistent register.
+    Store,
+    /// A pressure spike of `n` extra registers.
+    Spike(u8),
+    /// A loop around a body.
+    Loop {
+        /// Trip count (1..=4).
+        trips: u8,
+        /// Loop body.
+        body: Vec<Seg>,
+    },
+    /// A uniform forward skip over a body.
+    Skip {
+        /// Taken probability in permille.
+        permille: u16,
+        /// Skipped body.
+        body: Vec<Seg>,
+    },
+    /// A divergent forward skip over a body.
+    Diverge {
+        /// Per-lane skip probability in permille.
+        permille: u16,
+        /// Skipped body.
+        body: Vec<Seg>,
+    },
+    /// A CTA barrier (only emitted at top level).
+    Barrier,
+}
+
+/// Proptest strategy for a segment tree.
+pub fn seg_strategy(depth: u32) -> impl Strategy<Value = Seg> {
+    let leaf = prop_oneof![
+        (1u8..6).prop_map(Seg::Alu),
+        Just(Seg::Load),
+        Just(Seg::Store),
+        (3u8..10).prop_map(Seg::Spike),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            ((1u8..4), prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(trips, body)| Seg::Loop { trips, body }),
+            ((0u16..1000), prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(permille, body)| Seg::Skip { permille, body }),
+            ((1u16..1000), prop::collection::vec(inner, 1..4))
+                .prop_map(|(permille, body)| Seg::Diverge { permille, body }),
+        ]
+    })
+}
+
+/// Strategy for a whole kernel: a top-level segment list (with optional
+/// barriers between segments) and a seed.
+pub fn kernel_strategy() -> impl Strategy<Value = Kernel> {
+    (
+        prop::collection::vec((seg_strategy(2), prop::bool::ANY), 1..6),
+        any::<u64>(),
+    )
+        .prop_map(|(segs, seed)| build_kernel(&segs, seed))
+}
+
+fn r(i: u16) -> ArchReg {
+    ArchReg(i)
+}
+
+fn emit(b: &mut KernelBuilder, seg: &Seg, next_temp: &mut u16) {
+    match seg {
+        Seg::Alu(n) => {
+            for i in 0..*n {
+                let d = r(u16::from(i) % PERSISTENT);
+                b.iadd(d, r(0), r(u16::from(i + 1) % PERSISTENT));
+            }
+        }
+        Seg::Load => {
+            let t = r(PERSISTENT + (*next_temp % TEMPS));
+            *next_temp += 1;
+            b.ld_global(t, r(0));
+            b.iadd(r(1), t, r(1));
+        }
+        Seg::Store => {
+            b.st_global(r(0), r(1));
+        }
+        Seg::Spike(n) => {
+            let n = u16::from(*n);
+            for i in 0..n {
+                b.xor(r(SPIKE_LO + i), r(i as u16 % PERSISTENT), r(1));
+            }
+            let mut i = 0;
+            while i + 1 < n {
+                b.imad(r(1), r(SPIKE_LO + i), r(SPIKE_LO + i + 1), r(1));
+                i += 2;
+            }
+            if i < n {
+                b.iadd(r(1), r(SPIKE_LO + i), r(1));
+            }
+        }
+        Seg::Loop { trips, body } => {
+            let top = b.here();
+            for s in body {
+                emit(b, s, next_temp);
+            }
+            b.bra_loop(top, TripCount::Fixed(u32::from(*trips)));
+        }
+        Seg::Skip { permille, body } => {
+            let label = b.new_label();
+            b.bra_if(label, *permille, Some(r(0)));
+            for s in body {
+                emit(b, s, next_temp);
+            }
+            b.place(label);
+        }
+        Seg::Diverge { permille, body } => {
+            let label = b.new_label();
+            b.bra_div(label, *permille, Some(r(0)));
+            for s in body {
+                emit(b, s, next_temp);
+            }
+            b.place(label);
+        }
+        Seg::Barrier => {
+            b.bar();
+        }
+    }
+}
+
+/// Render a segment list into a valid kernel.
+pub fn build_kernel(segs: &[(Seg, bool)], seed: u64) -> Kernel {
+    let mut b = KernelBuilder::new("prop");
+    b.threads_per_cta(64).seed(seed);
+    for i in 0..PERSISTENT {
+        b.movi(r(i), 0x1000 + u64::from(i));
+    }
+    let mut next_temp = 0;
+    for (seg, barrier_after) in segs {
+        emit(&mut b, seg, &mut next_temp);
+        // Barriers only at top level, where the warp is converged.
+        if *barrier_after {
+            b.bar();
+        }
+    }
+    // Make every persistent register observable.
+    for i in 0..PERSISTENT {
+        b.st_global(r(i), r((i + 1) % PERSISTENT));
+    }
+    b.exit();
+    b.build().expect("generated kernel is structurally valid")
+}

@@ -1,0 +1,217 @@
+//! Property tests over the compiler passes themselves: liveness against a
+//! brute-force reference on straight-line code, verifier guarantees on
+//! transformed kernels, and heuristic viability rules.
+
+mod common;
+
+use proptest::prelude::*;
+use regmutex_compiler::{
+    analyze, barrier_live_max, compile, es_select, verify_transformed, CompileOptions,
+};
+use regmutex_isa::{ArchReg, Instr, Kernel, Op};
+use regmutex_sim::{GpuConfig, KernelResources};
+
+/// Brute-force liveness for straight-line code: a register is live-in at pc
+/// if it is read at some pc' >= pc before being written.
+fn brute_force_live_in(kernel: &Kernel, pc: usize, reg: u16) -> bool {
+    for i in &kernel.instrs[pc..] {
+        if i.srcs.iter().any(|s| s.0 == reg) {
+            return true;
+        }
+        if i.dst == Some(ArchReg(reg)) {
+            return false;
+        }
+    }
+    false
+}
+
+/// Strategy: straight-line instruction sequences over 6 registers.
+fn straight_line() -> impl Strategy<Value = Kernel> {
+    prop::collection::vec((0u16..6, 0u16..6, 0u16..6, 0u8..4), 1..30).prop_map(|ops| {
+        let mut instrs = Vec::new();
+        for (d, a, b, kind) in ops {
+            let instr = match kind {
+                0 => Instr::new(Op::IAdd, Some(ArchReg(d)), vec![ArchReg(a), ArchReg(b)]),
+                1 => Instr::new(Op::MovImm(u64::from(d) + 1), Some(ArchReg(d)), vec![]),
+                2 => Instr::new(Op::Mov, Some(ArchReg(d)), vec![ArchReg(a)]),
+                _ => Instr::new(Op::St(regmutex_isa::Space::Global), None, vec![
+                    ArchReg(a),
+                    ArchReg(b),
+                ]),
+            };
+            instrs.push(instr);
+        }
+        instrs.push(Instr::new(Op::Exit, None, vec![]));
+        Kernel {
+            name: "straight".into(),
+            instrs,
+            regs_per_thread: 6,
+            shmem_per_cta: 0,
+            threads_per_cta: 32,
+            seed: 0,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Dataflow liveness equals the brute-force reference on straight-line
+    /// code.
+    #[test]
+    fn liveness_matches_brute_force(kernel in straight_line()) {
+        let lv = analyze(&kernel);
+        for pc in 0..kernel.len() {
+            for reg in 0..6u16 {
+                prop_assert_eq!(
+                    lv.live_in[pc].contains(usize::from(reg)),
+                    brute_force_live_in(&kernel, pc, reg),
+                    "pc {} reg {}", pc, reg
+                );
+            }
+        }
+    }
+
+    /// Whatever the pipeline emits passes the static held-state verifier
+    /// and structural validation (on random structured kernels).
+    #[test]
+    fn pipeline_output_verifies(kernel in common::kernel_strategy(), es in 1u16..5) {
+        let cfg = GpuConfig::test_tiny();
+        let compiled = compile(
+            &kernel,
+            &cfg,
+            &CompileOptions { force_es: Some(es * 2), force_apply: true },
+        ).expect("compile runs");
+        compiled.kernel.validate().expect("transformed kernel valid");
+        if let Some(plan) = compiled.plan {
+            verify_transformed(&compiled.kernel, plan.bs).expect("verifier clean");
+            // The plan satisfies both deadlock rules.
+            prop_assert!(plan.srp_sections >= 1);
+            let lv = analyze(&kernel);
+            prop_assert!(plan.bs >= barrier_live_max(&kernel, &lv));
+        }
+    }
+
+    /// Heuristic invariants: candidates partition the rounded register
+    /// count, viable ones obey the deadlock rules, and the chosen one (if
+    /// any) is viable.
+    #[test]
+    fn es_selection_invariants(regs in 6u16..64, tpc in 1u32..16, bl in 0u16..20) {
+        let cfg = GpuConfig::gtx480();
+        let res = KernelResources::new(regs, 0, tpc * 32);
+        let sel = es_select::select(&cfg, res, bl);
+        let total = cfg.round_regs(regs) as u16;
+        prop_assert_eq!(sel.total_regs, total);
+        for c in &sel.ranked {
+            prop_assert_eq!(c.es + c.bs, total);
+            if c.viable {
+                prop_assert!(c.srp_sections >= 1);
+                prop_assert!(c.bs >= bl);
+                prop_assert!(c.es > 0);
+            }
+        }
+        if let Some(chosen) = sel.chosen() {
+            prop_assert!(chosen.viable);
+            // No viable candidate has strictly better selection occupancy.
+            for c in &sel.ranked {
+                if c.viable {
+                    prop_assert!(c.selection_warps <= chosen.selection_warps);
+                }
+            }
+        }
+    }
+
+    /// Occupancy is monotonically non-increasing in register demand.
+    #[test]
+    fn occupancy_monotonic(tpc in 1u32..16, shmem in 0u32..24_000) {
+        let cfg = GpuConfig::gtx480();
+        let mut last = u32::MAX;
+        for regs in 1..=64u16 {
+            let occ = regmutex_sim::theoretical(
+                &cfg,
+                KernelResources::new(regs, shmem, tpc * 32),
+            );
+            prop_assert!(occ.warps <= last, "regs {}: {} > {}", regs, occ.warps, last);
+            last = occ.warps;
+        }
+    }
+}
+
+/// Strategy: straight-line kernels over 10 registers ending in observable
+/// stores, for compaction-focused properties.
+fn straight_line_10() -> impl Strategy<Value = Kernel> {
+    prop::collection::vec((0u16..10, 0u16..10, 0u16..10, 0u8..5), 4..40).prop_map(|ops| {
+        let mut instrs = Vec::new();
+        for (d, a, b, kind) in ops {
+            let instr = match kind {
+                0 => Instr::new(Op::IAdd, Some(ArchReg(d)), vec![ArchReg(a), ArchReg(b)]),
+                1 => Instr::new(Op::MovImm(u64::from(d * 31 + a)), Some(ArchReg(d)), vec![]),
+                2 => Instr::new(Op::Xor, Some(ArchReg(d)), vec![ArchReg(a), ArchReg(b)]),
+                3 => Instr::new(
+                    Op::IMad,
+                    Some(ArchReg(d)),
+                    vec![ArchReg(a), ArchReg(b), ArchReg(d)],
+                ),
+                _ => Instr::new(
+                    Op::St(regmutex_isa::Space::Global),
+                    None,
+                    vec![ArchReg(a), ArchReg(b)],
+                ),
+            };
+            instrs.push(instr);
+        }
+        // Make every register's final value observable.
+        for i in 0..10u16 {
+            instrs.push(Instr::new(
+                Op::St(regmutex_isa::Space::Global),
+                None,
+                vec![ArchReg(i), ArchReg((i + 1) % 10)],
+            ));
+        }
+        instrs.push(Instr::new(Op::Exit, None, vec![]));
+        Kernel {
+            name: "sl10".into(),
+            instrs,
+            regs_per_thread: 10,
+            shmem_per_cta: 0,
+            threads_per_cta: 32,
+            seed: 3,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Compaction correctness, checked by execution: for any straight-line
+    /// program and any base-set size the pipeline accepts, the transformed
+    /// kernel leaves no extended-index access outside held regions AND
+    /// produces the exact same store checksum as the original.
+    #[test]
+    fn compaction_preserves_straightline_semantics(
+        kernel in straight_line_10(),
+        es in 2u16..8,
+    ) {
+        use regmutex::{Session, Technique};
+        use regmutex_sim::LaunchConfig;
+
+        let cfg = GpuConfig::test_tiny();
+        let compiled = compile(
+            &kernel,
+            &cfg,
+            &CompileOptions { force_es: Some(es & !1), force_apply: true },
+        ).expect("compile runs");
+        let Some(plan) = compiled.plan else { return Ok(()); };
+        // Static index invariant via the verifier…
+        verify_transformed(&compiled.kernel, plan.bs).expect("verifier clean");
+        // …and dynamic equivalence via the simulator.
+        let session = Session::with_options(
+            cfg,
+            CompileOptions { force_es: Some(es & !1), force_apply: true },
+        );
+        let launch = LaunchConfig::new(2);
+        let base = session.run(&kernel, launch, Technique::Baseline).expect("baseline");
+        let rm = session.run(&kernel, launch, Technique::RegMutex).expect("regmutex");
+        prop_assert_eq!(base.stats.checksum, rm.stats.checksum);
+    }
+}

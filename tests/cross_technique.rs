@@ -1,0 +1,118 @@
+//! Integration: every workload completes under every technique, all
+//! techniques agree functionally (store checksums), and the headline
+//! orderings hold.
+
+use regmutex_repro::prelude::*;
+
+use regmutex::{cycle_reduction_percent, ALL_TECHNIQUES};
+use regmutex_sim::LaunchConfig;
+
+/// Reduced grids keep debug-mode runtime reasonable while still spanning
+/// multiple CTA waves.
+fn reduced_launch(w: &Workload) -> LaunchConfig {
+    LaunchConfig::new(w.grid_ctas.min(60))
+}
+
+#[test]
+fn all_workloads_all_techniques_agree_functionally() {
+    for w in suite::all() {
+        let session = Session::new(w.table_config());
+        let compiled = session.compile(&w.kernel).expect("compile");
+        let launch = reduced_launch(&w);
+        let mut reference: Option<u64> = None;
+        for t in ALL_TECHNIQUES {
+            let rep = session
+                .run_compiled(&compiled, launch, t)
+                .unwrap_or_else(|e| panic!("{} under {t}: {e}", w.name));
+            assert!(rep.cycles() > 0, "{} under {t}: zero cycles", w.name);
+            match reference {
+                None => reference = Some(rep.stats.checksum),
+                Some(c) => assert_eq!(
+                    c, rep.stats.checksum,
+                    "{} under {t}: functional divergence",
+                    w.name
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn regmutex_is_transformed_for_every_workload() {
+    for w in suite::all() {
+        let session = Session::new(w.table_config());
+        let compiled = session.compile(&w.kernel).expect("compile");
+        assert!(
+            compiled.is_transformed(),
+            "{}: no plan; rejects: {:?}",
+            w.name,
+            compiled.diagnostics.rejected
+        );
+        let plan = compiled.plan.unwrap();
+        assert_eq!(plan.bs, w.table_bs, "{}", w.name);
+    }
+}
+
+#[test]
+fn fig7_regmutex_never_loses_badly_and_wins_on_average() {
+    let session = Session::new(regmutex_sim::GpuConfig::gtx480());
+    let mut total = 0.0;
+    let mut n = 0u32;
+    for w in suite::occupancy_limited() {
+        let compiled = session.compile(&w.kernel).expect("compile");
+        let launch = w.launch();
+        let base = session
+            .run_compiled(&compiled, launch, Technique::Baseline)
+            .expect("baseline");
+        let rm = session
+            .run_compiled(&compiled, launch, Technique::RegMutex)
+            .expect("regmutex");
+        let red = cycle_reduction_percent(&base, &rm);
+        assert!(red > -10.0, "{}: RegMutex regressed by {red:.1}%", w.name);
+        total += red;
+        n += 1;
+    }
+    let avg = total / f64::from(n);
+    assert!(
+        (5.0..=30.0).contains(&avg),
+        "Fig 7 average reduction {avg:.1}% out of the paper's ballpark"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let w = suite::by_name("CUTCP").expect("CUTCP exists");
+    let session = Session::new(w.table_config());
+    let compiled = session.compile(&w.kernel).expect("compile");
+    let launch = reduced_launch(&w);
+    let a = session
+        .run_compiled(&compiled, launch, Technique::RegMutex)
+        .expect("first run");
+    let b = session
+        .run_compiled(&compiled, launch, Technique::RegMutex)
+        .expect("second run");
+    assert_eq!(a.cycles(), b.cycles());
+    assert_eq!(a.stats.checksum, b.stats.checksum);
+    assert_eq!(a.stats.acquire_attempts, b.stats.acquire_attempts);
+}
+
+#[test]
+fn storage_ordering_matches_paper() {
+    let w = suite::by_name("BFS").expect("BFS exists");
+    let session = Session::new(w.table_config());
+    let compiled = session.compile(&w.kernel).expect("compile");
+    let launch = reduced_launch(&w);
+    let bits: Vec<(Technique, u64)> = ALL_TECHNIQUES
+        .iter()
+        .map(|&t| {
+            let rep = session.run_compiled(&compiled, launch, t).expect("run");
+            (t, rep.storage_overhead_bits)
+        })
+        .collect();
+    let get = |t: Technique| bits.iter().find(|(x, _)| *x == t).unwrap().1;
+    assert_eq!(get(Technique::Baseline), 0);
+    assert_eq!(get(Technique::RegMutex), 384);
+    assert_eq!(get(Technique::Rfv), 31_264);
+    assert!(get(Technique::RegMutexPaired) < get(Technique::RegMutex));
+    assert!(get(Technique::Rfv) / get(Technique::RegMutex) >= 81);
+}
