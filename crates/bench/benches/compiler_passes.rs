@@ -1,38 +1,54 @@
-//! Criterion benchmarks over the compiler passes: liveness analysis, the
-//! full pipeline, and the Fig 1 dynamic trace, on the largest workload
-//! kernel (DWT2D).
+//! Benchmarks over the compiler passes: liveness analysis, the full
+//! pipeline, and the Fig 1 dynamic trace, on the largest workload kernel
+//! (DWT2D).
+//!
+//! Self-contained timing harness (median of `SAMPLES` timed runs after one
+//! warmup) so the workspace has no external bench-framework dependency.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use regmutex_compiler::{analyze, compile, live_trace, CompileOptions};
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
 
-fn bench_passes(c: &mut Criterion) {
+const SAMPLES: usize = 25;
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f()); // warmup
+    let mut times: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!("{name:<40} {:>12.3} us/iter", median as f64 / 1e3);
+}
+
+fn main() {
     let w = suite::by_name("DWT2D").expect("DWT2D exists");
     let cfg = GpuConfig::gtx480();
 
-    c.bench_function("liveness-dwt2d", |b| b.iter(|| analyze(&w.kernel)));
+    bench("liveness-dwt2d", || analyze(&w.kernel));
 
-    c.bench_function("compile-pipeline-dwt2d", |b| {
-        b.iter(|| compile(&w.kernel, &cfg, &CompileOptions::default()).expect("compiles"))
+    bench("compile-pipeline-dwt2d", || {
+        compile(&w.kernel, &cfg, &CompileOptions::default()).expect("compiles")
     });
 
-    c.bench_function("live-trace-dwt2d", |b| b.iter(|| live_trace(&w.kernel, 5_000)));
+    bench("live-trace-dwt2d", || live_trace(&w.kernel, 5_000));
 
-    c.bench_function("compile-all-16-workloads", |b| {
-        b.iter(|| {
-            suite::all()
-                .iter()
-                .map(|w| {
-                    compile(&w.kernel, &w.table_config(), &CompileOptions::default())
-                        .expect("compiles")
-                        .diagnostics
-                        .acquires
-                })
-                .sum::<u32>()
-        })
+    bench("compile-all-16-workloads", || {
+        suite::all()
+            .iter()
+            .map(|w| {
+                compile(&w.kernel, &w.table_config(), &CompileOptions::default())
+                    .expect("compiles")
+                    .diagnostics
+                    .acquires
+            })
+            .sum::<u32>()
     });
 }
-
-criterion_group!(benches, bench_passes);
-criterion_main!(benches);

@@ -1,19 +1,38 @@
-//! Criterion benchmarks over the simulator: baseline vs RegMutex on a
-//! reduced BFS-like configuration (small grid so `cargo bench` stays quick),
-//! plus grid-size scaling of the raw SM cycle loop.
+//! Benchmarks over the simulator: baseline vs RegMutex on a reduced
+//! BFS-like configuration (small grid so `cargo bench` stays quick), plus
+//! grid-size scaling of the raw SM cycle loop.
+//!
+//! Self-contained timing harness (median of `SAMPLES` timed runs after one
+//! warmup) so the workspace has no external bench-framework dependency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use regmutex::{Session, Technique};
 use regmutex_sim::{GpuConfig, LaunchConfig};
 use regmutex_workloads::suite;
 
-fn bench_techniques(c: &mut Criterion) {
+const SAMPLES: usize = 10;
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f()); // warmup
+    let mut times: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!("{name:<40} {:>12.3} ms/iter", median as f64 / 1e6);
+}
+
+fn bench_techniques() {
     let w = suite::by_name("BFS").expect("BFS exists");
     let session = Session::new(GpuConfig::gtx480());
     let compiled = session.compile(&w.kernel).expect("compile");
     let launch = LaunchConfig::new(30); // 2 CTAs per SM share
-    let mut group = c.benchmark_group("simulate-bfs-30ctas");
-    group.sample_size(10);
     for t in [
         Technique::Baseline,
         Technique::RegMutex,
@@ -21,36 +40,30 @@ fn bench_techniques(c: &mut Criterion) {
         Technique::Rfv,
         Technique::Owf,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            b.iter(|| {
-                session
-                    .run_compiled(&compiled, launch, t)
-                    .expect("run completes")
-                    .cycles()
-            })
+        bench(&format!("simulate-bfs-30ctas/{t}"), || {
+            session
+                .run_compiled(&compiled, launch, t)
+                .expect("run completes")
+                .cycles()
         });
     }
-    group.finish();
 }
 
-fn bench_grid_scaling(c: &mut Criterion) {
+fn bench_grid_scaling() {
     let w = suite::by_name("Gaussian").expect("Gaussian exists");
     let session = Session::new(GpuConfig::gtx480());
     let compiled = session.compile(&w.kernel).expect("compile");
-    let mut group = c.benchmark_group("simulate-gaussian-grid");
-    group.sample_size(10);
     for ctas in [15u32, 60, 120] {
-        group.bench_with_input(BenchmarkId::from_parameter(ctas), &ctas, |b, &n| {
-            b.iter(|| {
-                session
-                    .run_compiled(&compiled, LaunchConfig::new(n), Technique::Baseline)
-                    .expect("run completes")
-                    .cycles()
-            })
+        bench(&format!("simulate-gaussian-grid/{ctas}"), || {
+            session
+                .run_compiled(&compiled, LaunchConfig::new(ctas), Technique::Baseline)
+                .expect("run completes")
+                .cycles()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_techniques, bench_grid_scaling);
-criterion_main!(benches);
+fn main() {
+    bench_techniques();
+    bench_grid_scaling();
+}

@@ -6,31 +6,48 @@
 //! section), which could in principle change the conflict pattern. This
 //! ablation enables a 16-bank operand-collector model and shows the RegMutex
 //! conclusion is insensitive to it.
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
-use regmutex::{cycle_reduction_percent, Session, Technique};
-use regmutex_bench::{fmt_pct, GeoMean, Table};
+use regmutex::{cycle_reduction_percent, Technique};
+use regmutex_bench::{fmt_pct, GeoMean, JobSpec, Runner, Table};
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
 
+const BANKS: [u32; 2] = [0, 16];
+
 fn main() {
+    let runner = Runner::from_env();
+    let apps = suite::occupancy_limited();
+
+    let mut specs = Vec::new();
+    for w in &apps {
+        for banks in BANKS {
+            let mut cfg = GpuConfig::gtx480();
+            cfg.reg_banks = banks;
+            for t in [Technique::Baseline, Technique::RegMutex] {
+                specs.push(JobSpec::new(
+                    format!("{}/{banks} banks {t}", w.name),
+                    &w.kernel,
+                    &cfg,
+                    w.launch(),
+                    t,
+                ));
+            }
+        }
+    }
+    let reports = runner.run_reports(&specs);
+
     let mut table = Table::new(&["app", "no banks", "16 banks"]);
     let mut avg_off = GeoMean::new();
     let mut avg_on = GeoMean::new();
-    for w in suite::occupancy_limited() {
+    for (w, group) in apps.iter().zip(reports.chunks(2 * BANKS.len())) {
         let mut cells = vec![w.name.to_string()];
-        for (banks, avg) in [(0u32, &mut avg_off), (16, &mut avg_on)] {
-            let mut cfg = GpuConfig::gtx480();
-            cfg.reg_banks = banks;
-            let session = Session::new(cfg);
-            let compiled = session.compile(&w.kernel).expect("compile");
-            let base = session
-                .run_compiled(&compiled, w.launch(), Technique::Baseline)
-                .expect("baseline");
-            let rm = session
-                .run_compiled(&compiled, w.launch(), Technique::RegMutex)
-                .expect("regmutex");
+        for (pair, avg) in group.chunks(2).zip([&mut avg_off, &mut avg_on]) {
+            let (base, rm) = (&pair[0], &pair[1]);
             assert_eq!(base.stats.checksum, rm.stats.checksum, "{}", w.name);
-            let red = cycle_reduction_percent(&base, &rm);
+            let red = cycle_reduction_percent(base, rm);
             avg.push(red);
             cells.push(fmt_pct(red));
         }
@@ -44,4 +61,5 @@ fn main() {
         fmt_pct(avg_off.mean()),
         fmt_pct(avg_on.mean())
     );
+    eprintln!("{}", runner.summary());
 }

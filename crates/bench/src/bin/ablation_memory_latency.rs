@@ -4,37 +4,52 @@
 //! warps cover longer memory latencies. Sweeping the modelled round-trip
 //! latency shows the gain growing with latency (and vanishing when memory
 //! is fast enough that the baseline occupancy already suffices).
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
-use regmutex::{cycle_reduction_percent, Session, Technique};
-use regmutex_bench::{fmt_pct, Table};
+use regmutex::{cycle_reduction_percent, Technique};
+use regmutex_bench::{fmt_pct, JobSpec, Runner, Table};
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
 
 const LATENCIES: [u32; 5] = [60, 150, 380, 600, 900];
+const APPS: [&str; 3] = ["BFS", "MRI-Q", "CUTCP"];
 
 fn main() {
-    let mut headers = vec!["app".to_string()];
-    headers.extend(LATENCIES.iter().map(|l| format!("{l}cy")));
-    let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
-    for name in ["BFS", "MRI-Q", "CUTCP"] {
+    let runner = Runner::from_env();
+
+    let mut specs = Vec::new();
+    for name in APPS {
         let w = suite::by_name(name).expect("known app");
-        let mut cells = vec![w.name.to_string()];
         for lat in LATENCIES {
             let mut cfg = GpuConfig::gtx480();
             cfg.gmem_latency = lat;
-            let session = Session::new(cfg);
-            let compiled = session.compile(&w.kernel).expect("compile");
-            let base = session
-                .run_compiled(&compiled, w.launch(), Technique::Baseline)
-                .expect("baseline");
-            let rm = session
-                .run_compiled(&compiled, w.launch(), Technique::RegMutex)
-                .expect("regmutex");
-            cells.push(fmt_pct(cycle_reduction_percent(&base, &rm)));
+            for t in [Technique::Baseline, Technique::RegMutex] {
+                specs.push(JobSpec::new(
+                    format!("{name}/{lat}cy {t}"),
+                    &w.kernel,
+                    &cfg,
+                    w.launch(),
+                    t,
+                ));
+            }
+        }
+    }
+    let reports = runner.run_reports(&specs);
+
+    let mut headers = vec!["app".to_string()];
+    headers.extend(LATENCIES.iter().map(|l| format!("{l}cy")));
+    let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for (name, group) in APPS.iter().zip(reports.chunks(2 * LATENCIES.len())) {
+        let mut cells = vec![(*name).to_string()];
+        for pair in group.chunks(2) {
+            cells.push(fmt_pct(cycle_reduction_percent(&pair[0], &pair[1])));
         }
         table.row(cells);
     }
     println!("Ablation — RegMutex cycle reduction vs global-memory latency\n");
     table.print();
     println!("\n(expected: the gain grows with memory latency — it is a latency-hiding effect)");
+    eprintln!("{}", runner.summary());
 }

@@ -5,36 +5,71 @@
 //! This sweep shrinks the per-SM register file from 128 KB down to 32 KB and
 //! reports cycles relative to the full-size baseline, with and without
 //! RegMutex — the resilience curve behind Fig 8.
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
-use regmutex::{cycle_increase_percent, Session, Technique};
-use regmutex_bench::{fmt_pct, Table};
+use regmutex::{cycle_increase_percent, Technique};
+use regmutex_bench::{fmt_pct, JobSpec, Runner, Table};
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
 
 /// Register file sizes in KB.
 const SIZES_KB: [u32; 4] = [128, 96, 64, 48];
+const APPS: [&str; 4] = ["HeartWall", "SPMV", "TPACF", "SRAD"];
 
 fn main() {
+    let runner = Runner::from_env();
     let reference_cfg = GpuConfig::gtx480();
+
+    // Per app: one full-RF reference, then a (technique × size) matrix.
+    // Note the 128 KB baseline cell dedups against the reference via the
+    // job cache — same kernel, config, and technique.
+    let mut specs = Vec::new();
+    for name in APPS {
+        let w = suite::by_name(name).expect("known app");
+        specs.push(JobSpec::new(
+            format!("{name}/reference"),
+            &w.kernel,
+            &reference_cfg,
+            w.launch(),
+            Technique::Baseline,
+        ));
+        for technique in [Technique::Baseline, Technique::RegMutex] {
+            for kb in SIZES_KB {
+                let mut cfg = GpuConfig::gtx480();
+                cfg.regs_per_sm = kb * 1024 / 4; // 4 bytes per register
+                specs.push(JobSpec::new(
+                    format!("{name}/{kb}KB {technique}"),
+                    &w.kernel,
+                    &cfg,
+                    w.launch(),
+                    technique,
+                ));
+            }
+        }
+    }
+    let results = runner.run_all(&specs);
+
     let mut headers = vec!["app / technique".to_string()];
     headers.extend(SIZES_KB.iter().map(|s| format!("{s}KB")));
     let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
 
-    for name in ["HeartWall", "SPMV", "TPACF", "SRAD"] {
-        let w = suite::by_name(name).expect("known app");
-        let reference = Session::new(reference_cfg.clone())
-            .run(&w.kernel, w.launch(), Technique::Baseline)
-            .expect("reference");
-        for technique in [Technique::Baseline, Technique::RegMutex] {
+    let per_app = 1 + 2 * SIZES_KB.len();
+    for (name, group) in APPS.iter().zip(results.chunks(per_app)) {
+        let reference = group[0]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{name}/reference: {e}"));
+        for (technique, row) in [Technique::Baseline, Technique::RegMutex]
+            .iter()
+            .zip(group[1..].chunks(SIZES_KB.len()))
+        {
             let mut cells = vec![format!("{name} / {technique}")];
-            for kb in SIZES_KB {
-                let mut cfg = GpuConfig::gtx480();
-                cfg.regs_per_sm = kb * 1024 / 4; // 4 bytes per register
-                let session = Session::new(cfg);
-                match session.run(&w.kernel, w.launch(), technique) {
+            for result in row {
+                match result {
                     Ok(rep) => {
                         assert_eq!(reference.stats.checksum, rep.stats.checksum);
-                        cells.push(fmt_pct(cycle_increase_percent(&reference, &rep)));
+                        cells.push(fmt_pct(cycle_increase_percent(reference, rep)));
                     }
                     Err(e) => cells.push(format!("err({e})")),
                 }
@@ -46,4 +81,5 @@ fn main() {
     table.print();
     println!("\n(expected: the baseline degrades steeply; RegMutex stays nearly flat until");
     println!(" the file can no longer hold even the base sets)");
+    eprintln!("{}", runner.summary());
 }

@@ -3,34 +3,48 @@
 //! The paper evaluates on GPGPU-Sim's default greedy-then-oldest scheduler.
 //! This ablation re-runs the Fig 7 comparison under loose round-robin to
 //! show the RegMutex gain is an occupancy effect, not a scheduling artifact.
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
-use regmutex::{cycle_reduction_percent, Session, Technique};
-use regmutex_bench::{fmt_pct, GeoMean, Table};
+use regmutex::{cycle_reduction_percent, Technique};
+use regmutex_bench::{fmt_pct, GeoMean, JobSpec, Runner, Table};
 use regmutex_sim::{GpuConfig, SchedulerPolicy};
 use regmutex_workloads::suite;
 
+const POLICIES: [SchedulerPolicy; 2] = [SchedulerPolicy::Gto, SchedulerPolicy::Lrr];
+
 fn main() {
+    let runner = Runner::from_env();
+    let apps = suite::occupancy_limited();
+
+    let mut specs = Vec::new();
+    for w in &apps {
+        for policy in POLICIES {
+            let mut cfg = GpuConfig::gtx480();
+            cfg.policy = policy;
+            for t in [Technique::Baseline, Technique::RegMutex] {
+                specs.push(JobSpec::new(
+                    format!("{}/{policy:?} {t}", w.name),
+                    &w.kernel,
+                    &cfg,
+                    w.launch(),
+                    t,
+                ));
+            }
+        }
+    }
+    let reports = runner.run_reports(&specs);
+
     let mut table = Table::new(&["app", "GTO reduction", "LRR reduction"]);
     let mut avg_gto = GeoMean::new();
     let mut avg_lrr = GeoMean::new();
-    for w in suite::occupancy_limited() {
+    for (w, group) in apps.iter().zip(reports.chunks(2 * POLICIES.len())) {
         let mut cells = vec![w.name.to_string()];
-        for (policy, avg) in [
-            (SchedulerPolicy::Gto, &mut avg_gto),
-            (SchedulerPolicy::Lrr, &mut avg_lrr),
-        ] {
-            let mut cfg = GpuConfig::gtx480();
-            cfg.policy = policy;
-            let session = Session::new(cfg);
-            let compiled = session.compile(&w.kernel).expect("compile");
-            let base = session
-                .run_compiled(&compiled, w.launch(), Technique::Baseline)
-                .expect("baseline");
-            let rm = session
-                .run_compiled(&compiled, w.launch(), Technique::RegMutex)
-                .expect("regmutex");
+        for (pair, avg) in group.chunks(2).zip([&mut avg_gto, &mut avg_lrr]) {
+            let (base, rm) = (&pair[0], &pair[1]);
             assert_eq!(base.stats.checksum, rm.stats.checksum, "{}", w.name);
-            let red = cycle_reduction_percent(&base, &rm);
+            let red = cycle_reduction_percent(base, rm);
             avg.push(red);
             cells.push(fmt_pct(red));
         }
@@ -43,4 +57,5 @@ fn main() {
         fmt_pct(avg_gto.mean()),
         fmt_pct(avg_lrr.mean())
     );
+    eprintln!("{}", runner.summary());
 }

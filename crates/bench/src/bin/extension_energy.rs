@@ -7,38 +7,55 @@
 //! it cites): with RegMutex the half-size file keeps nearly all of the
 //! performance while saving the file's static energy — a cheaper GPU with
 //! the same throughput.
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
-use regmutex::{cycle_increase_percent, energy::EnergyModel, Session, Technique};
-use regmutex_bench::{fmt_pct, Table};
+use regmutex::{cycle_increase_percent, energy::EnergyModel, Technique};
+use regmutex_bench::{fmt_pct, JobSpec, Runner, Table};
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
 
 fn main() {
+    let runner = Runner::from_env();
     let model = EnergyModel::default();
     let full_cfg = GpuConfig::gtx480();
     let half_cfg = GpuConfig::gtx480_half_rf();
-    let full = Session::new(full_cfg.clone());
-    let half = Session::new(half_cfg.clone());
+    let apps = suite::rf_insensitive();
+
+    let mut specs = Vec::new();
+    for w in &apps {
+        specs.push(JobSpec::new(
+            format!("{}/full-rf baseline", w.name),
+            &w.kernel,
+            &full_cfg,
+            w.launch(),
+            Technique::Baseline,
+        ));
+        specs.push(JobSpec::new(
+            format!("{}/half-rf regmutex", w.name),
+            &w.kernel,
+            &half_cfg,
+            w.launch(),
+            Technique::RegMutex,
+        ));
+    }
+    let reports = runner.run_reports(&specs);
+
     let mut table = Table::new(&[
         "app",
         "perf cost (half+RegMutex)",
         "RF energy vs full",
         "leakage vs full",
     ]);
-    for w in suite::rf_insensitive() {
-        let reference = full
-            .run(&w.kernel, w.launch(), Technique::Baseline)
-            .expect("full-RF baseline");
-        let compiled = half.compile(&w.kernel).expect("compile");
-        let rm = half
-            .run_compiled(&compiled, w.launch(), Technique::RegMutex)
-            .expect("half-RF regmutex");
+    for (w, pair) in apps.iter().zip(reports.chunks(2)) {
+        let (reference, rm) = (&pair[0], &pair[1]);
         assert_eq!(reference.stats.checksum, rm.stats.checksum, "{}", w.name);
         let e_full = model.estimate(&full_cfg, &reference.stats);
         let e_half = model.estimate(&half_cfg, &rm.stats);
         table.row(vec![
             w.name.to_string(),
-            fmt_pct(cycle_increase_percent(&reference, &rm)),
+            fmt_pct(cycle_increase_percent(reference, rm)),
             fmt_pct(100.0 * e_half.total() / e_full.total()),
             fmt_pct(100.0 * e_half.leakage / e_full.leakage),
         ]);
@@ -47,4 +64,5 @@ fn main() {
     println!("(ratios vs the full-size baseline; leakage halves with the file,");
     println!(" dynamic energy tracks the unchanged access counts)\n");
     table.print();
+    eprintln!("{}", runner.summary());
 }

@@ -95,7 +95,10 @@ fn main() {
     println!("  rows  16..32   warp B base set   (static, exclusive)");
     println!("  rows  32..48   shared pool       (one Es section, time-shared)\n");
 
-    println!("baseline : {} cycles — warps serialized (2 x 32 rounded regs > 48)", baseline.cycles());
+    println!(
+        "baseline : {} cycles — warps serialized (2 x 32 rounded regs > 48)",
+        baseline.cycles()
+    );
     println!(
         "regmutex : {} cycles — base phases overlap; {} acquires ({} successful)",
         rm.cycles(),

@@ -38,8 +38,8 @@ fn main() {
     for (pc, instr) in k.instrs.iter().enumerate() {
         let marks: String = (0..regs)
             .map(|reg| {
-                let live = lv.live_in[pc].contains(reg as usize)
-                    || lv.live_out[pc].contains(reg as usize);
+                let live =
+                    lv.live_in[pc].contains(reg as usize) || lv.live_out[pc].contains(reg as usize);
                 if live {
                     format!(" {:>2}", "x")
                 } else {

@@ -4,14 +4,34 @@
 //! the execution-cycle reduction with RegMutex and the theoretical occupancy
 //! before/after. Paper reference: 13% average reduction, up to 23% (BFS);
 //! SAD gains occupancy but little performance (SRP contention).
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
-use regmutex::{cycle_reduction_percent, Session, Technique};
-use regmutex_bench::{fmt_pct, GeoMean, Table};
+use regmutex::{cycle_reduction_percent, Technique};
+use regmutex_bench::{fmt_pct, GeoMean, JobSpec, Runner, Table};
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
 
 fn main() {
-    let session = Session::new(GpuConfig::gtx480());
+    let runner = Runner::from_env();
+    let cfg = GpuConfig::gtx480();
+    let apps = suite::occupancy_limited();
+
+    let mut specs = Vec::new();
+    for w in &apps {
+        for t in [Technique::Baseline, Technique::RegMutex] {
+            specs.push(JobSpec::new(
+                format!("{}/{t}", w.name),
+                &w.kernel,
+                &cfg,
+                w.launch(),
+                t,
+            ));
+        }
+    }
+    let reports = runner.run_reports(&specs);
+
     let mut table = Table::new(&[
         "app",
         "exec-cycle reduction",
@@ -22,20 +42,14 @@ fn main() {
         "cycles rm",
     ]);
     let mut avg = GeoMean::new();
-    for w in suite::occupancy_limited() {
-        let compiled = session.compile(&w.kernel).expect("compile");
-        let base = session
-            .run_compiled(&compiled, w.launch(), Technique::Baseline)
-            .expect("baseline run");
-        let rm = session
-            .run_compiled(&compiled, w.launch(), Technique::RegMutex)
-            .expect("regmutex run");
+    for (w, pair) in apps.iter().zip(reports.chunks(2)) {
+        let (base, rm) = (&pair[0], &pair[1]);
         assert_eq!(
             base.stats.checksum, rm.stats.checksum,
             "{}: functional divergence",
             w.name
         );
-        let red = cycle_reduction_percent(&base, &rm);
+        let red = cycle_reduction_percent(base, rm);
         avg.push(red);
         table.row(vec![
             w.name.to_string(),
@@ -51,4 +65,5 @@ fn main() {
     println!("(paper: avg 13%, BFS up to 23%, SAD small despite occupancy boost)\n");
     table.print();
     println!("\naverage reduction: {}", fmt_pct(avg.mean()));
+    eprintln!("{}", runner.summary());
 }

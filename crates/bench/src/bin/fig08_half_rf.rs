@@ -6,15 +6,42 @@
 //! without and with RegMutex, plus the occupancies. Paper reference: 23%
 //! average increase without RegMutex vs 9% with it; MergeSort is the one
 //! workload where RegMutex's heuristic buys no occupancy and costs slightly.
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
-use regmutex::{cycle_increase_percent, Session, Technique};
-use regmutex_bench::{fmt_pct, GeoMean, Table};
+use regmutex::{cycle_increase_percent, Technique};
+use regmutex_bench::{fmt_pct, GeoMean, JobSpec, Runner, Table};
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
 
 fn main() {
-    let full = Session::new(GpuConfig::gtx480());
-    let half = Session::new(GpuConfig::gtx480_half_rf());
+    let runner = Runner::from_env();
+    let full = GpuConfig::gtx480();
+    let half = GpuConfig::gtx480_half_rf();
+    let apps = suite::rf_insensitive();
+
+    let mut specs = Vec::new();
+    for w in &apps {
+        specs.push(JobSpec::new(
+            format!("{}/full-rf reference", w.name),
+            &w.kernel,
+            &full,
+            w.launch(),
+            Technique::Baseline,
+        ));
+        for t in [Technique::Baseline, Technique::RegMutex] {
+            specs.push(JobSpec::new(
+                format!("{}/half-rf {t}", w.name),
+                &w.kernel,
+                &half,
+                w.launch(),
+                t,
+            ));
+        }
+    }
+    let reports = runner.run_reports(&specs);
+
     let mut table = Table::new(&[
         "app",
         "increase w/o RegMutex",
@@ -25,20 +52,11 @@ fn main() {
     ]);
     let mut avg_none = GeoMean::new();
     let mut avg_rm = GeoMean::new();
-    for w in suite::rf_insensitive() {
-        let reference = full
-            .run(&w.kernel, w.launch(), Technique::Baseline)
-            .expect("full-RF reference");
-        let compiled = half.compile(&w.kernel).expect("compile");
-        let none = half
-            .run_compiled(&compiled, w.launch(), Technique::Baseline)
-            .expect("half-RF baseline");
-        let rm = half
-            .run_compiled(&compiled, w.launch(), Technique::RegMutex)
-            .expect("half-RF regmutex");
+    for (w, trio) in apps.iter().zip(reports.chunks(3)) {
+        let (reference, none, rm) = (&trio[0], &trio[1], &trio[2]);
         assert_eq!(reference.stats.checksum, rm.stats.checksum, "{}", w.name);
-        let inc_none = cycle_increase_percent(&reference, &none);
-        let inc_rm = cycle_increase_percent(&reference, &rm);
+        let inc_none = cycle_increase_percent(reference, none);
+        let inc_rm = cycle_increase_percent(reference, rm);
         avg_none.push(inc_none);
         avg_rm.push(inc_rm);
         table.row(vec![
@@ -58,4 +76,5 @@ fn main() {
         fmt_pct(avg_none.mean()),
         fmt_pct(avg_rm.mean())
     );
+    eprintln!("{}", runner.summary());
 }

@@ -4,31 +4,53 @@
 //! Paper reference: average execution-cycle reduction 1.9% (OWF), 16.2%
 //! (RFV), 12.8% (RegMutex); RFV beats RegMutex by ~3.4% on average but needs
 //! 81× the storage.
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
-use regmutex::{cycle_reduction_percent, Session, Technique};
-use regmutex_bench::{fmt_pct, GeoMean, Table};
+use regmutex::{cycle_reduction_percent, Technique};
+use regmutex_bench::{fmt_pct, GeoMean, JobSpec, Runner, Table};
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
 
+const TECHNIQUES: [Technique; 4] = [
+    Technique::Baseline,
+    Technique::Owf,
+    Technique::Rfv,
+    Technique::RegMutex,
+];
+
 fn main() {
-    let session = Session::new(GpuConfig::gtx480());
+    let runner = Runner::from_env();
+    let cfg = GpuConfig::gtx480();
+    let apps = suite::occupancy_limited();
+
+    let mut specs = Vec::new();
+    for w in &apps {
+        for t in TECHNIQUES {
+            specs.push(JobSpec::new(
+                format!("{}/{t}", w.name),
+                &w.kernel,
+                &cfg,
+                w.launch(),
+                t,
+            ));
+        }
+    }
+    let reports = runner.run_reports(&specs);
+
     let mut table = Table::new(&["app", "OWF", "RFV", "RegMutex"]);
     let mut avg = [GeoMean::new(), GeoMean::new(), GeoMean::new()];
-    for w in suite::occupancy_limited() {
-        let compiled = session.compile(&w.kernel).expect("compile");
-        let base = session
-            .run_compiled(&compiled, w.launch(), Technique::Baseline)
-            .expect("baseline");
+    for (w, group) in apps.iter().zip(reports.chunks(TECHNIQUES.len())) {
+        let base = &group[0];
         let mut cells = vec![w.name.to_string()];
-        for (i, t) in [Technique::Owf, Technique::Rfv, Technique::RegMutex]
-            .into_iter()
-            .enumerate()
-        {
-            let rep = session
-                .run_compiled(&compiled, w.launch(), t)
-                .unwrap_or_else(|e| panic!("{} {t}: {e}", w.name));
-            assert_eq!(base.stats.checksum, rep.stats.checksum, "{} {t}", w.name);
-            let red = cycle_reduction_percent(&base, &rep);
+        for (i, rep) in group[1..].iter().enumerate() {
+            assert_eq!(
+                base.stats.checksum, rep.stats.checksum,
+                "{} {}",
+                w.name, rep.technique
+            );
+            let red = cycle_reduction_percent(base, rep);
             avg[i].push(red);
             cells.push(fmt_pct(red));
         }
@@ -43,4 +65,5 @@ fn main() {
         fmt_pct(avg[1].mean()),
         fmt_pct(avg[2].mean())
     );
+    eprintln!("{}", runner.summary());
 }

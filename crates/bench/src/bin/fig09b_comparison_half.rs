@@ -3,15 +3,49 @@
 //! Execution-cycle *increase* over the full-RF baseline for: no technique,
 //! OWF, RFV, and RegMutex. Paper reference: 22.9% (none), 20.6% (OWF), 5.9%
 //! (RFV), 10.8% (RegMutex) on average.
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
-use regmutex::{cycle_increase_percent, Session, Technique};
-use regmutex_bench::{fmt_pct, GeoMean, Table};
+use regmutex::{cycle_increase_percent, Technique};
+use regmutex_bench::{fmt_pct, GeoMean, JobSpec, Runner, Table};
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
 
+const TECHNIQUES: [Technique; 4] = [
+    Technique::Baseline,
+    Technique::Owf,
+    Technique::Rfv,
+    Technique::RegMutex,
+];
+
 fn main() {
-    let full = Session::new(GpuConfig::gtx480());
-    let half = Session::new(GpuConfig::gtx480_half_rf());
+    let runner = Runner::from_env();
+    let full = GpuConfig::gtx480();
+    let half = GpuConfig::gtx480_half_rf();
+    let apps = suite::rf_insensitive();
+
+    let mut specs = Vec::new();
+    for w in &apps {
+        specs.push(JobSpec::new(
+            format!("{}/full-rf reference", w.name),
+            &w.kernel,
+            &full,
+            w.launch(),
+            Technique::Baseline,
+        ));
+        for t in TECHNIQUES {
+            specs.push(JobSpec::new(
+                format!("{}/half-rf {t}", w.name),
+                &w.kernel,
+                &half,
+                w.launch(),
+                t,
+            ));
+        }
+    }
+    let reports = runner.run_reports(&specs);
+
     let mut table = Table::new(&["app", "none", "OWF", "RFV", "RegMutex"]);
     let mut avg = [
         GeoMean::new(),
@@ -19,30 +53,16 @@ fn main() {
         GeoMean::new(),
         GeoMean::new(),
     ];
-    for w in suite::rf_insensitive() {
-        let reference = full
-            .run(&w.kernel, w.launch(), Technique::Baseline)
-            .expect("full-RF reference");
-        let compiled = half.compile(&w.kernel).expect("compile");
+    for (w, group) in apps.iter().zip(reports.chunks(1 + TECHNIQUES.len())) {
+        let reference = &group[0];
         let mut cells = vec![w.name.to_string()];
-        for (i, t) in [
-            Technique::Baseline,
-            Technique::Owf,
-            Technique::Rfv,
-            Technique::RegMutex,
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let rep = half
-                .run_compiled(&compiled, w.launch(), t)
-                .unwrap_or_else(|e| panic!("{} {t}: {e}", w.name));
+        for (i, rep) in group[1..].iter().enumerate() {
             assert_eq!(
                 reference.stats.checksum, rep.stats.checksum,
-                "{} {t}",
-                w.name
+                "{} {}",
+                w.name, rep.technique
             );
-            let inc = cycle_increase_percent(&reference, &rep);
+            let inc = cycle_increase_percent(reference, rep);
             avg[i].push(inc);
             cells.push(fmt_pct(inc));
         }
@@ -58,4 +78,5 @@ fn main() {
         fmt_pct(avg[2].mean()),
         fmt_pct(avg[3].mean())
     );
+    eprintln!("{}", runner.summary());
 }

@@ -4,9 +4,12 @@
 //! report the execution-cycle reduction; the heuristic's own pick is marked
 //! with `*`. Paper reference: the best `|Es|` differs per application with
 //! no global trend, and the heuristic picks the best or near-best size.
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
 use regmutex::{cycle_reduction_percent, Session, Technique};
-use regmutex_bench::{fmt_pct, Table};
+use regmutex_bench::{fmt_pct, JobSpec, Runner, Table};
 use regmutex_compiler::CompileOptions;
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
@@ -15,34 +18,58 @@ use regmutex_workloads::suite;
 const ES_VALUES: [u16; 6] = [2, 4, 6, 8, 10, 12];
 
 fn main() {
+    let runner = Runner::from_env();
     let cfg = GpuConfig::gtx480();
+    let apps = suite::occupancy_limited();
+
+    // One baseline plus one forced-|Es| RegMutex run per value, per app.
+    let mut specs = Vec::new();
+    for w in &apps {
+        specs.push(JobSpec::new(
+            format!("{}/baseline", w.name),
+            &w.kernel,
+            &cfg,
+            w.launch(),
+            Technique::Baseline,
+        ));
+        for es in ES_VALUES {
+            specs.push(
+                JobSpec::new(
+                    format!("{}/|Es|={es}", w.name),
+                    &w.kernel,
+                    &cfg,
+                    w.launch(),
+                    Technique::RegMutex,
+                )
+                .with_options(CompileOptions {
+                    force_es: Some(es),
+                    force_apply: true,
+                }),
+            );
+        }
+    }
+    let results = runner.run_all(&specs);
+
     let mut headers = vec!["app".to_string()];
     headers.extend(ES_VALUES.iter().map(|e| format!("|Es|={e}")));
     let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
 
-    for w in suite::occupancy_limited() {
-        let base = Session::new(cfg.clone())
-            .run(&w.kernel, w.launch(), Technique::Baseline)
-            .expect("baseline");
-        // The heuristic's own pick, for marking.
+    for (w, group) in apps.iter().zip(results.chunks(1 + ES_VALUES.len())) {
+        let base = group[0]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}/baseline: {e}", w.name));
+        // The heuristic's own pick, for marking (compile-only, no simulation).
         let heuristic_es = Session::new(cfg.clone())
             .compile(&w.kernel)
             .expect("compile")
             .plan
             .map(|p| p.es);
         let mut cells = vec![w.name.to_string()];
-        for es in ES_VALUES {
-            let session = Session::with_options(
-                cfg.clone(),
-                CompileOptions {
-                    force_es: Some(es),
-                    force_apply: true,
-                },
-            );
-            let cell = match session.run(&w.kernel, w.launch(), Technique::RegMutex) {
+        for (es, result) in ES_VALUES.iter().zip(&group[1..]) {
+            let cell = match result {
                 Ok(rep) if rep.plan.is_some() => {
-                    let mark = if heuristic_es == Some(es) { "*" } else { "" };
-                    format!("{}{}", fmt_pct(cycle_reduction_percent(&base, &rep)), mark)
+                    let mark = if heuristic_es == Some(*es) { "*" } else { "" };
+                    format!("{}{}", fmt_pct(cycle_reduction_percent(base, rep)), mark)
                 }
                 Ok(_) => "n/v".to_string(), // candidate not viable
                 Err(e) => format!("err({e})"),
@@ -54,4 +81,5 @@ fn main() {
     println!("Figure 10 — cycle reduction vs forced |Es| (baseline arch, * = heuristic pick)");
     println!("(paper: best |Es| varies per app; the heuristic lands on or near the best)\n");
     table.print();
+    eprintln!("{}", runner.summary());
 }

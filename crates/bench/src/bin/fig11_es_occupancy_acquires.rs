@@ -3,9 +3,12 @@
 //!
 //! Paper reference: larger `|Es|` raises occupancy but usually lowers the
 //! chance of a successful acquire — the two opposing forces behind Fig 10.
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
 use regmutex::{Session, Technique};
-use regmutex_bench::{fmt_pct, Table};
+use regmutex_bench::{fmt_pct, JobSpec, Runner, Table};
 use regmutex_compiler::CompileOptions;
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
@@ -13,14 +16,37 @@ use regmutex_workloads::suite;
 const ES_VALUES: [u16; 6] = [2, 4, 6, 8, 10, 12];
 
 fn main() {
+    let runner = Runner::from_env();
     let cfg = GpuConfig::gtx480();
+    let apps = suite::occupancy_limited();
+
+    let mut specs = Vec::new();
+    for w in &apps {
+        for es in ES_VALUES {
+            specs.push(
+                JobSpec::new(
+                    format!("{}/|Es|={es}", w.name),
+                    &w.kernel,
+                    &cfg,
+                    w.launch(),
+                    Technique::RegMutex,
+                )
+                .with_options(CompileOptions {
+                    force_es: Some(es),
+                    force_apply: true,
+                }),
+            );
+        }
+    }
+    let results = runner.run_all(&specs);
+
     let mut headers = vec!["app".to_string()];
     headers.extend(ES_VALUES.iter().map(|e| format!("|Es|={e}")));
     let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut occ_table = Table::new(&hdr);
     let mut acq_table = Table::new(&hdr);
 
-    for w in suite::occupancy_limited() {
+    for (w, group) in apps.iter().zip(results.chunks(ES_VALUES.len())) {
         let heuristic_es = Session::new(cfg.clone())
             .compile(&w.kernel)
             .expect("compile")
@@ -28,17 +54,10 @@ fn main() {
             .map(|p| p.es);
         let mut occ_cells = vec![w.name.to_string()];
         let mut acq_cells = vec![w.name.to_string()];
-        for es in ES_VALUES {
-            let session = Session::with_options(
-                cfg.clone(),
-                CompileOptions {
-                    force_es: Some(es),
-                    force_apply: true,
-                },
-            );
-            match session.run(&w.kernel, w.launch(), Technique::RegMutex) {
+        for (es, result) in ES_VALUES.iter().zip(group) {
+            match result {
                 Ok(rep) if rep.plan.is_some() => {
-                    let mark = if heuristic_es == Some(es) { "*" } else { "" };
+                    let mark = if heuristic_es == Some(*es) { "*" } else { "" };
                     occ_cells.push(format!("{}%{}", rep.occupancy_percent(), mark));
                     acq_cells.push(format!(
                         "{}{}",
@@ -61,4 +80,5 @@ fn main() {
     println!("\nFigure 11(b) — successful acquires / executed acquire instructions");
     println!("(paper: success ratio usually falls as |Es| grows)\n");
     acq_table.print();
+    eprintln!("{}", runner.summary());
 }

@@ -6,32 +6,53 @@
 //! (b) On the half register file: cycle increase + occupancy for the Fig 8
 //! applications (paper: 17% average increase — 5% better than no technique,
 //! 8% worse than default RegMutex).
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
-use regmutex::{cycle_increase_percent, cycle_reduction_percent, Session, Technique};
-use regmutex_bench::{fmt_pct, GeoMean, Table};
+use regmutex::{cycle_increase_percent, cycle_reduction_percent, Technique};
+use regmutex_bench::{fmt_pct, GeoMean, JobSpec, Runner, Table};
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::suite;
 
 fn main() {
+    let runner = Runner::from_env();
+    let full = GpuConfig::gtx480();
+    let half = GpuConfig::gtx480_half_rf();
+
     // ---- (a) baseline architecture ------------------------------------
-    let session = Session::new(GpuConfig::gtx480());
-    let mut table_a = Table::new(&["app", "paired reduction", "default reduction", "occupancy paired"]);
+    let apps_a = suite::occupancy_limited();
+    let mut specs = Vec::new();
+    for w in &apps_a {
+        for t in [
+            Technique::Baseline,
+            Technique::RegMutexPaired,
+            Technique::RegMutex,
+        ] {
+            specs.push(JobSpec::new(
+                format!("{}/{t}", w.name),
+                &w.kernel,
+                &full,
+                w.launch(),
+                t,
+            ));
+        }
+    }
+    let reports = runner.run_reports(&specs);
+
+    let mut table_a = Table::new(&[
+        "app",
+        "paired reduction",
+        "default reduction",
+        "occupancy paired",
+    ]);
     let mut avg_paired = GeoMean::new();
     let mut avg_default = GeoMean::new();
-    for w in suite::occupancy_limited() {
-        let compiled = session.compile(&w.kernel).expect("compile");
-        let base = session
-            .run_compiled(&compiled, w.launch(), Technique::Baseline)
-            .expect("baseline");
-        let paired = session
-            .run_compiled(&compiled, w.launch(), Technique::RegMutexPaired)
-            .expect("paired");
-        let default = session
-            .run_compiled(&compiled, w.launch(), Technique::RegMutex)
-            .expect("regmutex");
+    for (w, trio) in apps_a.iter().zip(reports.chunks(3)) {
+        let (base, paired, default) = (&trio[0], &trio[1], &trio[2]);
         assert_eq!(base.stats.checksum, paired.stats.checksum, "{}", w.name);
-        let red_p = cycle_reduction_percent(&base, &paired);
-        let red_d = cycle_reduction_percent(&base, &default);
+        let red_p = cycle_reduction_percent(base, paired);
+        let red_d = cycle_reduction_percent(base, default);
         avg_paired.push(red_p);
         avg_default.push(red_d);
         table_a.row(vec![
@@ -51,25 +72,45 @@ fn main() {
     );
 
     // ---- (b) half register file ----------------------------------------
-    let full = Session::new(GpuConfig::gtx480());
-    let half = Session::new(GpuConfig::gtx480_half_rf());
-    let mut table_b = Table::new(&["app", "paired increase", "none increase", "occupancy paired"]);
+    let apps_b = suite::rf_insensitive();
+    let mut specs = Vec::new();
+    for w in &apps_b {
+        specs.push(JobSpec::new(
+            format!("{}/full-rf reference", w.name),
+            &w.kernel,
+            &full,
+            w.launch(),
+            Technique::Baseline,
+        ));
+        for t in [Technique::Baseline, Technique::RegMutexPaired] {
+            specs.push(JobSpec::new(
+                format!("{}/half-rf {t}", w.name),
+                &w.kernel,
+                &half,
+                w.launch(),
+                t,
+            ));
+        }
+    }
+    let reports = runner.run_reports(&specs);
+
+    let mut table_b = Table::new(&[
+        "app",
+        "paired increase",
+        "none increase",
+        "occupancy paired",
+    ]);
     let mut avg_paired_b = GeoMean::new();
     let mut avg_none_b = GeoMean::new();
-    for w in suite::rf_insensitive() {
-        let reference = full
-            .run(&w.kernel, w.launch(), Technique::Baseline)
-            .expect("full-RF reference");
-        let compiled = half.compile(&w.kernel).expect("compile");
-        let none = half
-            .run_compiled(&compiled, w.launch(), Technique::Baseline)
-            .expect("half baseline");
-        let paired = half
-            .run_compiled(&compiled, w.launch(), Technique::RegMutexPaired)
-            .expect("half paired");
-        assert_eq!(reference.stats.checksum, paired.stats.checksum, "{}", w.name);
-        let inc_p = cycle_increase_percent(&reference, &paired);
-        let inc_n = cycle_increase_percent(&reference, &none);
+    for (w, trio) in apps_b.iter().zip(reports.chunks(3)) {
+        let (reference, none, paired) = (&trio[0], &trio[1], &trio[2]);
+        assert_eq!(
+            reference.stats.checksum, paired.stats.checksum,
+            "{}",
+            w.name
+        );
+        let inc_p = cycle_increase_percent(reference, paired);
+        let inc_n = cycle_increase_percent(reference, none);
         avg_paired_b.push(inc_p);
         avg_none_b.push(inc_n);
         table_b.row(vec![
@@ -87,4 +128,5 @@ fn main() {
         fmt_pct(avg_paired_b.mean()),
         fmt_pct(avg_none_b.mean())
     );
+    eprintln!("{}", runner.summary());
 }

@@ -5,29 +5,45 @@
 //! applications on the half register file. Paper reference: paired-warps
 //! usually raises the success rate (the extended set is contended by at most
 //! one partner) even where it cannot raise occupancy.
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
-use regmutex::{Session, Technique};
-use regmutex_bench::{fmt_pct, Table};
+use regmutex::Technique;
+use regmutex_bench::{fmt_pct, JobSpec, Runner, Table};
 use regmutex_sim::GpuConfig;
 use regmutex_workloads::{suite, Group};
 
 fn main() {
-    let mut table = Table::new(&["app", "arch", "default RegMutex", "paired-warps"]);
-    for w in suite::all() {
-        let (session, arch) = match w.group {
-            Group::OccupancyLimited => (Session::new(GpuConfig::gtx480()), "baseline"),
-            Group::RfInsensitive => (Session::new(GpuConfig::gtx480_half_rf()), "half-RF"),
+    let runner = Runner::from_env();
+    let apps = suite::all();
+
+    let mut specs = Vec::new();
+    let mut arches = Vec::new();
+    for w in &apps {
+        let (cfg, arch) = match w.group {
+            Group::OccupancyLimited => (GpuConfig::gtx480(), "baseline"),
+            Group::RfInsensitive => (GpuConfig::gtx480_half_rf(), "half-RF"),
         };
-        let compiled = session.compile(&w.kernel).expect("compile");
-        let default = session
-            .run_compiled(&compiled, w.launch(), Technique::RegMutex)
-            .expect("regmutex");
-        let paired = session
-            .run_compiled(&compiled, w.launch(), Technique::RegMutexPaired)
-            .expect("paired");
+        arches.push(arch);
+        for t in [Technique::RegMutex, Technique::RegMutexPaired] {
+            specs.push(JobSpec::new(
+                format!("{}/{t}", w.name),
+                &w.kernel,
+                &cfg,
+                w.launch(),
+                t,
+            ));
+        }
+    }
+    let reports = runner.run_reports(&specs);
+
+    let mut table = Table::new(&["app", "arch", "default RegMutex", "paired-warps"]);
+    for ((w, arch), pair) in apps.iter().zip(&arches).zip(reports.chunks(2)) {
+        let (default, paired) = (&pair[0], &pair[1]);
         table.row(vec![
             w.name.to_string(),
-            arch.to_string(),
+            (*arch).to_string(),
             fmt_pct(100.0 * default.acquire_success_rate()),
             fmt_pct(100.0 * paired.acquire_success_rate()),
         ]);
@@ -35,4 +51,5 @@ fn main() {
     println!("Figure 13 — acquire success rate, default vs paired-warps RegMutex");
     println!("(paper: pairing usually raises the success rate)\n");
     table.print();
+    eprintln!("{}", runner.summary());
 }

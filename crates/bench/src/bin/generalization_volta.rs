@@ -6,29 +6,51 @@
 //! exclusively reserved"). This binary re-runs the register-hungry
 //! applications on a Volta-like SM (64 K registers, 64 warp slots, 4
 //! schedulers) and shows RegMutex still buys occupancy and cycles.
+//!
+//! `--jobs N` sets the simulation worker count (output is identical for
+//! any value).
 
 use regmutex::{cycle_reduction_percent, Session, Technique};
-use regmutex_bench::{fmt_pct, GeoMean, Table};
-use regmutex_sim::GpuConfig;
+use regmutex_bench::{fmt_pct, GeoMean, JobSpec, Runner, Table};
+use regmutex_sim::{GpuConfig, LaunchConfig};
 use regmutex_workloads::suite;
 
 fn main() {
+    let runner = Runner::from_env();
     let cfg = GpuConfig::volta_like();
     // Workload grids are sized for the 15-SM Fermi; scale to Volta's SM
     // count so each SM still sees multiple CTA waves.
     let scale = cfg.num_sms.div_ceil(15);
-    let session = Session::new(cfg);
-    let mut table = Table::new(&[
-        "app",
-        "reduction",
-        "occupancy base",
-        "occupancy rm",
-        "plan",
-    ]);
-    let mut avg = GeoMean::new();
-    for w in suite::occupancy_limited() {
+    let session = Session::new(cfg.clone());
+    let apps = suite::occupancy_limited();
+
+    // Compile checks stay inline (cheap and deterministic): only the apps
+    // the heuristic still transforms on Volta get simulated.
+    let mut transformed = Vec::new();
+    let mut specs = Vec::new();
+    for w in &apps {
         let compiled = session.compile(&w.kernel).expect("compile");
+        transformed.push(compiled.is_transformed());
         if !compiled.is_transformed() {
+            continue;
+        }
+        for t in [Technique::Baseline, Technique::RegMutex] {
+            specs.push(JobSpec::new(
+                format!("{}/{t}", w.name),
+                &w.kernel,
+                &cfg,
+                LaunchConfig::new(w.grid_ctas * scale),
+                t,
+            ));
+        }
+    }
+    let reports = runner.run_reports(&specs);
+
+    let mut table = Table::new(&["app", "reduction", "occupancy base", "occupancy rm", "plan"]);
+    let mut avg = GeoMean::new();
+    let mut pairs = reports.chunks(2);
+    for (w, was_transformed) in apps.iter().zip(&transformed) {
+        if !was_transformed {
             table.row(vec![
                 w.name.to_string(),
                 "-".into(),
@@ -38,16 +60,12 @@ fn main() {
             ]);
             continue;
         }
-        let base = session
-            .run_compiled(&compiled, regmutex_sim::LaunchConfig::new(w.grid_ctas * scale), Technique::Baseline)
-            .expect("baseline");
-        let rm = session
-            .run_compiled(&compiled, regmutex_sim::LaunchConfig::new(w.grid_ctas * scale), Technique::RegMutex)
-            .expect("regmutex");
+        let pair = pairs.next().expect("one run pair per transformed app");
+        let (base, rm) = (&pair[0], &pair[1]);
         assert_eq!(base.stats.checksum, rm.stats.checksum, "{}", w.name);
-        let red = cycle_reduction_percent(&base, &rm);
+        let red = cycle_reduction_percent(base, rm);
         avg.push(red);
-        let plan = rm.plan.unwrap();
+        let plan = rm.plan.as_ref().unwrap();
         table.row(vec![
             w.name.to_string(),
             fmt_pct(red),
@@ -58,5 +76,9 @@ fn main() {
     }
     println!("Generalization — RegMutex on a Volta-like SM (64K regs, 64 warps, Nw/2 = 32)\n");
     table.print();
-    println!("\naverage reduction (transformed apps): {}", fmt_pct(avg.mean()));
+    println!(
+        "\naverage reduction (transformed apps): {}",
+        fmt_pct(avg.mean())
+    );
+    eprintln!("{}", runner.summary());
 }

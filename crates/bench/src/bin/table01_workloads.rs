@@ -10,13 +10,25 @@ use regmutex_bench::Table;
 use regmutex_workloads::suite;
 
 fn main() {
-    let mut table = Table::new(&["application", "# regs", "|Bs| (computed)", "|Bs| (paper)", "|Es|", "SRP sections", "group"]);
+    let mut table = Table::new(&[
+        "application",
+        "# regs",
+        "|Bs| (computed)",
+        "|Bs| (paper)",
+        "|Es|",
+        "SRP sections",
+        "group",
+    ]);
     let mut mismatches = 0;
     for w in suite::all() {
         let session = Session::new(w.table_config());
         let compiled = session.compile(&w.kernel).expect("compile");
         let (bs, es, srp) = match compiled.plan {
-            Some(p) => (p.bs.to_string(), p.es.to_string(), p.srp_sections.to_string()),
+            Some(p) => (
+                p.bs.to_string(),
+                p.es.to_string(),
+                p.srp_sections.to_string(),
+            ),
             None => ("-".into(), "-".into(), "-".into()),
         };
         if bs != w.table_bs.to_string() {

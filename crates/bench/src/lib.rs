@@ -1,13 +1,18 @@
 //! # regmutex-bench
 //!
 //! The experiment harness: one binary per table/figure of the paper (see
-//! `src/bin/`), plus shared report-formatting helpers. Each binary prints
-//! the same rows/series the paper's artifact reports, regenerated on the
-//! Rust simulator substrate.
+//! `src/bin/`), shared report-formatting helpers, and the parallel
+//! experiment engine ([`runner`]) all simulation binaries submit their
+//! `(kernel × config × technique)` jobs to. Each binary prints the same
+//! rows/series the paper's artifact reports, regenerated on the Rust
+//! simulator substrate; `--jobs N` controls the worker count without
+//! changing a byte of output.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod report;
+pub mod runner;
 
-pub use report::{fmt_pct, GeoMean, Table};
+pub use report::{fmt_pct, GeoMean, RowArityError, Table};
+pub use runner::{JobSpec, Runner};

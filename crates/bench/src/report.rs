@@ -1,5 +1,26 @@
 //! Plain-text table formatting for the harness binaries.
 
+/// A row whose cell count does not match the table's header count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowArityError {
+    /// Header count.
+    pub expected: usize,
+    /// Offending row's cell count.
+    pub got: usize,
+}
+
+impl core::fmt::Display for RowArityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "row has {} cells, table has {} columns",
+            self.got, self.expected
+        )
+    }
+}
+
+impl std::error::Error for RowArityError {}
+
 /// A simple fixed-width text table.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -16,11 +37,36 @@ impl Table {
         }
     }
 
-    /// Append a row (must match the header count).
+    /// Append a row (should match the header count).
+    ///
+    /// Arity mismatches are a harness bug, but they must not abort a long
+    /// release sweep at render time: in release builds the row is
+    /// normalized (short rows padded with empty cells, long rows
+    /// truncated) and kept. Debug builds still panic so the bug is caught
+    /// in development. Use [`Table::try_row`] to handle the mismatch.
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        debug_assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
         self.rows.push(cells);
         self
+    }
+
+    /// Append a row, reporting an arity mismatch instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`RowArityError`] when the cell count differs from the header
+    /// count; the table is left unchanged.
+    pub fn try_row(&mut self, cells: Vec<String>) -> Result<&mut Self, RowArityError> {
+        if cells.len() != self.headers.len() {
+            return Err(RowArityError {
+                expected: self.headers.len(),
+                got: cells.len(),
+            });
+        }
+        self.rows.push(cells);
+        Ok(self)
     }
 
     /// Render to a string.
@@ -119,9 +165,41 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "column count mismatch")]
-    fn wrong_arity_panics() {
+    fn wrong_arity_panics_in_debug() {
         Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn wrong_arity_normalized_in_release() {
+        // One malformed row must not abort a long sweep: short rows are
+        // padded, long rows truncated, and rendering still succeeds.
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('x'));
+        assert!(!s.contains('3'));
+    }
+
+    #[test]
+    fn try_row_reports_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        assert!(t.try_row(vec!["1".into(), "2".into()]).is_ok());
+        let err = t.try_row(vec!["x".into()]).unwrap_err();
+        assert_eq!(
+            err,
+            RowArityError {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(err.to_string(), "row has 1 cells, table has 2 columns");
+        // The failed row was not added.
+        assert_eq!(t.render().lines().count(), 3);
     }
 
     #[test]

@@ -1,0 +1,410 @@
+//! Shared parallel experiment engine for the harness binaries.
+//!
+//! Every figure/table/ablation binary used to re-run its own
+//! `(kernel × config × technique)` matrix on the strictly single-threaded
+//! simulator, one simulation after another. Independent simulations are
+//! embarrassingly parallel, so this module gives all of them one engine:
+//!
+//! * **Submission API** — describe each simulation as a [`JobSpec`]
+//!   (kernel, [`GpuConfig`], compile options, [`Technique`], launch) and
+//!   submit the whole batch with [`Runner::run_all`].
+//! * **Thread pool** — jobs execute across `std::thread` workers (default
+//!   [`std::thread::available_parallelism`], overridable with `--jobs N` on
+//!   every harness binary via [`Runner::from_env`]).
+//! * **Determinism** — each simulation is single-threaded and seeded
+//!   exactly as before; the pool only changes *which OS thread* a job runs
+//!   on, never its inputs. Results come back in submission order, so a
+//!   `--jobs 16` sweep prints byte-identical output to `--jobs 1`.
+//! * **Content-addressed cache** — jobs are keyed by a fingerprint of the
+//!   kernel text, config, options, technique, and launch. Repeated jobs
+//!   (e.g. the baseline run that nearly every figure re-simulates) are
+//!   simulated once and served from the cache afterwards, within and
+//!   across batches of one process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use regmutex::{RunError, RunReport, Session, Technique};
+use regmutex_compiler::CompileOptions;
+use regmutex_isa::Kernel;
+use regmutex_sim::{GpuConfig, LaunchConfig};
+
+/// One simulation to run: everything [`Session::run`] needs, plus a label
+/// used in error messages.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable job name for diagnostics, e.g. `"BFS/regmutex"`.
+    pub label: String,
+    /// The kernel to simulate (pre-transformation; each job compiles for
+    /// its own technique, which is deterministic and cheap next to the
+    /// simulation itself).
+    pub kernel: Kernel,
+    /// GPU configuration.
+    pub cfg: GpuConfig,
+    /// Compile options (forced `|Es|` etc.).
+    pub options: CompileOptions,
+    /// Technique to run.
+    pub technique: Technique,
+    /// Grid size.
+    pub launch: LaunchConfig,
+}
+
+impl JobSpec {
+    /// A job with default compile options.
+    pub fn new(
+        label: impl Into<String>,
+        kernel: &Kernel,
+        cfg: &GpuConfig,
+        launch: LaunchConfig,
+        technique: Technique,
+    ) -> Self {
+        JobSpec {
+            label: label.into(),
+            kernel: kernel.clone(),
+            cfg: cfg.clone(),
+            options: CompileOptions::default(),
+            technique,
+            launch,
+        }
+    }
+
+    /// Override the compile options.
+    #[must_use]
+    pub fn with_options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Content fingerprint: identical fingerprints mean identical
+    /// simulations (same kernel text, config, options, technique, grid),
+    /// so their results are interchangeable.
+    fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        // The kernel's disassembly covers every instruction; name/seed and
+        // the resource declaration are folded in separately because they
+        // affect execution but may not appear in the listing.
+        h.write(self.kernel.name.as_bytes());
+        h.write(&self.kernel.seed.to_le_bytes());
+        h.write(&self.kernel.regs_per_thread.to_le_bytes());
+        h.write(&self.kernel.shmem_per_cta.to_le_bytes());
+        h.write(&self.kernel.threads_per_cta.to_le_bytes());
+        h.write(self.kernel.to_string().as_bytes());
+        h.write(format!("{:?}", self.cfg).as_bytes());
+        h.write(format!("{:?}", self.options).as_bytes());
+        h.write(format!("{}", self.technique).as_bytes());
+        h.write(&self.launch.grid_ctas.to_le_bytes());
+        h.finish()
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across runs and builds
+/// (unlike `DefaultHasher`, whose algorithm is explicitly unspecified).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Length separator so concatenated fields can't alias.
+        self.0 ^= bytes.len() as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Parallel experiment engine: a fixed worker count and a cache of
+/// completed simulations, shared by every batch submitted to it.
+pub struct Runner {
+    jobs: usize,
+    cache: Mutex<HashMap<u64, Result<RunReport, RunError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Runner {
+    /// An engine with `jobs` worker threads (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Runner {
+            jobs: jobs.max(1),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine sized from the command line: `--jobs N` (or `--jobs=N`)
+    /// if present in `std::env::args`, otherwise
+    /// [`std::thread::available_parallelism`]. Unknown flags are left for
+    /// the binary's own parsing.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::new(jobs_from_args(&args).unwrap_or_else(default_jobs))
+    }
+
+    /// Worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Jobs served from the cache so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Jobs actually simulated so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Run a batch. Results are returned in **submission order** regardless
+    /// of the worker count or completion order, so harness output is
+    /// byte-identical for any `--jobs` value.
+    ///
+    /// Identical jobs — same fingerprint, whether duplicated inside this
+    /// batch or already completed in an earlier batch — are simulated once.
+    pub fn run_all(&self, specs: &[JobSpec]) -> Vec<Result<RunReport, RunError>> {
+        let keys: Vec<u64> = specs.iter().map(JobSpec::fingerprint).collect();
+
+        // Work list: first occurrence of each fingerprint not already cached.
+        let mut todo: Vec<usize> = Vec::new();
+        {
+            let cache = self.cache.lock().unwrap();
+            let mut seen = HashMap::new();
+            for (i, k) in keys.iter().enumerate() {
+                if cache.contains_key(k) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else if seen.insert(*k, i).is_none() {
+                    todo.push(i);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // Execute the unique jobs across the pool. Workers pull the next
+        // index from a shared cursor; each simulation is single-threaded
+        // and deterministic, so scheduling cannot affect any result.
+        let fresh: Mutex<Vec<(u64, Result<RunReport, RunError>)>> =
+            Mutex::new(Vec::with_capacity(todo.len()));
+        let cursor = AtomicUsize::new(0);
+        let workers = self.jobs.min(todo.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let n = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = todo.get(n) else { break };
+                    let spec = &specs[i];
+                    let session = Session::with_options(spec.cfg.clone(), spec.options.clone());
+                    let result = session.run(&spec.kernel, spec.launch, spec.technique);
+                    fresh.lock().unwrap().push((keys[i], result));
+                });
+            }
+        });
+
+        // Publish results and assemble the batch in submission order.
+        let mut cache = self.cache.lock().unwrap();
+        for (k, r) in fresh.into_inner().unwrap() {
+            cache.insert(k, r);
+        }
+        keys.iter()
+            .map(|k| cache.get(k).expect("every submitted job resolved").clone())
+            .collect()
+    }
+
+    /// Like [`Runner::run_all`], but panics (with the job's label) on the
+    /// first error — the behaviour every figure binary wants.
+    pub fn run_reports(&self, specs: &[JobSpec]) -> Vec<RunReport> {
+        self.run_all(specs)
+            .into_iter()
+            .zip(specs)
+            .map(|(r, s)| r.unwrap_or_else(|e| panic!("{}: {e}", s.label)))
+            .collect()
+    }
+
+    /// One-line execution summary for stderr (stdout stays byte-stable).
+    pub fn summary(&self) -> String {
+        format!(
+            "[runner] {} worker(s), {} simulated, {} cache hit(s)",
+            self.jobs,
+            self.cache_misses(),
+            self.cache_hits()
+        )
+    }
+}
+
+/// Default worker count: every available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Extract a `--jobs N` / `--jobs=N` override from an argument list.
+/// Returns `None` when absent; invalid values also fall back to `None` so
+/// a typo degrades to the default rather than aborting a long sweep.
+pub fn jobs_from_args(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            return it.next()?.parse().ok();
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmutex_isa::{ArchReg, KernelBuilder, TripCount};
+
+    fn r(i: u16) -> ArchReg {
+        ArchReg(i)
+    }
+
+    /// A small memory-bound kernel with enough register pressure to make
+    /// every technique do real work on the tiny test config.
+    fn kernel() -> Kernel {
+        let mut b = KernelBuilder::new("runner-test");
+        b.threads_per_cta(64);
+        b.declared_regs(12);
+        b.movi(r(0), 1);
+        let top = b.here();
+        b.ld_global(r(1), r(0));
+        b.iadd(r(0), r(1), r(0));
+        for i in 2..12 {
+            b.movi(r(i), u64::from(i));
+        }
+        for i in (2..12).step_by(2) {
+            b.imad(r(1), r(i), r(i + 1), r(1));
+        }
+        b.bra_loop(top, TripCount::Fixed(4));
+        b.st_global(r(0), r(1));
+        b.exit();
+        b.build().unwrap()
+    }
+
+    fn specs() -> Vec<JobSpec> {
+        let k = kernel();
+        let cfg = GpuConfig::test_tiny();
+        let launch = LaunchConfig::new(3);
+        regmutex::ALL_TECHNIQUES
+            .iter()
+            .map(|&t| JobSpec::new(format!("runner-test/{t}"), &k, &cfg, launch, t))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        // The acceptance property: a jobs=4 sweep produces byte-identical
+        // per-job stats (cycles + checksum, and everything else) to jobs=1.
+        let serial = Runner::new(1).run_reports(&specs());
+        let parallel = Runner::new(4).run_reports(&specs());
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.technique, p.technique, "submission order changed");
+            assert_eq!(s.stats.cycles, p.stats.cycles, "{}", s.technique);
+            assert_eq!(s.stats.checksum, p.stats.checksum, "{}", s.technique);
+            assert_eq!(s.stats.instructions, p.stats.instructions);
+            assert_eq!(s.stats.acquire_attempts, p.stats.acquire_attempts);
+            assert_eq!(s.theoretical_occupancy_warps, p.theoretical_occupancy_warps);
+        }
+    }
+
+    #[test]
+    fn repeated_jobs_hit_the_cache() {
+        let runner = Runner::new(2);
+        let batch = specs();
+        let first = runner.run_reports(&batch);
+        assert_eq!(runner.cache_misses(), batch.len() as u64);
+        assert_eq!(runner.cache_hits(), 0);
+        // The same batch again: zero new simulations.
+        let second = runner.run_reports(&batch);
+        assert_eq!(
+            runner.cache_misses(),
+            batch.len() as u64,
+            "re-simulated a cached job"
+        );
+        assert_eq!(runner.cache_hits(), batch.len() as u64);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.stats.cycles, b.stats.cycles);
+            assert_eq!(a.stats.checksum, b.stats.checksum);
+        }
+    }
+
+    #[test]
+    fn duplicates_within_a_batch_are_deduped() {
+        let runner = Runner::new(4);
+        let mut batch = specs();
+        let dup = batch[0].clone();
+        batch.push(dup); // same fingerprint as batch[0]
+        let reports = runner.run_reports(&batch);
+        assert_eq!(runner.cache_misses(), (batch.len() - 1) as u64);
+        assert_eq!(runner.cache_hits(), 1);
+        let last = reports.last().unwrap();
+        assert_eq!(reports[0].stats.cycles, last.stats.cycles);
+        assert_eq!(reports[0].stats.checksum, last.stats.checksum);
+    }
+
+    #[test]
+    fn distinct_configs_do_not_collide() {
+        // Same kernel/technique, different launch: must be separate jobs.
+        let k = kernel();
+        let cfg = GpuConfig::test_tiny();
+        let a = JobSpec::new("a", &k, &cfg, LaunchConfig::new(1), Technique::Baseline);
+        let b = JobSpec::new("b", &k, &cfg, LaunchConfig::new(2), Technique::Baseline);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut half = cfg.clone();
+        half.regs_per_sm /= 2;
+        let c = JobSpec::new("c", &k, &half, LaunchConfig::new(1), Technique::Baseline);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = a.clone().with_options(CompileOptions {
+            force_es: Some(4),
+            force_apply: true,
+        });
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn errors_are_reported_in_order() {
+        // An unsatisfiable config (watchdog tiny) must error, not hang or
+        // panic inside the pool, and land at its submission index.
+        let k = kernel();
+        let mut cfg = GpuConfig::test_tiny();
+        cfg.watchdog_cycles = 1;
+        let good = JobSpec::new(
+            "good",
+            &k,
+            &GpuConfig::test_tiny(),
+            LaunchConfig::new(1),
+            Technique::Baseline,
+        );
+        let bad = JobSpec::new("bad", &k, &cfg, LaunchConfig::new(1), Technique::Baseline);
+        let results = Runner::new(2).run_all(&[good, bad]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let v = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(jobs_from_args(&v(&["--jobs", "4"])), Some(4));
+        assert_eq!(jobs_from_args(&v(&["--csv", "--jobs=2"])), Some(2));
+        assert_eq!(jobs_from_args(&v(&["--csv"])), None);
+        assert_eq!(jobs_from_args(&v(&["--jobs", "zero"])), None);
+        assert_eq!(jobs_from_args(&[]), None);
+    }
+}

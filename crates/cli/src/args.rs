@@ -35,6 +35,8 @@ pub enum Command {
         app: String,
         /// Use the half-size register file.
         half_rf: bool,
+        /// Simulation worker threads (default: all cores).
+        jobs: Option<usize>,
     },
     /// `trace <app>` — dump the Fig 1 live-register trace as CSV.
     Trace {
@@ -47,6 +49,8 @@ pub enum Command {
     Sweep {
         /// Workload name.
         app: String,
+        /// Simulation worker threads (default: all cores).
+        jobs: Option<usize>,
     },
     /// `help` — usage.
     Help,
@@ -83,6 +87,30 @@ fn value_of<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, P
         .map_err(|_| ParseError(format!("invalid value '{v}' for {flag}")))
 }
 
+/// Parse the flags shared by `sweep` and `compare`: `--jobs N` (or
+/// `--jobs=N`) plus any of `allowed`, returning (jobs, which allowed flags
+/// were seen).
+fn sweep_flags<'a>(
+    rest: &[String],
+    allowed: &[&'a str],
+) -> Result<(Option<usize>, Vec<&'a str>), ParseError> {
+    let mut jobs = None;
+    let mut seen = Vec::new();
+    let mut it = rest.iter().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            jobs = Some(value_of("--jobs", it.next())?);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = Some(value_of("--jobs", Some(&v.to_string()))?);
+        } else if let Some(&f) = allowed.iter().find(|&&f| f == a) {
+            seen.push(f);
+        } else {
+            return Err(ParseError(format!("unknown flag '{a}'")));
+        }
+    }
+    Ok((jobs, seen))
+}
+
 /// Parse an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let Some(cmd) = args.first() else {
@@ -117,11 +145,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 max_steps,
             })
         }
-        "sweep" => Ok(Command::Sweep { app: app()? }),
-        "compare" => Ok(Command::Compare {
-            app: app()?,
-            half_rf: rest.iter().any(|a| a == "--half-rf"),
-        }),
+        "sweep" => {
+            let (jobs, _) = sweep_flags(rest, &[])?;
+            Ok(Command::Sweep { app: app()?, jobs })
+        }
+        "compare" => {
+            let (jobs, seen) = sweep_flags(rest, &["--half-rf"])?;
+            Ok(Command::Compare {
+                app: app()?,
+                half_rf: seen.contains(&"--half-rf"),
+                jobs,
+            })
+        }
         "run" => {
             let app = app()?;
             let mut technique = Technique::RegMutex;
@@ -131,10 +166,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut it = rest.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--technique" | "-t" => technique = technique_from(
-                        it.next()
-                            .ok_or_else(|| ParseError("--technique needs a value".into()))?,
-                    )?,
+                    "--technique" | "-t" => {
+                        technique = technique_from(
+                            it.next()
+                                .ok_or_else(|| ParseError("--technique needs a value".into()))?,
+                        )?
+                    }
                     "--half-rf" => half_rf = true,
                     "--ctas" => ctas = Some(value_of("--ctas", it.next())?),
                     "--force-es" => force_es = Some(value_of("--force-es", it.next())?),
@@ -149,9 +186,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 force_es,
             })
         }
-        other => Err(ParseError(format!(
-            "unknown command '{other}'; try 'help'"
-        ))),
+        other => Err(ParseError(format!("unknown command '{other}'; try 'help'"))),
     }
 }
 
@@ -164,10 +199,14 @@ USAGE:
   regmutex-cli disasm <app> [--transformed] [--liveness]
   regmutex-cli run <app> [--technique baseline|regmutex|paired|rfv|owf]
                          [--half-rf] [--ctas N] [--force-es N]
-  regmutex-cli compare <app> [--half-rf]
+  regmutex-cli compare <app> [--half-rf] [--jobs N]
   regmutex-cli trace <app> [--max N]
-  regmutex-cli sweep <app>
+  regmutex-cli sweep <app> [--jobs N]
   regmutex-cli help
+
+The multi-simulation commands (compare, sweep) run their simulations on a
+worker pool; --jobs N sets the worker count (default: all cores). Output
+is identical for any worker count.
 ";
 
 #[cfg(test)]
@@ -214,7 +253,15 @@ mod tests {
     fn run_full_form() {
         assert_eq!(
             parse(&v(&[
-                "run", "SAD", "-t", "rfv", "--half-rf", "--ctas", "90", "--force-es", "8"
+                "run",
+                "SAD",
+                "-t",
+                "rfv",
+                "--half-rf",
+                "--ctas",
+                "90",
+                "--force-es",
+                "8"
             ])),
             Ok(Command::Run {
                 app: "SAD".into(),
@@ -257,6 +304,34 @@ mod tests {
     fn unknown_flag_is_an_error() {
         assert!(parse(&v(&["run", "BFS", "--what"])).is_err());
         assert!(parse(&v(&["nonsense"])).is_err());
+    }
+
+    #[test]
+    fn sweep_and_compare_jobs() {
+        assert_eq!(
+            parse(&v(&["sweep", "BFS"])),
+            Ok(Command::Sweep {
+                app: "BFS".into(),
+                jobs: None
+            })
+        );
+        assert_eq!(
+            parse(&v(&["sweep", "BFS", "--jobs", "4"])),
+            Ok(Command::Sweep {
+                app: "BFS".into(),
+                jobs: Some(4)
+            })
+        );
+        assert_eq!(
+            parse(&v(&["compare", "SAD", "--jobs=2", "--half-rf"])),
+            Ok(Command::Compare {
+                app: "SAD".into(),
+                half_rf: true,
+                jobs: Some(2)
+            })
+        );
+        assert!(parse(&v(&["sweep", "BFS", "--jobs", "many"])).is_err());
+        assert!(parse(&v(&["sweep", "BFS", "--half-rf"])).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 
 use regmutex::{cycle_reduction_percent, Session, Technique, ALL_TECHNIQUES};
+use regmutex_bench::{runner::default_jobs, JobSpec, Runner};
 use regmutex_compiler::{analyze, live_trace, CompileOptions};
 use regmutex_sim::{GpuConfig, LaunchConfig};
 use regmutex_workloads::{suite, Workload};
@@ -116,7 +117,11 @@ pub fn run(
     let _ = writeln!(
         out,
         "arch       : {}",
-        if half_rf { "GTX480 half RF (64 KB/SM)" } else { "GTX480 (128 KB/SM)" }
+        if half_rf {
+            "GTX480 half RF (64 KB/SM)"
+        } else {
+            "GTX480 (128 KB/SM)"
+        }
     );
     let _ = writeln!(out, "technique  : {technique}");
     if let Some(p) = rep.plan {
@@ -151,16 +156,23 @@ pub fn run(
 }
 
 /// `compare <app>`
-pub fn compare(app: &str, half_rf: bool) -> Result<String, CommandError> {
+pub fn compare(app: &str, half_rf: bool, jobs: Option<usize>) -> Result<String, CommandError> {
     let w = lookup(app)?;
-    let session = Session::new(config(half_rf));
-    let compiled = session
-        .compile(&w.kernel)
-        .map_err(|e| CommandError(e.to_string()))?;
+    let cfg = config(half_rf);
     let launch = w.launch();
-    let base = session
-        .run_compiled(&compiled, launch, Technique::Baseline)
-        .map_err(|e| CommandError(e.to_string()))?;
+    let runner = Runner::new(jobs.unwrap_or_else(default_jobs));
+    let specs: Vec<JobSpec> = ALL_TECHNIQUES
+        .iter()
+        .map(|&t| JobSpec::new(format!("{}/{t}", w.name), &w.kernel, &cfg, launch, t))
+        .collect();
+    let mut reports = Vec::with_capacity(specs.len());
+    for (result, spec) in runner.run_all(&specs).into_iter().zip(&specs) {
+        reports.push(result.map_err(|e| CommandError(format!("{}: {e}", spec.label)))?);
+    }
+    let base = reports
+        .iter()
+        .find(|r| r.technique == Technique::Baseline)
+        .expect("ALL_TECHNIQUES includes the baseline");
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -175,19 +187,19 @@ pub fn compare(app: &str, half_rf: bool) -> Result<String, CommandError> {
         "{:<16} {:>10} {:>10} {:>10} {:>12}",
         "technique", "cycles", "reduction", "occupancy", "storage bits"
     );
-    for t in ALL_TECHNIQUES {
-        let rep = session
-            .run_compiled(&compiled, launch, t)
-            .map_err(|e| CommandError(format!("{t}: {e}")))?;
+    for rep in &reports {
         if rep.stats.checksum != base.stats.checksum {
-            return Err(CommandError(format!("{t}: functional divergence")));
+            return Err(CommandError(format!(
+                "{}: functional divergence",
+                rep.technique
+            )));
         }
         let _ = writeln!(
             out,
             "{:<16} {:>10} {:>9.1}% {:>9}% {:>12}",
-            t.to_string(),
+            rep.technique.to_string(),
             rep.cycles(),
-            cycle_reduction_percent(&base, &rep),
+            cycle_reduction_percent(base, rep),
             rep.occupancy_percent(),
             rep.storage_overhead_bits
         );
@@ -212,12 +224,40 @@ pub fn trace(app: &str, max_steps: usize) -> Result<String, CommandError> {
 }
 
 /// `sweep <app>`
-pub fn sweep(app: &str) -> Result<String, CommandError> {
+pub fn sweep(app: &str, jobs: Option<usize>) -> Result<String, CommandError> {
     let w = lookup(app)?;
     let cfg = w.table_config();
-    let base = Session::new(cfg.clone())
-        .run(&w.kernel, w.launch(), Technique::Baseline)
+    let runner = Runner::new(jobs.unwrap_or_else(default_jobs));
+    const ES_VALUES: [u16; 6] = [2, 4, 6, 8, 10, 12];
+
+    let mut specs = vec![JobSpec::new(
+        format!("{}/baseline", w.name),
+        &w.kernel,
+        &cfg,
+        w.launch(),
+        Technique::Baseline,
+    )];
+    for es in ES_VALUES {
+        specs.push(
+            JobSpec::new(
+                format!("{}/|Es|={es}", w.name),
+                &w.kernel,
+                &cfg,
+                w.launch(),
+                Technique::RegMutex,
+            )
+            .with_options(CompileOptions {
+                force_es: Some(es),
+                force_apply: true,
+            }),
+        );
+    }
+    let mut results = runner.run_all(&specs).into_iter();
+    let base = results
+        .next()
+        .expect("baseline job submitted")
         .map_err(|e| CommandError(e.to_string()))?;
+
     let heuristic = Session::new(cfg.clone())
         .compile(&w.kernel)
         .map_err(|e| CommandError(e.to_string()))?
@@ -235,15 +275,8 @@ pub fn sweep(app: &str) -> Result<String, CommandError> {
         "{:>5} {:>10} {:>10} {:>10} {:>9}",
         "|Es|", "cycles", "reduction", "occupancy", "acq-rate"
     );
-    for es in [2u16, 4, 6, 8, 10, 12] {
-        let session = Session::with_options(
-            cfg.clone(),
-            CompileOptions {
-                force_es: Some(es),
-                force_apply: true,
-            },
-        );
-        match session.run(&w.kernel, w.launch(), Technique::RegMutex) {
+    for (es, result) in ES_VALUES.into_iter().zip(results) {
+        match result {
             Ok(rep) if rep.plan.is_some() => {
                 let mark = if heuristic == Some(es) { "*" } else { " " };
                 let _ = writeln!(
@@ -316,9 +349,17 @@ mod tests {
 
     #[test]
     fn compare_covers_all_techniques() {
-        let out = compare("Gaussian", true).unwrap();
+        let out = compare("Gaussian", true, Some(2)).unwrap();
         for t in ["baseline", "regmutex", "regmutex-paired", "rfv", "owf"] {
             assert!(out.contains(t), "missing {t}");
         }
+    }
+
+    #[test]
+    fn sweep_is_worker_count_independent() {
+        let serial = sweep("BFS", Some(1)).unwrap();
+        let parallel = sweep("BFS", Some(4)).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(serial.contains("|Es|"));
     }
 }

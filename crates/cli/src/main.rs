@@ -29,9 +29,9 @@ fn main() {
             ctas,
             force_es,
         } => commands::run(&app, technique, half_rf, ctas, force_es),
-        Command::Compare { app, half_rf } => commands::compare(&app, half_rf),
+        Command::Compare { app, half_rf, jobs } => commands::compare(&app, half_rf, jobs),
         Command::Trace { app, max_steps } => commands::trace(&app, max_steps),
-        Command::Sweep { app } => commands::sweep(&app),
+        Command::Sweep { app, jobs } => commands::sweep(&app, jobs),
     };
     match result {
         Ok(out) => print!("{out}"),

@@ -25,7 +25,11 @@ impl BitSet {
 
     #[inline]
     fn index(&self, i: usize) -> (usize, u64) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         (i / 64, 1u64 << (i % 64))
     }
 

@@ -54,10 +54,8 @@ impl Cfg {
                         leader[pc + 1] = true;
                     }
                 }
-                Op::Exit => {
-                    if pc + 1 < n {
-                        leader[pc + 1] = true;
-                    }
+                Op::Exit if pc + 1 < n => {
+                    leader[pc + 1] = true;
                 }
                 _ => {}
             }
@@ -66,12 +64,10 @@ impl Cfg {
         let mut blocks = Vec::new();
         let mut block_of = vec![0usize; n];
         let mut start = 0usize;
+        #[allow(clippy::needless_range_loop)] // `pc` doubles as the block end bound
         for pc in 1..=n {
             if pc == n || leader[pc] {
-                let id = blocks.len();
-                for x in start..pc {
-                    block_of[x] = id;
-                }
+                block_of[start..pc].fill(blocks.len());
                 blocks.push(BasicBlock {
                     start: start as u32,
                     end: pc as u32,
@@ -148,8 +144,8 @@ impl Cfg {
         }
         // Unreachable blocks (possible after aggressive edits): append in
         // program order so analyses still cover them conservatively.
-        for b in 0..self.blocks.len() {
-            if !visited[b] {
+        for (b, seen) in visited.iter().enumerate().take(self.blocks.len()) {
+            if !seen {
                 post.push(b);
             }
         }

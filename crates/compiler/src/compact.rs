@@ -223,12 +223,8 @@ fn rename_def(
     let pc = pc as usize;
     let mut probe = kernel.clone();
     let last_use = rename_reads_until_redef(&mut probe, pc + 1, reg, reg).max(pc);
-    let f = find_free_base(kernel, lv, bs, pc, last_use, reg).ok_or(
-        CompactError::NoFreeBaseRegister {
-            at: pc as u32,
-            reg,
-        },
-    )?;
+    let f = find_free_base(kernel, lv, bs, pc, last_use, reg)
+        .ok_or(CompactError::NoFreeBaseRegister { at: pc as u32, reg })?;
     kernel.instrs[pc].dst = Some(ArchReg(f));
     rename_reads_until_redef(kernel, pc + 1, reg, f);
     Ok(())

@@ -103,7 +103,12 @@ mod tests {
     fn regs_per_thread_grows_with_new_registers() {
         let mut k = loop_kernel();
         assert_eq!(k.regs_per_thread, 1);
-        insert_at(&mut k, 1, Instr::new(Op::Mov, Some(r(7)), vec![r(0)]), false);
+        insert_at(
+            &mut k,
+            1,
+            Instr::new(Op::Mov, Some(r(7)), vec![r(0)]),
+            false,
+        );
         assert_eq!(k.regs_per_thread, 8);
     }
 

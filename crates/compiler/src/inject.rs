@@ -28,12 +28,7 @@ pub fn inject(kernel: &mut Kernel, in_region: &[bool]) -> InjectStats {
     let mut stats = InjectStats::default();
     // Descending order keeps earlier span coordinates valid.
     for (start, end) in region_spans(in_region).into_iter().rev() {
-        insert_at(
-            kernel,
-            end + 1,
-            Instr::new(Op::RelEs, None, vec![]),
-            false,
-        );
+        insert_at(kernel, end + 1, Instr::new(Op::RelEs, None, vec![]), false);
         insert_at(kernel, start, Instr::new(Op::AcqEs, None, vec![]), true);
         stats.acquires += 1;
         stats.releases += 1;

@@ -39,7 +39,11 @@ impl std::error::Error for RegionError {}
 
 /// Per-instruction region membership for base-set size `bs`, or an error if
 /// the widened regions violate the barrier deadlock rule.
-pub fn find_regions(kernel: &Kernel, liveness: &Liveness, bs: u16) -> Result<Vec<bool>, RegionError> {
+pub fn find_regions(
+    kernel: &Kernel,
+    liveness: &Liveness,
+    bs: u16,
+) -> Result<Vec<bool>, RegionError> {
     let n = kernel.instrs.len();
     let bs = bs as usize;
     // Pressure at an instruction counts live-in ∪ live-out: the destination
@@ -139,7 +143,7 @@ mod tests {
         let mut b = KernelBuilder::new("spike");
         b.movi(r(0), 1); // pc0
         b.iadd(r(1), r(0), r(0)); // pc1: 2 live
-        // High-pressure: define r2..r5 then consume all.
+                                  // High-pressure: define r2..r5 then consume all.
         for i in 2..6 {
             b.movi(r(i), u64::from(i)); // pc2..5
         }
@@ -161,7 +165,7 @@ mod tests {
         let (s, e) = spans[0];
         // The spike covers the defs of the extra registers through their
         // last uses.
-        assert!(s >= 2 && s <= 5, "start {s}");
+        assert!((2..=5).contains(&s), "start {s}");
         assert!((6..=7).contains(&e), "end {e}");
         // Low-pressure prefix/tail are outside.
         assert!(!regions[0]);

@@ -147,7 +147,10 @@ mod tests {
     #[test]
     fn straight_line_trace_counts_every_instruction() {
         let mut b = KernelBuilder::new("k");
-        b.movi(r(0), 1).iadd(r(1), r(0), r(0)).st_global(r(0), r(1)).exit();
+        b.movi(r(0), 1)
+            .iadd(r(1), r(0), r(0))
+            .st_global(r(0), r(1))
+            .exit();
         let t = live_trace(&b.build().unwrap(), 1000);
         assert_eq!(t.live_counts.len(), 4);
         assert!(!t.truncated);

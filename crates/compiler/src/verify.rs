@@ -61,7 +61,10 @@ impl core::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             VerifyError::UnprotectedExtendedAccess { pc, reg } => {
-                write!(f, "extended register R{reg} accessed at pc {pc} without holding Es")
+                write!(
+                    f,
+                    "extended register R{reg} accessed at pc {pc} without holding Es"
+                )
             }
             VerifyError::BarrierWhileHeld { pc } => {
                 write!(f, "barrier at pc {pc} may execute while Es is held")
@@ -126,10 +129,7 @@ pub fn verify_transformed(kernel: &Kernel, bs: u16) -> Result<(), VerifyError> {
                 _ => {
                     for reg in i.srcs.iter().chain(i.dst.iter()) {
                         if reg.0 >= bs && state != Held::Yes {
-                            return Err(VerifyError::UnprotectedExtendedAccess {
-                                pc,
-                                reg: reg.0,
-                            });
+                            return Err(VerifyError::UnprotectedExtendedAccess { pc, reg: reg.0 });
                         }
                     }
                 }

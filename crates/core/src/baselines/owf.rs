@@ -32,7 +32,7 @@ impl OwfManager {
     /// Build an OWF manager with an explicit threshold.
     pub fn new(cfg: &GpuConfig, regs_per_thread: u16, threshold: u16) -> Self {
         let nw = cfg.max_warps_per_sm;
-        assert!(nw % 2 == 0, "OWF pairs need an even warp count");
+        assert!(nw.is_multiple_of(2), "OWF pairs need an even warp count");
         assert!(threshold < regs_per_thread || regs_per_thread == 0);
         OwfManager {
             threshold: u32::from(threshold),

@@ -66,7 +66,10 @@ impl RfvManager {
             total_rows,
             nw: cfg.max_warps_per_sm,
             free: (0..total_rows).rev().collect(),
-            map: vec![vec![None; usize::from(regs_per_thread.max(1))]; cfg.max_warps_per_sm as usize],
+            map: vec![
+                vec![None; usize::from(regs_per_thread.max(1))];
+                cfg.max_warps_per_sm as usize
+            ],
             dead_after,
             admit_rows_per_warp: admit,
             admitted_warps: 0,
@@ -86,8 +89,8 @@ impl RfvManager {
 
     fn evict_victim(&mut self, ledger: &mut Ledger) -> bool {
         // Victim: the warp slot holding the most rows.
-        let victim = (0..self.map.len())
-            .max_by_key(|&s| self.map[s].iter().filter(|m| m.is_some()).count());
+        let victim =
+            (0..self.map.len()).max_by_key(|&s| self.map[s].iter().filter(|m| m.is_some()).count());
         let Some(victim) = victim else { return false };
         let count = self.map[victim].iter().filter(|m| m.is_some()).count();
         if count == 0 {
@@ -179,10 +182,11 @@ impl RegisterManager for RfvManager {
                 // file, evict a victim so progress resumes (GPU-Shrink's
                 // register spilling).
                 let since = *self.stall_since.entry(warp.0).or_insert(now);
-                if now.saturating_sub(since) >= self.spill_trigger && self.free.is_empty() {
-                    if self.evict_victim(ledger) {
-                        self.stall_since.remove(&warp.0);
-                    }
+                if now.saturating_sub(since) >= self.spill_trigger
+                    && self.free.is_empty()
+                    && self.evict_victim(ledger)
+                {
+                    self.stall_since.remove(&warp.0);
                 }
                 return false;
             }

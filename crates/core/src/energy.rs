@@ -62,8 +62,8 @@ impl EnergyEstimate {
 impl EnergyModel {
     /// Estimate the register-file energy of a run on `cfg`.
     pub fn estimate(&self, cfg: &GpuConfig, stats: &SimStats) -> EnergyEstimate {
-        let accesses = stats.reg_reads as f64 * self.read_energy
-            + stats.reg_writes as f64 * self.write_energy;
+        let accesses =
+            stats.reg_reads as f64 * self.read_energy + stats.reg_writes as f64 * self.write_energy;
         // The simulator models `simulated_sms` of `num_sms`; leakage scales
         // with the simulated portion only, keeping ratios consistent.
         let sms = f64::from(cfg.simulated_sms.min(cfg.num_sms).max(1));

@@ -79,10 +79,7 @@ impl RegisterManager for RegMutexManager {
     fn try_admit_cta(&mut self, ledger: &mut Ledger, _cta: CtaId, warp_slots: &[WarpId]) -> bool {
         // A slot is feasible iff its base block lies inside the base segment
         // (equivalently: slot < occupancy_warps).
-        if warp_slots
-            .iter()
-            .any(|w| w.0 >= self.max_resident_warps)
-        {
+        if warp_slots.iter().any(|w| w.0 >= self.max_resident_warps) {
             return false;
         }
         for &w in warp_slots {

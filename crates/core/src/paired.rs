@@ -32,7 +32,10 @@ impl PairedWarpsManager {
     /// Build the manager from the same compiler plan RegMutex uses.
     pub fn new(cfg: &GpuConfig, plan: &RegPlan) -> Self {
         let nw = cfg.max_warps_per_sm;
-        assert!(nw <= 64 && nw % 2 == 0, "paired mode needs an even Nw <= 64");
+        assert!(
+            nw <= 64 && nw.is_multiple_of(2),
+            "paired mode needs an even Nw <= 64"
+        );
         PairedWarpsManager {
             bs: u32::from(plan.bs),
             es: u32::from(plan.es),
@@ -249,7 +252,11 @@ mod tests {
         cfg.regs_per_sm = 42 * 2 * 32; // 84 rows
         let mut m = PairedWarpsManager::new(&cfg, &plan());
         let mut l = Ledger::new(cfg.reg_rows_per_sm());
-        assert!(m.try_admit_cta(&mut l, CtaId(0), &[WarpId(0), WarpId(1), WarpId(2), WarpId(3)]));
+        assert!(m.try_admit_cta(
+            &mut l,
+            CtaId(0),
+            &[WarpId(0), WarpId(1), WarpId(2), WarpId(3)]
+        ));
         assert!(!m.try_admit_cta(&mut l, CtaId(1), &[WarpId(4)]));
     }
 

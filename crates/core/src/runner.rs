@@ -81,7 +81,12 @@ impl From<ValidateKernelError> for RunError {
 
 impl From<SimError> for RunError {
     fn from(e: SimError) -> Self {
-        RunError::Sim(e)
+        match e {
+            // The simulator validates in every build profile now; fold its
+            // rejection into the same variant compile-time validation uses.
+            SimError::InvalidKernel(v) => RunError::InvalidKernel(v),
+            other => RunError::Sim(other),
+        }
     }
 }
 
@@ -242,9 +247,7 @@ impl Session {
         // Pick the kernel image, manager factory, scheduler policy, and
         // theoretical occupancy for this technique.
         let (kernel_to_run, plan) = match technique {
-            Technique::RegMutex | Technique::RegMutexPaired => {
-                (&compiled.kernel, compiled.plan)
-            }
+            Technique::RegMutex | Technique::RegMutexPaired => (&compiled.kernel, compiled.plan),
             _ => (original, None),
         };
 
@@ -253,7 +256,9 @@ impl Session {
             run_cfg.policy = SchedulerPolicy::OwnerWarpFirst;
         }
 
-        let make: Box<dyn Fn() -> Box<dyn RegisterManager>> = match technique {
+        // `Send + Sync` so a whole run — factory included — can be handed
+        // to a worker thread by parallel harnesses (regmutex-bench runner).
+        let make: Box<dyn Fn() -> Box<dyn RegisterManager> + Send + Sync> = match technique {
             Technique::Baseline => {
                 let c = cfg.clone();
                 let regs = original.regs_per_thread;
@@ -312,7 +317,9 @@ impl Session {
         let storage_bits = probe.storage_overhead_bits();
         let theoretical = match technique {
             Technique::Baseline => baseline_occ.warps,
-            Technique::RegMutex => plan.map(|p| p.occupancy_warps).unwrap_or(baseline_occ.warps),
+            Technique::RegMutex => plan
+                .map(|p| p.occupancy_warps)
+                .unwrap_or(baseline_occ.warps),
             Technique::RegMutexPaired => match plan {
                 Some(p) => {
                     let per_pair = 2 * u32::from(p.bs) + u32::from(p.es);
@@ -340,21 +347,27 @@ impl Session {
         let (stats, trace) = if traced {
             regmutex_sim::run_kernel_traced(&run_cfg, kernel_to_run, launch, |_| make())?
         } else {
-            (run_kernel(&run_cfg, kernel_to_run, launch, |_| make())?, Vec::new())
+            (
+                run_kernel(&run_cfg, kernel_to_run, launch, |_| make())?,
+                Vec::new(),
+            )
         };
 
-        Ok((RunReport {
-            technique,
-            kernel_name: original.name.clone(),
-            stats,
-            plan: match technique {
-                Technique::RegMutex | Technique::RegMutexPaired => plan,
-                _ => None,
+        Ok((
+            RunReport {
+                technique,
+                kernel_name: original.name.clone(),
+                stats,
+                plan: match technique {
+                    Technique::RegMutex | Technique::RegMutexPaired => plan,
+                    _ => None,
+                },
+                theoretical_occupancy_warps: theoretical,
+                max_warps: cfg.max_warps_per_sm,
+                storage_overhead_bits: storage_bits,
             },
-            theoretical_occupancy_warps: theoretical,
-            max_warps: cfg.max_warps_per_sm,
-            storage_overhead_bits: storage_bits,
-        }, trace))
+            trace,
+        ))
     }
 }
 
@@ -372,11 +385,10 @@ pub fn average_live(kernel: &Kernel) -> f64 {
 fn cta_granular_warps(cfg: &GpuConfig, res: KernelResources, warp_capacity: u32, wpc: u32) -> u32 {
     let by_warps = cfg.max_warps_per_sm / wpc;
     let by_capacity = warp_capacity / wpc;
-    let by_shmem = if res.shmem_per_cta == 0 {
-        u32::MAX
-    } else {
-        cfg.shmem_per_sm / res.shmem_per_cta
-    };
+    let by_shmem = cfg
+        .shmem_per_sm
+        .checked_div(res.shmem_per_cta)
+        .unwrap_or(u32::MAX);
     let ctas = by_warps
         .min(by_capacity)
         .min(by_shmem)
@@ -510,7 +522,9 @@ mod tests {
             },
         );
         let k = hungry_kernel();
-        let rep = s.run(&k, LaunchConfig::new(15), Technique::RegMutex).unwrap();
+        let rep = s
+            .run(&k, LaunchConfig::new(15), Technique::RegMutex)
+            .unwrap();
         assert_eq!(rep.plan.unwrap().es, 8);
     }
 

@@ -85,6 +85,8 @@ mod tests {
     fn comparison_table_has_all_rows() {
         let rows = comparison(&GpuConfig::gtx480());
         assert_eq!(rows.len(), 4);
-        assert!(rows.iter().any(|r| r.technique == "regmutex" && r.bits == 384));
+        assert!(rows
+            .iter()
+            .any(|r| r.technique == "regmutex" && r.bits == 384));
     }
 }

@@ -1,11 +1,39 @@
 //! Model-based property tests: the Fig 4/5 hardware structures (SRP bitmask
 //! with FFZ, warp-status bitmask, section LUT) driven by random
 //! acquire/release sequences against a plain `HashSet`/`HashMap` model.
+//!
+//! Sequences come from a seeded xorshift64* PRNG (no external generator
+//! crate); the case number in a failure message replays the input exactly.
 
 use std::collections::{HashMap, HashSet};
 
-use proptest::prelude::*;
 use regmutex::hw::bitmask::{SectionLut, SrpBitmask, WarpStatusBitmask};
+
+/// Deterministic xorshift64* PRNG (same construction as `tests/common`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+}
 
 /// One random hardware operation.
 #[derive(Debug, Clone, Copy)]
@@ -16,26 +44,31 @@ enum HwOp {
     Release(u32),
 }
 
-fn ops_strategy(nw: u32) -> impl Strategy<Value = Vec<HwOp>> {
-    prop::collection::vec(
-        (0..nw, prop::bool::ANY).prop_map(|(w, acq)| if acq { HwOp::Acquire(w) } else { HwOp::Release(w) }),
-        1..200,
-    )
+fn gen_ops(rng: &mut Rng, nw: u32) -> Vec<HwOp> {
+    let n = rng.range(1, 200);
+    (0..n)
+        .map(|_| {
+            let w = rng.below(u64::from(nw)) as u32;
+            if rng.next_u64() & 1 == 1 {
+                HwOp::Acquire(w)
+            } else {
+                HwOp::Release(w)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+/// The bitmask/LUT implementation of Fig 5 agrees with a reference model (a
+/// set of free sections + a warp→section map) on every step, for any
+/// interleaving of (possibly redundant) acquires and releases.
+#[test]
+fn fig5_procedures_match_reference_model() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0x3009 + case);
+        let nw = rng.range(2, 48) as u32;
+        let valid = (rng.range(1, 48) as u32).min(nw);
+        let ops = gen_ops(&mut rng, 48);
 
-    /// The bitmask/LUT implementation of Fig 5 agrees with a reference model
-    /// (a set of free sections + a warp→section map) on every step, for any
-    /// interleaving of (possibly redundant) acquires and releases.
-    #[test]
-    fn fig5_procedures_match_reference_model(
-        nw in 2u32..48,
-        valid in 1u32..48,
-        ops in ops_strategy(48),
-    ) {
-        let valid = valid.min(nw);
         let mut status = WarpStatusBitmask::new(nw);
         let mut srp = SrpBitmask::new(nw, valid);
         let mut lut = SectionLut::new(nw);
@@ -50,7 +83,7 @@ proptest! {
                     let w = w % nw;
                     if status.get(w) {
                         // Nested acquire: no effect (§III).
-                        prop_assert!(model_held.contains_key(&w));
+                        assert!(model_held.contains_key(&w), "case {case}");
                         continue;
                     }
                     match srp.ffz() {
@@ -58,10 +91,11 @@ proptest! {
                             // Hardware grants the lowest free section; the
                             // model must agree it is free, and FFZ must be
                             // the minimum.
-                            prop_assert!(model_free.contains(&section));
-                            prop_assert_eq!(
+                            assert!(model_free.contains(&section), "case {case}");
+                            assert_eq!(
                                 Some(section),
-                                model_free.iter().min().copied()
+                                model_free.iter().min().copied(),
+                                "case {case}"
                             );
                             srp.set(section);
                             lut.set(w, section);
@@ -70,41 +104,50 @@ proptest! {
                             model_held.insert(w, section);
                         }
                         None => {
-                            prop_assert!(model_free.is_empty(), "FFZ missed a free section");
+                            assert!(
+                                model_free.is_empty(),
+                                "case {case}: FFZ missed a free section"
+                            );
                         }
                     }
                 }
                 HwOp::Release(w) => {
                     let w = w % nw;
                     if !status.get(w) {
-                        prop_assert!(!model_held.contains_key(&w));
+                        assert!(!model_held.contains_key(&w), "case {case}");
                         continue; // redundant release: no effect
                     }
                     let section = lut.get(w);
-                    prop_assert_eq!(model_held.remove(&w), Some(section));
+                    assert_eq!(model_held.remove(&w), Some(section), "case {case}");
                     status.unset(w);
                     srp.unset(section);
                     model_free.insert(section);
                 }
             }
             // Global invariants after every step.
-            prop_assert_eq!(status.count() as usize, model_held.len());
-            prop_assert_eq!(
+            assert_eq!(status.count() as usize, model_held.len(), "case {case}");
+            assert_eq!(
                 srp.acquired_count(valid) as usize,
-                valid as usize - model_free.len()
+                valid as usize - model_free.len(),
+                "case {case}"
             );
             // No two warps map to the same section.
             let mut seen = HashSet::new();
             for (&w, &s) in &model_held {
-                prop_assert!(seen.insert(s), "section {s} double-held");
-                prop_assert_eq!(lut.get(w), s);
+                assert!(seen.insert(s), "case {case}: section {s} double-held");
+                assert_eq!(lut.get(w), s, "case {case}");
             }
         }
     }
+}
 
-    /// Sections beyond `valid` are never granted, for any workload.
-    #[test]
-    fn invalid_sections_never_granted(valid in 1u32..8, ops in ops_strategy(8)) {
+/// Sections beyond `valid` are never granted, for any workload.
+#[test]
+fn invalid_sections_never_granted() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0x400A + case);
+        let valid = rng.range(1, 8) as u32;
+        let ops = gen_ops(&mut rng, 8);
         let nw = 8;
         let mut status = WarpStatusBitmask::new(nw);
         let mut srp = SrpBitmask::new(nw, valid);
@@ -112,7 +155,7 @@ proptest! {
             match op {
                 HwOp::Acquire(w) if !status.get(w % nw) => {
                     if let Some(s) = srp.ffz() {
-                        prop_assert!(s < valid, "granted invalid section {s}");
+                        assert!(s < valid, "case {case}: granted invalid section {s}");
                         srp.set(s);
                         status.set(w % nw);
                         // Track with the status bit only; release below.

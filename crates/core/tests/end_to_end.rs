@@ -60,8 +60,10 @@ fn regmutex_time_shares_a_single_section() {
     let plan = rm.plan.expect("transformed");
     assert_eq!((plan.bs, plan.es), (6, 6));
     assert_eq!(plan.srp_sections, 1);
-    assert!(rm.stats.acquire_attempts > rm.stats.acquire_successes,
-        "a single section must force retries");
+    assert!(
+        rm.stats.acquire_attempts > rm.stats.acquire_successes,
+        "a single section must force retries"
+    );
     assert!(
         rm.cycles() < base.cycles(),
         "overlapped base phases must win: {} vs {}",
@@ -315,7 +317,10 @@ fn traced_run_reconstructs_the_fig2_dynamics() {
             .filter(|e| e.warp == w)
             .map(|e| e.cycle)
             .collect();
-        assert!(cycles.windows(2).all(|p| p[0] <= p[1]), "warp {w} unordered");
+        assert!(
+            cycles.windows(2).all(|p| p[0] <= p[1]),
+            "warp {w} unordered"
+        );
     }
     let timeline = regmutex_sim::render_timeline(&trace, cfg.max_warps_per_sm, 60);
     assert!(timeline.contains("W0"));

@@ -307,7 +307,10 @@ impl KernelBuilder {
         let idx = self.instrs.len();
         let srcs = pred.map(|p| vec![p]).unwrap_or_default();
         self.instrs.push(Instr::new(
-            Op::Bra { target: u32::MAX, behavior },
+            Op::Bra {
+                target: u32::MAX,
+                behavior,
+            },
             None,
             srcs,
         ));
@@ -328,14 +331,22 @@ impl KernelBuilder {
 
     /// Warp-uniform forward branch taken with probability `permille`/1000.
     pub fn bra_if(&mut self, target: Label, permille: u16, pred: Option<ArchReg>) -> &mut Self {
-        self.bra(target, BranchBehavior::If { taken_permille: permille }, pred)
+        self.bra(
+            target,
+            BranchBehavior::If {
+                taken_permille: permille,
+            },
+            pred,
+        )
     }
 
     /// Divergent forward skip: ~`permille`/1000 of lanes jump to `target`.
     pub fn bra_div(&mut self, target: Label, permille: u16, pred: Option<ArchReg>) -> &mut Self {
         self.bra(
             target,
-            BranchBehavior::Divergent { taken_permille: permille },
+            BranchBehavior::Divergent {
+                taken_permille: permille,
+            },
             pred,
         )
     }

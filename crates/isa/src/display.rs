@@ -64,11 +64,7 @@ impl fmt::Display for Instr {
             }
         }
         for (i, s) in self.srcs.iter().enumerate() {
-            if i > 0 || self.dst.is_some() {
-                write!(f, " {s}")?;
-            } else {
-                write!(f, " {s}")?;
-            }
+            write!(f, " {s}")?;
             if i + 1 < self.srcs.len() {
                 write!(f, ",")?;
             }
@@ -94,8 +90,8 @@ impl fmt::Display for Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::KernelBuilder;
     use crate::branch::TripCount;
+    use crate::builder::KernelBuilder;
     use crate::reg::ArchReg;
 
     #[test]

@@ -200,8 +200,14 @@ mod tests {
         assert_eq!(Op::IAdd.latency_class(), LatencyClass::Alu);
         assert_eq!(Op::FFma.latency_class(), LatencyClass::Alu);
         assert_eq!(Op::FRcp.latency_class(), LatencyClass::Sfu);
-        assert_eq!(Op::Ld(Space::Global).latency_class(), LatencyClass::GlobalMem);
-        assert_eq!(Op::Ld(Space::Shared).latency_class(), LatencyClass::SharedMem);
+        assert_eq!(
+            Op::Ld(Space::Global).latency_class(),
+            LatencyClass::GlobalMem
+        );
+        assert_eq!(
+            Op::Ld(Space::Shared).latency_class(),
+            LatencyClass::SharedMem
+        );
         assert_eq!(Op::Bar.latency_class(), LatencyClass::Control);
         assert_eq!(Op::AcqEs.latency_class(), LatencyClass::Control);
     }
@@ -246,7 +252,9 @@ mod tests {
         let b = Instr::new(
             Op::Bra {
                 target: 17,
-                behavior: BranchBehavior::If { taken_permille: 500 },
+                behavior: BranchBehavior::If {
+                    taken_permille: 500,
+                },
             },
             None,
             vec![r(0)],

@@ -57,7 +57,10 @@ impl core::fmt::Display for ValidateKernelError {
                 write!(f, "control can fall off the end of the kernel")
             }
             ValidateKernelError::RegisterOutOfRange { reg, limit } => {
-                write!(f, "architected register R{reg} exceeds the limit of {limit}")
+                write!(
+                    f,
+                    "architected register R{reg} exceeds the limit of {limit}"
+                )
             }
         }
     }
@@ -264,7 +267,10 @@ mod tests {
             ),
             exit(),
         ]);
-        assert_eq!(k.validate(), Err(ValidateKernelError::LoopNotBackward { pc: 0 }));
+        assert_eq!(
+            k.validate(),
+            Err(ValidateKernelError::LoopNotBackward { pc: 0 })
+        );
     }
 
     #[test]
@@ -274,14 +280,19 @@ mod tests {
             Instr::new(
                 Op::Bra {
                     target: 0,
-                    behavior: BranchBehavior::Divergent { taken_permille: 100 },
+                    behavior: BranchBehavior::Divergent {
+                        taken_permille: 100,
+                    },
                 },
                 None,
                 vec![],
             ),
             exit(),
         ]);
-        assert_eq!(k.validate(), Err(ValidateKernelError::SkipNotForward { pc: 1 }));
+        assert_eq!(
+            k.validate(),
+            Err(ValidateKernelError::SkipNotForward { pc: 1 })
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use regmutex_isa::{CtaId, Kernel};
+use regmutex_isa::{CtaId, Kernel, ValidateKernelError};
 
 use crate::config::{GpuConfig, LaunchConfig};
 use crate::manager::RegisterManager;
@@ -12,6 +12,10 @@ use crate::stats::SimStats;
 /// Fatal simulation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
+    /// The kernel failed structural validation. Checked in every build
+    /// profile: release harness runs must reject invalid kernels rather
+    /// than silently simulating garbage.
+    InvalidKernel(ValidateKernelError),
     /// No instruction issued device-wide for an implausibly long interval:
     /// the configuration deadlocked (e.g. an unsatisfiable acquire).
     Deadlock {
@@ -30,7 +34,11 @@ pub enum SimError {
 impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            SimError::Deadlock { cycle, last_progress } => write!(
+            SimError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
+            SimError::Deadlock {
+                cycle,
+                last_progress,
+            } => write!(
                 f,
                 "no progress since cycle {last_progress} (watchdog fired at {cycle}): deadlock"
             ),
@@ -53,6 +61,7 @@ impl std::error::Error for SimError {}
 ///
 /// # Errors
 ///
+/// [`SimError::InvalidKernel`] if the kernel fails structural validation,
 /// [`SimError::Deadlock`] if no instruction issues device-wide for longer
 /// than a conservative bound, or [`SimError::WatchdogExpired`] at
 /// `cfg.watchdog_cycles`.
@@ -60,7 +69,7 @@ pub fn run_kernel(
     cfg: &GpuConfig,
     kernel: &Kernel,
     launch: LaunchConfig,
-    manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager>,
+    manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager> + Send,
 ) -> Result<SimStats, SimError> {
     run_inner(cfg, kernel, launch, manager_factory, false).map(|(stats, _)| stats)
 }
@@ -76,7 +85,7 @@ pub fn run_kernel_traced(
     cfg: &GpuConfig,
     kernel: &Kernel,
     launch: LaunchConfig,
-    manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager>,
+    manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager> + Send,
 ) -> Result<(SimStats, Vec<crate::trace::TraceEvent>), SimError> {
     run_inner(cfg, kernel, launch, manager_factory, true)
 }
@@ -85,10 +94,10 @@ fn run_inner(
     cfg: &GpuConfig,
     kernel: &Kernel,
     launch: LaunchConfig,
-    mut manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager>,
+    mut manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager> + Send,
     traced: bool,
 ) -> Result<(SimStats, Vec<crate::trace::TraceEvent>), SimError> {
-    debug_assert!(kernel.validate().is_ok(), "running an invalid kernel");
+    kernel.validate().map_err(SimError::InvalidKernel)?;
     let image = Arc::new(KernelImage::new(kernel.clone()));
     let simulated = cfg.simulated_sms.min(cfg.num_sms).max(1);
 
@@ -98,7 +107,12 @@ fn run_inner(
             let n = launch.ctas_for_sm(sm_id, cfg);
             let ctas: Vec<CtaId> = (next_cta..next_cta + n).map(CtaId).collect();
             next_cta += n;
-            Sm::new(cfg.clone(), Arc::clone(&image), manager_factory(sm_id), ctas)
+            Sm::new(
+                cfg.clone(),
+                Arc::clone(&image),
+                manager_factory(sm_id),
+                ctas,
+            )
         })
         .collect();
     if traced {
@@ -325,7 +339,10 @@ mod tests {
     fn checksum_is_deterministic() {
         let mut b = KernelBuilder::new("det");
         b.threads_per_cta(64);
-        b.movi(r(0), 5).ld_global(r(1), r(0)).st_global(r(1), r(1)).exit();
+        b.movi(r(0), 5)
+            .ld_global(r(1), r(0))
+            .st_global(r(1), r(1))
+            .exit();
         let k = b.build().unwrap();
         let cfg = GpuConfig::test_tiny();
         let a = run(&k, &cfg, 3);
@@ -351,6 +368,26 @@ mod tests {
         cfg.policy = crate::config::SchedulerPolicy::Lrr;
         let lrr = run(&k, &cfg, 3);
         assert_eq!(gto.checksum, lrr.checksum);
+    }
+
+    #[test]
+    fn invalid_kernel_rejected_in_all_profiles() {
+        // No exit, empty body: structurally invalid. Must surface as a
+        // proper error (not a debug-only assertion) so release harness
+        // builds cannot silently simulate garbage.
+        let k = Kernel {
+            name: "empty".into(),
+            instrs: Vec::new(),
+            regs_per_thread: 0,
+            shmem_per_cta: 0,
+            threads_per_cta: 32,
+            seed: 0,
+        };
+        let cfg = GpuConfig::test_tiny();
+        let res = run_kernel(&cfg, &k, LaunchConfig::new(1), |_| {
+            Box::new(StaticManager::new(&cfg, 0))
+        });
+        assert!(matches!(res, Err(SimError::InvalidKernel(_))), "{res:?}");
     }
 
     #[test]

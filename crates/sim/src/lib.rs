@@ -39,8 +39,8 @@ mod scheduler;
 mod simt;
 mod sm;
 mod stats;
-pub mod value;
 pub mod trace;
+pub mod value;
 mod warp;
 
 pub use barrier::BarrierUnit;

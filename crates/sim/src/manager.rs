@@ -45,7 +45,11 @@ impl core::fmt::Display for LedgerViolation {
         match self {
             LedgerViolation::OutOfRange { row } => write!(f, "row {row} out of range"),
             LedgerViolation::Unclaimed { row } => write!(f, "row {row} accessed while unclaimed"),
-            LedgerViolation::WrongOwner { row, owner, accessor } => {
+            LedgerViolation::WrongOwner {
+                row,
+                owner,
+                accessor,
+            } => {
                 write!(f, "row {row} owned by {owner} accessed by {accessor}")
             }
         }
@@ -165,7 +169,12 @@ pub enum AcquireResult {
 ///
 /// Methods that change allocation state receive the [`Ledger`] so the
 /// simulator can verify ownership invariants for every technique uniformly.
-pub trait RegisterManager {
+///
+/// `Send` is a supertrait so whole simulations — `Sm`s and the
+/// `Box<dyn RegisterManager>`s inside them — can be dispatched to worker
+/// threads by parallel experiment harnesses. Managers are plain data, so
+/// implementations get it for free.
+pub trait RegisterManager: Send {
     /// Short technique name for reports.
     fn name(&self) -> &'static str;
 
@@ -328,8 +337,14 @@ mod tests {
                 accessor: WarpId(2)
             })
         );
-        assert_eq!(l.check(0, WarpId(1)), Err(LedgerViolation::Unclaimed { row: 0 }));
-        assert_eq!(l.check(99, WarpId(1)), Err(LedgerViolation::OutOfRange { row: 99 }));
+        assert_eq!(
+            l.check(0, WarpId(1)),
+            Err(LedgerViolation::Unclaimed { row: 0 })
+        );
+        assert_eq!(
+            l.check(99, WarpId(1)),
+            Err(LedgerViolation::OutOfRange { row: 99 })
+        );
         l.release_range(2, 3, WarpId(1));
         assert_eq!(l.free_rows(), 8);
     }

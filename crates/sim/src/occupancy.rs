@@ -93,17 +93,15 @@ pub fn theoretical(cfg: &GpuConfig, res: KernelResources) -> Occupancy {
     let by_warps = cfg.max_warps_per_sm / warps_per_cta;
 
     let regs_per_cta = cfg.regs_per_warp(res.regs_per_thread) * warps_per_cta;
-    let by_regs = if regs_per_cta == 0 {
-        u32::MAX
-    } else {
-        cfg.regs_per_sm / regs_per_cta
-    };
+    let by_regs = cfg
+        .regs_per_sm
+        .checked_div(regs_per_cta)
+        .unwrap_or(u32::MAX);
 
-    let by_shmem = if res.shmem_per_cta == 0 {
-        u32::MAX
-    } else {
-        cfg.shmem_per_sm / res.shmem_per_cta
-    };
+    let by_shmem = cfg
+        .shmem_per_sm
+        .checked_div(res.shmem_per_cta)
+        .unwrap_or(u32::MAX);
 
     let by_ctas = cfg.max_ctas_per_sm;
 

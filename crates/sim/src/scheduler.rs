@@ -36,7 +36,7 @@ pub struct Candidate {
 pub fn order_candidates(
     policy: SchedulerPolicy,
     state: &SchedulerState,
-    candidates: &mut Vec<Candidate>,
+    candidates: &mut [Candidate],
 ) {
     match policy {
         SchedulerPolicy::Gto => {
@@ -63,7 +63,11 @@ mod tests {
     use super::*;
 
     fn c(slot: u32, age: u64, priority: u8) -> Candidate {
-        Candidate { slot, age, priority }
+        Candidate {
+            slot,
+            age,
+            priority,
+        }
     }
 
     #[test]

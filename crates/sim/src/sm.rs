@@ -21,8 +21,8 @@ use crate::memory::MemoryPipe;
 use crate::scheduler::{order_candidates, Candidate, SchedulerState};
 use crate::simt::full_mask;
 use crate::stats::SimStats;
-use crate::value;
 use crate::trace::{TraceEvent, TraceKind};
+use crate::value;
 use crate::warp::{StallReason, WarpState};
 
 /// A kernel plus per-PC derived tables the SM needs at issue time.
@@ -106,7 +106,11 @@ impl Sm {
         let rows = cfg.reg_rows_per_sm();
         let max_warps = cfg.max_warps_per_sm as usize;
         let nsched = cfg.num_schedulers as usize;
-        let mem = MemoryPipe::new(cfg.max_outstanding_mem, cfg.gmem_latency, cfg.mem_issue_per_cycle);
+        let mem = MemoryPipe::new(
+            cfg.max_outstanding_mem,
+            cfg.gmem_latency,
+            cfg.mem_issue_per_cycle,
+        );
         Sm {
             cfg,
             image,
@@ -148,11 +152,7 @@ impl Sm {
 
     /// Resident, unfinished warps right now.
     pub fn resident_warps(&self) -> u32 {
-        self.warps
-            .iter()
-            .flatten()
-            .filter(|w| !w.done)
-            .count() as u32
+        self.warps.iter().flatten().filter(|w| !w.done).count() as u32
     }
 
     /// Advance one cycle.
@@ -264,13 +264,21 @@ impl Sm {
                             w.issued += 1;
                             self.stats.instructions += 1;
                             if let Some(t) = self.trace.as_mut() {
-                                t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::AcquireSuccess });
+                                t.push(TraceEvent {
+                                    cycle: now,
+                                    warp: wid.0,
+                                    kind: TraceKind::AcquireSuccess,
+                                });
                             }
                             After::None
                         }
                         AcquireResult::Stalled => {
                             if let Some(t) = self.trace.as_mut() {
-                                t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::AcquireStall });
+                                t.push(TraceEvent {
+                                    cycle: now,
+                                    warp: wid.0,
+                                    kind: TraceKind::AcquireStall,
+                                });
                             }
                             return Err(StallReason::Acquire);
                         }
@@ -283,7 +291,11 @@ impl Sm {
                     w.issued += 1;
                     self.stats.instructions += 1;
                     if let Some(t) = self.trace.as_mut() {
-                        t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::Release });
+                        t.push(TraceEvent {
+                            cycle: now,
+                            warp: wid.0,
+                            kind: TraceKind::Release,
+                        });
                     }
                     After::None
                 }
@@ -294,7 +306,11 @@ impl Sm {
                     self.stats.instructions += 1;
                     self.manager.on_warp_exit(&mut self.ledger, wid);
                     if let Some(t) = self.trace.as_mut() {
-                        t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::WarpExit });
+                        t.push(TraceEvent {
+                            cycle: now,
+                            warp: wid.0,
+                            kind: TraceKind::WarpExit,
+                        });
                     }
                     After::Exit(w.cta, w.checksum)
                 }
@@ -356,7 +372,11 @@ impl Sm {
                     w.issued += 1;
                     self.stats.instructions += 1;
                     if let Some(t) = self.trace.as_mut() {
-                        t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::Issue { pc: w.pc } });
+                        t.push(TraceEvent {
+                            cycle: now,
+                            warp: wid.0,
+                            kind: TraceKind::Issue { pc: w.pc },
+                        });
                     }
                     After::None
                 }
@@ -440,8 +460,7 @@ impl Sm {
                             } else {
                                 self.cfg.alu_latency
                             };
-                            let srcs: Vec<u64> =
-                                instr.srcs.iter().map(|s| w.read(s.0)).collect();
+                            let srcs: Vec<u64> = instr.srcs.iter().map(|s| w.read(s.0)).collect();
                             let v = value::eval(instr, &srcs);
                             if let Some(d) = instr.dst {
                                 w.write(d.0, v);
@@ -454,7 +473,11 @@ impl Sm {
                     self.stats.reg_writes += u64::from(instr.dst.is_some());
                     self.manager.post_issue(&mut self.ledger, wid, instr, w.pc);
                     if let Some(t) = self.trace.as_mut() {
-                        t.push(TraceEvent { cycle: now, warp: wid.0, kind: TraceKind::Issue { pc: w.pc } });
+                        t.push(TraceEvent {
+                            cycle: now,
+                            warp: wid.0,
+                            kind: TraceKind::Issue { pc: w.pc },
+                        });
                     }
                     w.pc += 1;
                     w.issued += 1;

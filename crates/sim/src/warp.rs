@@ -72,7 +72,10 @@ impl WarpState {
         full_mask: u64,
         age: u64,
     ) -> Self {
-        let warp_key = mix(kernel_seed, u64::from(cta.0) * 4096 + u64::from(warp_in_cta));
+        let warp_key = mix(
+            kernel_seed,
+            u64::from(cta.0) * 4096 + u64::from(warp_in_cta),
+        );
         let reg_values = (0..regs).map(|i| mix(warp_key, u64::from(i))).collect();
         WarpState {
             slot,

@@ -276,7 +276,10 @@ fn bank_conflicts_add_latency_when_enabled() {
     let k2 = b2.build().unwrap();
     let off2 = run(&k2, &GpuConfig::test_tiny(), 1);
     let on2 = run(&k2, &banked, 1);
-    assert_eq!(off2.cycles, on2.cycles, "adjacent rows sit in distinct banks");
+    assert_eq!(
+        off2.cycles, on2.cycles,
+        "adjacent rows sit in distinct banks"
+    );
 }
 
 /// Simulating more than one SM merges statistics and preserves determinism.

@@ -38,7 +38,14 @@ pub fn kernel() -> Kernel {
         b.bra_loop_pred(scan, varied(4, 4), r(6));
         // Frontier update: the high-pressure expansion (r6..r20 = 15 regs;
         // peak = 6 persistent + 15 = 21).
-        pressure_spike(&mut b, 6, 20, r(1), SpikeStyle::IntMad, &[r(2), r(3), r(4), r(5)]);
+        pressure_spike(
+            &mut b,
+            6,
+            20,
+            r(1),
+            SpikeStyle::IntMad,
+            &[r(2), r(3), r(4), r(5)],
+        );
         // Publish the new frontier.
         b.st_global(r(4), r(1));
         dependent_loads(&mut b, r(4), r(6), 1);

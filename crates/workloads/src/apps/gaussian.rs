@@ -31,7 +31,14 @@ pub fn kernel() -> Kernel {
         b.fadd(r(1), r(5), r(1));
         b.bra_loop(cols, TripCount::Fixed(6));
         // Row-update spike: r5..r11 = 7; peak = 5 + 7 = 12.
-        pressure_spike(&mut b, 5, 11, r(1), SpikeStyle::FloatFma, &[r(2), r(3), r(4)]);
+        pressure_spike(
+            &mut b,
+            5,
+            11,
+            r(1),
+            SpikeStyle::FloatFma,
+            &[r(2), r(3), r(4)],
+        );
         b.st_global(r(4), r(1));
         b.bra_loop(rows, TripCount::Fixed(3));
     }

@@ -34,7 +34,14 @@ pub fn kernel() -> Kernel {
         b.ffma(r(2), r(8), r(4), r(2));
         b.bra_loop(inner, TripCount::Fixed(6));
         // Unrolled phase accumulation: r6..r20 = 15; peak = 6 + 15 = 21.
-        pressure_spike(&mut b, 6, 20, r(1), SpikeStyle::FloatFma, &[r(3), r(4), r(5)]);
+        pressure_spike(
+            &mut b,
+            6,
+            20,
+            r(1),
+            SpikeStyle::FloatFma,
+            &[r(3), r(4), r(5)],
+        );
         b.bra_loop(samples, TripCount::Fixed(3));
     }
     b.st_global(r(3), r(2));

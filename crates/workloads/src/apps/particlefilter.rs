@@ -62,7 +62,8 @@ pub fn kernel() -> Kernel {
     b.st_global(r(2), r(3));
     b.st_global(r(5), r(0));
     epilogue(&mut b, r(0), r(1));
-    b.build().expect("ParticleFilter kernel is structurally valid")
+    b.build()
+        .expect("ParticleFilter kernel is structurally valid")
 }
 
 /// The packaged workload.

@@ -8,7 +8,9 @@
 
 use regmutex_isa::{Kernel, KernelBuilder, TripCount};
 
-use crate::gen::{dependent_loads, epilogue, independent_loads, pressure_spike, r, varied, SpikeStyle};
+use crate::gen::{
+    dependent_loads, epilogue, independent_loads, pressure_spike, r, varied, SpikeStyle,
+};
 use crate::{Group, Workload};
 
 /// Table I registers per thread.

@@ -41,7 +41,14 @@ pub fn kernel() -> Kernel {
         b.st_shared(r(6), r(10));
         b.iadd(r(1), r(10), r(1));
         // Unrolled accumulation spike: r10..r15 = 6; peak = 10 + 6 = 16.
-        pressure_spike(&mut b, 10, 15, r(1), SpikeStyle::IntMad, &[r(7), r(8), r(9)]);
+        pressure_spike(
+            &mut b,
+            10,
+            15,
+            r(1),
+            SpikeStyle::IntMad,
+            &[r(7), r(8), r(9)],
+        );
         b.st_global(r(9), r(1));
         b.bra_loop(stripes, TripCount::Fixed(3));
     }

@@ -32,11 +32,25 @@ pub fn kernel() -> Kernel {
         b.bra_if(noclamp, 300, Some(r(1)));
         b.imin(r(1), r(1), r(4));
         b.place(noclamp);
-        pressure_spike(&mut b, 6, 17, r(1), SpikeStyle::FloatFma, &[r(2), r(4), r(5)]);
+        pressure_spike(
+            &mut b,
+            6,
+            17,
+            r(1),
+            SpikeStyle::FloatFma,
+            &[r(2), r(4), r(5)],
+        );
         b.st_global(r(2), r(1));
         // Phase 2: diffusion update + second spike.
         independent_loads(&mut b, &[r(3), r(0)], &[r(6), r(7)], r(1));
-        pressure_spike(&mut b, 6, 17, r(1), SpikeStyle::FloatFma, &[r(3), r(5), r(4)]);
+        pressure_spike(
+            &mut b,
+            6,
+            17,
+            r(1),
+            SpikeStyle::FloatFma,
+            &[r(3), r(5), r(4)],
+        );
         b.st_global(r(3), r(1));
         b.bra_loop(iters, TripCount::Fixed(3));
     }

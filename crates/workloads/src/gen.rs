@@ -41,7 +41,10 @@ pub fn pressure_spike(
     debug_assert!(lo <= hi);
     debug_assert!(acc.0 < lo, "accumulator must live below the spike range");
     debug_assert!(!seeds.is_empty());
-    debug_assert!(seeds.iter().all(|s| s.0 < lo), "seeds must be base registers");
+    debug_assert!(
+        seeds.iter().all(|s| s.0 < lo),
+        "seeds must be base registers"
+    );
     let n = seeds.len();
     for (idx, i) in (lo..=hi).enumerate() {
         let a = seeds[idx % n];
@@ -54,7 +57,7 @@ pub fn pressure_spike(
         };
     }
     let mut i = lo;
-    while i + 1 <= hi {
+    while i < hi {
         match style {
             SpikeStyle::IntMad => b.imad(acc, r(i), r(i + 1), acc),
             SpikeStyle::FloatFma => b.ffma(acc, r(i), r(i + 1), acc),

@@ -80,7 +80,9 @@ pub(crate) mod test_support {
     /// * group membership matches the occupancy limiter on the baseline
     ///   GPU (Fig 7 = register-limited, Fig 8 = not).
     pub fn check(w: &Workload) {
-        w.kernel.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        w.kernel
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(w.kernel.regs_per_thread, w.table_regs, "{}", w.name);
 
         let lv = regmutex_compiler::analyze(&w.kernel);

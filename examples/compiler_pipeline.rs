@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         w.kernel.threads_per_cta,
     );
     let sel = es_select::select(&cfg, res, barrier_live_max(&w.kernel, &lv));
-    println!("\nstep 2 — |Es| candidates (total {} regs):", sel.total_regs);
+    println!(
+        "\nstep 2 — |Es| candidates (total {} regs):",
+        sel.total_regs
+    );
     for c in &sel.ranked {
         println!(
             "         |Es|={:<2} |Bs|={:<2} occupancy {:>2} warps, {:>2} SRP sections{}{}",
@@ -44,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             c.bs,
             c.occupancy_warps,
             c.srp_sections,
-            if c.majority_concurrent { ", majority-concurrent" } else { "" },
+            if c.majority_concurrent {
+                ", majority-concurrent"
+            } else {
+                ""
+            },
             if c.viable { "" } else { " (not viable)" },
         );
     }

@@ -13,10 +13,8 @@
 use regmutex_repro::prelude::*;
 
 use regmutex::cycle_reduction_percent;
-use regmutex_isa::{ArchReg, TripCount};
-use regmutex_workloads::gen::{
-    dependent_loads, epilogue, pressure_spike, r, varied, SpikeStyle,
-};
+use regmutex_isa::TripCount;
+use regmutex_workloads::gen::{dependent_loads, epilogue, pressure_spike, r, varied, SpikeStyle};
 
 fn graph_coloring_kernel() -> regmutex_isa::Kernel {
     let mut b = KernelBuilder::new("GraphColoring");

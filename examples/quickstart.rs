@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let launch = LaunchConfig::new(180);
     let base = session.run_compiled(&compiled, launch, Technique::Baseline)?;
     let rm = session.run_compiled(&compiled, launch, Technique::RegMutex)?;
-    assert_eq!(base.stats.checksum, rm.stats.checksum, "semantics preserved");
+    assert_eq!(
+        base.stats.checksum, rm.stats.checksum,
+        "semantics preserved"
+    );
 
     println!(
         "baseline : {:>8} cycles  (occupancy {}%)",

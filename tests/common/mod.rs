@@ -1,14 +1,14 @@
 //! Shared test support: a generator of random *structured* kernels for
-//! property tests.
+//! property tests, plus the deterministic PRNG driving it.
 //!
 //! Kernels are built from a segment grammar (ALU chains, memory accesses,
 //! pressure spikes, loops, uniform/divergent skips, barriers) under a fixed
 //! register discipline: persistent registers live for the whole kernel,
 //! temporaries rotate through a small window, and spikes use the indices
-//! above it. This mirrors how the workload generators are built, while
-//! proptest explores the structural space.
+//! above it. This mirrors how the workload generators are built, while the
+//! seeded PRNG explores the structural space reproducibly (every failure
+//! message carries the case seed, so any counterexample replays exactly).
 
-use proptest::prelude::*;
 use regmutex_isa::{ArchReg, Kernel, KernelBuilder, TripCount};
 
 /// Number of persistent registers (r0..r3).
@@ -17,6 +17,46 @@ const PERSISTENT: u16 = 4;
 const TEMPS: u16 = 2;
 /// First spike register.
 const SPIKE_LO: u16 = PERSISTENT + TEMPS;
+
+/// A small, fast, deterministic PRNG (xorshift64*) for property tests.
+///
+/// Dependency-free stand-in for an external generator crate: the container
+/// builds offline, and a fixed seed makes every test run identical.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator; distinct seeds give well-separated streams.
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point and decorrelate small seeds.
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    /// Fair coin.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 /// One structural element of a generated kernel.
 #[derive(Debug, Clone)]
@@ -50,38 +90,52 @@ pub enum Seg {
         /// Skipped body.
         body: Vec<Seg>,
     },
-    /// A CTA barrier (only emitted at top level).
-    Barrier,
 }
 
-/// Proptest strategy for a segment tree.
-pub fn seg_strategy(depth: u32) -> impl Strategy<Value = Seg> {
-    let leaf = prop_oneof![
-        (1u8..6).prop_map(Seg::Alu),
-        Just(Seg::Load),
-        Just(Seg::Store),
-        (3u8..10).prop_map(Seg::Spike),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop_oneof![
-            ((1u8..4), prop::collection::vec(inner.clone(), 1..4))
-                .prop_map(|(trips, body)| Seg::Loop { trips, body }),
-            ((0u16..1000), prop::collection::vec(inner.clone(), 1..4))
-                .prop_map(|(permille, body)| Seg::Skip { permille, body }),
-            ((1u16..1000), prop::collection::vec(inner, 1..4))
-                .prop_map(|(permille, body)| Seg::Diverge { permille, body }),
-        ]
-    })
+/// Generate one leaf segment.
+fn gen_leaf(rng: &mut Rng) -> Seg {
+    match rng.below(4) {
+        0 => Seg::Alu(rng.range(1, 6) as u8),
+        1 => Seg::Load,
+        2 => Seg::Store,
+        _ => Seg::Spike(rng.range(3, 10) as u8),
+    }
 }
 
-/// Strategy for a whole kernel: a top-level segment list (with optional
-/// barriers between segments) and a seed.
-pub fn kernel_strategy() -> impl Strategy<Value = Kernel> {
-    (
-        prop::collection::vec((seg_strategy(2), prop::bool::ANY), 1..6),
-        any::<u64>(),
-    )
-        .prop_map(|(segs, seed)| build_kernel(&segs, seed))
+/// Generate a segment tree of at most `depth` nesting levels, mirroring the
+/// old `prop_recursive` strategy: half the draws below the depth limit
+/// recurse into a loop/skip/diverge with a 1–3 segment body.
+pub fn gen_seg(rng: &mut Rng, depth: u32) -> Seg {
+    if depth == 0 || rng.flip() {
+        return gen_leaf(rng);
+    }
+    let body: Vec<Seg> = (0..rng.range(1, 4))
+        .map(|_| gen_seg(rng, depth - 1))
+        .collect();
+    match rng.below(3) {
+        0 => Seg::Loop {
+            trips: rng.range(1, 4) as u8,
+            body,
+        },
+        1 => Seg::Skip {
+            permille: rng.below(1000) as u16,
+            body,
+        },
+        _ => Seg::Diverge {
+            permille: rng.range(1, 1000) as u16,
+            body,
+        },
+    }
+}
+
+/// Generate a whole kernel: a top-level segment list (with optional barriers
+/// between segments) and a per-kernel data seed.
+pub fn gen_kernel(rng: &mut Rng) -> Kernel {
+    let segs: Vec<(Seg, bool)> = (0..rng.range(1, 6))
+        .map(|_| (gen_seg(rng, 2), rng.flip()))
+        .collect();
+    let seed = rng.next_u64();
+    build_kernel(&segs, seed)
 }
 
 fn r(i: u16) -> ArchReg {
@@ -108,7 +162,7 @@ fn emit(b: &mut KernelBuilder, seg: &Seg, next_temp: &mut u16) {
         Seg::Spike(n) => {
             let n = u16::from(*n);
             for i in 0..n {
-                b.xor(r(SPIKE_LO + i), r(i as u16 % PERSISTENT), r(1));
+                b.xor(r(SPIKE_LO + i), r(i % PERSISTENT), r(1));
             }
             let mut i = 0;
             while i + 1 < n {
@@ -141,9 +195,6 @@ fn emit(b: &mut KernelBuilder, seg: &Seg, next_temp: &mut u16) {
                 emit(b, s, next_temp);
             }
             b.place(label);
-        }
-        Seg::Barrier => {
-            b.bar();
         }
     }
 }

@@ -1,10 +1,12 @@
 //! Property tests: for randomly generated structured kernels, the RegMutex
 //! compilation pipeline preserves semantics (store checksums match the
 //! baseline exactly) and never deadlocks, under every technique.
+//!
+//! Each case is generated from a fixed seed; a failing case's seed appears
+//! in the assertion message, so `Rng::new(seed)` replays it exactly.
 
 mod common;
 
-use proptest::prelude::*;
 use regmutex::{Session, Technique};
 use regmutex_compiler::CompileOptions;
 use regmutex_sim::{GpuConfig, LaunchConfig};
@@ -13,16 +15,14 @@ fn tiny() -> GpuConfig {
     GpuConfig::test_tiny()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
-
-    /// The central compiler-correctness oracle: forced-|Es| RegMutex
-    /// compilation + execution produces exactly the baseline's checksum.
-    #[test]
-    fn regmutex_preserves_semantics(kernel in common::kernel_strategy(), es in 2u16..6) {
+/// The central compiler-correctness oracle: forced-|Es| RegMutex
+/// compilation + execution produces exactly the baseline's checksum.
+#[test]
+fn regmutex_preserves_semantics() {
+    for case in 0..48u64 {
+        let mut rng = common::Rng::new(0xA001 + case);
+        let kernel = common::gen_kernel(&mut rng);
+        let es = rng.range(2, 6) as u16;
         let cfg = tiny();
         let launch = LaunchConfig::new(3);
         let baseline = Session::new(cfg.clone())
@@ -30,36 +30,57 @@ proptest! {
             .expect("baseline completes");
         let session = Session::with_options(
             cfg,
-            CompileOptions { force_es: Some(es & !1), force_apply: true },
+            CompileOptions {
+                force_es: Some(es & !1),
+                force_apply: true,
+            },
         );
         let rm = session
             .run(&kernel, launch, Technique::RegMutex)
-            .expect("regmutex completes");
-        prop_assert_eq!(baseline.stats.checksum, rm.stats.checksum);
+            .unwrap_or_else(|e| panic!("case {case}: regmutex failed: {e}"));
+        assert_eq!(
+            baseline.stats.checksum, rm.stats.checksum,
+            "case {case} (es {es}): checksum diverged"
+        );
     }
+}
 
-    /// Paired-warps and the related-work techniques are functionally
-    /// transparent too, and none of them deadlocks.
-    #[test]
-    fn all_techniques_agree(kernel in common::kernel_strategy()) {
-        let cfg = tiny();
+/// Paired-warps and the related-work techniques are functionally
+/// transparent too, and none of them deadlocks.
+#[test]
+fn all_techniques_agree() {
+    for case in 0..48u64 {
+        let mut rng = common::Rng::new(0xB002 + case);
+        let kernel = common::gen_kernel(&mut rng);
         let launch = LaunchConfig::new(4);
-        let session = Session::new(cfg);
+        let session = Session::new(tiny());
         let compiled = session.compile(&kernel).expect("compiles");
         let baseline = session
             .run_compiled(&compiled, launch, Technique::Baseline)
             .expect("baseline completes");
-        for t in [Technique::RegMutex, Technique::RegMutexPaired, Technique::Rfv, Technique::Owf] {
+        for t in [
+            Technique::RegMutex,
+            Technique::RegMutexPaired,
+            Technique::Rfv,
+            Technique::Owf,
+        ] {
             let rep = session
                 .run_compiled(&compiled, launch, t)
-                .unwrap_or_else(|e| panic!("{t}: {e}"));
-            prop_assert_eq!(baseline.stats.checksum, rep.stats.checksum, "{} diverged", t);
+                .unwrap_or_else(|e| panic!("case {case} {t}: {e}"));
+            assert_eq!(
+                baseline.stats.checksum, rep.stats.checksum,
+                "case {case}: {t} diverged"
+            );
         }
     }
+}
 
-    /// The scheduler policy must never change functional results.
-    #[test]
-    fn scheduling_policy_is_functionally_transparent(kernel in common::kernel_strategy()) {
+/// The scheduler policy must never change functional results.
+#[test]
+fn scheduling_policy_is_functionally_transparent() {
+    for case in 0..48u64 {
+        let mut rng = common::Rng::new(0xC003 + case);
+        let kernel = common::gen_kernel(&mut rng);
         let launch = LaunchConfig::new(3);
         let mut cfg = tiny();
         let gto = Session::new(cfg.clone())
@@ -69,7 +90,10 @@ proptest! {
         let lrr = Session::new(cfg)
             .run(&kernel, launch, Technique::Baseline)
             .expect("lrr");
-        prop_assert_eq!(gto.stats.checksum, lrr.stats.checksum);
+        assert_eq!(
+            gto.stats.checksum, lrr.stats.checksum,
+            "case {case}: scheduler policy changed results"
+        );
     }
 }
 
@@ -98,6 +122,10 @@ fn generator_produces_transformable_kernels() {
         },
     );
     let compiled = session.compile(&kernel).expect("compiles");
-    assert!(compiled.is_transformed(), "{:?}", compiled.diagnostics.rejected);
+    assert!(
+        compiled.is_transformed(),
+        "{:?}",
+        compiled.diagnostics.rejected
+    );
     assert!(compiled.diagnostics.acquires >= 1);
 }

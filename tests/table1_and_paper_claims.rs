@@ -77,11 +77,19 @@ fn section_iii_b1_storage_accounting() {
 fn fermi_machine_model_matches_section_iv() {
     let cfg = GpuConfig::gtx480();
     assert_eq!(cfg.num_sms, 15, "15 SMs");
-    assert_eq!(cfg.regs_per_sm * 4, 128 * 1024, "128 KB register file per SM");
+    assert_eq!(
+        cfg.regs_per_sm * 4,
+        128 * 1024,
+        "128 KB register file per SM"
+    );
     assert_eq!(cfg.num_schedulers, 2, "2 warp schedulers per SM");
     assert_eq!(cfg.max_warps_per_sm, 48, "Nw = 48");
     let half = GpuConfig::gtx480_half_rf();
-    assert_eq!(half.regs_per_sm * 4, 64 * 1024, "64 KB for the shrink study");
+    assert_eq!(
+        half.regs_per_sm * 4,
+        64 * 1024,
+        "64 KB for the shrink study"
+    );
 }
 
 #[test]
@@ -111,7 +119,14 @@ fn rounding_matches_table1_parentheses() {
 fn fig1_sample_utilization_is_fractional_and_fluctuating() {
     // "For the majority of the program execution only subsets of the
     // requested registers are alive."
-    for name in ["CUTCP", "DWT2D", "HeartWall", "HotSpot3D", "ParticleFilter", "SAD"] {
+    for name in [
+        "CUTCP",
+        "DWT2D",
+        "HeartWall",
+        "HotSpot3D",
+        "ParticleFilter",
+        "SAD",
+    ] {
         let w = suite::by_name(name).expect("known app");
         let trace = regmutex_compiler::live_trace(&w.kernel, 20_000);
         assert!(!trace.truncated, "{name}: trace truncated");
@@ -122,6 +137,9 @@ fn fig1_sample_utilization_is_fractional_and_fluctuating() {
         );
         let p = trace.percentages();
         let peak = p.iter().cloned().fold(0.0f64, f64::max);
-        assert!(peak > 95.0, "{name}: the allocation is justified at the peak");
+        assert!(
+            peak > 95.0,
+            "{name}: the allocation is justified at the peak"
+        );
     }
 }
