@@ -36,6 +36,7 @@ fn fig2_config() -> GpuConfig {
         max_outstanding_mem: 16,
         mem_issue_per_cycle: 1,
         watchdog_cycles: 10_000_000,
+        stall_multiplier: 64,
         reg_banks: 0,
     }
 }

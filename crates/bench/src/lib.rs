@@ -11,8 +11,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod report;
 pub mod runner;
 
+pub use chaos::{CampaignReport, CampaignSpec, Outcome};
 pub use report::{fmt_pct, GeoMean, RowArityError, Table};
-pub use runner::{JobSpec, Runner};
+pub use runner::{error_table, JobSpec, Runner};

@@ -20,8 +20,15 @@
 //!   (e.g. the baseline run that nearly every figure re-simulates) are
 //!   simulated once and served from the cache afterwards, within and
 //!   across batches of one process.
+//! * **Fault isolation** — a job that panics inside the simulator is
+//!   caught at the worker boundary and reported as
+//!   [`RunError::Panicked`]; a job that blows its [`JobSpec::cycle_budget`]
+//!   is cut off by the simulator's watchdog. Either way the rest of the
+//!   batch completes and the survivors' results are byte-identical to a
+//!   run without the sick job (see [`error_table`]).
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -48,6 +55,10 @@ pub struct JobSpec {
     pub technique: Technique,
     /// Grid size.
     pub launch: LaunchConfig,
+    /// Optional per-job cycle ceiling: the effective watchdog becomes
+    /// `min(cfg.watchdog_cycles, budget)`, so one runaway simulation cannot
+    /// stall a whole sweep. `None` keeps the config's watchdog.
+    pub cycle_budget: Option<u64>,
 }
 
 impl JobSpec {
@@ -66,6 +77,7 @@ impl JobSpec {
             options: CompileOptions::default(),
             technique,
             launch,
+            cycle_budget: None,
         }
     }
 
@@ -74,6 +86,24 @@ impl JobSpec {
     pub fn with_options(mut self, options: CompileOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Cap this job at `cycles` simulated cycles (see
+    /// [`JobSpec::cycle_budget`]).
+    #[must_use]
+    pub fn with_cycle_budget(mut self, cycles: u64) -> Self {
+        self.cycle_budget = Some(cycles);
+        self
+    }
+
+    /// The configuration the job actually runs under: the spec's config
+    /// with the cycle budget folded into the watchdog.
+    fn effective_cfg(&self) -> GpuConfig {
+        let mut cfg = self.cfg.clone();
+        if let Some(budget) = self.cycle_budget {
+            cfg.watchdog_cycles = cfg.watchdog_cycles.min(budget);
+        }
+        cfg
     }
 
     /// Content fingerprint: identical fingerprints mean identical
@@ -90,7 +120,10 @@ impl JobSpec {
         h.write(&self.kernel.shmem_per_cta.to_le_bytes());
         h.write(&self.kernel.threads_per_cta.to_le_bytes());
         h.write(self.kernel.to_string().as_bytes());
-        h.write(format!("{:?}", self.cfg).as_bytes());
+        // The budget is hashed via the effective config, so a job with a
+        // budget below the watchdog is distinct from the uncapped job while
+        // a no-op budget (≥ watchdog) shares its cache entry.
+        h.write(format!("{:?}", self.effective_cfg()).as_bytes());
         h.write(format!("{:?}", self.options).as_bytes());
         h.write(format!("{}", self.technique).as_bytes());
         h.write(&self.launch.grid_ctas.to_le_bytes());
@@ -205,8 +238,7 @@ impl Runner {
                     let n = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = todo.get(n) else { break };
                     let spec = &specs[i];
-                    let session = Session::with_options(spec.cfg.clone(), spec.options.clone());
-                    let result = session.run(&spec.kernel, spec.launch, spec.technique);
+                    let result = run_isolated(spec);
                     fresh.lock().unwrap().push((keys[i], result));
                 });
             }
@@ -241,6 +273,60 @@ impl Runner {
             self.cache_hits()
         )
     }
+}
+
+/// Execute one job behind a panic boundary. A panic anywhere in
+/// compile/simulate becomes [`RunError::Panicked`] carrying the panic
+/// message, so one sick job can never take down a sweep.
+fn run_isolated(spec: &JobSpec) -> Result<RunReport, RunError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let session = Session::with_options(spec.effective_cfg(), spec.options.clone());
+        session.run(&spec.kernel, spec.launch, spec.technique)
+    }));
+    outcome.unwrap_or_else(|payload| Err(RunError::Panicked(panic_message(&payload))))
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and `String`
+/// payloads cover everything `panic!`/`assert!` produce).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Render failed jobs as a fixed-width error table for the end of a sweep,
+/// or `None` when every job succeeded. Labels come from the specs, so the
+/// caller can tell exactly which `kernel/technique` combinations died.
+pub fn error_table(specs: &[JobSpec], results: &[Result<RunReport, RunError>]) -> Option<String> {
+    let failures: Vec<(&JobSpec, &RunError)> = specs
+        .iter()
+        .zip(results)
+        .filter_map(|(s, r)| r.as_ref().err().map(|e| (s, e)))
+        .collect();
+    if failures.is_empty() {
+        return None;
+    }
+    let width = failures
+        .iter()
+        .map(|(s, _)| s.label.len())
+        .max()
+        .unwrap_or(0)
+        .max("job".len());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} of {} job(s) failed:\n",
+        failures.len(),
+        results.len()
+    ));
+    out.push_str(&format!("  {:width$}  error\n", "job"));
+    for (spec, err) in failures {
+        out.push_str(&format!("  {:width$}  {err}\n", spec.label));
+    }
+    Some(out)
 }
 
 /// Default worker count: every available core.
@@ -396,6 +482,82 @@ mod tests {
         let results = Runner::new(2).run_all(&[good, bad]);
         assert!(results[0].is_ok());
         assert!(results[1].is_err());
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_survivors_match() {
+        // warp_size = 0 makes occupancy placement divide by zero, which is
+        // a genuine panic (not a SimError) inside the worker.
+        let k = kernel();
+        let mut sick_cfg = GpuConfig::test_tiny();
+        sick_cfg.warp_size = 0;
+        let healthy = specs();
+        let mut batch = healthy.clone();
+        batch.insert(
+            1,
+            JobSpec::new(
+                "sick",
+                &k,
+                &sick_cfg,
+                LaunchConfig::new(1),
+                Technique::Baseline,
+            ),
+        );
+
+        let clean = Runner::new(2).run_all(&healthy);
+        let mixed = Runner::new(2).run_all(&batch);
+
+        // The sick job failed with a panic report...
+        assert!(
+            matches!(&mixed[1], Err(RunError::Panicked(_))),
+            "expected Panicked, got {:?}",
+            mixed[1]
+        );
+        // ...and every survivor is byte-identical to the clean sweep.
+        let survivors: Vec<_> = mixed
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 1)
+            .map(|(_, r)| r.as_ref().unwrap())
+            .collect();
+        for (c, s) in clean.iter().zip(survivors) {
+            let c = c.as_ref().unwrap();
+            assert_eq!(c.stats.cycles, s.stats.cycles);
+            assert_eq!(c.stats.checksum, s.stats.checksum);
+        }
+
+        // The error table names the sick job and only it.
+        let table = error_table(&batch, &mixed).expect("one failure => table");
+        assert!(table.contains("sick"), "{table}");
+        assert!(table.contains("panicked"), "{table}");
+        assert!(table.contains("1 of"), "{table}");
+        assert!(error_table(&healthy, &clean).is_none());
+    }
+
+    #[test]
+    fn cycle_budget_cuts_off_runaway_jobs() {
+        let k = kernel();
+        let cfg = GpuConfig::test_tiny();
+        let uncapped = JobSpec::new("u", &k, &cfg, LaunchConfig::new(1), Technique::Baseline);
+        let capped = uncapped.clone().with_cycle_budget(10);
+        // A real budget changes the fingerprint; a no-op one (≥ watchdog)
+        // shares the uncapped job's cache entry.
+        assert_ne!(uncapped.fingerprint(), capped.fingerprint());
+        let noop = uncapped.clone().with_cycle_budget(u64::MAX);
+        assert_eq!(uncapped.fingerprint(), noop.fingerprint());
+
+        let results = Runner::new(2).run_all(&[uncapped, capped]);
+        assert!(results[0].is_ok());
+        assert!(
+            matches!(
+                &results[1],
+                Err(RunError::Sim(regmutex_sim::SimError::WatchdogExpired {
+                    limit: 10
+                }))
+            ),
+            "budget must trip the watchdog: {:?}",
+            results[1]
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub enum Command {
         ctas: Option<u32>,
         /// Force a specific `|Es|`.
         force_es: Option<u16>,
+        /// Override the absolute watchdog cycle bound.
+        watchdog_cycles: Option<u64>,
+        /// Override the no-progress detector's `gmem_latency` multiplier.
+        stall_multiplier: Option<u32>,
     },
     /// `compare <app>` — run all techniques and print the comparison.
     Compare {
@@ -51,6 +55,25 @@ pub enum Command {
         app: String,
         /// Simulation worker threads (default: all cores).
         jobs: Option<usize>,
+    },
+    /// `chaos [<app>...]` — a seeded fault-injection campaign against the
+    /// safety net.
+    Chaos {
+        /// Workload names; empty selects the default six-workload mix.
+        apps: Vec<String>,
+        /// Seeds per `(workload, fault class, severity)` cell.
+        seeds: u64,
+        /// Technique whose manager the faults attack.
+        technique: Technique,
+        /// Simulation worker threads (default: all cores).
+        jobs: Option<usize>,
+        /// Override the absolute watchdog cycle bound.
+        watchdog_cycles: Option<u64>,
+        /// Override the no-progress detector's `gmem_latency` multiplier.
+        stall_multiplier: Option<u32>,
+        /// Fail (exit 1) unless every fault class was detected at least
+        /// once.
+        expect_detections: bool,
     },
     /// `help` — usage.
     Help,
@@ -163,6 +186,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut half_rf = false;
             let mut ctas = None;
             let mut force_es = None;
+            let mut watchdog_cycles = None;
+            let mut stall_multiplier = None;
             let mut it = rest.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -175,6 +200,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--half-rf" => half_rf = true,
                     "--ctas" => ctas = Some(value_of("--ctas", it.next())?),
                     "--force-es" => force_es = Some(value_of("--force-es", it.next())?),
+                    "--watchdog-cycles" => {
+                        watchdog_cycles = Some(value_of("--watchdog-cycles", it.next())?)
+                    }
+                    "--stall-multiplier" => {
+                        stall_multiplier = Some(value_of("--stall-multiplier", it.next())?)
+                    }
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -184,6 +215,57 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 half_rf,
                 ctas,
                 force_es,
+                watchdog_cycles,
+                stall_multiplier,
+            })
+        }
+        "chaos" => {
+            let mut apps = Vec::new();
+            let mut seeds = 8u64;
+            let mut technique = Technique::RegMutex;
+            let mut jobs = None;
+            let mut watchdog_cycles = None;
+            let mut stall_multiplier = None;
+            let mut expect_detections = false;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--seeds" => seeds = value_of("--seeds", it.next())?,
+                    "--technique" | "-t" => {
+                        technique = technique_from(
+                            it.next()
+                                .ok_or_else(|| ParseError("--technique needs a value".into()))?,
+                        )?
+                    }
+                    "--jobs" => jobs = Some(value_of("--jobs", it.next())?),
+                    "--watchdog-cycles" => {
+                        watchdog_cycles = Some(value_of("--watchdog-cycles", it.next())?)
+                    }
+                    "--stall-multiplier" => {
+                        stall_multiplier = Some(value_of("--stall-multiplier", it.next())?)
+                    }
+                    "--expect-detections" => expect_detections = true,
+                    other if other.starts_with("--") => {
+                        if let Some(v) = other.strip_prefix("--jobs=") {
+                            jobs = Some(value_of("--jobs", Some(&v.to_string()))?);
+                        } else {
+                            return Err(ParseError(format!("unknown flag '{other}'")));
+                        }
+                    }
+                    name => apps.push(name.to_string()),
+                }
+            }
+            if seeds == 0 {
+                return Err(ParseError("--seeds must be at least 1".into()));
+            }
+            Ok(Command::Chaos {
+                apps,
+                seeds,
+                technique,
+                jobs,
+                watchdog_cycles,
+                stall_multiplier,
+                expect_detections,
             })
         }
         other => Err(ParseError(format!("unknown command '{other}'; try 'help'"))),
@@ -199,14 +281,25 @@ USAGE:
   regmutex-cli disasm <app> [--transformed] [--liveness]
   regmutex-cli run <app> [--technique baseline|regmutex|paired|rfv|owf]
                          [--half-rf] [--ctas N] [--force-es N]
+                         [--watchdog-cycles N] [--stall-multiplier N]
   regmutex-cli compare <app> [--half-rf] [--jobs N]
   regmutex-cli trace <app> [--max N]
   regmutex-cli sweep <app> [--jobs N]
+  regmutex-cli chaos [<app>...] [--seeds N] [--technique T] [--jobs N]
+                     [--watchdog-cycles N] [--stall-multiplier N]
+                     [--expect-detections]
   regmutex-cli help
 
-The multi-simulation commands (compare, sweep) run their simulations on a
-worker pool; --jobs N sets the worker count (default: all cores). Output
-is identical for any worker count.
+The multi-simulation commands (compare, sweep, chaos) run their
+simulations on a worker pool; --jobs N sets the worker count (default:
+all cores). Output is identical for any worker count.
+
+chaos injects seeded register-manager faults (dropped/delayed releases,
+spurious acquires, corrupted LUT entries, stuck SRP bits, memory-latency
+spikes) into every listed workload (default: a six-workload mix) and
+verifies the safety net: exit 1 if any injection silently corrupts a
+result, or if --expect-detections is set and some fault class was never
+caught. --watchdog-cycles and --stall-multiplier tune the detectors.
 ";
 
 #[cfg(test)]
@@ -269,8 +362,34 @@ mod tests {
                 half_rf: true,
                 ctas: Some(90),
                 force_es: Some(8),
+                watchdog_cycles: None,
+                stall_multiplier: None,
             })
         );
+    }
+
+    #[test]
+    fn run_detector_flags() {
+        assert_eq!(
+            parse(&v(&[
+                "run",
+                "BFS",
+                "--watchdog-cycles",
+                "5000000",
+                "--stall-multiplier",
+                "16"
+            ])),
+            Ok(Command::Run {
+                app: "BFS".into(),
+                technique: Technique::RegMutex,
+                half_rf: false,
+                ctas: None,
+                force_es: None,
+                watchdog_cycles: Some(5_000_000),
+                stall_multiplier: Some(16),
+            })
+        );
+        assert!(parse(&v(&["run", "BFS", "--watchdog-cycles", "soon"])).is_err());
     }
 
     #[test]
@@ -283,8 +402,53 @@ mod tests {
                 half_rf: false,
                 ctas: None,
                 force_es: None,
+                watchdog_cycles: None,
+                stall_multiplier: None,
             })
         );
+    }
+
+    #[test]
+    fn chaos_defaults_and_flags() {
+        assert_eq!(
+            parse(&v(&["chaos"])),
+            Ok(Command::Chaos {
+                apps: vec![],
+                seeds: 8,
+                technique: Technique::RegMutex,
+                jobs: None,
+                watchdog_cycles: None,
+                stall_multiplier: None,
+                expect_detections: false,
+            })
+        );
+        assert_eq!(
+            parse(&v(&[
+                "chaos",
+                "BFS",
+                "MergeSort",
+                "--seeds",
+                "2",
+                "--jobs",
+                "4",
+                "--expect-detections",
+                "-t",
+                "paired",
+                "--stall-multiplier",
+                "32"
+            ])),
+            Ok(Command::Chaos {
+                apps: vec!["BFS".into(), "MergeSort".into()],
+                seeds: 2,
+                technique: Technique::RegMutexPaired,
+                jobs: Some(4),
+                watchdog_cycles: None,
+                stall_multiplier: Some(32),
+                expect_detections: true,
+            })
+        );
+        assert!(parse(&v(&["chaos", "--seeds", "0"])).is_err());
+        assert!(parse(&v(&["chaos", "--nope"])).is_err());
     }
 
     #[test]

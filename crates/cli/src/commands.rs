@@ -4,6 +4,7 @@
 use std::fmt::Write as _;
 
 use regmutex::{cycle_reduction_percent, Session, Technique, ALL_TECHNIQUES};
+use regmutex_bench::chaos::{run_campaign, CampaignSpec};
 use regmutex_bench::{runner::default_jobs, JobSpec, Runner};
 use regmutex_compiler::{analyze, live_trace, CompileOptions};
 use regmutex_sim::{GpuConfig, LaunchConfig};
@@ -98,9 +99,17 @@ pub fn run(
     half_rf: bool,
     ctas: Option<u32>,
     force_es: Option<u16>,
+    watchdog_cycles: Option<u64>,
+    stall_multiplier: Option<u32>,
 ) -> Result<String, CommandError> {
     let w = lookup(app)?;
-    let cfg = config(half_rf);
+    let mut cfg = config(half_rf);
+    if let Some(wd) = watchdog_cycles {
+        cfg.watchdog_cycles = wd;
+    }
+    if let Some(m) = stall_multiplier {
+        cfg.stall_multiplier = m;
+    }
     let session = Session::with_options(
         cfg,
         CompileOptions {
@@ -111,7 +120,7 @@ pub fn run(
     let launch = LaunchConfig::new(ctas.unwrap_or(w.grid_ctas));
     let rep = session
         .run(&w.kernel, launch, technique)
-        .map_err(|e| CommandError(e.to_string()))?;
+        .map_err(|e| CommandError(format!("{}/{technique}: {e}", w.name)))?;
     let mut out = String::new();
     let _ = writeln!(out, "workload   : {} ({} CTAs)", w.name, launch.grid_ctas);
     let _ = writeln!(
@@ -223,8 +232,10 @@ pub fn trace(app: &str, max_steps: usize) -> Result<String, CommandError> {
     Ok(out)
 }
 
-/// `sweep <app>`
-pub fn sweep(app: &str, jobs: Option<usize>) -> Result<String, CommandError> {
+/// `sweep <app>`. The second element of the pair is the process exit code:
+/// 0 when every `|Es|` row simulated, 3 when any row errored (the table
+/// still renders — partial results beat none).
+pub fn sweep(app: &str, jobs: Option<usize>) -> Result<(String, i32), CommandError> {
     let w = lookup(app)?;
     let cfg = w.table_config();
     let runner = Runner::new(jobs.unwrap_or_else(default_jobs));
@@ -256,7 +267,7 @@ pub fn sweep(app: &str, jobs: Option<usize>) -> Result<String, CommandError> {
     let base = results
         .next()
         .expect("baseline job submitted")
-        .map_err(|e| CommandError(e.to_string()))?;
+        .map_err(|e| CommandError(format!("{}/baseline: {e}", w.name)))?;
 
     let heuristic = Session::new(cfg.clone())
         .compile(&w.kernel)
@@ -275,6 +286,7 @@ pub fn sweep(app: &str, jobs: Option<usize>) -> Result<String, CommandError> {
         "{:>5} {:>10} {:>10} {:>10} {:>9}",
         "|Es|", "cycles", "reduction", "occupancy", "acq-rate"
     );
+    let mut failed = false;
     for (es, result) in ES_VALUES.into_iter().zip(results) {
         match result {
             Ok(rep) if rep.plan.is_some() => {
@@ -292,11 +304,51 @@ pub fn sweep(app: &str, jobs: Option<usize>) -> Result<String, CommandError> {
                 let _ = writeln!(out, "{es:>5} {:>10}", "not viable");
             }
             Err(e) => {
-                let _ = writeln!(out, "{es:>5} error: {e}");
+                failed = true;
+                let _ = writeln!(out, "{es:>5} {}/regmutex |Es|={es}: error: {e}", w.name);
             }
         }
     }
-    Ok(out)
+    Ok((out, if failed { 3 } else { 0 }))
+}
+
+/// `chaos [<app>...]`. The second element of the pair is the process exit
+/// code: 1 when the campaign observed silent corruption, or when
+/// `expect_detections` is set and some fault class was never caught.
+#[allow(clippy::too_many_arguments)]
+pub fn chaos(
+    apps: &[String],
+    seeds: u64,
+    technique: Technique,
+    jobs: Option<usize>,
+    watchdog_cycles: Option<u64>,
+    stall_multiplier: Option<u32>,
+    expect_detections: bool,
+) -> Result<(String, i32), CommandError> {
+    let mut spec = CampaignSpec::default_campaign(jobs.unwrap_or_else(default_jobs));
+    if !apps.is_empty() {
+        spec.workloads = apps.to_vec();
+    }
+    spec.seeds = seeds;
+    spec.technique = technique;
+    spec.watchdog_cycles = watchdog_cycles;
+    spec.stall_multiplier = stall_multiplier;
+    let report = run_campaign(&spec).map_err(CommandError)?;
+
+    let mut out = report.render();
+    let mut code = 0;
+    if report.silent() > 0 {
+        let _ = writeln!(out, "FAIL: the safety net let corruption through");
+        code = 1;
+    }
+    if expect_detections && !report.all_classes_detected() {
+        let _ = writeln!(
+            out,
+            "FAIL: --expect-detections set but some fault class was never caught"
+        );
+        code = 1;
+    }
+    Ok((out, code))
 }
 
 #[cfg(test)]
@@ -334,10 +386,37 @@ mod tests {
 
     #[test]
     fn run_reports_plan_and_cycles() {
-        let out = run("Gaussian", Technique::RegMutex, true, Some(30), None).unwrap();
+        let out = run(
+            "Gaussian",
+            Technique::RegMutex,
+            true,
+            Some(30),
+            None,
+            None,
+            None,
+        )
+        .unwrap();
         assert!(out.contains("plan"));
         assert!(out.contains("cycles"));
         assert!(out.contains("checksum"));
+    }
+
+    #[test]
+    fn run_watchdog_flag_reaches_the_simulator() {
+        // A 1-cycle watchdog must abort any real workload, and the error
+        // must carry the workload/technique label.
+        let err = run(
+            "Gaussian",
+            Technique::Baseline,
+            true,
+            Some(30),
+            None,
+            Some(1),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("Gaussian/baseline"), "{err}");
+        assert!(err.0.contains("exceeded 1 cycles"), "{err}");
     }
 
     #[test]
@@ -357,9 +436,27 @@ mod tests {
 
     #[test]
     fn sweep_is_worker_count_independent() {
-        let serial = sweep("BFS", Some(1)).unwrap();
-        let parallel = sweep("BFS", Some(4)).unwrap();
+        let (serial, code) = sweep("BFS", Some(1)).unwrap();
+        let (parallel, _) = sweep("BFS", Some(4)).unwrap();
         assert_eq!(serial, parallel);
+        assert_eq!(code, 0);
         assert!(serial.contains("|Es|"));
+    }
+
+    #[test]
+    fn chaos_smoke_is_clean_and_exit_zero() {
+        let (out, code) = chaos(
+            &["BFS".into()],
+            1,
+            Technique::RegMutex,
+            Some(4),
+            None,
+            None,
+            false,
+        )
+        .unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("silent corruption: NONE"), "{out}");
+        assert!(out.contains("chaos campaign"), "{out}");
     }
 }

@@ -28,13 +28,59 @@ fn main() {
             half_rf,
             ctas,
             force_es,
-        } => commands::run(&app, technique, half_rf, ctas, force_es),
+            watchdog_cycles,
+            stall_multiplier,
+        } => commands::run(
+            &app,
+            technique,
+            half_rf,
+            ctas,
+            force_es,
+            watchdog_cycles,
+            stall_multiplier,
+        ),
         Command::Compare { app, half_rf, jobs } => commands::compare(&app, half_rf, jobs),
         Command::Trace { app, max_steps } => commands::trace(&app, max_steps),
-        Command::Sweep { app, jobs } => commands::sweep(&app, jobs),
+        Command::Sweep { app, jobs } => {
+            exit_with(commands::sweep(&app, jobs));
+        }
+        Command::Chaos {
+            apps,
+            seeds,
+            technique,
+            jobs,
+            watchdog_cycles,
+            stall_multiplier,
+            expect_detections,
+        } => {
+            exit_with(commands::chaos(
+                &apps,
+                seeds,
+                technique,
+                jobs,
+                watchdog_cycles,
+                stall_multiplier,
+                expect_detections,
+            ));
+        }
     };
     match result {
         Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Print a command's output and exit with its code (commands whose exit
+/// status encodes partial failure rather than all-or-nothing success).
+fn exit_with(result: Result<(String, i32), commands::CommandError>) -> ! {
+    match result {
+        Ok((out, code)) => {
+            print!("{out}");
+            std::process::exit(code);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -49,10 +49,16 @@ impl WarpStatusBitmask {
 /// One bit per SRP section: set while the section is acquired. Bits beyond
 /// the number of real sections are pre-set at kernel placement and stay
 /// intact, exactly as §III-B1 prescribes, so FFZ never returns them.
+///
+/// The two `stuck_*` masks model latched hardware faults: a stuck-high bit
+/// always *reads* busy and a stuck-low bit always *reads* free, regardless
+/// of what the write path records. Both are zero in healthy operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SrpBitmask {
     bits: u64,
     nw: u32,
+    stuck_set: u64,
+    stuck_clear: u64,
 }
 
 impl SrpBitmask {
@@ -65,13 +71,27 @@ impl SrpBitmask {
         for s in valid_sections..nw {
             bits |= 1 << s;
         }
-        SrpBitmask { bits, nw }
+        SrpBitmask {
+            bits,
+            nw,
+            stuck_set: 0,
+            stuck_clear: 0,
+        }
+    }
+
+    /// What the read port sees: recorded state overridden by stuck bits.
+    fn effective(&self) -> u64 {
+        (self.bits | self.stuck_set) & !self.stuck_clear
+    }
+
+    fn is_stuck(&self, s: u32) -> bool {
+        (self.stuck_set | self.stuck_clear) & (1 << s) != 0
     }
 
     /// Find-First-Zero: index of the least-significant clear bit, i.e. the
     /// first free section; `None` when everything is taken.
     pub fn ffz(&self) -> Option<u32> {
-        let inv = !self.bits;
+        let inv = !self.effective();
         if inv == 0 || inv.trailing_zeros() >= self.nw {
             None
         } else {
@@ -82,25 +102,58 @@ impl SrpBitmask {
     /// Mark section `s` acquired.
     pub fn set(&mut self, s: u32) {
         debug_assert!(s < self.nw);
-        debug_assert!(self.bits & (1 << s) == 0, "section {s} already set");
+        debug_assert!(
+            self.is_stuck(s) || self.bits & (1 << s) == 0,
+            "section {s} already set"
+        );
         self.bits |= 1 << s;
     }
 
     /// Mark section `s` free.
     pub fn unset(&mut self, s: u32) {
         debug_assert!(s < self.nw);
-        debug_assert!(self.bits & (1 << s) != 0, "section {s} already clear");
+        debug_assert!(
+            self.is_stuck(s) || self.bits & (1 << s) != 0,
+            "section {s} already clear"
+        );
         self.bits &= !(1 << s);
     }
 
-    /// Sections currently acquired (excluding the invalid pre-set tail).
+    /// Fault injection: latch bit `s` high — the section reads busy forever
+    /// (capacity loss).
+    pub fn force_stuck_set(&mut self, s: u32) {
+        debug_assert!(s < self.nw);
+        self.stuck_set |= 1 << s;
+    }
+
+    /// Fault injection: latch bit `s` low — the section reads free even
+    /// while owned, so FFZ will re-grant it.
+    pub fn force_stuck_clear(&mut self, s: u32) {
+        debug_assert!(s < self.nw);
+        self.stuck_clear |= 1 << s;
+    }
+
+    /// Lowest section whose *recorded* state is acquired, among the first
+    /// `valid_sections` (fault injection picks its stuck-low victim here).
+    pub fn lowest_acquired(&self, valid_sections: u32) -> Option<u32> {
+        let mask = if valid_sections >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << valid_sections) - 1
+        };
+        let owned = self.bits & mask;
+        (owned != 0).then(|| owned.trailing_zeros())
+    }
+
+    /// Sections currently acquired (excluding the invalid pre-set tail), as
+    /// the read port sees them.
     pub fn acquired_count(&self, valid_sections: u32) -> u32 {
         let mask = if valid_sections >= 64 {
             u64::MAX
         } else {
             (1u64 << valid_sections) - 1
         };
-        (self.bits & mask).count_ones()
+        (self.effective() & mask).count_ones()
     }
 
     /// Hardware storage: `Nw` bits.
@@ -237,5 +290,39 @@ mod tests {
         let mut s = SrpBitmask::new(8, 8);
         s.set(1);
         s.set(1);
+    }
+
+    #[test]
+    fn stuck_high_bit_reads_busy_forever() {
+        let mut s = SrpBitmask::new(8, 8);
+        s.force_stuck_set(0);
+        assert_eq!(s.ffz(), Some(1)); // section 0 looks taken
+        assert_eq!(s.acquired_count(8), 1);
+        // Unsetting a stuck-high bit changes nothing the read port sees.
+        s.unset(0);
+        assert_eq!(s.ffz(), Some(1));
+    }
+
+    #[test]
+    fn stuck_low_bit_is_regranted_by_ffz() {
+        let mut s = SrpBitmask::new(8, 8);
+        s.set(0);
+        s.set(1);
+        assert_eq!(s.lowest_acquired(8), Some(0));
+        s.force_stuck_clear(0);
+        // Section 0 is owned but reads free: FFZ re-grants it.
+        assert_eq!(s.ffz(), Some(0));
+        // The write path may set it again without tripping the debug guard.
+        s.set(0);
+        assert_eq!(s.ffz(), Some(0)); // still latched low
+    }
+
+    #[test]
+    fn lowest_acquired_ignores_invalid_tail() {
+        let s = SrpBitmask::new(8, 3); // sections 3..8 pre-set
+        assert_eq!(s.lowest_acquired(3), None);
+        let mut s = SrpBitmask::new(8, 3);
+        s.set(2);
+        assert_eq!(s.lowest_acquired(3), Some(2));
     }
 }

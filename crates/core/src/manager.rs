@@ -3,6 +3,7 @@
 
 use regmutex_compiler::RegPlan;
 use regmutex_isa::{ArchReg, CtaId, PhysReg, WarpId};
+use regmutex_sim::fault::{HwFault, InjectOutcome};
 use regmutex_sim::manager::{AcquireResult, Ledger, RegisterManager};
 use regmutex_sim::GpuConfig;
 
@@ -101,11 +102,16 @@ impl RegisterManager for RegMutexManager {
         }
         match self.srp.ffz() {
             Some(section) => {
+                let (start, len) = self.section_rows(section);
+                // Fallible claim: a stuck-low SRP bit makes FFZ re-grant an
+                // owned section, and the ledger is the detector that catches
+                // the resulting double allocation.
+                if let Err(v) = ledger.try_claim_range(start, len, warp) {
+                    return AcquireResult::Fault(v);
+                }
                 self.lut.set(warp.0, section);
                 self.srp.set(section);
                 self.status.set(warp.0);
-                let (start, len) = self.section_rows(section);
-                ledger.claim_range(start, len, warp);
                 AcquireResult::Acquired
             }
             None => AcquireResult::Stalled,
@@ -119,9 +125,18 @@ impl RegisterManager for RegMutexManager {
         }
         let section = self.lut.get(warp.0);
         self.status.unset(warp.0);
-        self.srp.unset(section);
         let (start, len) = self.section_rows(section);
-        ledger.release_range(start, len, warp);
+        // Release what the LUT says the warp holds. Under fault injection
+        // the entry may be corrupted, pointing at rows the warp never
+        // owned; tolerating the mismatch leaks the warp's real section in
+        // the ledger, so the next conflicting grant trips WrongOwner.
+        let mut clean = true;
+        for r in start..start + len {
+            clean &= ledger.try_release(r, warp).is_ok();
+        }
+        if clean {
+            self.srp.unset(section);
+        }
     }
 
     fn translate(&self, warp: WarpId, reg: ArchReg) -> Option<PhysReg> {
@@ -143,6 +158,35 @@ impl RegisterManager for RegMutexManager {
 
     fn storage_overhead_bits(&self) -> u64 {
         self.status.storage_bits() + self.srp.storage_bits() + self.lut.storage_bits()
+    }
+
+    fn inject_hw_fault(&mut self, fault: &HwFault) -> InjectOutcome {
+        match *fault {
+            HwFault::CorruptLut { warp } => {
+                // Only meaningful while the warp holds a section and there
+                // is a *different* section to repoint at.
+                if self.sections < 2 || !self.status.get(warp.0) {
+                    return InjectOutcome::NotApplicable;
+                }
+                let cur = self.lut.get(warp.0);
+                self.lut.set(warp.0, (cur + 1) % self.sections);
+                InjectOutcome::Applied
+            }
+            HwFault::StuckSrpSet { section } => {
+                if self.sections == 0 {
+                    return InjectOutcome::NotApplicable;
+                }
+                self.srp.force_stuck_set(section % self.sections);
+                InjectOutcome::Applied
+            }
+            HwFault::StuckSrpClear => match self.srp.lowest_acquired(self.sections) {
+                Some(s) => {
+                    self.srp.force_stuck_clear(s);
+                    InjectOutcome::Applied
+                }
+                None => InjectOutcome::NotApplicable,
+            },
+        }
     }
 }
 
@@ -254,6 +298,86 @@ mod tests {
         assert_eq!(m.translate(WarpId(1), ArchReg(18)), Some(PhysReg(870)));
         m.try_acquire(&mut l, WarpId(0));
         assert_eq!(m.translate(WarpId(0), ArchReg(18)), Some(PhysReg(864)));
+    }
+
+    #[test]
+    fn corrupt_lut_repoints_translation() {
+        let (mut m, mut l) = setup();
+        m.try_admit_cta(&mut l, CtaId(0), &[WarpId(0)]);
+        assert_eq!(m.try_acquire(&mut l, WarpId(0)), AcquireResult::Acquired);
+        assert_eq!(m.translate(WarpId(0), ArchReg(18)), Some(PhysReg(864)));
+        assert_eq!(
+            m.inject_hw_fault(&HwFault::CorruptLut { warp: WarpId(0) }),
+            InjectOutcome::Applied
+        );
+        // The LUT now points at section 1, whose rows warp 0 never claimed:
+        // the ledger rejects the access.
+        let phys = m.translate(WarpId(0), ArchReg(18)).unwrap();
+        assert_eq!(phys, PhysReg(870));
+        assert!(l.check(phys.0, WarpId(0)).is_err());
+    }
+
+    #[test]
+    fn corrupt_lut_not_applicable_without_holder() {
+        let (mut m, mut l) = setup();
+        m.try_admit_cta(&mut l, CtaId(0), &[WarpId(0)]);
+        assert_eq!(
+            m.inject_hw_fault(&HwFault::CorruptLut { warp: WarpId(0) }),
+            InjectOutcome::NotApplicable
+        );
+    }
+
+    #[test]
+    fn stuck_low_bit_double_grant_is_caught_as_fault() {
+        let (mut m, mut l) = setup();
+        m.try_admit_cta(&mut l, CtaId(0), &[WarpId(0), WarpId(1)]);
+        assert_eq!(m.try_acquire(&mut l, WarpId(0)), AcquireResult::Acquired);
+        assert_eq!(
+            m.inject_hw_fault(&HwFault::StuckSrpClear),
+            InjectOutcome::Applied
+        );
+        // Warp 0's section now reads free; the re-grant to warp 1 collides
+        // with warp 0's rows and the ledger reports the precise theft.
+        match m.try_acquire(&mut l, WarpId(1)) {
+            AcquireResult::Fault(regmutex_sim::LedgerViolation::WrongOwner {
+                owner,
+                accessor,
+                ..
+            }) => {
+                assert_eq!(owner, WarpId(0));
+                assert_eq!(accessor, WarpId(1));
+            }
+            other => panic!("expected WrongOwner fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stuck_high_bit_loses_capacity() {
+        let cfg = GpuConfig::gtx480();
+        let p = RegPlan {
+            srp_sections: 2,
+            ..plan()
+        };
+        let mut m = RegMutexManager::new(&cfg, &p);
+        let mut l = Ledger::new(cfg.reg_rows_per_sm());
+        m.try_admit_cta(&mut l, CtaId(0), &[WarpId(0), WarpId(1)]);
+        assert_eq!(
+            m.inject_hw_fault(&HwFault::StuckSrpSet { section: 0 }),
+            InjectOutcome::Applied
+        );
+        // Section 0 reads busy forever: only one of the two sections is
+        // grantable.
+        assert_eq!(m.try_acquire(&mut l, WarpId(0)), AcquireResult::Acquired);
+        assert_eq!(m.try_acquire(&mut l, WarpId(1)), AcquireResult::Stalled);
+    }
+
+    #[test]
+    fn stuck_low_not_applicable_when_nothing_held() {
+        let (mut m, _) = setup();
+        assert_eq!(
+            m.inject_hw_fault(&HwFault::StuckSrpClear),
+            InjectOutcome::NotApplicable
+        );
     }
 
     #[test]

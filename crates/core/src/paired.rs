@@ -11,6 +11,7 @@
 
 use regmutex_compiler::RegPlan;
 use regmutex_isa::{ArchReg, CtaId, PhysReg, WarpId};
+use regmutex_sim::fault::{HwFault, InjectOutcome};
 use regmutex_sim::manager::{AcquireResult, Ledger, RegisterManager};
 use regmutex_sim::GpuConfig;
 
@@ -110,10 +111,15 @@ impl RegisterManager for PairedWarpsManager {
         if self.pair_in_use & (1 << pair) != 0 {
             return AcquireResult::Stalled;
         }
+        let (start, len) = self.ext_rows(pair);
+        // Fallible claim: under fault injection the pair bit can be cleared
+        // while the partner still owns the rows — the ledger catches the
+        // double grant.
+        if let Err(v) = ledger.try_claim_range(start, len, warp) {
+            return AcquireResult::Fault(v);
+        }
         self.pair_in_use |= 1 << pair;
         self.holder[pair as usize] = Some(warp);
-        let (start, len) = self.ext_rows(pair);
-        ledger.claim_range(start, len, warp);
         AcquireResult::Acquired
     }
 
@@ -122,10 +128,19 @@ impl RegisterManager for PairedWarpsManager {
         if self.holder[pair as usize] != Some(warp) {
             return;
         }
-        self.pair_in_use &= !(1 << pair);
         self.holder[pair as usize] = None;
         let (start, len) = self.ext_rows(pair);
-        ledger.release_range(start, len, warp);
+        // Tolerate mismatched rows (possible only under fault injection,
+        // when the holder record was corrupted): the pair bit then stays
+        // set and the real owner's rows stay claimed, so the fault surfaces
+        // as a stuck pair or a ledger violation instead of a panic.
+        let mut clean = true;
+        for r in start..start + len {
+            clean &= ledger.try_release(r, warp).is_ok();
+        }
+        if clean {
+            self.pair_in_use &= !(1 << pair);
+        }
     }
 
     fn translate(&self, warp: WarpId, reg: ArchReg) -> Option<PhysReg> {
@@ -155,6 +170,46 @@ impl RegisterManager for PairedWarpsManager {
     fn storage_overhead_bits(&self) -> u64 {
         // §III-C: only the Nw/2 pair bits.
         u64::from(self.nw / 2)
+    }
+
+    fn inject_hw_fault(&mut self, fault: &HwFault) -> InjectOutcome {
+        let pairs = self.nw / 2;
+        match *fault {
+            // The paired analog of a corrupted LUT entry: the holder record
+            // flips to the partner, so the real holder loses its extended
+            // mapping (NoMapping on its next extended access).
+            HwFault::CorruptLut { warp } => {
+                let pair = self.pair(warp);
+                if self.holder[pair.index()] != Some(warp) {
+                    return InjectOutcome::NotApplicable;
+                }
+                self.holder[pair.index()] = Some(WarpId(warp.0 ^ 1));
+                InjectOutcome::Applied
+            }
+            // Latch a free pair's in-use bit with no holder: both warps of
+            // the pair stall on acquire forever.
+            HwFault::StuckSrpSet { section } => {
+                let pair = section % pairs.max(1);
+                if self.pair_in_use & (1 << pair) != 0 {
+                    return InjectOutcome::NotApplicable;
+                }
+                self.pair_in_use |= 1 << pair;
+                InjectOutcome::Applied
+            }
+            // Clear the lowest held pair's bit and forget its holder: the
+            // rows stay claimed, so a partner re-acquire trips WrongOwner
+            // and the ex-holder's next extended access trips NoMapping.
+            HwFault::StuckSrpClear => {
+                match (0..pairs).find(|&p| self.holder[p.index()].is_some()) {
+                    Some(p) => {
+                        self.pair_in_use &= !(1 << p);
+                        self.holder[p.index()] = None;
+                        InjectOutcome::Applied
+                    }
+                    None => InjectOutcome::NotApplicable,
+                }
+            }
+        }
     }
 }
 
@@ -258,6 +313,44 @@ mod tests {
             &[WarpId(0), WarpId(1), WarpId(2), WarpId(3)]
         ));
         assert!(!m.try_admit_cta(&mut l, CtaId(1), &[WarpId(4)]));
+    }
+
+    #[test]
+    fn corrupted_holder_loses_mapping_and_partner_regrant_faults() {
+        let (mut m, mut l) = setup();
+        m.try_admit_cta(&mut l, CtaId(0), &[WarpId(0), WarpId(1)]);
+        assert_eq!(m.try_acquire(&mut l, WarpId(0)), AcquireResult::Acquired);
+        assert_eq!(
+            m.inject_hw_fault(&HwFault::CorruptLut { warp: WarpId(0) }),
+            InjectOutcome::Applied
+        );
+        // The real holder lost its extended mapping.
+        assert_eq!(m.translate(WarpId(0), ArchReg(18)), None);
+        // StuckSrpClear: forget the (corrupted) holder; the partner's
+        // re-acquire collides with warp 0's still-claimed rows.
+        assert_eq!(
+            m.inject_hw_fault(&HwFault::StuckSrpClear),
+            InjectOutcome::Applied
+        );
+        assert!(matches!(
+            m.try_acquire(&mut l, WarpId(1)),
+            AcquireResult::Fault(regmutex_sim::LedgerViolation::WrongOwner { .. })
+        ));
+    }
+
+    #[test]
+    fn stuck_pair_bit_starves_both_warps() {
+        let (mut m, mut l) = setup();
+        m.try_admit_cta(&mut l, CtaId(0), &[WarpId(0), WarpId(1)]);
+        assert_eq!(
+            m.inject_hw_fault(&HwFault::StuckSrpSet { section: 0 }),
+            InjectOutcome::Applied
+        );
+        assert_eq!(m.try_acquire(&mut l, WarpId(0)), AcquireResult::Stalled);
+        assert_eq!(m.try_acquire(&mut l, WarpId(1)), AcquireResult::Stalled);
+        // No holder exists, so releases cannot unstick the pair.
+        m.release(&mut l, WarpId(0));
+        assert_eq!(m.try_acquire(&mut l, WarpId(1)), AcquireResult::Stalled);
     }
 
     #[test]

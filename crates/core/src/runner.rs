@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use regmutex_compiler::{analyze, compile, CompileOptions, CompiledKernel, RegPlan};
 use regmutex_isa::{Kernel, ValidateKernelError};
+use regmutex_sim::fault::{FaultLog, FaultPlan};
 use regmutex_sim::manager::RegisterManager;
 use regmutex_sim::{
     occupancy, run_kernel, GpuConfig, KernelResources, LaunchConfig, SchedulerPolicy, SimError,
@@ -60,6 +61,9 @@ pub enum RunError {
     InvalidKernel(ValidateKernelError),
     /// The simulation aborted.
     Sim(SimError),
+    /// The simulation panicked (caught by a harness's isolation boundary;
+    /// the payload is the panic message).
+    Panicked(String),
 }
 
 impl core::fmt::Display for RunError {
@@ -67,6 +71,7 @@ impl core::fmt::Display for RunError {
         match self {
             RunError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
             RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
         }
     }
 }
@@ -207,7 +212,30 @@ impl Session {
         launch: LaunchConfig,
         technique: Technique,
     ) -> Result<RunReport, RunError> {
-        self.run_compiled_inner(compiled, launch, technique, false)
+        self.run_compiled_inner(compiled, launch, technique, false, None)
+            .map(|(rep, _)| rep)
+    }
+
+    /// Run `kernel` under `technique` with fault injection: every SM's
+    /// manager is wrapped in a [`regmutex_sim::FaultInjector`] executing
+    /// `plan`, and what the injectors did is recorded into `log` (readable
+    /// even when the run errors — how chaos campaigns tell *detected* from
+    /// *never triggered*).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run`], plus the fault-detection variants of
+    /// [`SimError`] when the safety net catches the injected corruption.
+    pub fn run_faulted(
+        &self,
+        kernel: &Kernel,
+        launch: LaunchConfig,
+        technique: Technique,
+        plan: &FaultPlan,
+        log: Arc<FaultLog>,
+    ) -> Result<RunReport, RunError> {
+        let compiled = self.compile(kernel)?;
+        self.run_compiled_inner(&compiled, launch, technique, false, Some((plan, log)))
             .map(|(rep, _)| rep)
     }
 
@@ -224,7 +252,7 @@ impl Session {
         launch: LaunchConfig,
         technique: Technique,
     ) -> Result<(RunReport, Vec<regmutex_sim::TraceEvent>), RunError> {
-        self.run_compiled_inner(compiled, launch, technique, true)
+        self.run_compiled_inner(compiled, launch, technique, true, None)
     }
 
     fn run_compiled_inner(
@@ -233,6 +261,7 @@ impl Session {
         launch: LaunchConfig,
         technique: Technique,
         traced: bool,
+        faults: Option<(&FaultPlan, Arc<FaultLog>)>,
     ) -> Result<(RunReport, Vec<regmutex_sim::TraceEvent>), RunError> {
         let cfg = &self.cfg;
         let original = &compiled.original;
@@ -344,7 +373,19 @@ impl Session {
         };
         drop(probe);
 
-        let (stats, trace) = if traced {
+        let (stats, trace) = if let Some((plan, log)) = faults {
+            (
+                regmutex_sim::run_kernel_faulted(
+                    &run_cfg,
+                    kernel_to_run,
+                    launch,
+                    |_| make(),
+                    plan,
+                    log,
+                )?,
+                Vec::new(),
+            )
+        } else if traced {
             regmutex_sim::run_kernel_traced(&run_cfg, kernel_to_run, launch, |_| make())?
         } else {
             (
@@ -551,5 +592,51 @@ mod tests {
         let k = hungry_kernel();
         let avg = average_live(&k);
         assert!(avg > 1.0 && avg < 24.0, "avg {avg}");
+    }
+
+    #[test]
+    fn corrupt_lut_fault_is_caught_by_the_ledger() {
+        use regmutex_sim::fault::{FaultClass, Severity};
+        let cfg = GpuConfig::gtx480();
+        let plan = FaultPlan::generate(FaultClass::CorruptLut, Severity::Severe, 7, &cfg);
+        let s = Session::new(cfg);
+        let k = hungry_kernel();
+        let launch = LaunchConfig::new(45);
+        let log = Arc::new(FaultLog::default());
+        let err = s
+            .run_faulted(&k, launch, Technique::RegMutex, &plan, Arc::clone(&log))
+            .expect_err("a corrupted LUT entry must not complete cleanly");
+        assert!(log.injections() > 0, "the fault never fired");
+        assert!(
+            matches!(
+                err,
+                RunError::Sim(SimError::LedgerViolation { .. } | SimError::NoMapping { .. })
+            ),
+            "expected a ledger/translation detection, got {err}"
+        );
+    }
+
+    #[test]
+    fn run_faulted_with_untriggered_plan_matches_clean_run() {
+        use regmutex_sim::fault::Fault;
+        let cfg = GpuConfig::gtx480();
+        let s = Session::new(cfg);
+        let k = hungry_kernel();
+        let launch = LaunchConfig::new(15);
+        let clean = s.run(&k, launch, Technique::RegMutex).unwrap();
+        // An empty plan injects nothing: the wrapped run must be identical.
+        let plan = FaultPlan {
+            class: regmutex_sim::fault::FaultClass::DroppedRelease,
+            severity: regmutex_sim::fault::Severity::Light,
+            seed: 0,
+            faults: Vec::<Fault>::new(),
+        };
+        let log = Arc::new(FaultLog::default());
+        let faulted = s
+            .run_faulted(&k, launch, Technique::RegMutex, &plan, Arc::clone(&log))
+            .unwrap();
+        assert_eq!(log.injections(), 0);
+        assert_eq!(clean.stats.cycles, faulted.stats.cycles);
+        assert_eq!(clean.stats.checksum, faulted.stats.checksum);
     }
 }

@@ -64,6 +64,11 @@ pub struct GpuConfig {
     pub mem_issue_per_cycle: u32,
     /// Cycle count after which a run aborts, assuming deadlock/livelock.
     pub watchdog_cycles: u64,
+    /// Multiplier on `gmem_latency` for the no-progress deadlock detector:
+    /// the simulator declares deadlock after
+    /// `gmem_latency × stall_multiplier + 50 000` cycles without a single
+    /// issued instruction device-wide (see [`GpuConfig::stall_limit`]).
+    pub stall_multiplier: u32,
     /// Register-file banks for operand-collector conflict modelling. Two
     /// source operands whose physical rows fall into the same bank add one
     /// cycle of result latency each (the operand collector gathers them over
@@ -100,6 +105,7 @@ impl GpuConfig {
             max_outstanding_mem: 128,
             mem_issue_per_cycle: 1,
             watchdog_cycles: 200_000_000,
+            stall_multiplier: 64,
             reg_banks: 0,
         }
     }
@@ -153,8 +159,17 @@ impl GpuConfig {
             max_outstanding_mem: 8,
             mem_issue_per_cycle: 1,
             watchdog_cycles: 10_000_000,
+            stall_multiplier: 64,
             reg_banks: 0,
         }
+    }
+
+    /// No-progress bound for the deadlock detector: the longest structural
+    /// wait is a full memory pipe plus barrier convergence, so
+    /// `gmem_latency × stall_multiplier` round trips (plus a constant floor)
+    /// is far beyond anything a live configuration produces.
+    pub fn stall_limit(&self) -> u64 {
+        u64::from(self.gmem_latency) * u64::from(self.stall_multiplier.max(1)) + 50_000
     }
 
     /// Per-thread register count rounded up to the allocation granularity.

@@ -2,11 +2,12 @@
 
 use std::sync::Arc;
 
-use regmutex_isa::{CtaId, Kernel, ValidateKernelError};
+use regmutex_isa::{ArchReg, CtaId, Kernel, ValidateKernelError, WarpId};
 
 use crate::config::{GpuConfig, LaunchConfig};
-use crate::manager::RegisterManager;
-use crate::sm::{KernelImage, Sm};
+use crate::fault::{FaultInjector, FaultLog, FaultPlan};
+use crate::manager::{LedgerViolation as Violation, RegisterManager};
+use crate::sm::{IssueFault, KernelImage, Sm};
 use crate::stats::SimStats;
 
 /// Fatal simulation errors.
@@ -23,11 +24,42 @@ pub enum SimError {
         cycle: u64,
         /// Last cycle with progress.
         last_progress: u64,
+        /// Warps blocked at an `acq.es` when the detector fired.
+        blocked_at_acquire: Vec<u32>,
+        /// Warps holding their extended set (SRP occupancy) at that point.
+        srp_holders: Vec<u32>,
     },
     /// The absolute cycle bound was exceeded.
     WatchdogExpired {
         /// The bound.
         limit: u64,
+    },
+    /// The ownership ledger caught a register access or SRP grant that
+    /// conflicts with the recorded allocation state.
+    LedgerViolation {
+        /// Technique name of the offending manager.
+        manager: &'static str,
+        /// The specific ownership violation.
+        violation: Violation,
+        /// Warp whose access tripped the check.
+        warp: WarpId,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// Cycle at which the violation was caught.
+        cycle: u64,
+    },
+    /// A manager had no physical mapping for an architected register.
+    NoMapping {
+        /// Technique name of the offending manager.
+        manager: &'static str,
+        /// Warp whose access tripped the check.
+        warp: WarpId,
+        /// The unmapped architected register.
+        reg: ArchReg,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// Cycle at which the missing mapping was caught.
+        cycle: u64,
     },
 }
 
@@ -38,13 +70,36 @@ impl core::fmt::Display for SimError {
             SimError::Deadlock {
                 cycle,
                 last_progress,
+                blocked_at_acquire,
+                srp_holders,
             } => write!(
                 f,
-                "no progress since cycle {last_progress} (watchdog fired at {cycle}): deadlock"
+                "no progress since cycle {last_progress} (watchdog fired at {cycle}): deadlock; \
+                 warps blocked at acq.es: {blocked_at_acquire:?}, SRP held by: {srp_holders:?}"
             ),
             SimError::WatchdogExpired { limit } => {
                 write!(f, "simulation exceeded {limit} cycles")
             }
+            SimError::LedgerViolation {
+                manager,
+                violation,
+                warp,
+                pc,
+                cycle,
+            } => write!(
+                f,
+                "{manager}: ledger violation at cycle {cycle} ({warp}, pc {pc}): {violation}"
+            ),
+            SimError::NoMapping {
+                manager,
+                warp,
+                reg,
+                pc,
+                cycle,
+            } => write!(
+                f,
+                "{manager}: no mapping for {reg} of {warp} at pc {pc} (cycle {cycle})"
+            ),
         }
     }
 }
@@ -71,7 +126,7 @@ pub fn run_kernel(
     launch: LaunchConfig,
     manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager> + Send,
 ) -> Result<SimStats, SimError> {
-    run_inner(cfg, kernel, launch, manager_factory, false).map(|(stats, _)| stats)
+    run_inner(cfg, kernel, launch, manager_factory, false, None).map(|(stats, _)| stats)
 }
 
 /// Like [`run_kernel`], but records issue-stage [`TraceEvent`]s on the first
@@ -87,7 +142,41 @@ pub fn run_kernel_traced(
     launch: LaunchConfig,
     manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager> + Send,
 ) -> Result<(SimStats, Vec<crate::trace::TraceEvent>), SimError> {
-    run_inner(cfg, kernel, launch, manager_factory, true)
+    run_inner(cfg, kernel, launch, manager_factory, true, None)
+}
+
+/// Like [`run_kernel`], but wraps every SM's manager in a
+/// [`FaultInjector`] executing `plan`, and applies the plan's
+/// memory-latency spikes to the memory pipes. What the injectors actually
+/// did is recorded into `log`, which stays readable even when the run ends
+/// in an error — the channel chaos campaigns use to distinguish *detected*
+/// from *never triggered*.
+///
+/// # Errors
+///
+/// Same as [`run_kernel`], plus [`SimError::LedgerViolation`] /
+/// [`SimError::NoMapping`] when the safety net catches the injected
+/// corruption.
+pub fn run_kernel_faulted(
+    cfg: &GpuConfig,
+    kernel: &Kernel,
+    launch: LaunchConfig,
+    mut manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager> + Send,
+    plan: &FaultPlan,
+    log: Arc<FaultLog>,
+) -> Result<SimStats, SimError> {
+    let max_warps = cfg.max_warps_per_sm;
+    let plan_inner = plan.clone();
+    let log_inner = Arc::clone(&log);
+    let factory = move |sm: u32| -> Box<dyn RegisterManager> {
+        Box::new(FaultInjector::new(
+            manager_factory(sm),
+            plan_inner.clone(),
+            Arc::clone(&log_inner),
+            max_warps,
+        ))
+    };
+    run_inner(cfg, kernel, launch, factory, false, Some((plan, &log))).map(|(stats, _)| stats)
 }
 
 fn run_inner(
@@ -96,6 +185,7 @@ fn run_inner(
     launch: LaunchConfig,
     mut manager_factory: impl FnMut(u32) -> Box<dyn RegisterManager> + Send,
     traced: bool,
+    faults: Option<(&FaultPlan, &Arc<FaultLog>)>,
 ) -> Result<(SimStats, Vec<crate::trace::TraceEvent>), SimError> {
     kernel.validate().map_err(SimError::InvalidKernel)?;
     let image = Arc::new(KernelImage::new(kernel.clone()));
@@ -121,16 +211,49 @@ fn run_inner(
         }
     }
 
-    // A generous no-progress bound: longest structural wait is a full memory
-    // pipe plus barrier convergence; 64 round trips is far beyond anything
-    // a live configuration produces.
-    let stall_limit = u64::from(cfg.gmem_latency) * 64 + 50_000;
+    let stall_limit = cfg.stall_limit();
 
     let mut now = 0u64;
+    let mut mem_spike_noted = false;
     loop {
+        if let Some((plan, log)) = faults {
+            let extra = plan.mem_extra_at(now);
+            if extra > 0 && !mem_spike_noted {
+                log.note(now);
+                mem_spike_noted = true;
+            }
+            for sm in &mut sms {
+                sm.set_mem_extra_latency(extra);
+            }
+        }
         let mut all_idle = true;
         for sm in &mut sms {
-            sm.step(now);
+            sm.step(now).map_err(|fault| match fault {
+                IssueFault::Ledger {
+                    manager,
+                    violation,
+                    warp,
+                    pc,
+                } => SimError::LedgerViolation {
+                    manager,
+                    violation,
+                    warp,
+                    pc,
+                    cycle: now,
+                },
+                IssueFault::NoMapping {
+                    manager,
+                    warp,
+                    reg,
+                    pc,
+                } => SimError::NoMapping {
+                    manager,
+                    warp,
+                    reg,
+                    pc,
+                    cycle: now,
+                },
+            })?;
             all_idle &= sm.idle();
         }
         if all_idle {
@@ -138,9 +261,18 @@ fn run_inner(
         }
         let last_progress = sms.iter().map(|s| s.last_progress).max().unwrap_or(0);
         if now > last_progress + stall_limit {
+            // Diagnostics from the first still-busy SM (simulated SMs run
+            // identical workloads, so one snapshot is representative).
+            let (blocked_at_acquire, srp_holders) = sms
+                .iter()
+                .find(|s| !s.idle())
+                .map(|s| s.stall_snapshot())
+                .unwrap_or_default();
             return Err(SimError::Deadlock {
                 cycle: now,
                 last_progress,
+                blocked_at_acquire,
+                srp_holders,
             });
         }
         now += 1;

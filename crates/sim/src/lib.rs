@@ -31,6 +31,7 @@
 
 mod barrier;
 mod config;
+pub mod fault;
 mod gpu;
 pub mod manager;
 mod memory;
@@ -45,13 +46,17 @@ mod warp;
 
 pub use barrier::BarrierUnit;
 pub use config::{GpuConfig, LaunchConfig, SchedulerPolicy};
-pub use gpu::{run_kernel, run_kernel_traced, SimError};
+pub use fault::{
+    Fault, FaultClass, FaultInjector, FaultKind, FaultLog, FaultPlan, HwFault, InjectOutcome,
+    Severity, ALL_FAULT_CLASSES,
+};
+pub use gpu::{run_kernel, run_kernel_faulted, run_kernel_traced, SimError};
 pub use manager::{AcquireResult, Ledger, LedgerViolation, RegisterManager, StaticManager};
 pub use memory::MemoryPipe;
 pub use occupancy::{theoretical, theoretical_with_base_set, KernelResources, Limiter, Occupancy};
 pub use scheduler::{order_candidates, Candidate, SchedulerState};
 pub use simt::{full_mask, ReconvEntry, SimtStack};
-pub use sm::{KernelImage, Sm};
+pub use sm::{IssueFault, KernelImage, Sm};
 pub use stats::SimStats;
 pub use trace::{render_timeline, TraceEvent, TraceKind};
 pub use warp::{StallReason, WarpState};

@@ -15,6 +15,7 @@
 use regmutex_isa::{ArchReg, CtaId, Instr, PhysReg, WarpId};
 
 use crate::config::GpuConfig;
+use crate::fault::{HwFault, InjectOutcome};
 
 /// Violation reported by [`Ledger::check`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +109,76 @@ impl Ledger {
         }
     }
 
+    /// Fallible [`Ledger::claim`]: instead of panicking on an out-of-range or
+    /// already-claimed row, report the violation. Used on paths where a
+    /// conflicting claim may be the *injected fault itself* (e.g. a stuck SRP
+    /// bit re-granting an owned section) and must surface as a structured
+    /// error rather than an abort.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerViolation::OutOfRange`] or [`LedgerViolation::WrongOwner`]
+    /// (the current owner, with `warp` as the accessor).
+    pub fn try_claim(&mut self, row: u32, warp: WarpId) -> Result<(), LedgerViolation> {
+        match self.owner.get_mut(row as usize) {
+            None => Err(LedgerViolation::OutOfRange { row }),
+            Some(Some(owner)) => Err(LedgerViolation::WrongOwner {
+                row,
+                owner: *owner,
+                accessor: warp,
+            }),
+            Some(slot @ None) => {
+                *slot = Some(warp);
+                Ok(())
+            }
+        }
+    }
+
+    /// Fallible [`Ledger::claim_range`]. On failure no row of the range
+    /// remains claimed (rows claimed before the conflict are rolled back).
+    ///
+    /// # Errors
+    ///
+    /// The violation from the first conflicting row.
+    pub fn try_claim_range(
+        &mut self,
+        start: u32,
+        len: u32,
+        warp: WarpId,
+    ) -> Result<(), LedgerViolation> {
+        for r in start..start + len {
+            if let Err(v) = self.try_claim(r, warp) {
+                for done in start..r {
+                    self.release(done, warp);
+                }
+                return Err(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fallible [`Ledger::release`].
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerViolation::OutOfRange`], [`LedgerViolation::Unclaimed`], or
+    /// [`LedgerViolation::WrongOwner`] when `warp` does not own the row.
+    pub fn try_release(&mut self, row: u32, warp: WarpId) -> Result<(), LedgerViolation> {
+        match self.owner.get_mut(row as usize) {
+            None => Err(LedgerViolation::OutOfRange { row }),
+            Some(None) => Err(LedgerViolation::Unclaimed { row }),
+            Some(Some(owner)) if *owner != warp => Err(LedgerViolation::WrongOwner {
+                row,
+                owner: *owner,
+                accessor: warp,
+            }),
+            Some(slot) => {
+                *slot = None;
+                Ok(())
+            }
+        }
+    }
+
     /// Release `row`, verifying ownership.
     ///
     /// # Panics
@@ -163,6 +234,10 @@ pub enum AcquireResult {
     /// The primitive is a no-op for this manager (baseline) or the warp
     /// already holds its extended set.
     NoOp,
+    /// The grant conflicted with the ownership ledger — corrupted hardware
+    /// state (a fault-injection outcome, never produced by healthy
+    /// managers). The simulation aborts with the violation.
+    Fault(LedgerViolation),
 }
 
 /// A register-allocation technique, as the SM sees it.
@@ -241,6 +316,16 @@ pub trait RegisterManager: Send {
     /// Emergency register spills this manager performed (RFV only).
     fn spill_count(&self) -> u64 {
         0
+    }
+
+    /// Corrupt this manager's *hardware* state in place (fault injection):
+    /// flip a LUT entry, latch an SRP bit, etc. Managers without the
+    /// targeted structure return [`InjectOutcome::Unsupported`]; managers
+    /// with it return [`InjectOutcome::NotApplicable`] when current state
+    /// makes the fault meaningless (e.g. corrupting the LUT entry of a warp
+    /// that holds nothing) so the injector can retry later.
+    fn inject_hw_fault(&mut self, _fault: &HwFault) -> InjectOutcome {
+        InjectOutcome::Unsupported
     }
 }
 
@@ -363,6 +448,96 @@ mod tests {
         let mut l = Ledger::new(4);
         l.claim(1, WarpId(0));
         l.release(1, WarpId(1));
+    }
+
+    #[test]
+    fn double_acquire_rejected_with_precise_error() {
+        // The same warp claiming a row it already owns is still a conflict:
+        // acquire/release pairing means no row is ever claimed twice.
+        let mut l = Ledger::new(8);
+        l.claim(3, WarpId(2));
+        assert_eq!(
+            l.try_claim(3, WarpId(2)),
+            Err(LedgerViolation::WrongOwner {
+                row: 3,
+                owner: WarpId(2),
+                accessor: WarpId(2)
+            })
+        );
+        // The failed claim must not disturb ownership.
+        assert!(l.check(3, WarpId(2)).is_ok());
+    }
+
+    #[test]
+    fn double_release_rejected_with_precise_error() {
+        let mut l = Ledger::new(8);
+        l.claim(5, WarpId(1));
+        assert_eq!(l.try_release(5, WarpId(1)), Ok(()));
+        assert_eq!(
+            l.try_release(5, WarpId(1)),
+            Err(LedgerViolation::Unclaimed { row: 5 })
+        );
+    }
+
+    #[test]
+    fn cross_warp_row_theft_rejected_with_precise_error() {
+        let mut l = Ledger::new(8);
+        l.claim(4, WarpId(0));
+        // Theft by claim…
+        assert_eq!(
+            l.try_claim(4, WarpId(3)),
+            Err(LedgerViolation::WrongOwner {
+                row: 4,
+                owner: WarpId(0),
+                accessor: WarpId(3)
+            })
+        );
+        // …and by release are both rejected, and the victim keeps the row.
+        assert_eq!(
+            l.try_release(4, WarpId(3)),
+            Err(LedgerViolation::WrongOwner {
+                row: 4,
+                owner: WarpId(0),
+                accessor: WarpId(3)
+            })
+        );
+        assert!(l.check(4, WarpId(0)).is_ok());
+    }
+
+    #[test]
+    fn try_claim_range_rolls_back_on_conflict() {
+        let mut l = Ledger::new(8);
+        l.claim(4, WarpId(7));
+        let err = l.try_claim_range(2, 4, WarpId(1));
+        assert_eq!(
+            err,
+            Err(LedgerViolation::WrongOwner {
+                row: 4,
+                owner: WarpId(7),
+                accessor: WarpId(1)
+            })
+        );
+        // Rows 2 and 3 were claimed before the conflict and must be free
+        // again; row 4 still belongs to the original owner.
+        assert_eq!(l.free_rows(), 7);
+        assert_eq!(
+            l.check(2, WarpId(1)),
+            Err(LedgerViolation::Unclaimed { row: 2 })
+        );
+        assert!(l.check(4, WarpId(7)).is_ok());
+    }
+
+    #[test]
+    fn try_claim_out_of_range() {
+        let mut l = Ledger::new(4);
+        assert_eq!(
+            l.try_claim(9, WarpId(0)),
+            Err(LedgerViolation::OutOfRange { row: 9 })
+        );
+        assert_eq!(
+            l.try_release(9, WarpId(0)),
+            Err(LedgerViolation::OutOfRange { row: 9 })
+        );
     }
 
     #[test]

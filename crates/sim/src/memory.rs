@@ -19,6 +19,7 @@ pub struct MemoryPipe {
     issue_per_cycle: u32,
     issued_this_cycle: u32,
     current_cycle: u64,
+    extra_latency: u64,
     /// Total requests ever issued (stats).
     pub total_requests: u64,
     /// Cycles in which at least one request was rejected (stats).
@@ -36,9 +37,17 @@ impl MemoryPipe {
             issue_per_cycle: issue_per_cycle.max(1),
             issued_this_cycle: 0,
             current_cycle: 0,
+            extra_latency: 0,
             total_requests: 0,
             rejected: 0,
         }
+    }
+
+    /// Additional round-trip latency applied to requests issued from now on
+    /// (fault-injection hook: models transient DRAM/bus contention spikes).
+    /// Requests already in flight keep their original completion cycle.
+    pub fn set_extra_latency(&mut self, extra: u64) {
+        self.extra_latency = extra;
     }
 
     /// Advance to `cycle`: retire completed requests, reset per-cycle issue
@@ -68,7 +77,7 @@ impl MemoryPipe {
         // Light queueing model: each already-outstanding request adds a small
         // serialization delay, approximating DRAM/bus contention.
         let queue_penalty = self.inflight.len() as u64 / 2;
-        let done = self.current_cycle + self.latency + queue_penalty;
+        let done = self.current_cycle + self.latency + self.extra_latency + queue_penalty;
         self.inflight.push(Reverse(done));
         Some(done)
     }

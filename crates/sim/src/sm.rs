@@ -12,11 +12,11 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use regmutex_isa::{decide, mix, BranchBehavior, CtaId, Kernel, LatencyClass, Op, WarpId};
+use regmutex_isa::{decide, mix, ArchReg, BranchBehavior, CtaId, Kernel, LatencyClass, Op, WarpId};
 
 use crate::barrier::BarrierUnit;
 use crate::config::GpuConfig;
-use crate::manager::{AcquireResult, Ledger, RegisterManager};
+use crate::manager::{AcquireResult, Ledger, LedgerViolation, RegisterManager};
 use crate::memory::MemoryPipe;
 use crate::scheduler::{order_candidates, Candidate, SchedulerState};
 use crate::simt::full_mask;
@@ -63,6 +63,43 @@ impl KernelImage {
         debug_assert_ne!(o, u32::MAX, "ordinal queried at non-branch pc {pc}");
         o
     }
+}
+
+/// A fatal inconsistency detected at the issue stage: the register state a
+/// manager presented conflicts with the ownership ledger, or a mapping is
+/// missing entirely. In a healthy simulation these are manager bugs; under
+/// fault injection they are the safety net *catching* corrupted hardware
+/// state, so they surface as structured errors rather than panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueFault {
+    /// A register access or SRP grant conflicted with the ownership ledger.
+    Ledger {
+        /// Technique name of the offending manager.
+        manager: &'static str,
+        /// The specific ownership violation.
+        violation: LedgerViolation,
+        /// Warp whose access tripped the check.
+        warp: WarpId,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// The manager had no physical mapping for an architected register.
+    NoMapping {
+        /// Technique name of the offending manager.
+        manager: &'static str,
+        /// Warp whose access tripped the check.
+        warp: WarpId,
+        /// The unmapped architected register.
+        reg: ArchReg,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+}
+
+/// Why a warp could not issue: an ordinary stall, or a fatal fault.
+enum Blocked {
+    Stall(StallReason),
+    Fatal(IssueFault),
 }
 
 #[derive(Debug)]
@@ -155,10 +192,43 @@ impl Sm {
         self.warps.iter().flatten().filter(|w| !w.done).count() as u32
     }
 
+    /// Snapshot of SRP-related stall state for deadlock diagnostics:
+    /// `(warps blocked at an acq.es, warps holding their extended set)`.
+    pub fn stall_snapshot(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut blocked = Vec::new();
+        let mut holders = Vec::new();
+        for (slot, w) in self.warps.iter().enumerate() {
+            let wid = WarpId(slot as u32);
+            if let Some(w) = w {
+                if !w.done
+                    && !w.at_barrier
+                    && matches!(self.image.kernel.instrs[w.pc as usize].op, Op::AcqEs)
+                {
+                    blocked.push(wid.0);
+                }
+            }
+            if self.manager.holds_extended(wid) {
+                holders.push(wid.0);
+            }
+        }
+        (blocked, holders)
+    }
+
+    /// Fault-injection hook: add `extra` cycles to every memory request
+    /// issued from now on (transient latency spike).
+    pub fn set_mem_extra_latency(&mut self, extra: u64) {
+        self.mem.set_extra_latency(extra);
+    }
+
     /// Advance one cycle.
-    pub fn step(&mut self, now: u64) {
+    ///
+    /// # Errors
+    ///
+    /// An [`IssueFault`] when the ledger or translation layer catches
+    /// corrupted register state; the simulation cannot continue.
+    pub fn step(&mut self, now: u64) -> Result<(), IssueFault> {
         if self.idle() {
-            return;
+            return Ok(());
         }
         self.mem.begin_cycle(now);
         self.fill_ctas();
@@ -196,9 +266,10 @@ impl Sm {
                         issued = true;
                         break;
                     }
-                    Err(reason) => {
+                    Err(Blocked::Stall(reason)) => {
                         first_block.get_or_insert(reason);
                     }
+                    Err(Blocked::Fatal(fault)) => return Err(fault),
                 }
             }
             if !issued {
@@ -211,10 +282,11 @@ impl Sm {
         self.retire_finished_ctas();
         self.stats.cycles = now + 1;
         self.stats.mem_requests = self.mem.total_requests;
+        Ok(())
     }
 
     /// Attempt to issue the next instruction of the warp in `slot`.
-    fn try_issue(&mut self, slot: usize, now: u64) -> Result<(), StallReason> {
+    fn try_issue(&mut self, slot: usize, now: u64) -> Result<(), Blocked> {
         // --- Phase 1: everything that needs &mut warp -------------------
         let wid = WarpId(slot as u32);
         enum After {
@@ -237,7 +309,7 @@ impl Sm {
             if instr.srcs.iter().any(|s| w.reg_pending(s.0))
                 || instr.dst.map(|d| w.reg_pending(d.0)).unwrap_or(false)
             {
-                return Err(StallReason::Scoreboard);
+                return Err(Blocked::Stall(StallReason::Scoreboard));
             }
 
             match instr.op {
@@ -280,7 +352,15 @@ impl Sm {
                                     kind: TraceKind::AcquireStall,
                                 });
                             }
-                            return Err(StallReason::Acquire);
+                            return Err(Blocked::Stall(StallReason::Acquire));
+                        }
+                        AcquireResult::Fault(violation) => {
+                            return Err(Blocked::Fatal(IssueFault::Ledger {
+                                manager: self.manager.name(),
+                                violation,
+                                warp: wid,
+                                pc: w.pc,
+                            }));
                         }
                     }
                 }
@@ -386,7 +466,7 @@ impl Sm {
                         .manager
                         .pre_access(&mut self.ledger, wid, instr, w.pc, now)
                     {
-                        return Err(StallReason::RegAlloc);
+                        return Err(Blocked::Stall(StallReason::RegAlloc));
                     }
                     // Validate every operand's physical mapping + ownership,
                     // and (when bank modelling is on) count operand-collector
@@ -394,15 +474,21 @@ impl Sm {
                     let mut src_banks: [Option<u32>; 3] = [None; 3];
                     let mut bank_extra = 0u64;
                     for (i, reg) in instr.srcs.iter().chain(instr.dst.iter()).enumerate() {
-                        let phys = self.manager.translate(wid, *reg).unwrap_or_else(|| {
-                            panic!(
-                                "{}: no mapping for {reg} of {wid} at pc {}",
-                                self.manager.name(),
-                                w.pc
-                            )
-                        });
-                        if let Err(v) = self.ledger.check(phys.0, wid) {
-                            panic!("{}: ledger violation: {v}", self.manager.name());
+                        let Some(phys) = self.manager.translate(wid, *reg) else {
+                            return Err(Blocked::Fatal(IssueFault::NoMapping {
+                                manager: self.manager.name(),
+                                warp: wid,
+                                reg: *reg,
+                                pc: w.pc,
+                            }));
+                        };
+                        if let Err(violation) = self.ledger.check(phys.0, wid) {
+                            return Err(Blocked::Fatal(IssueFault::Ledger {
+                                manager: self.manager.name(),
+                                violation,
+                                warp: wid,
+                                pc: w.pc,
+                            }));
                         }
                         if self.cfg.reg_banks > 0 && i < instr.srcs.len() {
                             let bank = phys.0 % self.cfg.reg_banks;
@@ -417,7 +503,7 @@ impl Sm {
                     match instr.op.latency_class() {
                         LatencyClass::GlobalMem => {
                             let Some(ready) = self.mem.try_issue() else {
-                                return Err(StallReason::MemoryStructural);
+                                return Err(Blocked::Stall(StallReason::MemoryStructural));
                             };
                             match instr.op {
                                 Op::Ld(_) => {
