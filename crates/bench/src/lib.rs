@@ -11,10 +11,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod chaos;
 pub mod report;
 pub mod runner;
 
+pub use cache::{CachedResult, ResultCache, DEFAULT_CACHE_BUDGET};
 pub use chaos::{CampaignReport, CampaignSpec, Outcome};
 pub use report::{fmt_pct, GeoMean, RowArityError, Table};
 pub use runner::{error_table, JobSpec, Runner};

@@ -27,15 +27,17 @@
 //!   batch completes and the survivors' results are byte-identical to a
 //!   run without the sick job (see [`error_table`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use regmutex::{RunError, RunReport, Session, Technique};
 use regmutex_compiler::CompileOptions;
 use regmutex_isa::Kernel;
 use regmutex_sim::{GpuConfig, LaunchConfig};
+
+use crate::cache::{CachedResult, ResultCache, DEFAULT_CACHE_BUDGET};
 
 /// One simulation to run: everything [`Session::run`] needs, plus a label
 /// used in error messages.
@@ -109,7 +111,7 @@ impl JobSpec {
     /// Content fingerprint: identical fingerprints mean identical
     /// simulations (same kernel text, config, options, technique, grid),
     /// so their results are interchangeable.
-    fn fingerprint(&self) -> u64 {
+    pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv1a::new();
         // The kernel's disassembly covers every instruction; name/seed and
         // the resource declaration are folded in separately because they
@@ -157,31 +159,42 @@ impl Fnv1a {
 
 /// Parallel experiment engine: a fixed worker count and a cache of
 /// completed simulations, shared by every batch submitted to it.
+///
+/// The cache is a [`ResultCache`] behind an [`Arc`]: by default each
+/// `Runner` makes its own (the PR 1 behaviour, now bounded by
+/// [`DEFAULT_CACHE_BUDGET`]), but [`Runner::with_cache`] lets many runners
+/// — or a long-lived server — share one store, so results computed for one
+/// batch are reused by every later batch in the process.
 pub struct Runner {
     jobs: usize,
-    cache: Mutex<HashMap<u64, Result<RunReport, RunError>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    cache: Arc<ResultCache>,
 }
 
 impl Runner {
-    /// An engine with `jobs` worker threads (clamped to at least 1).
+    /// An engine with `jobs` worker threads (clamped to at least 1) and a
+    /// private, default-budget result cache.
     pub fn new(jobs: usize) -> Self {
+        Self::with_cache(jobs, ResultCache::shared(DEFAULT_CACHE_BUDGET))
+    }
+
+    /// An engine that shares `cache` with other runners in the process.
+    pub fn with_cache(jobs: usize, cache: Arc<ResultCache>) -> Self {
         Runner {
             jobs: jobs.max(1),
-            cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            cache,
         }
     }
 
-    /// An engine sized from the command line: `--jobs N` (or `--jobs=N`)
-    /// if present in `std::env::args`, otherwise
+    /// An engine sized from the environment, in precedence order:
+    /// `--jobs N` (or `--jobs=N`) in `std::env::args`, then a
+    /// `REGMUTEX_JOBS` environment variable, then
     /// [`std::thread::available_parallelism`]. Unknown flags are left for
-    /// the binary's own parsing.
+    /// the binary's own parsing; unparsable values fall through to the
+    /// next source.
     pub fn from_env() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        Self::new(jobs_from_args(&args).unwrap_or_else(default_jobs))
+        let env = std::env::var("REGMUTEX_JOBS").ok();
+        Self::new(jobs_from_env(&args, env.as_deref()))
     }
 
     /// Worker-thread count.
@@ -189,14 +202,19 @@ impl Runner {
         self.jobs
     }
 
-    /// Jobs served from the cache so far.
-    pub fn cache_hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+    /// The engine's result cache (shared or private).
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.cache
     }
 
-    /// Jobs actually simulated so far.
+    /// Jobs served from the cache so far (cache-wide when shared).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Jobs actually simulated so far (cache-wide when shared).
     pub fn cache_misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.cache.misses()
     }
 
     /// Run a batch. Results are returned in **submission order** regardless
@@ -205,31 +223,34 @@ impl Runner {
     ///
     /// Identical jobs — same fingerprint, whether duplicated inside this
     /// batch or already completed in an earlier batch — are simulated once.
-    pub fn run_all(&self, specs: &[JobSpec]) -> Vec<Result<RunReport, RunError>> {
+    pub fn run_all(&self, specs: &[JobSpec]) -> Vec<CachedResult> {
         let keys: Vec<u64> = specs.iter().map(JobSpec::fingerprint).collect();
 
-        // Work list: first occurrence of each fingerprint not already cached.
+        // Resolve what we can from the shared cache, pinning every resolved
+        // value in a batch-local map so a concurrent writer (or our own
+        // inserts) evicting an entry mid-batch cannot lose it. `todo` holds
+        // the first occurrence of each unresolved fingerprint.
+        let mut local: HashMap<u64, CachedResult> = HashMap::new();
         let mut todo: Vec<usize> = Vec::new();
-        {
-            let cache = self.cache.lock().unwrap();
-            let mut seen = HashMap::new();
-            for (i, k) in keys.iter().enumerate() {
-                if cache.contains_key(k) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                } else if seen.insert(*k, i).is_none() {
-                    todo.push(i);
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                }
+        let mut scheduled: HashSet<u64> = HashSet::new();
+        for (i, k) in keys.iter().enumerate() {
+            if local.contains_key(k) {
+                self.cache.note_hit();
+            } else if let Some(v) = self.cache.probe(*k) {
+                local.insert(*k, v);
+                self.cache.note_hit();
+            } else if scheduled.insert(*k) {
+                todo.push(i);
+                self.cache.note_miss();
+            } else {
+                self.cache.note_hit();
             }
         }
 
         // Execute the unique jobs across the pool. Workers pull the next
         // index from a shared cursor; each simulation is single-threaded
         // and deterministic, so scheduling cannot affect any result.
-        let fresh: Mutex<Vec<(u64, Result<RunReport, RunError>)>> =
-            Mutex::new(Vec::with_capacity(todo.len()));
+        let fresh: Mutex<Vec<(u64, CachedResult)>> = Mutex::new(Vec::with_capacity(todo.len()));
         let cursor = AtomicUsize::new(0);
         let workers = self.jobs.min(todo.len().max(1));
         std::thread::scope(|scope| {
@@ -244,14 +265,35 @@ impl Runner {
             }
         });
 
-        // Publish results and assemble the batch in submission order.
-        let mut cache = self.cache.lock().unwrap();
+        // Publish results to the shared cache and the batch-local map, then
+        // assemble the batch in submission order.
         for (k, r) in fresh.into_inner().unwrap() {
-            cache.insert(k, r);
+            self.cache.insert(k, r.clone());
+            local.insert(k, r);
         }
         keys.iter()
-            .map(|k| cache.get(k).expect("every submitted job resolved").clone())
+            .map(|k| local.get(k).expect("every submitted job resolved").clone())
             .collect()
+    }
+
+    /// Run a single job on the calling thread, consulting the shared cache
+    /// first. Returns the result plus whether it was served from the cache
+    /// — the primitive a serving worker wants (its concurrency comes from
+    /// its own thread pool, not from batch fan-out).
+    ///
+    /// Two threads racing on the same fingerprint may both simulate it;
+    /// the simulations are deterministic, so the duplicate work is a
+    /// performance wrinkle, never a correctness one.
+    pub fn run_one(&self, spec: &JobSpec) -> (CachedResult, bool) {
+        let key = spec.fingerprint();
+        if let Some(v) = self.cache.probe(key) {
+            self.cache.note_hit();
+            return (v, true);
+        }
+        self.cache.note_miss();
+        let result = run_isolated(spec);
+        self.cache.insert(key, result.clone());
+        (result, false)
     }
 
     /// Like [`Runner::run_all`], but panics (with the job's label) on the
@@ -350,6 +392,15 @@ pub fn jobs_from_args(args: &[String]) -> Option<usize> {
         }
     }
     None
+}
+
+/// Resolve the worker count from an argument list plus an optional
+/// `REGMUTEX_JOBS` value: flag, then env, then [`default_jobs`]. A zero or
+/// unparsable env value falls through to the default.
+pub fn jobs_from_env(args: &[String], env: Option<&str>) -> usize {
+    jobs_from_args(args)
+        .or_else(|| env.and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0))
+        .unwrap_or_else(default_jobs)
 }
 
 #[cfg(test)]
@@ -558,6 +609,56 @@ mod tests {
             "budget must trip the watchdog: {:?}",
             results[1]
         );
+    }
+
+    #[test]
+    fn run_one_hits_the_shared_cache() {
+        let cache = crate::cache::ResultCache::shared(crate::cache::DEFAULT_CACHE_BUDGET);
+        let a = Runner::with_cache(1, Arc::clone(&cache));
+        let b = Runner::with_cache(4, Arc::clone(&cache));
+        let spec = &specs()[0];
+        let (first, cached) = a.run_one(spec);
+        assert!(!cached, "cold cache must simulate");
+        // A *different* runner sharing the cache gets a hit.
+        let (second, cached) = b.run_one(spec);
+        assert!(cached, "shared cache must serve the repeat");
+        let (f, s) = (first.unwrap(), second.unwrap());
+        assert_eq!(f.stats.cycles, s.stats.cycles);
+        assert_eq!(f.stats.checksum, s.stats.checksum);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn batches_survive_a_tiny_cache_budget() {
+        // With a budget too small to keep every result resident, batches
+        // still assemble completely (the batch-local pin map) and repeats
+        // are re-simulated rather than lost.
+        let cache = crate::cache::ResultCache::shared(1);
+        let runner = Runner::with_cache(2, cache);
+        let batch = specs();
+        let first = runner.run_reports(&batch);
+        let second = runner.run_reports(&batch);
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.stats.cycles, b.stats.cycles);
+            assert_eq!(a.stats.checksum, b.stats.checksum);
+        }
+        assert!(runner.cache().evictions() > 0, "a 1-byte budget must evict");
+    }
+
+    #[test]
+    fn jobs_env_precedence() {
+        let v = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        // Flag beats env.
+        assert_eq!(jobs_from_env(&v(&["--jobs", "3"]), Some("7")), 3);
+        // Env beats the default.
+        assert_eq!(jobs_from_env(&[], Some("7")), 7);
+        assert_eq!(jobs_from_env(&[], Some(" 2 ")), 2);
+        // Bad env values fall through to the default.
+        assert_eq!(jobs_from_env(&[], Some("zero")), default_jobs());
+        assert_eq!(jobs_from_env(&[], Some("0")), default_jobs());
+        assert_eq!(jobs_from_env(&[], None), default_jobs());
     }
 
     #[test]

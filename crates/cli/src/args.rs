@@ -6,7 +6,10 @@ use regmutex::Technique;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `list` — print the workload registry.
-    List,
+    List {
+        /// Emit the machine-readable JSON registry instead of the table.
+        json: bool,
+    },
     /// `disasm <app>` — print a kernel (optionally transformed / annotated).
     Disasm {
         /// Workload name.
@@ -74,6 +77,35 @@ pub enum Command {
         /// Fail (exit 1) unless every fault class was detected at least
         /// once.
         expect_detections: bool,
+    },
+    /// `serve` — run the HTTP simulation service.
+    Serve {
+        /// Bind address (`host:port`).
+        addr: String,
+        /// Simulation worker threads (default: `REGMUTEX_JOBS` or all
+        /// cores).
+        workers: Option<usize>,
+        /// Bounded job-queue capacity.
+        queue: usize,
+        /// Result-cache budget in MiB.
+        cache_mb: usize,
+        /// Cycle cap applied to every job.
+        cycle_budget: Option<u64>,
+        /// Maximum concurrent connections.
+        max_connections: usize,
+    },
+    /// `loadgen` — closed-loop load generator against a running server.
+    Loadgen {
+        /// Server address (`host:port`).
+        addr: String,
+        /// Concurrent client threads.
+        threads: usize,
+        /// Requests per thread.
+        requests: usize,
+        /// Sampling seed.
+        seed: u64,
+        /// Restrict sampling to these workloads (comma-separated).
+        apps: Vec<String>,
     },
     /// `help` — usage.
     Help,
@@ -148,7 +180,94 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     };
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "list" => Ok(Command::List),
+        "list" => {
+            let mut json = false;
+            for a in rest {
+                match a.as_str() {
+                    "--json" => json = true,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::List { json })
+        }
+        "serve" => {
+            let mut addr = "127.0.0.1:8077".to_string();
+            let mut workers = None;
+            let mut queue = 64usize;
+            let mut cache_mb = 64usize;
+            let mut cycle_budget = None;
+            let mut max_connections = 64usize;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| ParseError("--addr needs a value".into()))?
+                            .clone()
+                    }
+                    "--workers" => workers = Some(value_of("--workers", it.next())?),
+                    "--queue" => queue = value_of("--queue", it.next())?,
+                    "--cache-mb" => cache_mb = value_of("--cache-mb", it.next())?,
+                    "--cycle-budget" => cycle_budget = Some(value_of("--cycle-budget", it.next())?),
+                    "--max-connections" => {
+                        max_connections = value_of("--max-connections", it.next())?
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if queue == 0 {
+                return Err(ParseError("--queue must be at least 1".into()));
+            }
+            Ok(Command::Serve {
+                addr,
+                workers,
+                queue,
+                cache_mb,
+                cycle_budget,
+                max_connections,
+            })
+        }
+        "loadgen" => {
+            let mut addr = "127.0.0.1:8077".to_string();
+            let mut threads = 4usize;
+            let mut requests = 50usize;
+            let mut seed = 0x5eed_2024u64;
+            let mut apps = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| ParseError("--addr needs a value".into()))?
+                            .clone()
+                    }
+                    "--threads" => threads = value_of("--threads", it.next())?,
+                    "--requests" => requests = value_of("--requests", it.next())?,
+                    "--seed" => seed = value_of("--seed", it.next())?,
+                    "--apps" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--apps needs a value".into()))?;
+                        apps = v.split(',').map(str::to_string).collect();
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if threads == 0 || requests == 0 {
+                return Err(ParseError(
+                    "--threads and --requests must be at least 1".into(),
+                ));
+            }
+            Ok(Command::Loadgen {
+                addr,
+                threads,
+                requests,
+                seed,
+                apps,
+            })
+        }
         "disasm" => Ok(Command::Disasm {
             app: app()?,
             transformed: rest.iter().any(|a| a == "--transformed"),
@@ -277,7 +396,7 @@ pub const USAGE: &str = "\
 regmutex-cli — drive the RegMutex (ISCA 2018) reproduction
 
 USAGE:
-  regmutex-cli list
+  regmutex-cli list [--json]
   regmutex-cli disasm <app> [--transformed] [--liveness]
   regmutex-cli run <app> [--technique baseline|regmutex|paired|rfv|owf]
                          [--half-rf] [--ctas N] [--force-es N]
@@ -288,6 +407,11 @@ USAGE:
   regmutex-cli chaos [<app>...] [--seeds N] [--technique T] [--jobs N]
                      [--watchdog-cycles N] [--stall-multiplier N]
                      [--expect-detections]
+  regmutex-cli serve [--addr HOST:PORT] [--workers N] [--queue N]
+                     [--cache-mb N] [--cycle-budget N]
+                     [--max-connections N]
+  regmutex-cli loadgen [--addr HOST:PORT] [--threads N] [--requests N]
+                       [--seed N] [--apps A,B,...]
   regmutex-cli help
 
 The multi-simulation commands (compare, sweep, chaos) run their
@@ -300,6 +424,13 @@ spikes) into every listed workload (default: a six-workload mix) and
 verifies the safety net: exit 1 if any injection silently corrupts a
 result, or if --expect-detections is set and some fault class was never
 caught. --watchdog-cycles and --stall-multiplier tune the detectors.
+
+serve runs the std-only HTTP simulation service (GET /healthz, GET
+/metrics, GET /v1/workloads, POST /v1/run, POST /v1/sweep, POST
+/v1/shutdown): bounded job queue (429 + Retry-After when full), shared
+LRU result cache, Prometheus metrics, graceful SIGINT/SIGTERM drain.
+loadgen drives it closed-loop with a seeded workload mix and reports
+throughput, exact latency percentiles, backpressure and cache hits.
 ";
 
 #[cfg(test)]
@@ -319,7 +450,91 @@ mod tests {
 
     #[test]
     fn list_parses() {
-        assert_eq!(parse(&v(&["list"])), Ok(Command::List));
+        assert_eq!(parse(&v(&["list"])), Ok(Command::List { json: false }));
+        assert_eq!(
+            parse(&v(&["list", "--json"])),
+            Ok(Command::List { json: true })
+        );
+        assert!(parse(&v(&["list", "--yaml"])).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        assert_eq!(
+            parse(&v(&["serve"])),
+            Ok(Command::Serve {
+                addr: "127.0.0.1:8077".into(),
+                workers: None,
+                queue: 64,
+                cache_mb: 64,
+                cycle_budget: None,
+                max_connections: 64,
+            })
+        );
+        assert_eq!(
+            parse(&v(&[
+                "serve",
+                "--addr",
+                "0.0.0.0:9000",
+                "--workers",
+                "2",
+                "--queue",
+                "8",
+                "--cache-mb",
+                "16",
+                "--cycle-budget",
+                "1000000",
+                "--max-connections",
+                "32"
+            ])),
+            Ok(Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                workers: Some(2),
+                queue: 8,
+                cache_mb: 16,
+                cycle_budget: Some(1_000_000),
+                max_connections: 32,
+            })
+        );
+        assert!(parse(&v(&["serve", "--queue", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--what"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_defaults_and_flags() {
+        assert_eq!(
+            parse(&v(&["loadgen"])),
+            Ok(Command::Loadgen {
+                addr: "127.0.0.1:8077".into(),
+                threads: 4,
+                requests: 50,
+                seed: 0x5eed_2024,
+                apps: vec![],
+            })
+        );
+        assert_eq!(
+            parse(&v(&[
+                "loadgen",
+                "--addr",
+                "127.0.0.1:1234",
+                "--threads",
+                "2",
+                "--requests",
+                "10",
+                "--seed",
+                "7",
+                "--apps",
+                "BFS,SPMV"
+            ])),
+            Ok(Command::Loadgen {
+                addr: "127.0.0.1:1234".into(),
+                threads: 2,
+                requests: 10,
+                seed: 7,
+                apps: vec!["BFS".into(), "SPMV".into()],
+            })
+        );
+        assert!(parse(&v(&["loadgen", "--threads", "0"])).is_err());
     }
 
     #[test]

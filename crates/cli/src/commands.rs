@@ -7,6 +7,7 @@ use regmutex::{cycle_reduction_percent, Session, Technique, ALL_TECHNIQUES};
 use regmutex_bench::chaos::{run_campaign, CampaignSpec};
 use regmutex_bench::{runner::default_jobs, JobSpec, Runner};
 use regmutex_compiler::{analyze, live_trace, CompileOptions};
+use regmutex_server::{LoadgenConfig, ServerConfig};
 use regmutex_sim::{GpuConfig, LaunchConfig};
 use regmutex_workloads::{suite, Workload};
 
@@ -40,8 +41,13 @@ fn config(half_rf: bool) -> GpuConfig {
     }
 }
 
-/// `list`
-pub fn list() -> String {
+/// `list [--json]`
+pub fn list(json: bool) -> String {
+    if json {
+        let mut out = regmutex_server::wire::workloads_json().encode();
+        out.push('\n');
+        return out;
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -351,16 +357,92 @@ pub fn chaos(
     Ok((out, code))
 }
 
+/// `serve ...` — blocks until SIGINT/SIGTERM or `POST /v1/shutdown`.
+#[allow(clippy::too_many_arguments)]
+pub fn serve(
+    addr: String,
+    workers: Option<usize>,
+    queue: usize,
+    cache_mb: usize,
+    cycle_budget: Option<u64>,
+    max_connections: usize,
+) -> Result<(), CommandError> {
+    let env = std::env::var("REGMUTEX_JOBS").ok();
+    let sim_workers = workers
+        .or_else(|| env.and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0))
+        .unwrap_or_else(default_jobs);
+    regmutex_server::serve_until_shutdown(ServerConfig {
+        addr,
+        sim_workers,
+        queue_capacity: queue,
+        cache_budget: cache_mb.saturating_mul(1024 * 1024),
+        cycle_budget,
+        max_connections,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| CommandError(format!("serve: {e}")))
+}
+
+/// `loadgen ...`
+pub fn loadgen(
+    addr: String,
+    threads: usize,
+    requests: usize,
+    seed: u64,
+    apps: Vec<String>,
+) -> Result<String, CommandError> {
+    let report = regmutex_server::run_loadgen(&LoadgenConfig {
+        addr,
+        threads,
+        requests,
+        seed,
+        apps,
+        ..LoadgenConfig::default()
+    })
+    .map_err(CommandError)?;
+    let mut out = report.render();
+    out.push('\n');
+    if !report.nothing_dropped() {
+        return Err(CommandError(format!(
+            "loadgen: {} of {} requests got no response\n{out}",
+            report.total - (report.ok + report.rejected + report.failed),
+            report.total
+        )));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn list_mentions_all_16() {
-        let out = list();
+        let out = list(false);
         assert_eq!(out.lines().count(), 17); // header + 16
         assert!(out.contains("BFS"));
         assert!(out.contains("TPACF"));
+    }
+
+    #[test]
+    fn list_json_is_machine_readable() {
+        let out = list(true);
+        let parsed = regmutex_server::json::parse(out.trim()).expect("valid JSON");
+        let arr = parsed.as_arr().expect("array");
+        assert_eq!(arr.len(), 16);
+        for w in arr {
+            for field in [
+                "name",
+                "regs",
+                "base_set",
+                "threads_per_cta",
+                "shmem_per_cta",
+                "grid_ctas",
+                "group",
+            ] {
+                assert!(w.get(field).is_some(), "missing {field}");
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn main() {
             print!("{}", regmutex_cli::args::USAGE);
             return;
         }
-        Command::List => Ok(commands::list()),
+        Command::List { json } => Ok(commands::list(json)),
         Command::Disasm {
             app,
             transformed,
@@ -40,6 +40,36 @@ fn main() {
             stall_multiplier,
         ),
         Command::Compare { app, half_rf, jobs } => commands::compare(&app, half_rf, jobs),
+        Command::Serve {
+            addr,
+            workers,
+            queue,
+            cache_mb,
+            cycle_budget,
+            max_connections,
+        } => {
+            match commands::serve(
+                addr,
+                workers,
+                queue,
+                cache_mb,
+                cycle_budget,
+                max_connections,
+            ) {
+                Ok(()) => return,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Command::Loadgen {
+            addr,
+            threads,
+            requests,
+            seed,
+            apps,
+        } => commands::loadgen(addr, threads, requests, seed, apps),
         Command::Trace { app, max_steps } => commands::trace(&app, max_steps),
         Command::Sweep { app, jobs } => {
             exit_with(commands::sweep(&app, jobs));

@@ -45,6 +45,39 @@ impl core::fmt::Display for Technique {
     }
 }
 
+/// Error from parsing a [`Technique`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTechniqueError(pub String);
+
+impl core::fmt::Display for ParseTechniqueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown technique '{}' (expected baseline|regmutex|paired|rfv|owf)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseTechniqueError {}
+
+impl core::str::FromStr for Technique {
+    type Err = ParseTechniqueError;
+
+    /// Accepts the display names (case-insensitive) plus the `paired`
+    /// shorthand, so CLI flags and the HTTP wire format parse identically.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "baseline" => Ok(Technique::Baseline),
+            "regmutex" => Ok(Technique::RegMutex),
+            "paired" | "regmutex-paired" => Ok(Technique::RegMutexPaired),
+            "rfv" => Ok(Technique::Rfv),
+            "owf" => Ok(Technique::Owf),
+            other => Err(ParseTechniqueError(other.to_string())),
+        }
+    }
+}
+
 /// All five techniques, in the paper's comparison order.
 pub const ALL_TECHNIQUES: [Technique; 5] = [
     Technique::Baseline,

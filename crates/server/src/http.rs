@@ -1,0 +1,464 @@
+//! Minimal HTTP/1.1 on `std::net`: a hardened server-side request reader,
+//! a response writer, and the tiny client the load generator uses.
+//!
+//! This is deliberately not a general HTTP implementation. It supports
+//! exactly what the simulation service needs — one request per connection
+//! (`Connection: close`), bodies framed by `Content-Length`, and strict
+//! limits so hostile bytes produce a structured 4xx instead of a panic,
+//! an allocation blow-up, or a hung worker:
+//!
+//! * request line + headers capped at [`Limits::max_head_bytes`],
+//! * bodies capped at [`Limits::max_body_bytes`] (413 beyond it),
+//! * every read governed by a socket timeout (408 on expiry),
+//! * malformed syntax anywhere → 400 with a JSON error body.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Server-side read limits.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (CRLFCRLF included).
+    pub max_head_bytes: usize,
+    /// Maximum request body bytes.
+    pub max_body_bytes: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+            read_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query string split off).
+    pub path: String,
+    /// Raw query string, without the `?`, if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps to one status code,
+/// so the connection handler can always answer with structure.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed syntax → 400.
+    BadRequest(String),
+    /// Head or body over the configured limit → 413.
+    TooLarge(String),
+    /// The socket read timed out mid-request → 408.
+    Timeout,
+    /// The peer closed or the socket died; nothing to answer.
+    Disconnected,
+}
+
+impl HttpError {
+    /// The HTTP status this error is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::TooLarge(_) => 413,
+            HttpError::Timeout => 408,
+            HttpError::Disconnected => 0,
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn detail(&self) -> String {
+        match self {
+            HttpError::BadRequest(m) => m.clone(),
+            HttpError::TooLarge(m) => m.clone(),
+            HttpError::Timeout => "timed out reading request".to_string(),
+            HttpError::Disconnected => "connection closed".to_string(),
+        }
+    }
+}
+
+impl core::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "http error {}: {}", self.status(), self.detail())
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn map_io(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Disconnected,
+    }
+}
+
+/// Read one request from `stream` under `limits`.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly before
+/// sending anything (not an error — just no request).
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Option<Request>, HttpError> {
+    stream
+        .set_read_timeout(Some(limits.read_timeout))
+        .map_err(map_io)?;
+
+    // Accumulate until the blank line, never past max_head_bytes.
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_crlfcrlf(&buf) {
+            break pos;
+        }
+        if buf.len() >= limits.max_head_bytes {
+            return Err(HttpError::TooLarge(format!(
+                "request head exceeds {} bytes",
+                limits.max_head_bytes
+            )));
+        }
+        let want = (limits.max_head_bytes - buf.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).map_err(map_io)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::BadRequest("truncated request head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = core::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("request head is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
+    let (method, path, query) = parse_request_line(request_line)?;
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line: {line:?}")))?;
+        if name.is_empty()
+            || !name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b"-_".contains(&b))
+        {
+            return Err(HttpError::BadRequest(format!(
+                "invalid header name: {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body framing: Content-Length only (no chunked support — we never
+    // advertise it and reject it rather than mis-frame).
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest(
+            "transfer-encoding is not supported; use content-length".into(),
+        ));
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0usize,
+        Some((_, v)) => v
+            .parse::<u64>()
+            .ok()
+            .and_then(|n| usize::try_from(n).ok())
+            .ok_or_else(|| HttpError::BadRequest(format!("invalid content-length: {v:?}")))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {}-byte limit",
+            limits.max_body_bytes
+        )));
+    }
+
+    // The head buffer may already hold body bytes.
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::BadRequest(
+            "more body bytes than content-length".into(),
+        ));
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).map_err(map_io)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("truncated request body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String, Option<String>), HttpError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line: {line:?}"
+        )));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest(format!("invalid method: {method:?}")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version: {version:?}"
+        )));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "request target must be absolute-path: {target:?}"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    Ok((method.to_string(), path, query))
+}
+
+fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Additional headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response (Prometheus metrics).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Attach an extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+}
+
+/// The reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize `resp` onto `stream` (always `Connection: close`).
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// A client-side response (status, headers, body).
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Lowercased header pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One-shot HTTP client call: connect, send, read the full response.
+/// `Connection: close` framing — the response ends at EOF (or at
+/// `Content-Length`, whichever comes first).
+pub fn client_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> Result<ClientResponse, HttpError> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|_| HttpError::Disconnected)?
+        .next()
+        .ok_or(HttpError::Disconnected)?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout).map_err(map_io)?;
+    stream.set_read_timeout(Some(timeout)).map_err(map_io)?;
+    stream.set_write_timeout(Some(timeout)).map_err(map_io)?;
+
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(map_io)?;
+    stream.write_all(body).map_err(map_io)?;
+    stream.flush().map_err(map_io)?;
+
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e) => {
+                // A peer that already sent a full response may reset on
+                // close; only fail if we have nothing parseable.
+                if raw.is_empty() {
+                    return Err(map_io(e));
+                }
+                break;
+            }
+        }
+        if raw.len() > 16 * 1024 * 1024 {
+            return Err(HttpError::TooLarge("response too large".into()));
+        }
+    }
+
+    let head_end = find_crlfcrlf(&raw)
+        .ok_or_else(|| HttpError::BadRequest("response missing header terminator".into()))?;
+    let head = core::str::from_utf8(&raw[..head_end])
+        .map_err(|_| HttpError::BadRequest("response head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| HttpError::BadRequest(format!("bad status line: {status_line:?}")))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let body = raw[head_end + 4..].to_vec();
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parsing() {
+        let (m, p, q) = parse_request_line("GET /v1/workloads?x=1 HTTP/1.1").unwrap();
+        assert_eq!((m.as_str(), p.as_str()), ("GET", "/v1/workloads"));
+        assert_eq!(q.as_deref(), Some("x=1"));
+        for bad in [
+            "GET",
+            "GET /",
+            "GET / HTTP/2.0",
+            "get / HTTP/1.1",
+            "GET  / HTTP/1.1",
+            "GET relative HTTP/1.1",
+            "G@T / HTTP/1.1",
+            "GET / HTTP/1.1 extra",
+        ] {
+            assert!(parse_request_line(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_statuses() {
+        assert_eq!(HttpError::BadRequest("x".into()).status(), 400);
+        assert_eq!(HttpError::TooLarge("x".into()).status(), 413);
+        assert_eq!(HttpError::Timeout.status(), 408);
+    }
+
+    #[test]
+    fn crlf_scan() {
+        assert_eq!(find_crlfcrlf(b"ab\r\n\r\ncd"), Some(2));
+        assert_eq!(find_crlfcrlf(b"ab\r\ncd"), None);
+    }
+}

@@ -1,0 +1,318 @@
+//! Closed-loop load generator for the simulation service.
+//!
+//! `threads` clients each issue `requests` back-to-back `POST /v1/run`
+//! requests, sampling (workload, technique) pairs from the server's own
+//! `/v1/workloads` registry with a seeded xorshift64* generator — the same
+//! seed reproduces the same request stream. Being closed-loop, offered
+//! load adapts to service rate; backpressure shows up as 429 counts, not
+//! as client-side queue growth.
+//!
+//! Latency percentiles are exact (computed from the sorted client-side
+//! sample set), unlike the server's bucketed histogram.
+
+use std::time::{Duration, Instant};
+
+use crate::http::client_request;
+use crate::json::{self, Json};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Concurrent closed-loop client threads.
+    pub threads: usize,
+    /// Requests issued per thread.
+    pub requests: usize,
+    /// RNG seed for workload sampling.
+    pub seed: u64,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+    /// Restrict sampling to these workloads (empty = the full registry).
+    pub apps: Vec<String>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:8077".to_string(),
+            threads: 4,
+            requests: 50,
+            seed: 0x5eed_2024,
+            timeout: Duration::from_secs(120),
+            apps: Vec::new(),
+        }
+    }
+}
+
+/// Aggregate results of one load-generation run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    /// Requests issued (threads × requests).
+    pub total: usize,
+    /// 200 responses.
+    pub ok: usize,
+    /// 200 responses served from the result cache.
+    pub cached: usize,
+    /// 429 backpressure rejections.
+    pub rejected: usize,
+    /// Any other status or transport error.
+    pub failed: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-request latencies in microseconds, sorted ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadgenReport {
+    /// Exact percentile (nearest-rank on the sorted samples), in µs.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((p / 100.0) * (self.latencies_us.len() - 1) as f64).round() as usize;
+        self.latencies_us[idx.min(self.latencies_us.len() - 1)]
+    }
+
+    /// Completed requests per second (every response counts — 429s are
+    /// responses, not drops).
+    pub fn rps(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        (self.ok + self.rejected + self.failed) as f64 / s
+    }
+
+    /// Cache hit rate over successful runs.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.ok == 0 {
+            return 0.0;
+        }
+        self.cached as f64 / self.ok as f64
+    }
+
+    /// Whether every issued request got *some* response (nothing dropped).
+    pub fn nothing_dropped(&self) -> bool {
+        self.ok + self.rejected + self.failed == self.total
+    }
+
+    /// Human-readable summary block.
+    pub fn render(&self) -> String {
+        format!(
+            "requests      {}\n\
+             ok            {}\n\
+             cached        {} ({:.1}% hit rate)\n\
+             rejected 429  {}\n\
+             failed        {}\n\
+             elapsed       {:.2} s\n\
+             throughput    {:.1} req/s\n\
+             latency p50   {:.3} ms\n\
+             latency p95   {:.3} ms\n\
+             latency p99   {:.3} ms",
+            self.total,
+            self.ok,
+            self.cached,
+            100.0 * self.cache_hit_rate(),
+            self.rejected,
+            self.failed,
+            self.elapsed.as_secs_f64(),
+            self.rps(),
+            self.percentile_us(50.0) as f64 / 1e3,
+            self.percentile_us(95.0) as f64 / 1e3,
+            self.percentile_us(99.0) as f64 / 1e3,
+        )
+    }
+}
+
+/// xorshift64* — tiny, seedable, good enough for workload sampling.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next() % items.len() as u64) as usize]
+    }
+}
+
+const TECHNIQUES: [&str; 2] = ["baseline", "regmutex"];
+
+/// Fetch the workload names the server offers.
+fn fetch_workloads(cfg: &LoadgenConfig) -> Result<Vec<String>, String> {
+    let resp = client_request(&cfg.addr, "GET", "/v1/workloads", None, cfg.timeout)
+        .map_err(|e| format!("GET /v1/workloads: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("GET /v1/workloads: status {}", resp.status));
+    }
+    let text = core::str::from_utf8(&resp.body).map_err(|e| e.to_string())?;
+    let parsed = json::parse(text).map_err(|e| e.to_string())?;
+    let arr = parsed
+        .as_arr()
+        .ok_or_else(|| "workload registry is not an array".to_string())?;
+    let names: Vec<String> = arr
+        .iter()
+        .filter_map(|w| w.get("name").and_then(Json::as_str))
+        .map(str::to_string)
+        .collect();
+    if names.is_empty() {
+        return Err("workload registry is empty".to_string());
+    }
+    Ok(names)
+}
+
+/// Run the closed loop and aggregate every thread's tallies.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let mut names = fetch_workloads(cfg)?;
+    if !cfg.apps.is_empty() {
+        names.retain(|n| cfg.apps.iter().any(|a| a == n));
+        if names.is_empty() {
+            return Err("no requested app exists in the server registry".to_string());
+        }
+    }
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..cfg.threads.max(1) {
+        let cfg = cfg.clone();
+        let names = names.clone();
+        handles.push(std::thread::spawn(move || {
+            worker(
+                &cfg,
+                &names,
+                cfg.seed ^ (t as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            )
+        }));
+    }
+    let mut report = LoadgenReport {
+        total: cfg.threads.max(1) * cfg.requests,
+        ..Default::default()
+    };
+    for h in handles {
+        let part = h
+            .join()
+            .map_err(|_| "loadgen thread panicked".to_string())?;
+        report.ok += part.ok;
+        report.cached += part.cached;
+        report.rejected += part.rejected;
+        report.failed += part.failed;
+        report.latencies_us.extend(part.latencies_us);
+    }
+    report.elapsed = started.elapsed();
+    report.latencies_us.sort_unstable();
+    Ok(report)
+}
+
+fn worker(cfg: &LoadgenConfig, names: &[String], seed: u64) -> LoadgenReport {
+    let mut rng = Rng::new(seed);
+    let mut part = LoadgenReport::default();
+    for _ in 0..cfg.requests {
+        let app = rng.pick(names);
+        let technique = rng.pick(&TECHNIQUES);
+        let body = Json::Obj(vec![
+            ("app".into(), Json::Str(app.clone())),
+            ("technique".into(), Json::Str((*technique).into())),
+        ])
+        .encode();
+        let sent = Instant::now();
+        match client_request(
+            &cfg.addr,
+            "POST",
+            "/v1/run",
+            Some(body.as_bytes()),
+            cfg.timeout,
+        ) {
+            Ok(resp) => {
+                part.latencies_us
+                    .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                match resp.status {
+                    200 => {
+                        part.ok += 1;
+                        let cached = core::str::from_utf8(&resp.body)
+                            .ok()
+                            .and_then(|t| json::parse(t).ok())
+                            .and_then(|v| v.get("cached").and_then(Json::as_bool))
+                            .unwrap_or(false);
+                        if cached {
+                            part.cached += 1;
+                        }
+                    }
+                    429 => part.rejected += 1,
+                    _ => part.failed += 1,
+                }
+            }
+            Err(_) => {
+                part.latencies_us
+                    .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                part.failed += 1;
+            }
+        }
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..32 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(a.next(), c.next());
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_sorted_samples() {
+        let report = LoadgenReport {
+            total: 100,
+            ok: 100,
+            latencies_us: (1..=100).collect(),
+            elapsed: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert_eq!(report.percentile_us(50.0), 51);
+        assert_eq!(report.percentile_us(99.0), 99);
+        assert_eq!(report.percentile_us(100.0), 100);
+        assert!((report.rps() - 50.0).abs() < 1e-9);
+        assert!(report.nothing_dropped());
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = LoadgenReport::default();
+        assert_eq!(r.percentile_us(99.0), 0);
+        assert_eq!(r.rps(), 0.0);
+        assert_eq!(r.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn render_mentions_every_tally() {
+        let r = LoadgenReport {
+            total: 10,
+            ok: 7,
+            cached: 4,
+            rejected: 2,
+            failed: 1,
+            elapsed: Duration::from_secs(1),
+            latencies_us: vec![100, 200, 300],
+        };
+        let text = r.render();
+        assert!(text.contains("rejected 429  2"), "{text}");
+        assert!(text.contains("hit rate"), "{text}");
+    }
+}

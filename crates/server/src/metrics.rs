@@ -1,0 +1,321 @@
+//! Service metrics in Prometheus text exposition format.
+//!
+//! Everything is plain atomics / a small mutex-guarded map — scrape cost
+//! is a handful of loads, and recording on the request path is wait-free
+//! except for the per-(route, status) counter.
+//!
+//! Latency is a fixed-bucket histogram (`_bucket`/`_sum`/`_count` with
+//! cumulative `le` labels), from which p50/p95/p99 are derivable by any
+//! Prometheus-style consumer; the load generator reports exact
+//! percentiles client-side from its own samples.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in seconds. Spans 100 µs … 10 s, which
+/// covers a cache hit (≈ sub-ms) through a cold heavyweight simulation.
+pub const LATENCY_BUCKETS_S: [f64; 12] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 0.5, 2.5, 10.0,
+];
+
+/// A fixed-bucket latency histogram.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_S.len()],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, d: Duration) {
+        let s = d.as_secs_f64();
+        for (i, le) in LATENCY_BUCKETS_S.iter().enumerate() {
+            if s <= *le {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        self.sum_micros.fetch_add(
+            d.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, le) in LATENCY_BUCKETS_S.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+        let sum = self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        let _ = writeln!(out, "{name}_sum {sum}");
+        let _ = writeln!(out, "{name}_count {count}");
+    }
+}
+
+/// Aggregated simulation counters (summed over every completed job).
+#[derive(Default)]
+pub struct SimTotals {
+    /// Simulated cycles.
+    pub cycles: AtomicU64,
+    /// Dynamic instructions.
+    pub instructions: AtomicU64,
+    /// `acq.es` attempts.
+    pub acquire_attempts: AtomicU64,
+    /// Successful acquires.
+    pub acquire_successes: AtomicU64,
+    /// Global-memory requests.
+    pub mem_requests: AtomicU64,
+    /// RFV emergency spills.
+    pub spills: AtomicU64,
+}
+
+impl SimTotals {
+    /// Fold one run's stats in.
+    pub fn add(&self, stats: &regmutex_sim::SimStats) {
+        self.cycles.fetch_add(stats.cycles, Ordering::Relaxed);
+        self.instructions
+            .fetch_add(stats.instructions, Ordering::Relaxed);
+        self.acquire_attempts
+            .fetch_add(stats.acquire_attempts, Ordering::Relaxed);
+        self.acquire_successes
+            .fetch_add(stats.acquire_successes, Ordering::Relaxed);
+        self.mem_requests
+            .fetch_add(stats.mem_requests, Ordering::Relaxed);
+        self.spills.fetch_add(stats.spills, Ordering::Relaxed);
+    }
+}
+
+/// All server metrics; one instance per server, shared by every thread.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests by `(route, status)`.
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// End-to-end latency of `/v1/run` requests (queue wait + simulate).
+    pub run_latency: Histogram,
+    /// Jobs rejected with 429 (queue full).
+    pub jobs_rejected: AtomicU64,
+    /// Jobs whose simulation panicked (isolated; answered 500).
+    pub jobs_panicked: AtomicU64,
+    /// Jobs that returned a structured simulation error (answered 422).
+    pub jobs_failed: AtomicU64,
+    /// Jobs completing successfully.
+    pub jobs_ok: AtomicU64,
+    /// Aggregated counters over completed simulations.
+    pub sim: SimTotals,
+}
+
+impl Metrics {
+    /// Count one finished request.
+    pub fn record_request(&self, route: &'static str, status: u16) {
+        *self
+            .requests
+            .lock()
+            .unwrap()
+            .entry((route, status))
+            .or_insert(0) += 1;
+    }
+
+    /// Total requests answered with `status` (any route) — test helper and
+    /// drain-time accounting.
+    pub fn requests_with_status(&self, status: u16) -> u64 {
+        self.requests
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|((_, s), _)| *s == status)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Render the full Prometheus exposition. Gauges that live outside
+    /// `Metrics` (queue depth, cache occupancy, …) are passed in.
+    pub fn render(&self, gauges: &ServiceGauges) -> String {
+        let mut out = String::with_capacity(2048);
+        let _ = writeln!(out, "# TYPE regmutex_requests_total counter");
+        for ((route, status), n) in self.requests.lock().unwrap().iter() {
+            let _ = writeln!(
+                out,
+                "regmutex_requests_total{{route=\"{route}\",status=\"{status}\"}} {n}"
+            );
+        }
+        self.run_latency
+            .render("regmutex_request_duration_seconds", &mut out);
+
+        let counter = |out: &mut String, name: &str, v: u64| {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        let gauge = |out: &mut String, name: &str, v: u64| {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            &mut out,
+            "regmutex_jobs_rejected_total",
+            self.jobs_rejected.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "regmutex_jobs_panicked_total",
+            self.jobs_panicked.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "regmutex_jobs_failed_total",
+            self.jobs_failed.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "regmutex_jobs_ok_total",
+            self.jobs_ok.load(Ordering::Relaxed),
+        );
+
+        gauge(&mut out, "regmutex_queue_depth", gauges.queue_depth);
+        gauge(&mut out, "regmutex_queue_capacity", gauges.queue_capacity);
+        gauge(&mut out, "regmutex_inflight_jobs", gauges.inflight_jobs);
+        gauge(
+            &mut out,
+            "regmutex_active_connections",
+            gauges.active_connections,
+        );
+        counter(&mut out, "regmutex_cache_hits_total", gauges.cache_hits);
+        counter(&mut out, "regmutex_cache_misses_total", gauges.cache_misses);
+        counter(
+            &mut out,
+            "regmutex_cache_evictions_total",
+            gauges.cache_evictions,
+        );
+        gauge(&mut out, "regmutex_cache_bytes", gauges.cache_bytes);
+        gauge(&mut out, "regmutex_cache_entries", gauges.cache_entries);
+
+        counter(
+            &mut out,
+            "regmutex_sim_cycles_total",
+            self.sim.cycles.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "regmutex_sim_instructions_total",
+            self.sim.instructions.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "regmutex_sim_acquire_attempts_total",
+            self.sim.acquire_attempts.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "regmutex_sim_acquire_successes_total",
+            self.sim.acquire_successes.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "regmutex_sim_mem_requests_total",
+            self.sim.mem_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "regmutex_sim_spills_total",
+            self.sim.spills.load(Ordering::Relaxed),
+        );
+        out
+    }
+}
+
+/// Point-in-time gauges sampled at scrape.
+#[derive(Debug, Default, Clone)]
+pub struct ServiceGauges {
+    /// Jobs waiting in the bounded queue.
+    pub queue_depth: u64,
+    /// Queue capacity.
+    pub queue_capacity: u64,
+    /// Jobs currently simulating.
+    pub inflight_jobs: u64,
+    /// Open client connections.
+    pub active_connections: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache evictions.
+    pub cache_evictions: u64,
+    /// Result-cache resident bytes.
+    pub cache_bytes: u64,
+    /// Result-cache resident entries.
+    pub cache_entries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(50)); // ≤ 0.0001
+        h.observe(Duration::from_millis(3)); // ≤ 0.005
+        h.observe(Duration::from_secs(60)); // above every bound → +Inf only
+        let mut out = String::new();
+        h.render("t", &mut out);
+        assert!(out.contains("t_bucket{le=\"0.0001\"} 1"), "{out}");
+        assert!(out.contains("t_bucket{le=\"0.005\"} 2"), "{out}");
+        assert!(out.contains("t_bucket{le=\"10\"} 2"), "{out}");
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 3"), "{out}");
+        assert!(out.contains("t_count 3"), "{out}");
+    }
+
+    #[test]
+    fn request_counters_group_by_route_and_status() {
+        let m = Metrics::default();
+        m.record_request("/v1/run", 200);
+        m.record_request("/v1/run", 200);
+        m.record_request("/v1/run", 429);
+        m.record_request("/healthz", 200);
+        let text = m.render(&ServiceGauges::default());
+        assert!(
+            text.contains("regmutex_requests_total{route=\"/v1/run\",status=\"200\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("regmutex_requests_total{route=\"/v1/run\",status=\"429\"} 1"),
+            "{text}"
+        );
+        assert_eq!(m.requests_with_status(200), 3);
+    }
+
+    #[test]
+    fn sim_totals_aggregate() {
+        let m = Metrics::default();
+        let stats = regmutex_sim::SimStats {
+            cycles: 10,
+            instructions: 20,
+            acquire_attempts: 5,
+            acquire_successes: 4,
+            mem_requests: 7,
+            spills: 1,
+            ..Default::default()
+        };
+        m.sim.add(&stats);
+        m.sim.add(&stats);
+        let text = m.render(&ServiceGauges::default());
+        assert!(text.contains("regmutex_sim_cycles_total 20"), "{text}");
+        assert!(
+            text.contains("regmutex_sim_instructions_total 40"),
+            "{text}"
+        );
+    }
+}

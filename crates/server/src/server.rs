@@ -1,0 +1,606 @@
+//! The simulation service daemon.
+//!
+//! Topology (all std threads, no async runtime):
+//!
+//! ```text
+//!  accept thread ──► connection threads (≤ max_connections, one request
+//!        │                 each, Connection: close)
+//!        │                   │  parse HTTP + JSON, build JobSpec
+//!        │                   ▼
+//!        │            BoundedQueue<QueuedJob>   ── full → 429 + Retry-After
+//!        │                   │
+//!        │                   ▼
+//!        │            sim worker threads ──► Runner::run_one
+//!        │                                   (shared LRU ResultCache)
+//!        └── shutdown: stop accepting → drain connections → close queue
+//!            → join workers (admitted jobs always finish)
+//! ```
+//!
+//! Every route answers JSON except `/metrics` (Prometheus text). Requests
+//! that fail to parse get structured 400/408/413 bodies — hostile bytes
+//! never panic a worker or hang a connection (the HTTP layer enforces
+//! head/body caps and socket read timeouts).
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use regmutex::{RunError, Technique};
+use regmutex_bench::runner::default_jobs;
+use regmutex_bench::{CachedResult, JobSpec, ResultCache, Runner, DEFAULT_CACHE_BUDGET};
+use regmutex_compiler::CompileOptions;
+use regmutex_sim::{GpuConfig, LaunchConfig};
+use regmutex_workloads::suite;
+
+use crate::http::{self, Limits, Request, Response};
+use crate::json::{self, Json};
+use crate::metrics::{Metrics, ServiceGauges};
+use crate::queue::{BoundedQueue, PushError};
+use crate::wire::{self, RunRequest};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Simulation worker threads draining the job queue.
+    pub sim_workers: usize,
+    /// Bounded job-queue capacity (beyond it: 429).
+    pub queue_capacity: usize,
+    /// Result-cache byte budget.
+    pub cache_budget: usize,
+    /// Cycle cap applied to every job (min-ed with per-request budgets);
+    /// `None` leaves only the config watchdog.
+    pub cycle_budget: Option<u64>,
+    /// HTTP read limits and timeouts.
+    pub limits: Limits,
+    /// Maximum concurrent connections (beyond it: 503).
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8077".to_string(),
+            sim_workers: default_jobs(),
+            queue_capacity: 64,
+            cache_budget: DEFAULT_CACHE_BUDGET,
+            cycle_budget: None,
+            limits: Limits::default(),
+            max_connections: 64,
+        }
+    }
+}
+
+/// One admitted job: the spec plus the channel its waiting connection
+/// thread blocks on.
+struct QueuedJob {
+    spec: JobSpec,
+    reply: mpsc::Sender<(CachedResult, bool)>,
+}
+
+/// State shared by every thread of one server.
+struct ServerState {
+    cfg: ServerConfig,
+    metrics: Metrics,
+    cache: Arc<ResultCache>,
+    runner: Runner,
+    queue: BoundedQueue<QueuedJob>,
+    /// Set once shutdown begins: reject new work, report draining.
+    draining: AtomicBool,
+    /// Set to stop the accept loop.
+    stop_accepting: AtomicBool,
+    active_connections: AtomicUsize,
+    inflight_jobs: AtomicUsize,
+    /// Total 429 responses (mirrors metrics, readable without the map lock).
+    rejected: AtomicU64,
+}
+
+/// A running simulation service. Dropping it without
+/// [`Server::shutdown_and_wait`] aborts ungracefully; call it.
+pub struct Server {
+    state: Arc<ServerState>,
+    local_addr: std::net::SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    sim_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start all threads. Fails only on bind errors.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let cache = ResultCache::shared(cfg.cache_budget);
+        let state = Arc::new(ServerState {
+            runner: Runner::with_cache(1, Arc::clone(&cache)),
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            metrics: Metrics::default(),
+            cache,
+            draining: AtomicBool::new(false),
+            stop_accepting: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            inflight_jobs: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+            cfg,
+        });
+
+        let mut sim_threads = Vec::new();
+        for i in 0..state.cfg.sim_workers.max(1) {
+            let state = Arc::clone(&state);
+            sim_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sim-worker-{i}"))
+                    .spawn(move || sim_worker(&state))
+                    .expect("spawn sim worker"),
+            );
+        }
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name("accept".to_string())
+            .spawn(move || accept_loop(listener, &accept_state))
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            state,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            sim_threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether a shutdown was requested (SIGINT path or `POST
+    /// /v1/shutdown`).
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop admissions, drain connections and the job
+    /// queue (every admitted job completes), join all threads.
+    pub fn shutdown_and_wait(mut self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.stop_accepting.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Connections finish their one request each (reads are
+        // timeout-bounded, jobs complete); don't wait forever on a pathological
+        // peer.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while self.state.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.state.queue.close();
+        for t in self.sim_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Sim workers: pull admitted jobs until the queue closes and drains.
+fn sim_worker(state: &ServerState) {
+    while let Some(job) = state.queue.pop() {
+        state.inflight_jobs.fetch_add(1, Ordering::SeqCst);
+        let outcome = state.runner.run_one(&job.spec);
+        state.inflight_jobs.fetch_sub(1, Ordering::SeqCst);
+        // A send failure means the connection thread is gone (it never
+        // gives up by itself); the result is still cached for the future.
+        let _ = job.reply.send(outcome);
+    }
+}
+
+/// Accept loop: non-blocking accept + 1 ms idle sleep, so shutdown is
+/// noticed promptly without signals needing to interrupt a blocking call.
+fn accept_loop(listener: TcpListener, state: &Arc<ServerState>) {
+    loop {
+        if state.stop_accepting.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if state.active_connections.load(Ordering::SeqCst) >= state.cfg.max_connections {
+                    overloaded(stream, state);
+                    continue;
+                }
+                state.active_connections.fetch_add(1, Ordering::SeqCst);
+                let conn_state = Arc::clone(state);
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("conn".to_string())
+                        .spawn(move || {
+                            let _guard = ConnGuard(&conn_state);
+                            handle_connection(stream, &conn_state);
+                        });
+                if spawned.is_err() {
+                    // Could not spawn: the guard inside never ran, undo.
+                    state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+struct ConnGuard<'a>(&'a ServerState);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Reject a connection over the concurrency cap without spawning.
+fn overloaded(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let resp = Response::json(503, wire::error_json("server at connection capacity"))
+        .with_header("retry-after", "1");
+    let _ = http::write_response(&mut stream, &resp);
+    state.metrics.record_request("overload", 503);
+}
+
+/// Stable route label for metrics (bounded cardinality).
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/v1/workloads" => "/v1/workloads",
+        "/v1/run" => "/v1/run",
+        "/v1/sweep" => "/v1/sweep",
+        "/v1/shutdown" => "/v1/shutdown",
+        _ => "other",
+    }
+}
+
+/// One connection: read one request, answer it, close.
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    let request = match http::read_request(&mut stream, &state.cfg.limits) {
+        Ok(Some(req)) => req,
+        Ok(None) => return, // peer closed without sending anything
+        Err(e) => {
+            let status = e.status();
+            if status != 0 {
+                let resp = Response::json(status, wire::error_json(&e.detail()));
+                let _ = http::write_response(&mut stream, &resp);
+                state.metrics.record_request("unparsed", status);
+            }
+            return;
+        }
+    };
+    let route = route_label(&request.path);
+    let started = Instant::now();
+    let response = dispatch(&request, state);
+    if route == "/v1/run" {
+        state.metrics.run_latency.observe(started.elapsed());
+    }
+    state.metrics.record_request(route, response.status);
+    let _ = http::write_response(&mut stream, &response);
+}
+
+fn dispatch(request: &Request, state: &ServerState) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(state),
+        ("GET", "/v1/workloads") => Response::json(200, wire::workloads_json().encode()),
+        ("POST", "/v1/run") => run_endpoint(request, state),
+        ("POST", "/v1/sweep") => sweep_endpoint(request, state),
+        ("POST", "/v1/shutdown") => {
+            state.draining.store(true, Ordering::SeqCst);
+            Response::json(200, r#"{"status":"draining"}"#)
+        }
+        ("GET" | "POST", _) => Response::json(404, wire::error_json("no such route")),
+        _ => Response::json(405, wire::error_json("method not allowed")),
+    }
+}
+
+fn healthz(state: &ServerState) -> Response {
+    let draining = state.draining.load(Ordering::SeqCst);
+    let body = Json::Obj(vec![
+        (
+            "status".into(),
+            Json::Str(if draining { "draining" } else { "ok" }.into()),
+        ),
+        ("queue_depth".into(), Json::U64(state.queue.len() as u64)),
+        (
+            "workers".into(),
+            Json::U64(state.cfg.sim_workers.max(1) as u64),
+        ),
+    ]);
+    Response::json(200, body.encode())
+}
+
+fn metrics(state: &ServerState) -> Response {
+    let gauges = ServiceGauges {
+        queue_depth: state.queue.len() as u64,
+        queue_capacity: state.queue.capacity() as u64,
+        inflight_jobs: state.inflight_jobs.load(Ordering::SeqCst) as u64,
+        active_connections: state.active_connections.load(Ordering::SeqCst) as u64,
+        cache_hits: state.cache.hits(),
+        cache_misses: state.cache.misses(),
+        cache_evictions: state.cache.evictions(),
+        cache_bytes: state.cache.bytes() as u64,
+        cache_entries: state.cache.entries() as u64,
+    };
+    Response::text(200, state.metrics.render(&gauges))
+}
+
+/// Decode a JSON body, or answer 400.
+fn parse_body(request: &Request) -> Result<Json, Response> {
+    let text = core::str::from_utf8(&request.body)
+        .map_err(|_| Response::json(400, wire::error_json("body is not valid UTF-8")))?;
+    if text.trim().is_empty() {
+        return Err(Response::json(400, wire::error_json("empty body")));
+    }
+    json::parse(text)
+        .map_err(|e| Response::json(400, wire::error_json(&format!("invalid JSON: {e}"))))
+}
+
+/// Build the job spec for one run request.
+fn build_spec(req: &RunRequest, state: &ServerState) -> JobSpec {
+    let w = suite::by_name(&req.app).expect("validated by parse_run_request");
+    let cfg = if req.half_rf {
+        GpuConfig::gtx480_half_rf()
+    } else {
+        GpuConfig::gtx480()
+    };
+    let launch = LaunchConfig::new(req.ctas.unwrap_or(w.grid_ctas));
+    let mut spec = JobSpec::new(
+        format!("{}/{}", w.name, req.technique),
+        &w.kernel,
+        &cfg,
+        launch,
+        req.technique,
+    )
+    .with_options(CompileOptions {
+        force_es: req.force_es,
+        force_apply: req.force_es.is_some(),
+    });
+    let budget = match (req.cycle_budget, state.cfg.cycle_budget) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    if let Some(b) = budget {
+        spec = spec.with_cycle_budget(b);
+    }
+    spec
+}
+
+/// Outcome of pushing one job through the queue and waiting for it.
+enum JobOutcome {
+    Done(CachedResult, bool),
+    Rejected(Response),
+}
+
+/// Admit a job (or refuse with backpressure) and wait for its result.
+fn submit_and_wait(spec: JobSpec, state: &ServerState) -> JobOutcome {
+    if state.draining.load(Ordering::SeqCst) {
+        return JobOutcome::Rejected(
+            Response::json(503, wire::error_json("server is draining"))
+                .with_header("retry-after", "1"),
+        );
+    }
+    let (reply, result) = mpsc::channel();
+    match state.queue.try_push(QueuedJob { spec, reply }) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            state.rejected.fetch_add(1, Ordering::Relaxed);
+            state.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return JobOutcome::Rejected(
+                Response::json(429, wire::error_json("job queue is full; retry shortly"))
+                    .with_header("retry-after", "1"),
+            );
+        }
+        Err(PushError::Closed(_)) => {
+            return JobOutcome::Rejected(
+                Response::json(503, wire::error_json("server is shutting down"))
+                    .with_header("retry-after", "1"),
+            );
+        }
+    }
+    // Admitted jobs always complete: workers drain the queue even during
+    // shutdown, so this recv cannot hang.
+    match result.recv() {
+        Ok((outcome, cached)) => JobOutcome::Done(outcome, cached),
+        Err(_) => JobOutcome::Rejected(Response::json(
+            500,
+            wire::error_json("worker dropped the job reply channel"),
+        )),
+    }
+}
+
+/// Classify a finished job into an HTTP response, updating job metrics.
+fn job_response(app: &str, outcome: CachedResult, cached: bool, state: &ServerState) -> Response {
+    match outcome {
+        Ok(report) => {
+            state.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+            if !cached {
+                state.metrics.sim.add(&report.stats);
+            }
+            Response::json(200, wire::run_response_json(app, &report, cached).encode())
+        }
+        Err(RunError::Panicked(msg)) => {
+            state.metrics.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                500,
+                wire::error_json(&format!("simulation panicked: {msg}")),
+            )
+        }
+        Err(e) => {
+            state.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            Response::json(422, wire::error_json(&e.to_string()))
+        }
+    }
+}
+
+fn run_endpoint(request: &Request, state: &ServerState) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let run = match wire::parse_run_request(&body) {
+        Ok(r) => r,
+        Err(e) => return Response::json(400, wire::error_json(&e.0)),
+    };
+    let spec = build_spec(&run, state);
+    match submit_and_wait(spec, state) {
+        JobOutcome::Done(outcome, cached) => job_response(&run.app, outcome, cached, state),
+        JobOutcome::Rejected(resp) => resp,
+    }
+}
+
+/// Default `|Es|` points for `/v1/sweep` (the Fig 10 sweep).
+const SWEEP_ES: [u16; 6] = [2, 4, 6, 8, 10, 12];
+
+fn sweep_endpoint(request: &Request, state: &ServerState) -> Response {
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    // Reuse the run-request parser for the shared fields; `es` is ours.
+    let es_points: Vec<u16> = match body.get("es") {
+        None | Some(Json::Null) => SWEEP_ES.to_vec(),
+        Some(Json::Arr(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_u64().and_then(|n| u16::try_from(n).ok()) {
+                    Some(v) if v > 0 => out.push(v),
+                    _ => {
+                        return Response::json(
+                            400,
+                            wire::error_json("'es' entries must be positive integers"),
+                        )
+                    }
+                }
+            }
+            out
+        }
+        Some(_) => return Response::json(400, wire::error_json("'es' must be an array")),
+    };
+    if es_points.len() > 64 {
+        return Response::json(400, wire::error_json("'es' is limited to 64 points"));
+    }
+    let mut base_body = match body {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .into_iter()
+                .filter(|(k, _)| k != "es" && k != "technique" && k != "force_es")
+                .collect(),
+        ),
+        _ => return Response::json(400, wire::error_json("body must be a JSON object")),
+    };
+    // The sweep always runs baseline + forced-|Es| RegMutex.
+    if let Json::Obj(pairs) = &mut base_body {
+        pairs.push(("technique".into(), Json::Str("baseline".into())));
+    }
+    let base_req = match wire::parse_run_request(&base_body) {
+        Ok(r) => r,
+        Err(e) => return Response::json(400, wire::error_json(&e.0)),
+    };
+
+    // Baseline first: everything in the response is relative to it.
+    let base_report = match submit_and_wait(build_spec(&base_req, state), state) {
+        JobOutcome::Rejected(resp) => return resp,
+        JobOutcome::Done(outcome, cached) => match outcome {
+            Ok(r) => {
+                state.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                if !cached {
+                    state.metrics.sim.add(&r.stats);
+                }
+                r
+            }
+            Err(e) => {
+                state.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                return Response::json(422, wire::error_json(&format!("baseline failed: {e}")));
+            }
+        },
+    };
+
+    let mut rows = Vec::with_capacity(es_points.len());
+    for es in &es_points {
+        let mut req = base_req.clone();
+        req.technique = Technique::RegMutex;
+        req.force_es = Some(*es);
+        let row = match submit_and_wait(build_spec(&req, state), state) {
+            JobOutcome::Rejected(resp) => return resp,
+            JobOutcome::Done(Ok(report), cached) => {
+                state.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                if !cached {
+                    state.metrics.sim.add(&report.stats);
+                }
+                let reduction = regmutex::cycle_reduction_percent(&base_report, &report);
+                Json::Obj(vec![
+                    ("es".into(), Json::U64(u64::from(*es))),
+                    ("cached".into(), Json::Bool(cached)),
+                    ("cycles".into(), Json::U64(report.stats.cycles)),
+                    ("reduction_percent".into(), Json::F64(reduction)),
+                    (
+                        "occupancy_percent".into(),
+                        Json::U64(u64::from(report.occupancy_percent())),
+                    ),
+                    (
+                        "acquire_success_rate".into(),
+                        Json::F64(report.acquire_success_rate()),
+                    ),
+                    (
+                        "checksum".into(),
+                        Json::Str(format!("{:#018x}", report.stats.checksum)),
+                    ),
+                ])
+            }
+            JobOutcome::Done(Err(e), _) => {
+                state.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                Json::Obj(vec![
+                    ("es".into(), Json::U64(u64::from(*es))),
+                    ("error".into(), Json::Str(e.to_string())),
+                ])
+            }
+        };
+        rows.push(row);
+    }
+
+    let response = Json::Obj(vec![
+        ("app".into(), Json::Str(base_req.app.clone())),
+        (
+            "baseline".into(),
+            Json::Obj(vec![
+                ("cycles".into(), Json::U64(base_report.stats.cycles)),
+                (
+                    "checksum".into(),
+                    Json::Str(format!("{:#018x}", base_report.stats.checksum)),
+                ),
+            ]),
+        ),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    Response::json(200, response.encode())
+}
+
+/// Run a server until SIGINT/SIGTERM or `POST /v1/shutdown`, then drain
+/// gracefully. This is the body of `regmutex-cli serve`.
+pub fn serve_until_shutdown(cfg: ServerConfig) -> std::io::Result<()> {
+    crate::signal::install();
+    let server = Server::start(cfg)?;
+    println!(
+        "regmutex-server listening on http://{} ({} sim workers, queue {})",
+        server.local_addr(),
+        server.state.cfg.sim_workers.max(1),
+        server.state.cfg.queue_capacity
+    );
+    while !crate::signal::triggered() && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    println!("regmutex-server: draining in-flight work ...");
+    server.shutdown_and_wait();
+    println!("regmutex-server: shutdown complete");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! SIGINT/SIGTERM → a process-wide shutdown flag.
+//!
+//! The accept loop polls (non-blocking accept + short sleep), so the
+//! handler only needs to flip an `AtomicBool` — the single operation that
+//! is unconditionally async-signal-safe. No channels, no allocation, no
+//! locks in the handler. On non-Unix targets installation is a no-op and
+//! `POST /v1/shutdown` remains the way to stop the daemon.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a termination signal has been received (or [`raise`] called).
+pub fn triggered() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Set the flag from safe code (tests, portable fallbacks).
+pub fn raise() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the handler for SIGINT and SIGTERM.
+    #[allow(unsafe_code)]
+    pub fn install() {
+        // `signal(2)` is in every libc we build against; declaring it here
+        // keeps the crate dependency-free. The handler does a single
+        // atomic store, which is async-signal-safe.
+        unsafe extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal handling off Unix; `POST /v1/shutdown` still works.
+    pub fn install() {}
+}
+
+pub use imp::install;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_sets_the_flag() {
+        install();
+        raise();
+        assert!(triggered());
+    }
+}

@@ -1,0 +1,376 @@
+//! End-to-end tests: a real server on an ephemeral port, driven over real
+//! sockets — the same path `regmutex-cli serve` exercises.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use regmutex_server::http::{client_request, ClientResponse, Limits};
+use regmutex_server::json::{self, Json};
+use regmutex_server::{run_loadgen, LoadgenConfig, Server, ServerConfig};
+
+fn start(workers: usize, queue: usize) -> Server {
+    start_with(workers, queue, Limits::default())
+}
+
+fn start_with(workers: usize, queue: usize, limits: Limits) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        sim_workers: workers,
+        queue_capacity: queue,
+        limits,
+        ..ServerConfig::default()
+    })
+    .expect("bind test server")
+}
+
+fn call(server: &Server, method: &str, path: &str, body: Option<&str>) -> ClientResponse {
+    client_request(
+        server.local_addr(),
+        method,
+        path,
+        body.map(str::as_bytes),
+        Duration::from_secs(120),
+    )
+    .expect("request completes")
+}
+
+fn body_json(resp: &ClientResponse) -> Json {
+    json::parse(core::str::from_utf8(&resp.body).expect("UTF-8 body")).expect("JSON body")
+}
+
+/// Poll `/metrics` until `line` appears (gauge transitions are racy to
+/// observe exactly once; polling makes the tests deterministic).
+fn wait_for_metric(server: &Server, line: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = call(server, "GET", "/metrics", None);
+        let text = String::from_utf8_lossy(&resp.body).to_string();
+        if text.lines().any(|l| l == line) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for metric line {line:?};\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn health_workloads_run_and_cache_roundtrip() {
+    let server = start(1, 8);
+
+    let health = call(&server, "GET", "/healthz", None);
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        body_json(&health).get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+
+    let workloads = call(&server, "GET", "/v1/workloads", None);
+    assert_eq!(workloads.status, 200);
+    assert_eq!(body_json(&workloads).as_arr().unwrap().len(), 16);
+
+    let req = r#"{"app":"Gaussian","technique":"baseline"}"#;
+    let cold = call(&server, "POST", "/v1/run", Some(req));
+    assert_eq!(cold.status, 200, "{}", String::from_utf8_lossy(&cold.body));
+    let cold_json = body_json(&cold);
+    assert_eq!(cold_json.get("cached").and_then(Json::as_bool), Some(false));
+    let cold_checksum = cold_json
+        .get("checksum")
+        .and_then(Json::as_str)
+        .expect("checksum present")
+        .to_string();
+    assert!(cold_checksum.starts_with("0x"), "{cold_checksum}");
+
+    let warm = call(&server, "POST", "/v1/run", Some(req));
+    assert_eq!(warm.status, 200);
+    let warm_json = body_json(&warm);
+    assert_eq!(warm_json.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        warm_json.get("checksum").and_then(Json::as_str),
+        Some(cold_checksum.as_str()),
+        "cache must return the identical result"
+    );
+
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn structured_errors_not_panics() {
+    let server = start(1, 8);
+
+    // Unknown workload and unknown technique: 400 with an `error` field.
+    for bad in [
+        r#"{"app":"NoSuchApp"}"#,
+        r#"{"app":"Gaussian","technique":"warpdrive"}"#,
+        r#"{"app":"Gaussian","bogus_field":1}"#,
+        r#"this is not json"#,
+        r#""#,
+    ] {
+        let resp = call(&server, "POST", "/v1/run", Some(bad));
+        assert_eq!(resp.status, 400, "{bad}");
+        assert!(
+            body_json(&resp)
+                .get("error")
+                .and_then(Json::as_str)
+                .is_some(),
+            "{bad}"
+        );
+    }
+
+    // A cycle budget too small to finish: the watchdog converts it into a
+    // structured simulation error (422), not a hang.
+    let resp = call(
+        &server,
+        "POST",
+        "/v1/run",
+        Some(r#"{"app":"Gaussian","technique":"baseline","cycle_budget":10}"#),
+    );
+    assert_eq!(resp.status, 422, "{}", String::from_utf8_lossy(&resp.body));
+
+    // Unknown route and bad method.
+    assert_eq!(call(&server, "GET", "/v1/nope", None).status, 404);
+    assert_eq!(call(&server, "PUT", "/v1/run", Some("{}")).status, 405);
+
+    // The server is still healthy after all of that.
+    assert_eq!(call(&server, "GET", "/healthz", None).status, 200);
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn sweep_reports_baseline_relative_rows() {
+    let server = start(1, 8);
+    let resp = call(
+        &server,
+        "POST",
+        "/v1/sweep",
+        Some(r#"{"app":"Gaussian","es":[2,4]}"#),
+    );
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let v = body_json(&resp);
+    assert!(
+        v.get("baseline")
+            .and_then(|b| b.get("cycles"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    let rows = v.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 2);
+    for row in rows {
+        assert!(row.get("es").and_then(Json::as_u64).is_some());
+        assert!(
+            row.get("cycles").is_some() || row.get("error").is_some(),
+            "row must either simulate or carry a structured error"
+        );
+    }
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    // One worker, one queue slot: occupy the worker, fill the slot, then
+    // the third job must be refused with backpressure.
+    let server = start(1, 1);
+    let addr = server.local_addr();
+
+    let slow = |app: &'static str| {
+        std::thread::spawn(move || {
+            client_request(
+                addr,
+                "POST",
+                "/v1/run",
+                Some(format!(r#"{{"app":"{app}","technique":"regmutex"}}"#).as_bytes()),
+                Duration::from_secs(120),
+            )
+            .expect("slow job completes")
+        })
+    };
+
+    let a = slow("SPMV");
+    wait_for_metric(&server, "regmutex_inflight_jobs 1");
+    let b = slow("MRI-Q");
+    wait_for_metric(&server, "regmutex_queue_depth 1");
+
+    let refused = call(
+        &server,
+        "POST",
+        "/v1/run",
+        Some(r#"{"app":"Gaussian","technique":"baseline"}"#),
+    );
+    assert_eq!(refused.status, 429);
+    assert_eq!(refused.header("retry-after"), Some("1"));
+    assert!(body_json(&refused).get("error").is_some());
+
+    // Nothing admitted was lost: both slow jobs still answer 200.
+    assert_eq!(a.join().unwrap().status, 200);
+    assert_eq!(b.join().unwrap().status, 200);
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_work() {
+    let server = start(1, 4);
+    let addr = server.local_addr();
+
+    // Park a real job in flight, then begin the drain.
+    let inflight = std::thread::spawn(move || {
+        client_request(
+            addr,
+            "POST",
+            "/v1/run",
+            Some(br#"{"app":"BFS","technique":"baseline"}"#.as_slice()),
+            Duration::from_secs(120),
+        )
+        .expect("in-flight job survives the drain")
+    });
+    wait_for_metric(&server, "regmutex_inflight_jobs 1");
+
+    let resp = call(&server, "POST", "/v1/shutdown", None);
+    assert_eq!(resp.status, 200);
+
+    let health = call(&server, "GET", "/healthz", None);
+    assert_eq!(
+        body_json(&health).get("status").and_then(Json::as_str),
+        Some("draining")
+    );
+
+    // New work is refused while draining…
+    let refused = call(
+        &server,
+        "POST",
+        "/v1/run",
+        Some(r#"{"app":"Gaussian","technique":"baseline"}"#),
+    );
+    assert_eq!(refused.status, 503);
+
+    // …but the admitted job completes with a full response.
+    server.shutdown_and_wait();
+    assert_eq!(inflight.join().unwrap().status, 200);
+}
+
+#[test]
+fn loadgen_closed_loop_drops_nothing_and_hits_cache() {
+    let server = start(2, 16);
+    let report = run_loadgen(&LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        threads: 3,
+        requests: 8,
+        seed: 7,
+        timeout: Duration::from_secs(120),
+        apps: vec!["Gaussian".into(), "SPMV".into()],
+    })
+    .expect("loadgen runs");
+
+    assert_eq!(report.total, 24);
+    assert!(report.nothing_dropped(), "{report:?}");
+    assert_eq!(report.failed, 0, "{report:?}");
+    assert!(report.ok > 0, "{report:?}");
+    // ≤ 4 distinct (app, technique) specs over 24 requests: the shared
+    // cache must absorb the repeats.
+    assert!(
+        report.cache_hit_rate() > 0.5,
+        "hit rate {:.2} too low: {report:?}",
+        report.cache_hit_rate()
+    );
+    server.shutdown_and_wait();
+}
+
+/// Byte-level hostile input: raw socket writes that must yield structured
+/// 4xx responses (or a clean close) — never a hang or a crash.
+#[test]
+fn bad_request_corpus_never_hangs() {
+    let limits = Limits {
+        read_timeout: Duration::from_millis(200),
+        ..Limits::default()
+    };
+    let server = start_with(1, 4, limits);
+    let addr = server.local_addr();
+
+    let exchange = |raw: &[u8]| -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(raw).expect("write");
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        String::from_utf8_lossy(&out).to_string()
+    };
+
+    let status_of = |reply: &str| -> Option<u16> {
+        reply
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|r| r.get(..3))
+            .and_then(|s| s.parse().ok())
+    };
+
+    // (raw bytes, expected status; None = clean close acceptable)
+    let corpus: Vec<(Vec<u8>, Option<u16>)> = vec![
+        (b"\r\n\r\n".to_vec(), Some(400)),
+        (b"GARBAGE\r\n\r\n".to_vec(), Some(400)),
+        (b"GET\r\n\r\n".to_vec(), Some(400)),
+        (b"GET /healthz HTTP/9.9\r\n\r\n".to_vec(), Some(400)),
+        (b"GET http://x/ HTTP/1.1\r\n\r\n".to_vec(), Some(400)),
+        (
+            b"POST /v1/run HTTP/1.1\r\ncontent-length: nope\r\n\r\n".to_vec(),
+            Some(400),
+        ),
+        (
+            b"POST /v1/run HTTP/1.1\r\ncontent-length: -5\r\n\r\n".to_vec(),
+            Some(400),
+        ),
+        (
+            b"POST /v1/run HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
+            Some(400),
+        ),
+        (
+            b"GET /healthz HTTP/1.1\r\nbad header no colon\r\n\r\n".to_vec(),
+            Some(400),
+        ),
+        (
+            b"POST /v1/run HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n".to_vec(),
+            Some(413),
+        ),
+        (
+            {
+                // Head larger than the 8 KiB cap.
+                let mut raw = b"GET /healthz HTTP/1.1\r\n".to_vec();
+                for i in 0..600 {
+                    raw.extend_from_slice(format!("x-filler-{i}: aaaaaaaaaaaaaaaa\r\n").as_bytes());
+                }
+                raw.extend_from_slice(b"\r\n");
+                raw
+            },
+            Some(413),
+        ),
+        // Binary junk never completes a head: timeout, not a hang.
+        (vec![0xff, 0xfe, 0x00, 0x01, 0x02], Some(408)),
+        // Slow loris: an unfinished head must time out (408), not hang.
+        (b"GET /healthz HTTP/1.1\r\nx-partial: ".to_vec(), Some(408)),
+        // Declared body never sent: read timeout again.
+        (
+            b"POST /v1/run HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc".to_vec(),
+            Some(408),
+        ),
+    ];
+
+    for (raw, expected) in &corpus {
+        let reply = exchange(raw);
+        let got = status_of(&reply);
+        if let Some(want) = expected {
+            assert_eq!(
+                got,
+                Some(*want),
+                "raw {:?} → reply {:?}",
+                String::from_utf8_lossy(raw),
+                reply
+            );
+        }
+    }
+
+    // After the whole corpus the server still serves real traffic.
+    let health = call(&server, "GET", "/healthz", None);
+    assert_eq!(health.status, 200);
+    server.shutdown_and_wait();
+}

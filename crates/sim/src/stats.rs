@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use crate::warp::StallReason;
 
 /// Counters collected by one SM (and merged across SMs by the GPU loop).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total cycles until the last CTA retired (max across SMs when merged).
     pub cycles: u64,
@@ -73,6 +73,61 @@ impl SimStats {
         } else {
             self.instructions as f64 / self.cycles as f64
         }
+    }
+
+    /// Stall attribution in the canonical [`StallReason::ALL`] order,
+    /// zero-count reasons omitted — the deterministic view serializers and
+    /// metric exporters should iterate (the backing `HashMap`'s order is
+    /// unspecified and varies run to run).
+    pub fn sorted_stall_cycles(&self) -> Vec<(StallReason, u64)> {
+        StallReason::ALL
+            .into_iter()
+            .filter_map(|r| {
+                let n = *self.stall_cycles.get(&r).unwrap_or(&0);
+                (n > 0).then_some((r, n))
+            })
+            .collect()
+    }
+
+    /// Serialize to a single-line JSON object with a stable field and
+    /// stall-reason order, so equal stats always produce byte-equal JSON.
+    ///
+    /// The checksum is emitted as a `"0x…"` hex *string*: a u64 does not
+    /// survive the f64 number model of generic JSON tooling, and the CLI
+    /// already prints checksums in hex.
+    pub fn to_json(&self) -> String {
+        let mut stalls = String::from("{");
+        for (i, (r, n)) in self.sorted_stall_cycles().into_iter().enumerate() {
+            if i > 0 {
+                stalls.push(',');
+            }
+            stalls.push_str(&format!("\"{}\":{n}", r.as_str()));
+        }
+        stalls.push('}');
+        format!(
+            concat!(
+                "{{\"cycles\":{},\"instructions\":{},\"ctas\":{},\"warps\":{},",
+                "\"acquire_attempts\":{},\"acquire_successes\":{},\"releases\":{},",
+                "\"stall_cycles\":{},\"empty_scheduler_cycles\":{},",
+                "\"resident_warp_cycles\":{},\"checksum\":\"{:#018x}\",\"spills\":{},",
+                "\"mem_requests\":{},\"reg_reads\":{},\"reg_writes\":{}}}"
+            ),
+            self.cycles,
+            self.instructions,
+            self.ctas,
+            self.warps,
+            self.acquire_attempts,
+            self.acquire_successes,
+            self.releases,
+            stalls,
+            self.empty_scheduler_cycles,
+            self.resident_warp_cycles,
+            self.checksum,
+            self.spills,
+            self.mem_requests,
+            self.reg_reads,
+            self.reg_writes,
+        )
     }
 
     /// Merge another SM's counters into this one (cycles take the max,
@@ -157,5 +212,162 @@ mod tests {
         let s = SimStats::default();
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.achieved_occupancy_warps(), 0.0);
+    }
+
+    /// A fully-populated sample with every counter distinct, so field
+    /// mix-ups in merge/serialization cannot cancel out.
+    fn sample(salt: u64) -> SimStats {
+        let mut s = SimStats {
+            cycles: 100 + salt,
+            instructions: 200 + salt,
+            ctas: 3 + salt,
+            warps: 12 + salt,
+            acquire_attempts: 40 + salt,
+            acquire_successes: 30 + salt,
+            releases: 29 + salt,
+            empty_scheduler_cycles: 5 + salt,
+            resident_warp_cycles: 1600 + salt,
+            checksum: 0xDEAD_BEEF ^ salt,
+            spills: 2 + salt,
+            mem_requests: 77 + salt,
+            reg_reads: 500 + salt,
+            reg_writes: 250 + salt,
+            ..Default::default()
+        };
+        for (i, r) in StallReason::ALL.into_iter().enumerate() {
+            s.stall_cycles.insert(r, 10 + salt + i as u64);
+        }
+        s
+    }
+
+    #[test]
+    fn merge_preserves_every_stall_reason_total() {
+        let mut a = sample(0);
+        let b = sample(100);
+        let expected: Vec<(StallReason, u64)> = StallReason::ALL
+            .into_iter()
+            .map(|r| (r, a.stall_cycles[&r] + b.stall_cycles[&r]))
+            .collect();
+        a.merge(&b);
+        assert_eq!(a.sorted_stall_cycles(), expected);
+        // A reason present on only one side survives untouched.
+        let mut c = SimStats::default();
+        c.note_stall(StallReason::RegAlloc);
+        let mut d = SimStats::default();
+        d.note_stall(StallReason::Barrier);
+        c.merge(&d);
+        assert_eq!(
+            c.sorted_stall_cycles(),
+            vec![(StallReason::Barrier, 1), (StallReason::RegAlloc, 1)]
+        );
+    }
+
+    #[test]
+    fn merge_is_max_of_cycles_not_sum() {
+        let mut a = sample(0);
+        let b = sample(100); // larger cycles
+        let (ca, cb) = (a.cycles, b.cycles);
+        a.merge(&b);
+        assert_eq!(a.cycles, ca.max(cb));
+        // Symmetric: merging the smaller into the larger keeps the max.
+        let mut big = sample(100);
+        big.merge(&sample(0));
+        assert_eq!(big.cycles, cb);
+    }
+
+    #[test]
+    fn merge_combines_checksums_order_independently() {
+        // As in the GPU loop: per-SM stats fold into a zero-initialized
+        // accumulator, and the SM visit order must not matter.
+        let (a0, b0, c0) = (sample(1), sample(2), sample(3));
+        let mut abc = SimStats::default();
+        abc.merge(&a0);
+        abc.merge(&b0);
+        abc.merge(&c0);
+        let mut cba = SimStats::default();
+        cba.merge(&c0);
+        cba.merge(&b0);
+        cba.merge(&a0);
+        assert_eq!(
+            abc.checksum, cba.checksum,
+            "SM merge order must not change the kernel checksum"
+        );
+        assert_eq!(abc.instructions, cba.instructions);
+    }
+
+    #[test]
+    fn merge_sums_all_additive_counters() {
+        let mut a = sample(0);
+        let b = sample(100);
+        let want = |x: u64, y: u64| x + y;
+        let expected = (
+            want(a.instructions, b.instructions),
+            want(a.ctas, b.ctas),
+            want(a.warps, b.warps),
+            want(a.acquire_attempts, b.acquire_attempts),
+            want(a.acquire_successes, b.acquire_successes),
+            want(a.releases, b.releases),
+            want(a.empty_scheduler_cycles, b.empty_scheduler_cycles),
+            want(a.resident_warp_cycles, b.resident_warp_cycles),
+            want(a.spills, b.spills),
+            want(a.mem_requests, b.mem_requests),
+            want(a.reg_reads, b.reg_reads),
+            want(a.reg_writes, b.reg_writes),
+        );
+        a.merge(&b);
+        assert_eq!(
+            (
+                a.instructions,
+                a.ctas,
+                a.warps,
+                a.acquire_attempts,
+                a.acquire_successes,
+                a.releases,
+                a.empty_scheduler_cycles,
+                a.resident_warp_cycles,
+                a.spills,
+                a.mem_requests,
+                a.reg_reads,
+                a.reg_writes,
+            ),
+            expected
+        );
+    }
+
+    #[test]
+    fn sorted_stalls_are_canonical_and_skip_zeros() {
+        let mut s = SimStats::default();
+        s.stall_cycles.insert(StallReason::RegAlloc, 4);
+        s.stall_cycles.insert(StallReason::Scoreboard, 9);
+        s.stall_cycles.insert(StallReason::Acquire, 0); // explicit zero
+        assert_eq!(
+            s.sorted_stall_cycles(),
+            vec![(StallReason::Scoreboard, 9), (StallReason::RegAlloc, 4)]
+        );
+    }
+
+    #[test]
+    fn json_is_deterministic_and_hex_checksummed() {
+        let s = sample(0);
+        let j1 = s.to_json();
+        let j2 = s.clone().to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"cycles\":100"), "{j1}");
+        assert!(j1.contains("\"checksum\":\"0x00000000deadbeef\""), "{j1}");
+        assert!(j1.contains("\"stall_cycles\":{\"scoreboard\":10"), "{j1}");
+        // Canonical reason order regardless of HashMap iteration order.
+        let sb = j1.find("scoreboard").unwrap();
+        let ba = j1.find("barrier").unwrap();
+        let aq = j1.find("\"acquire\"").unwrap();
+        assert!(sb < ba && ba < aq, "{j1}");
+    }
+
+    #[test]
+    fn stall_reason_names_round_trip() {
+        for r in StallReason::ALL {
+            assert_eq!(r.as_str().parse::<StallReason>(), Ok(r));
+            assert_eq!(format!("{r}"), r.as_str());
+        }
+        assert!("nope".parse::<StallReason>().is_err());
     }
 }

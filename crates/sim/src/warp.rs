@@ -21,6 +21,45 @@ pub enum StallReason {
     RegAlloc,
 }
 
+impl StallReason {
+    /// Every reason, in the canonical (serialization) order.
+    pub const ALL: [StallReason; 5] = [
+        StallReason::Scoreboard,
+        StallReason::Barrier,
+        StallReason::Acquire,
+        StallReason::MemoryStructural,
+        StallReason::RegAlloc,
+    ];
+
+    /// Stable wire/metrics name (lower_snake_case).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StallReason::Scoreboard => "scoreboard",
+            StallReason::Barrier => "barrier",
+            StallReason::Acquire => "acquire",
+            StallReason::MemoryStructural => "memory_structural",
+            StallReason::RegAlloc => "reg_alloc",
+        }
+    }
+}
+
+impl core::fmt::Display for StallReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl core::str::FromStr for StallReason {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        StallReason::ALL
+            .into_iter()
+            .find(|r| r.as_str() == s)
+            .ok_or(())
+    }
+}
+
 /// Execution state of one resident warp.
 #[derive(Debug, Clone)]
 pub struct WarpState {
