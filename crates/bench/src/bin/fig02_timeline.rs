@@ -38,6 +38,7 @@ fn fig2_config() -> GpuConfig {
         watchdog_cycles: 10_000_000,
         stall_multiplier: 64,
         reg_banks: 0,
+        cycle_skipping: true,
     }
 }
 

@@ -35,6 +35,18 @@ pub enum Command {
         watchdog_cycles: Option<u64>,
         /// Override the no-progress detector's `gmem_latency` multiplier.
         stall_multiplier: Option<u32>,
+        /// Disable event-driven cycle skipping (tick every cycle).
+        no_cycle_skip: bool,
+    },
+    /// `bench-loop` — wall-clock the simulation loop with cycle skipping
+    /// on vs off over a workload basket; write `BENCH_simloop.json`.
+    BenchLoop {
+        /// Workload names; empty selects the default basket.
+        apps: Vec<String>,
+        /// Timed repetitions per configuration (median reported).
+        iters: usize,
+        /// Output path for the JSON report.
+        out: String,
     },
     /// `compare <app>` — run all techniques and print the comparison.
     Compare {
@@ -307,6 +319,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut force_es = None;
             let mut watchdog_cycles = None;
             let mut stall_multiplier = None;
+            let mut no_cycle_skip = false;
             let mut it = rest.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -325,6 +338,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--stall-multiplier" => {
                         stall_multiplier = Some(value_of("--stall-multiplier", it.next())?)
                     }
+                    "--no-cycle-skip" => no_cycle_skip = true,
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -336,7 +350,36 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 force_es,
                 watchdog_cycles,
                 stall_multiplier,
+                no_cycle_skip,
             })
+        }
+        "bench-loop" => {
+            let mut apps = Vec::new();
+            let mut iters = 3usize;
+            let mut out = "BENCH_simloop.json".to_string();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--apps" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--apps needs a value".into()))?;
+                        apps = v.split(',').map(str::to_string).collect();
+                    }
+                    "--iters" => iters = value_of("--iters", it.next())?,
+                    "--out" => {
+                        out = it
+                            .next()
+                            .ok_or_else(|| ParseError("--out needs a value".into()))?
+                            .clone()
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if iters == 0 {
+                return Err(ParseError("--iters must be at least 1".into()));
+            }
+            Ok(Command::BenchLoop { apps, iters, out })
         }
         "chaos" => {
             let mut apps = Vec::new();
@@ -401,6 +444,8 @@ USAGE:
   regmutex-cli run <app> [--technique baseline|regmutex|paired|rfv|owf]
                          [--half-rf] [--ctas N] [--force-es N]
                          [--watchdog-cycles N] [--stall-multiplier N]
+                         [--no-cycle-skip]
+  regmutex-cli bench-loop [--apps A,B,...] [--iters N] [--out PATH]
   regmutex-cli compare <app> [--half-rf] [--jobs N]
   regmutex-cli trace <app> [--max N]
   regmutex-cli sweep <app> [--jobs N]
@@ -417,6 +462,13 @@ USAGE:
 The multi-simulation commands (compare, sweep, chaos) run their
 simulations on a worker pool; --jobs N sets the worker count (default:
 all cores). Output is identical for any worker count.
+
+The simulator fast-forwards over provably idle stretches (event-driven
+cycle skipping); results are bit-identical either way. --no-cycle-skip
+forces the tick-by-tick loop. bench-loop times both loops over a
+workload basket (median of --iters runs), cross-checks that their stats
+agree, and writes the measurements as JSON (exit 1 on any mismatch or
+if skipping is >10% slower overall).
 
 chaos injects seeded register-manager faults (dropped/delayed releases,
 spurious acquires, corrupted LUT entries, stuck SRP bits, memory-latency
@@ -579,6 +631,7 @@ mod tests {
                 force_es: Some(8),
                 watchdog_cycles: None,
                 stall_multiplier: None,
+                no_cycle_skip: false,
             })
         );
     }
@@ -602,6 +655,7 @@ mod tests {
                 force_es: None,
                 watchdog_cycles: Some(5_000_000),
                 stall_multiplier: Some(16),
+                no_cycle_skip: false,
             })
         );
         assert!(parse(&v(&["run", "BFS", "--watchdog-cycles", "soon"])).is_err());
@@ -619,8 +673,55 @@ mod tests {
                 force_es: None,
                 watchdog_cycles: None,
                 stall_multiplier: None,
+                no_cycle_skip: false,
             })
         );
+    }
+
+    #[test]
+    fn run_no_cycle_skip_flag() {
+        assert_eq!(
+            parse(&v(&["run", "BFS", "--no-cycle-skip"])),
+            Ok(Command::Run {
+                app: "BFS".into(),
+                technique: Technique::RegMutex,
+                half_rf: false,
+                ctas: None,
+                force_es: None,
+                watchdog_cycles: None,
+                stall_multiplier: None,
+                no_cycle_skip: true,
+            })
+        );
+    }
+
+    #[test]
+    fn bench_loop_defaults_and_flags() {
+        assert_eq!(
+            parse(&v(&["bench-loop"])),
+            Ok(Command::BenchLoop {
+                apps: vec![],
+                iters: 3,
+                out: "BENCH_simloop.json".into(),
+            })
+        );
+        assert_eq!(
+            parse(&v(&[
+                "bench-loop",
+                "--apps",
+                "Gaussian,BFS",
+                "--iters",
+                "7",
+                "--out",
+                "/tmp/b.json"
+            ])),
+            Ok(Command::BenchLoop {
+                apps: vec!["Gaussian".into(), "BFS".into()],
+                iters: 7,
+                out: "/tmp/b.json".into(),
+            })
+        );
+        assert!(parse(&v(&["bench-loop", "--iters", "0"])).is_err());
     }
 
     #[test]

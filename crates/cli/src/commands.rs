@@ -99,6 +99,7 @@ pub fn disasm(app: &str, transformed: bool, liveness: bool) -> Result<String, Co
 }
 
 /// `run <app> ...`
+#[allow(clippy::too_many_arguments)]
 pub fn run(
     app: &str,
     technique: Technique,
@@ -107,6 +108,7 @@ pub fn run(
     force_es: Option<u16>,
     watchdog_cycles: Option<u64>,
     stall_multiplier: Option<u32>,
+    no_cycle_skip: bool,
 ) -> Result<String, CommandError> {
     let w = lookup(app)?;
     let mut cfg = config(half_rf);
@@ -116,6 +118,7 @@ pub fn run(
     if let Some(m) = stall_multiplier {
         cfg.stall_multiplier = m;
     }
+    cfg.cycle_skipping = !no_cycle_skip;
     let session = Session::with_options(
         cfg,
         CompileOptions {
@@ -168,6 +171,139 @@ pub fn run(
     let _ = writeln!(out, "storage    : +{} bits/SM", rep.storage_overhead_bits);
     let _ = writeln!(out, "checksum   : {:#018x}", rep.stats.checksum);
     Ok(out)
+}
+
+/// `bench-loop ...` — wall-clock the device loop with cycle skipping on vs
+/// off and write the measurements to `out_path` as JSON. The second element
+/// of the pair is the process exit code: 1 when the two loops disagree on
+/// any statistic, or when skipping is more than 10% slower overall.
+///
+/// Runs go through [`Session`] directly — never the batch [`Runner`], whose
+/// result cache would satisfy repeat runs without simulating and falsify
+/// the timings.
+pub fn bench_loop(
+    apps: &[String],
+    iters: usize,
+    out_path: &str,
+) -> Result<(String, i32), CommandError> {
+    use regmutex_server::json::Json;
+    use std::time::Instant;
+
+    // (row label, workload, grid override)
+    let mut basket: Vec<(String, Workload, Option<u32>)> = Vec::new();
+    if apps.is_empty() {
+        // Default basket: a memory-latency-dominated workload at full
+        // occupancy, the same workload at minimal occupancy (one CTA per
+        // simulated SM — long fully stalled stretches, the skip loop's best
+        // case), and a control-heavy one as the adversarial control.
+        let num_sms = GpuConfig::gtx480().num_sms;
+        basket.push(("Gaussian".into(), lookup("Gaussian")?, None));
+        basket.push(("Gaussian-lowocc".into(), lookup("Gaussian")?, Some(num_sms)));
+        basket.push(("BFS".into(), lookup("BFS")?, None));
+    } else {
+        for a in apps {
+            basket.push((a.clone(), lookup(a)?, None));
+        }
+    }
+
+    let mut out = String::new();
+    let mut rows: Vec<Json> = Vec::new();
+    let mut code = 0;
+    let (mut skip_total_ms, mut tick_total_ms) = (0.0f64, 0.0f64);
+    let _ = writeln!(
+        out,
+        "simulation-loop benchmark — median wall clock of {iters} run(s) per mode\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>10} {:>10} {:>8}",
+        "workload", "cycles", "skip ms", "tick ms", "speedup"
+    );
+    for (label, w, ctas) in &basket {
+        let launch = LaunchConfig::new(ctas.unwrap_or(w.grid_ctas));
+        let mut medians = [0.0f64; 2];
+        let mut reports = Vec::with_capacity(2);
+        for (mode, skipping) in [true, false].into_iter().enumerate() {
+            let mut cfg = config(false);
+            cfg.cycle_skipping = skipping;
+            let session = Session::new(cfg);
+            let compiled = session
+                .compile(&w.kernel)
+                .map_err(|e| CommandError(format!("{label}: {e}")))?;
+            let mut walls = Vec::with_capacity(iters);
+            let mut rep = None;
+            for _ in 0..iters {
+                let t0 = Instant::now();
+                let r = session
+                    .run_compiled(&compiled, launch, Technique::RegMutex)
+                    .map_err(|e| CommandError(format!("{label}: {e}")))?;
+                walls.push(t0.elapsed().as_secs_f64() * 1e3);
+                rep = Some(r);
+            }
+            walls.sort_by(f64::total_cmp);
+            medians[mode] = walls[walls.len() / 2];
+            reports.push(rep.expect("iters >= 1"));
+        }
+        let [skip_ms, tick_ms] = medians;
+        skip_total_ms += skip_ms;
+        tick_total_ms += tick_ms;
+
+        // The two loops must agree on every statistic except the loop's own
+        // accounting of itself.
+        let strip = |r: &regmutex::RunReport| {
+            let mut s = r.stats.clone();
+            s.skipped_cycles = 0;
+            s.step_calls = 0;
+            s
+        };
+        if strip(&reports[0]) != strip(&reports[1]) {
+            let _ = writeln!(
+                out,
+                "FAIL: {label}: cycle skipping changed the simulation\n  skip: {:?}\n  tick: {:?}",
+                reports[0].stats, reports[1].stats
+            );
+            code = 1;
+        }
+        let cycles = reports[0].cycles();
+        let _ = writeln!(
+            out,
+            "{label:<18} {cycles:>12} {skip_ms:>10.2} {tick_ms:>10.2} {:>7.1}x",
+            tick_ms / skip_ms.max(1e-9)
+        );
+        for (skipping, wall_ms) in [(true, skip_ms), (false, tick_ms)] {
+            rows.push(Json::Obj(vec![
+                ("workload".into(), Json::Str(label.clone())),
+                ("cycles".into(), Json::U64(cycles)),
+                ("wall_ms".into(), Json::F64(wall_ms)),
+                (
+                    "cycles_per_sec".into(),
+                    Json::F64(cycles as f64 / (wall_ms / 1e3).max(1e-12)),
+                ),
+                ("skipping".into(), Json::Bool(skipping)),
+            ]));
+        }
+    }
+    // The skip loop must never be a real regression: allow 10% plus a small
+    // absolute slack so sub-millisecond baskets don't flake.
+    if skip_total_ms > 1.10 * tick_total_ms + 5.0 {
+        let _ = writeln!(
+            out,
+            "FAIL: skipping total {skip_total_ms:.2} ms > 1.10 x tick total {tick_total_ms:.2} ms + 5 ms"
+        );
+        code = 1;
+    }
+    let report = Json::Obj(vec![
+        ("iters".into(), Json::U64(iters as u64)),
+        ("rows".into(), Json::Arr(rows)),
+    ]);
+    std::fs::write(out_path, report.encode() + "\n")
+        .map_err(|e| CommandError(format!("write {out_path}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "\ntotal: skip {skip_total_ms:.2} ms vs tick {tick_total_ms:.2} ms ({:.1}x); wrote {out_path}",
+        tick_total_ms / skip_total_ms.max(1e-9)
+    );
+    Ok((out, code))
 }
 
 /// `compare <app>`
@@ -476,6 +612,7 @@ mod tests {
             None,
             None,
             None,
+            false,
         )
         .unwrap();
         assert!(out.contains("plan"));
@@ -495,6 +632,7 @@ mod tests {
             None,
             Some(1),
             None,
+            false,
         )
         .unwrap_err();
         assert!(err.0.contains("Gaussian/baseline"), "{err}");

@@ -30,6 +30,7 @@ fn main() {
             force_es,
             watchdog_cycles,
             stall_multiplier,
+            no_cycle_skip,
         } => commands::run(
             &app,
             technique,
@@ -38,7 +39,11 @@ fn main() {
             force_es,
             watchdog_cycles,
             stall_multiplier,
+            no_cycle_skip,
         ),
+        Command::BenchLoop { apps, iters, out } => {
+            exit_with(commands::bench_loop(&apps, iters, &out));
+        }
         Command::Compare { app, half_rf, jobs } => commands::compare(&app, half_rf, jobs),
         Command::Serve {
             addr,

@@ -81,6 +81,10 @@ pub struct SimTotals {
     pub mem_requests: AtomicU64,
     /// RFV emergency spills.
     pub spills: AtomicU64,
+    /// Cycles fast-forwarded by the event-driven loop.
+    pub skipped_cycles: AtomicU64,
+    /// `Sm::step` invocations actually executed.
+    pub step_calls: AtomicU64,
 }
 
 impl SimTotals {
@@ -96,6 +100,10 @@ impl SimTotals {
         self.mem_requests
             .fetch_add(stats.mem_requests, Ordering::Relaxed);
         self.spills.fetch_add(stats.spills, Ordering::Relaxed);
+        self.skipped_cycles
+            .fetch_add(stats.skipped_cycles, Ordering::Relaxed);
+        self.step_calls
+            .fetch_add(stats.step_calls, Ordering::Relaxed);
     }
 }
 
@@ -232,6 +240,16 @@ impl Metrics {
             "regmutex_sim_spills_total",
             self.sim.spills.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "regmutex_sim_skipped_cycles_total",
+            self.sim.skipped_cycles.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "regmutex_sim_step_calls_total",
+            self.sim.step_calls.load(Ordering::Relaxed),
+        );
         out
     }
 }
@@ -307,6 +325,8 @@ mod tests {
             acquire_successes: 4,
             mem_requests: 7,
             spills: 1,
+            skipped_cycles: 9,
+            step_calls: 3,
             ..Default::default()
         };
         m.sim.add(&stats);
@@ -317,5 +337,10 @@ mod tests {
             text.contains("regmutex_sim_instructions_total 40"),
             "{text}"
         );
+        assert!(
+            text.contains("regmutex_sim_skipped_cycles_total 18"),
+            "{text}"
+        );
+        assert!(text.contains("regmutex_sim_step_calls_total 6"), "{text}");
     }
 }

@@ -191,6 +191,8 @@ pub fn stats_from_json(v: &Json) -> Result<SimStats, WireError> {
         mem_requests: req_u64(v, "mem_requests")?,
         reg_reads: req_u64(v, "reg_reads")?,
         reg_writes: req_u64(v, "reg_writes")?,
+        skipped_cycles: req_u64(v, "skipped_cycles")?,
+        step_calls: req_u64(v, "step_calls")?,
         ..Default::default()
     };
     let stalls = v
@@ -334,6 +336,8 @@ mod tests {
             mem_requests: 421,
             reg_reads: 2500,
             reg_writes: 1300,
+            skipped_cycles: 100_000,
+            step_calls: 23_456,
             ..Default::default()
         };
         s.stall_cycles.insert(StallReason::Scoreboard, 100);

@@ -76,6 +76,14 @@ pub struct GpuConfig {
     /// evaluation does not model bank conflicts either; this is an
     /// extension, see `ablation_bank_conflicts`).
     pub reg_banks: u32,
+    /// Event-driven cycle skipping: when every resident warp on every SM is
+    /// provably asleep until a known future event (memory completion,
+    /// scoreboard writeback, …), the device loop jumps straight to the
+    /// earliest such event instead of ticking through the dead cycles. The
+    /// skip is exact — every [`crate::SimStats`] field is identical to the
+    /// tick loop's — but the legacy loop is kept behind this switch
+    /// (`--no-cycle-skip` on the CLI) for differential testing.
+    pub cycle_skipping: bool,
 }
 
 impl GpuConfig {
@@ -107,6 +115,7 @@ impl GpuConfig {
             watchdog_cycles: 200_000_000,
             stall_multiplier: 64,
             reg_banks: 0,
+            cycle_skipping: true,
         }
     }
 
@@ -161,6 +170,7 @@ impl GpuConfig {
             watchdog_cycles: 10_000_000,
             stall_multiplier: 64,
             reg_banks: 0,
+            cycle_skipping: true,
         }
     }
 

@@ -267,6 +267,32 @@ impl FaultPlan {
             .unwrap_or(0)
     }
 
+    /// Earliest cycle strictly after `now` at which the plan's mandated
+    /// extra memory latency changes (a spike starts or ends), or `None` if
+    /// [`FaultPlan::mem_extra_at`] is constant for all later cycles. The
+    /// cycle-skipping engine clamps its jump target here so the run loop
+    /// observes every latency transition on its exact cycle.
+    pub fn next_mem_change_after(&self, now: u64) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::MemLatencySpike {
+                    start, duration, ..
+                } => {
+                    let end = start.saturating_add(duration);
+                    if start > now {
+                        Some(start)
+                    } else if end > now && end != u64::MAX {
+                        Some(end)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            })
+            .min()
+    }
+
     /// Stable one-line identity for cache keys and reports.
     pub fn describe(&self) -> String {
         format!("{}/{}/s{}", self.class, self.severity, self.seed)
@@ -581,6 +607,18 @@ impl RegisterManager for FaultInjector {
     fn inject_hw_fault(&mut self, fault: &HwFault) -> InjectOutcome {
         self.inner.inject_hw_fault(fault)
     }
+
+    fn steady(&self) -> bool {
+        // While any fault still waits on its absolute event-count trigger
+        // (Pending / AwaitAcquire) or a delayed release is in flight,
+        // skipping stalled cycles would change how many `bump` calls those
+        // comparisons see. Once every fault is Done and the delay queue is
+        // empty, the remaining behaviour (drop/delay rules) depends only on
+        // the sequence of issue-stage calls, which skipping preserves.
+        self.delayed.is_empty()
+            && self.states.iter().all(|s| matches!(s, FaultState::Done))
+            && self.inner.steady()
+    }
 }
 
 impl std::fmt::Debug for FaultInjector {
@@ -682,6 +720,65 @@ mod tests {
         }
         assert!(inj.delayed.is_empty());
         assert_eq!(log.injections(), 1);
+    }
+
+    #[test]
+    fn next_mem_change_reports_spike_edges() {
+        let c = cfg();
+        let p = FaultPlan::generate(FaultClass::MemLatencySpike, Severity::Light, 3, &c);
+        let FaultKind::MemLatencySpike {
+            start, duration, ..
+        } = p.faults[0].kind
+        else {
+            panic!("wrong kind")
+        };
+        assert_eq!(p.next_mem_change_after(0), Some(start));
+        assert_eq!(p.next_mem_change_after(start - 1), Some(start));
+        assert_eq!(p.next_mem_change_after(start), Some(start + duration));
+        assert_eq!(p.next_mem_change_after(start + duration), None);
+        // The severe spike never ends: its only edge is the (cycle-0) start.
+        let s = FaultPlan::generate(FaultClass::MemLatencySpike, Severity::Severe, 3, &c);
+        assert_eq!(s.next_mem_change_after(0), None);
+        // Non-memory plans mandate no latency at all.
+        let d = FaultPlan::generate(FaultClass::DroppedRelease, Severity::Severe, 3, &c);
+        assert_eq!(d.next_mem_change_after(0), None);
+    }
+
+    #[test]
+    fn injector_is_steady_only_after_all_faults_resolve() {
+        let c = cfg();
+        let mut plan = FaultPlan::generate(FaultClass::DroppedRelease, Severity::Severe, 1, &c);
+        plan.faults[0].trigger_events = 2;
+        let log = Arc::new(FaultLog::new());
+        let inner = Box::new(StaticManager::new(&c, 8));
+        let mut inj = FaultInjector::new(inner, plan, Arc::clone(&log), 8);
+        let mut ledger = Ledger::new(c.reg_rows_per_sm());
+        assert!(!inj.steady()); // trigger not reached yet
+        inj.bump(&mut ledger);
+        inj.bump(&mut ledger);
+        assert!(inj.steady()); // drop rule armed, nothing in flight
+
+        // A delayed release in flight also blocks steadiness.
+        let plan = FaultPlan {
+            class: FaultClass::DelayedRelease,
+            severity: Severity::Light,
+            seed: 0,
+            faults: vec![Fault {
+                kind: FaultKind::DelayedRelease {
+                    warp: None,
+                    delay_events: 3,
+                },
+                trigger_events: 0,
+            }],
+        };
+        let inner = Box::new(StaticManager::new(&c, 8));
+        let mut inj = FaultInjector::new(inner, plan, Arc::new(FaultLog::new()), 8);
+        inj.release(&mut ledger, WarpId(0));
+        assert!(!inj.steady());
+        for _ in 0..3 {
+            inj.bump(&mut ledger);
+        }
+        assert!(inj.steady());
     }
 
     #[test]

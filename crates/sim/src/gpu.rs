@@ -212,6 +212,9 @@ fn run_inner(
     }
 
     let stall_limit = cfg.stall_limit();
+    // Tracing wants an event-per-cycle view (per-cycle acquire-stall
+    // events), so the fast-forward path is disabled for traced runs.
+    let skipping = cfg.cycle_skipping && !traced;
 
     let mut now = 0u64;
     let mut mem_spike_noted = false;
@@ -227,6 +230,7 @@ fn run_inner(
             }
         }
         let mut all_idle = true;
+        let mut all_skippable = true;
         for sm in &mut sms {
             sm.step(now).map_err(|fault| match fault {
                 IssueFault::Ledger {
@@ -254,7 +258,9 @@ fn run_inner(
                     cycle: now,
                 },
             })?;
-            all_idle &= sm.idle();
+            let idle = sm.idle();
+            all_idle &= idle;
+            all_skippable &= idle || sm.can_skip();
         }
         if all_idle {
             break;
@@ -280,6 +286,66 @@ fn run_inner(
             return Err(SimError::WatchdogExpired {
                 limit: cfg.watchdog_cycles,
             });
+        }
+
+        // Event-driven fast-forward: when every busy SM just executed a
+        // provably repeatable no-issue step ([`Sm::can_skip`]), cycles
+        // `now .. target-1` would replay it byte-for-byte. Fold their stat
+        // deltas in multiplicatively and jump straight to the earliest cycle
+        // at which anything can change.
+        if skipping && all_skippable {
+            let mut target = sms
+                .iter()
+                .filter(|s| !s.idle())
+                .map(|s| s.next_event_cycle())
+                .min()
+                .unwrap_or(u64::MAX);
+            if let Some((plan, _)) = faults {
+                // Land exactly on memory-latency-spike edges so the
+                // first-spike log note and `set_mem_extra_latency` happen on
+                // the same cycles as in the tick-by-tick loop.
+                if let Some(edge) = plan.next_mem_change_after(now - 1) {
+                    target = target.min(edge);
+                }
+            }
+            // First cycle at which the no-progress detector would fire. If
+            // that comes before any wake event (and before the watchdog),
+            // every intervening step is a replica of the current fully
+            // stalled one, so the verdict is already decided — report it
+            // without grinding through the replicas. Stats are discarded on
+            // error, so the gap needs no accounting. At `deadline ==
+            // target` the landing step must run first: it may issue and
+            // push `last_progress` forward.
+            let deadline = last_progress + stall_limit + 1;
+            if deadline < target && deadline < cfg.watchdog_cycles {
+                let (blocked_at_acquire, srp_holders) = sms
+                    .iter()
+                    .find(|s| !s.idle())
+                    .map(|s| s.stall_snapshot())
+                    .unwrap_or_default();
+                return Err(SimError::Deadlock {
+                    cycle: deadline,
+                    last_progress,
+                    blocked_at_acquire,
+                    srp_holders,
+                });
+            }
+            if cfg.watchdog_cycles <= target {
+                // The tick loop would replay stalled steps up to the bound
+                // and never reach a wake event.
+                return Err(SimError::WatchdogExpired {
+                    limit: cfg.watchdog_cycles,
+                });
+            }
+            if target > now {
+                let gap = target - now;
+                for sm in &mut sms {
+                    if !sm.idle() {
+                        sm.skip_ahead(gap);
+                    }
+                }
+                now = target;
+            }
         }
     }
 

@@ -327,6 +327,17 @@ pub trait RegisterManager: Send {
     fn inject_hw_fault(&mut self, _fault: &HwFault) -> InjectOutcome {
         InjectOutcome::Unsupported
     }
+
+    /// True when this manager's behaviour depends only on the *sequence* of
+    /// issue-stage calls it receives, never on how many stalled cycles pass
+    /// between them. The cycle-skipping engine may only fast-forward through
+    /// a fully stalled interval while every manager is steady; the fault
+    /// injector reports `false` while any fault is still armed or a delayed
+    /// release is in flight, forcing the exact tick loop through those
+    /// windows so event-count triggers fire on the same cycle either way.
+    fn steady(&self) -> bool {
+        true
+    }
 }
 
 /// The conventional scheme: registers statically and exclusively reserved

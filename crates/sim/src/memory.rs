@@ -86,6 +86,14 @@ impl MemoryPipe {
     pub fn outstanding(&self) -> usize {
         self.inflight.len()
     }
+
+    /// Completion cycle of the earliest outstanding request, if any. This is
+    /// the soonest cycle at which a structurally stalled load/store could
+    /// acquire a free pipe slot — the memory wake source for the
+    /// cycle-skipping engine.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.inflight.peek().map(|&Reverse(done)| done)
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +142,18 @@ mod tests {
             last = m.try_issue().unwrap();
         }
         assert!(last >= first);
+    }
+
+    #[test]
+    fn next_completion_is_earliest_inflight() {
+        let mut m = MemoryPipe::new(4, 100, 4);
+        assert_eq!(m.next_completion(), None);
+        m.begin_cycle(0);
+        let a = m.try_issue().unwrap();
+        let b = m.try_issue().unwrap();
+        assert_eq!(m.next_completion(), Some(a.min(b)));
+        m.begin_cycle(a.max(b));
+        assert_eq!(m.next_completion(), None);
     }
 
     #[test]

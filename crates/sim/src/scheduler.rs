@@ -38,16 +38,22 @@ pub fn order_candidates(
     state: &SchedulerState,
     candidates: &mut [Candidate],
 ) {
+    // Unstable sorts are deterministic here: every key tuple ends in the
+    // candidate's slot or admission age, both unique per resident warp, so no
+    // two candidates ever compare equal and stability cannot matter. The
+    // unstable sort avoids the temporary buffer `sort_by_key` allocates for
+    // slices longer than 20 elements — this runs on the per-cycle hot path.
     match policy {
         SchedulerPolicy::Gto => {
-            candidates.sort_by_key(|c| (c.slot != state.last_issued.unwrap_or(u32::MAX), c.age));
+            candidates
+                .sort_unstable_by_key(|c| (c.slot != state.last_issued.unwrap_or(u32::MAX), c.age));
         }
         SchedulerPolicy::Lrr => {
             let cur = state.rr_cursor;
-            candidates.sort_by_key(|c| (c.slot <= cur, c.slot));
+            candidates.sort_unstable_by_key(|c| (c.slot <= cur, c.slot));
         }
         SchedulerPolicy::OwnerWarpFirst => {
-            candidates.sort_by_key(|c| {
+            candidates.sort_unstable_by_key(|c| {
                 (
                     core::cmp::Reverse(c.priority),
                     c.slot != state.last_issued.unwrap_or(u32::MAX),

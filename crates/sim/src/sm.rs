@@ -98,8 +98,51 @@ pub enum IssueFault {
 
 /// Why a warp could not issue: an ordinary stall, or a fatal fault.
 enum Blocked {
-    Stall(StallReason),
+    Stall {
+        reason: StallReason,
+        /// Earliest future cycle at which this stall could clear *without
+        /// any instruction issuing on this SM* (memory completion,
+        /// scoreboard writeback, time-dependent manager retry). `None`
+        /// means only another warp's issue can unblock it — no self-wake.
+        wake: Option<u64>,
+    },
     Fatal(IssueFault),
+}
+
+/// Position of `r` in [`StallReason::ALL`] (index into [`StepProbe`]'s
+/// stall-count array; the `match` mirrors the `ALL` order).
+fn stall_index(r: StallReason) -> usize {
+    match r {
+        StallReason::Scoreboard => 0,
+        StallReason::Barrier => 1,
+        StallReason::Acquire => 2,
+        StallReason::MemoryStructural => 3,
+        StallReason::RegAlloc => 4,
+    }
+}
+
+/// Record of the stat deltas and wake hints of the most recent [`Sm::step`]
+/// call. The cycle-skipping engine's contract: a step that issued nothing,
+/// admitted nothing, and ran only steady managers reads from state that no
+/// later cycle can change until an external wake event — so re-running it at
+/// `now+1 .. target-1` would produce byte-identical deltas, and
+/// [`Sm::skip_ahead`] replays them multiplicatively instead.
+#[derive(Debug, Default)]
+struct StepProbe {
+    /// Any scheduler issued an instruction.
+    issued: bool,
+    /// `fill_ctas` admitted at least one CTA.
+    admitted: bool,
+    /// Resident (non-done) warps charged to `resident_warp_cycles`.
+    resident: u64,
+    /// Schedulers with no candidate warp at all.
+    empty_scheds: u64,
+    /// Stalled-scheduler attributions, indexed as [`StallReason::ALL`].
+    stalls: [u64; 5],
+    /// `acq.es` attempts performed during the step.
+    acquire_attempts: u64,
+    /// Minimum wake hint over every stalled candidate tried this step.
+    wake: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -130,6 +173,18 @@ pub struct Sm {
     /// Cycle of the most recent issued instruction (progress watchdog).
     pub last_progress: u64,
     trace: Option<Vec<TraceEvent>>,
+    /// Deltas and wake hints of the most recent step (cycle skipping).
+    probe: StepProbe,
+    /// Reusable candidate scratch — `step` must not allocate in steady
+    /// state.
+    cand_buf: Vec<Candidate>,
+    /// Reusable admission scratch for `fill_ctas` (same reason).
+    slot_buf: Vec<WarpId>,
+    /// Incremental per-scheduler issuable-warp counts, so schedulers with
+    /// nothing to do skip their slot scan entirely. Maintained at every
+    /// `issuable()` transition: admission (+1), barrier park (−1), barrier
+    /// release (+1), exit (−1).
+    sched_ready: Vec<u32>,
 }
 
 impl Sm {
@@ -164,6 +219,10 @@ impl Sm {
             stats: SimStats::default(),
             last_progress: 0,
             trace: None,
+            probe: StepProbe::default(),
+            cand_buf: Vec::with_capacity(max_warps),
+            slot_buf: Vec::new(),
+            sched_ready: vec![0; nsched],
         }
     }
 
@@ -220,6 +279,45 @@ impl Sm {
         self.mem.set_extra_latency(extra);
     }
 
+    /// True when the step just executed provably changes nothing until an
+    /// external wake event: no instruction issued, no CTA was admitted, and
+    /// every manager behaviour is cycle-count independent
+    /// ([`RegisterManager::steady`]). Re-running such a step on later cycles
+    /// (up to [`Sm::next_event_cycle`]) yields byte-identical deltas, which
+    /// is what lets the device loop fast-forward. Only meaningful on a
+    /// non-idle SM right after `step` returned `Ok`.
+    pub(crate) fn can_skip(&self) -> bool {
+        !self.probe.issued && !self.probe.admitted && self.manager.steady()
+    }
+
+    /// Conservative earliest cycle at which this SM's issue outcome could
+    /// differ from the step just executed. `u64::MAX` means no warp here can
+    /// unblock without another warp issuing first — on a fully stalled
+    /// device that is a deadlock, which the run loop reports at the usual
+    /// no-progress bound.
+    pub(crate) fn next_event_cycle(&self) -> u64 {
+        self.probe.wake.unwrap_or(u64::MAX)
+    }
+
+    /// Fold `gap` replicas of the (fully stalled) step just executed into
+    /// the stats: the device loop proved cycles `now .. now+gap` would
+    /// re-run the identical no-issue step, so their per-cycle accounting is
+    /// the recorded deltas times `gap`. `stats.cycles` and
+    /// `stats.mem_requests` need no adjustment — the landing step overwrites
+    /// both with its own values, exactly as the last replica would have.
+    pub(crate) fn skip_ahead(&mut self, gap: u64) {
+        debug_assert!(self.can_skip(), "skip_ahead on a non-skippable step");
+        self.stats.resident_warp_cycles += self.probe.resident * gap;
+        self.stats.empty_scheduler_cycles += self.probe.empty_scheds * gap;
+        self.stats.acquire_attempts += self.probe.acquire_attempts * gap;
+        for (i, r) in StallReason::ALL.into_iter().enumerate() {
+            if self.probe.stalls[i] > 0 {
+                *self.stats.stall_cycles.entry(r).or_insert(0) += self.probe.stalls[i] * gap;
+            }
+        }
+        self.stats.skipped_cycles += gap;
+    }
+
     /// Advance one cycle.
     ///
     /// # Errors
@@ -230,14 +328,30 @@ impl Sm {
         if self.idle() {
             return Ok(());
         }
+        self.stats.step_calls += 1;
+        self.probe = StepProbe::default();
         self.mem.begin_cycle(now);
         self.fill_ctas();
 
-        self.stats.resident_warp_cycles += u64::from(self.resident_warps());
+        let resident = u64::from(self.resident_warps());
+        self.stats.resident_warp_cycles += resident;
+        self.probe.resident = resident;
 
         let nsched = self.sched.len();
-        let mut candidates: Vec<Candidate> = Vec::with_capacity(self.warps.len());
+        // The candidate buffer lives on the SM: `step` runs every simulated
+        // cycle and must not allocate in steady state.
+        let mut candidates = std::mem::take(&mut self.cand_buf);
         for sid in 0..nsched {
+            debug_assert_eq!(
+                self.sched_ready[sid],
+                self.recount_issuable(sid),
+                "incremental issuable count out of sync (scheduler {sid})"
+            );
+            if self.sched_ready[sid] == 0 {
+                self.stats.empty_scheduler_cycles += 1;
+                self.probe.empty_scheds += 1;
+                continue;
+            }
             candidates.clear();
             for slot in (sid..self.warps.len()).step_by(nsched) {
                 if let Some(w) = &self.warps[slot] {
@@ -250,10 +364,6 @@ impl Sm {
                     }
                 }
             }
-            if candidates.is_empty() {
-                self.stats.empty_scheduler_cycles += 1;
-                continue;
-            }
             order_candidates(self.cfg.policy, &self.sched[sid], &mut candidates);
             let mut first_block: Option<StallReason> = None;
             let mut issued = false;
@@ -263,26 +373,44 @@ impl Sm {
                         self.sched[sid].last_issued = Some(c.slot);
                         self.sched[sid].rr_cursor = c.slot;
                         self.last_progress = now;
+                        self.probe.issued = true;
                         issued = true;
                         break;
                     }
-                    Err(Blocked::Stall(reason)) => {
+                    Err(Blocked::Stall { reason, wake }) => {
                         first_block.get_or_insert(reason);
+                        if let Some(at) = wake {
+                            self.probe.wake = Some(self.probe.wake.map_or(at, |cur| cur.min(at)));
+                        }
                     }
-                    Err(Blocked::Fatal(fault)) => return Err(fault),
+                    Err(Blocked::Fatal(fault)) => {
+                        self.cand_buf = candidates;
+                        return Err(fault);
+                    }
                 }
             }
             if !issued {
                 if let Some(r) = first_block {
                     self.stats.note_stall(r);
+                    self.probe.stalls[stall_index(r)] += 1;
                 }
             }
         }
+        self.cand_buf = candidates;
 
         self.retire_finished_ctas();
         self.stats.cycles = now + 1;
         self.stats.mem_requests = self.mem.total_requests;
         Ok(())
+    }
+
+    /// Recount a scheduler's issuable warps from scratch — debug cross-check
+    /// of the incremental `sched_ready` bookkeeping.
+    fn recount_issuable(&self, sid: usize) -> u32 {
+        (sid..self.warps.len())
+            .step_by(self.sched.len())
+            .filter(|&slot| self.warps[slot].as_ref().is_some_and(|w| w.issuable()))
+            .count() as u32
     }
 
     /// Attempt to issue the next instruction of the warp in `slot`.
@@ -304,12 +432,24 @@ impl Sm {
 
             let instr = &image.kernel.instrs[w.pc as usize];
 
-            // Scoreboard: RAW + WAW.
+            // Scoreboard: RAW + WAW. A blocked warp next changes state when
+            // the earliest pending write among the registers this
+            // instruction touches drains — that cycle is the wake hint.
             w.drain_scoreboard(now);
-            if instr.srcs.iter().any(|s| w.reg_pending(s.0))
-                || instr.dst.map(|d| w.reg_pending(d.0)).unwrap_or(false)
-            {
-                return Err(Blocked::Stall(StallReason::Scoreboard));
+            let blocking_ready = w
+                .pending
+                .iter()
+                .filter(|&&(r, _)| {
+                    instr.srcs.iter().any(|s| s.0 == r)
+                        || instr.dst.map(|d| d.0 == r).unwrap_or(false)
+                })
+                .map(|&(_, ready)| ready)
+                .min();
+            if let Some(ready) = blocking_ready {
+                return Err(Blocked::Stall {
+                    reason: StallReason::Scoreboard,
+                    wake: Some(ready),
+                });
             }
 
             match instr.op {
@@ -320,6 +460,7 @@ impl Sm {
                     self.stats.instructions += 1;
                     let cta = w.cta;
                     w.at_barrier = true;
+                    self.sched_ready[slot % self.sched.len()] -= 1;
                     if self.barrier.arrive(cta) {
                         // Completed by this arrival (includes self).
                         After::BarrierComplete(cta)
@@ -329,6 +470,7 @@ impl Sm {
                 }
                 Op::AcqEs => {
                     self.stats.acquire_attempts += 1;
+                    self.probe.acquire_attempts += 1;
                     match self.manager.try_acquire(&mut self.ledger, wid) {
                         AcquireResult::Acquired | AcquireResult::NoOp => {
                             self.stats.acquire_successes += 1;
@@ -352,7 +494,13 @@ impl Sm {
                                     kind: TraceKind::AcquireStall,
                                 });
                             }
-                            return Err(Blocked::Stall(StallReason::Acquire));
+                            return Err(Blocked::Stall {
+                                reason: StallReason::Acquire,
+                                // Only another warp's rel.es frees a
+                                // section, and that takes an issue: no
+                                // self-wake.
+                                wake: None,
+                            });
                         }
                         AcquireResult::Fault(violation) => {
                             return Err(Blocked::Fatal(IssueFault::Ledger {
@@ -382,6 +530,7 @@ impl Sm {
                 Op::Exit => {
                     debug_assert!(w.simt.is_converged(), "exit inside divergence");
                     w.done = true;
+                    self.sched_ready[slot % self.sched.len()] -= 1;
                     w.issued += 1;
                     self.stats.instructions += 1;
                     self.manager.on_warp_exit(&mut self.ledger, wid);
@@ -466,7 +615,13 @@ impl Sm {
                         .manager
                         .pre_access(&mut self.ledger, wid, instr, w.pc, now)
                     {
-                        return Err(Blocked::Stall(StallReason::RegAlloc));
+                        return Err(Blocked::Stall {
+                            reason: StallReason::RegAlloc,
+                            // RFV admission is time-dependent (spill
+                            // trigger counts stalled cycles): retry every
+                            // cycle, which disables skipping.
+                            wake: Some(now + 1),
+                        });
                     }
                     // Validate every operand's physical mapping + ownership,
                     // and (when bank modelling is on) count operand-collector
@@ -503,7 +658,15 @@ impl Sm {
                     match instr.op.latency_class() {
                         LatencyClass::GlobalMem => {
                             let Some(ready) = self.mem.try_issue() else {
-                                return Err(Blocked::Stall(StallReason::MemoryStructural));
+                                return Err(Blocked::Stall {
+                                    reason: StallReason::MemoryStructural,
+                                    // In a no-issue step the per-cycle
+                                    // issue budget is untouched, so the
+                                    // stall is a capacity stall: it clears
+                                    // when the earliest in-flight request
+                                    // completes.
+                                    wake: self.mem.next_completion(),
+                                });
                             };
                             match instr.op {
                                 Op::Ld(_) => {
@@ -546,8 +709,14 @@ impl Sm {
                             } else {
                                 self.cfg.alu_latency
                             };
-                            let srcs: Vec<u64> = instr.srcs.iter().map(|s| w.read(s.0)).collect();
-                            let v = value::eval(instr, &srcs);
+                            // Fixed-size operand buffer (instructions carry
+                            // at most 3 sources) — no per-issue allocation.
+                            let mut srcs = [0u64; 3];
+                            let n = instr.srcs.len().min(3);
+                            for (buf, s) in srcs.iter_mut().zip(instr.srcs.iter()) {
+                                *buf = w.read(s.0);
+                            }
+                            let v = value::eval(instr, &srcs[..n]);
                             if let Some(d) = instr.dst {
                                 w.write(d.0, v);
                                 w.set_pending(d.0, now + u64::from(lat) + bank_extra);
@@ -580,7 +749,12 @@ impl Sm {
                 if let Some(rc) = self.resident.iter().find(|r| r.cta == cta) {
                     for &s in &rc.slots {
                         if let Some(w) = self.warps[s.index()].as_mut() {
-                            w.at_barrier = false;
+                            if w.at_barrier {
+                                w.at_barrier = false;
+                                if !w.done {
+                                    self.sched_ready[s.index() % self.sched.len()] += 1;
+                                }
+                            }
                         }
                     }
                 }
@@ -591,7 +765,12 @@ impl Sm {
                     if let Some(rc) = self.resident.iter().find(|r| r.cta == cta) {
                         for &s in &rc.slots {
                             if let Some(w) = self.warps[s.index()].as_mut() {
-                                w.at_barrier = false;
+                                if w.at_barrier {
+                                    w.at_barrier = false;
+                                    if !w.done {
+                                        self.sched_ready[s.index() % self.sched.len()] += 1;
+                                    }
+                                }
                             }
                         }
                     }
@@ -616,20 +795,29 @@ impl Sm {
             if self.shmem_used + kernel_shmem > self.cfg.shmem_per_sm {
                 break;
             }
-            let slots: Vec<WarpId> = self
-                .warps
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| w.is_none())
-                .map(|(i, _)| WarpId(i as u32))
-                .take(wpc)
-                .collect();
-            if slots.len() < wpc {
+            // Reuse a persistent scratch buffer for the candidate slot list:
+            // a failed admission attempt runs every cycle while CTAs queue,
+            // and must not allocate on that hot path.
+            self.slot_buf.clear();
+            for (i, w) in self.warps.iter().enumerate() {
+                if self.slot_buf.len() == wpc {
+                    break;
+                }
+                if w.is_none() {
+                    self.slot_buf.push(WarpId(i as u32));
+                }
+            }
+            if self.slot_buf.len() < wpc {
                 break;
             }
-            if !self.manager.try_admit_cta(&mut self.ledger, next, &slots) {
+            if !self
+                .manager
+                .try_admit_cta(&mut self.ledger, next, &self.slot_buf)
+            {
                 break;
             }
+            let slots = std::mem::take(&mut self.slot_buf);
+            let nsched = self.sched.len();
             let fm = full_mask(self.cfg.warp_size);
             for (i, &slot) in slots.iter().enumerate() {
                 if let Some(t) = self.trace.as_mut() {
@@ -649,6 +837,7 @@ impl Sm {
                     self.age_counter,
                 ));
                 self.age_counter += 1;
+                self.sched_ready[slot.index() % nsched] += 1;
             }
             self.barrier.register_cta(next, wpc as u32);
             self.resident.push(ResidentCta {
@@ -661,6 +850,7 @@ impl Sm {
             self.pending_ctas.pop_front();
             self.stats.ctas += 1;
             self.stats.warps += wpc as u64;
+            self.probe.admitted = true;
         }
     }
 

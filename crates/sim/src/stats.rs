@@ -40,6 +40,14 @@ pub struct SimStats {
     pub reg_reads: u64,
     /// Register-file writes (destination operands, warp-granular rows).
     pub reg_writes: u64,
+    /// Simulated cycles the event-driven loop fast-forwarded instead of
+    /// ticking (0 with `--no-cycle-skip`; max across SMs when merged, like
+    /// `cycles`, since a device-wide skip advances every SM at once).
+    pub skipped_cycles: u64,
+    /// `Sm::step` invocations that did real work (idle early-outs excluded).
+    /// With skipping on this is the wall-clock-proportional work measure:
+    /// `step_calls + skipped_cycles ≈ cycles` on a single-SM device.
+    pub step_calls: u64,
 }
 
 impl SimStats {
@@ -110,7 +118,8 @@ impl SimStats {
                 "\"acquire_attempts\":{},\"acquire_successes\":{},\"releases\":{},",
                 "\"stall_cycles\":{},\"empty_scheduler_cycles\":{},",
                 "\"resident_warp_cycles\":{},\"checksum\":\"{:#018x}\",\"spills\":{},",
-                "\"mem_requests\":{},\"reg_reads\":{},\"reg_writes\":{}}}"
+                "\"mem_requests\":{},\"reg_reads\":{},\"reg_writes\":{},",
+                "\"skipped_cycles\":{},\"step_calls\":{}}}"
             ),
             self.cycles,
             self.instructions,
@@ -127,6 +136,8 @@ impl SimStats {
             self.mem_requests,
             self.reg_reads,
             self.reg_writes,
+            self.skipped_cycles,
+            self.step_calls,
         )
     }
 
@@ -150,6 +161,10 @@ impl SimStats {
         self.mem_requests += other.mem_requests;
         self.reg_reads += other.reg_reads;
         self.reg_writes += other.reg_writes;
+        // Skips are device-wide: every SM fast-forwards over the same
+        // interval, so the merged count is the max, not the sum.
+        self.skipped_cycles = self.skipped_cycles.max(other.skipped_cycles);
+        self.step_calls += other.step_calls;
     }
 }
 
@@ -232,6 +247,8 @@ mod tests {
             mem_requests: 77 + salt,
             reg_reads: 500 + salt,
             reg_writes: 250 + salt,
+            skipped_cycles: 60 + salt,
+            step_calls: 40 + salt,
             ..Default::default()
         };
         for (i, r) in StallReason::ALL.into_iter().enumerate() {
@@ -300,7 +317,7 @@ mod tests {
         let mut a = sample(0);
         let b = sample(100);
         let want = |x: u64, y: u64| x + y;
-        let expected = (
+        let expected = vec![
             want(a.instructions, b.instructions),
             want(a.ctas, b.ctas),
             want(a.warps, b.warps),
@@ -313,10 +330,11 @@ mod tests {
             want(a.mem_requests, b.mem_requests),
             want(a.reg_reads, b.reg_reads),
             want(a.reg_writes, b.reg_writes),
-        );
+            want(a.step_calls, b.step_calls),
+        ];
         a.merge(&b);
         assert_eq!(
-            (
+            vec![
                 a.instructions,
                 a.ctas,
                 a.warps,
@@ -329,9 +347,21 @@ mod tests {
                 a.mem_requests,
                 a.reg_reads,
                 a.reg_writes,
-            ),
+                a.step_calls,
+            ],
             expected
         );
+    }
+
+    #[test]
+    fn merge_is_max_of_skipped_cycles_not_sum() {
+        // Same argument as `cycles`: a device-wide skip fast-forwards every
+        // SM over the same interval, so summing would double-count time.
+        let mut a = sample(0);
+        let b = sample(100);
+        let (sa, sb) = (a.skipped_cycles, b.skipped_cycles);
+        a.merge(&b);
+        assert_eq!(a.skipped_cycles, sa.max(sb));
     }
 
     #[test]
@@ -353,6 +383,10 @@ mod tests {
         let j2 = s.clone().to_json();
         assert_eq!(j1, j2);
         assert!(j1.contains("\"cycles\":100"), "{j1}");
+        assert!(
+            j1.contains("\"skipped_cycles\":60,\"step_calls\":40}"),
+            "{j1}"
+        );
         assert!(j1.contains("\"checksum\":\"0x00000000deadbeef\""), "{j1}");
         assert!(j1.contains("\"stall_cycles\":{\"scoreboard\":10"), "{j1}");
         // Canonical reason order regardless of HashMap iteration order.

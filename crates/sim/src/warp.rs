@@ -82,6 +82,10 @@ pub struct WarpState {
     pub regs: Vec<u64>,
     /// Scoreboard: registers with writes in flight, and their ready cycles.
     pub pending: Vec<(u16, u64)>,
+    /// Cached minimum ready cycle over `pending` (`u64::MAX` when empty), so
+    /// the per-cycle scoreboard drain is a single comparison until the next
+    /// writeback actually matures.
+    pending_min: u64,
     /// Remaining-iteration counters per loop-branch ordinal.
     pub loop_counters: HashMap<u32, u32>,
     /// Dynamic occurrence counters per branch ordinal (seeds `If` choices).
@@ -126,6 +130,7 @@ impl WarpState {
             simt: SimtStack::new(),
             regs: reg_values,
             pending: Vec::new(),
+            pending_min: u64::MAX,
             loop_counters: HashMap::new(),
             occurrences: HashMap::new(),
             checksum: 0,
@@ -136,9 +141,20 @@ impl WarpState {
         }
     }
 
-    /// Remove scoreboard entries whose writes completed by `now`.
+    /// Remove scoreboard entries whose writes completed by `now`. The cached
+    /// minimum makes this a no-op comparison until the earliest in-flight
+    /// write actually matures.
     pub fn drain_scoreboard(&mut self, now: u64) {
+        if now < self.pending_min {
+            return;
+        }
         self.pending.retain(|&(_, ready)| ready > now);
+        self.pending_min = self
+            .pending
+            .iter()
+            .map(|&(_, ready)| ready)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 
     /// True if `reg` has a pending write (RAW/WAW hazard).
@@ -149,6 +165,7 @@ impl WarpState {
     /// Record a pending write to `reg` completing at `ready`.
     pub fn set_pending(&mut self, reg: u16, ready: u64) {
         self.pending.push((reg, ready));
+        self.pending_min = self.pending_min.min(ready);
     }
 
     /// Candidate for issue? (resident, not finished, not parked)
@@ -209,6 +226,25 @@ mod tests {
         assert!(w.reg_pending(3));
         w.drain_scoreboard(100);
         assert!(!w.reg_pending(3));
+    }
+
+    #[test]
+    fn scoreboard_min_cache_tracks_multiple_entries() {
+        let mut w = warp();
+        w.set_pending(1, 50);
+        w.set_pending(2, 30);
+        w.set_pending(3, 70);
+        // Draining below the minimum must not remove anything.
+        w.drain_scoreboard(29);
+        assert_eq!(w.pending.len(), 3);
+        // Draining the minimum removes exactly it and re-arms the cache.
+        w.drain_scoreboard(30);
+        assert!(!w.reg_pending(2));
+        assert!(w.reg_pending(1) && w.reg_pending(3));
+        w.drain_scoreboard(49);
+        assert!(w.reg_pending(1));
+        w.drain_scoreboard(70);
+        assert!(w.pending.is_empty());
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Differential proof that event-driven cycle skipping is invisible.
+//!
+//! The fast-forward loop in `regmutex-sim` only ever skips cycles whose
+//! steps it can prove would replay byte-for-byte, folding their stat deltas
+//! in multiplicatively. These tests pin that equivalence end to end: every
+//! registered workload, two techniques, three kernel seeds, and fault
+//! campaigns (including one that must end in a deadlock verdict) produce
+//! field-for-field identical [`SimStats`] with skipping on and off — the
+//! only permitted differences are the two meta-counters the engine itself
+//! maintains (`skipped_cycles`, `step_calls`).
+
+use std::sync::Arc;
+
+use regmutex::{RunError, Session, Technique};
+use regmutex_sim::{
+    FaultClass, FaultLog, FaultPlan, GpuConfig, LaunchConfig, Severity, SimError, SimStats,
+};
+use regmutex_workloads::{suite, Workload};
+
+/// Zero the meta-counters that are *expected* to differ between the two
+/// loops; every other field must match exactly.
+fn strip(stats: &SimStats) -> SimStats {
+    let mut s = stats.clone();
+    s.skipped_cycles = 0;
+    s.step_calls = 0;
+    s
+}
+
+/// The workload's home architecture with skipping forced on or off.
+fn cfg_for(w: &Workload, skipping: bool) -> GpuConfig {
+    let mut cfg = w.table_config();
+    cfg.cycle_skipping = skipping;
+    cfg
+}
+
+/// Debug builds tick every cycle in the reference run, so shrink the grids:
+/// a couple of waves per SM exercises admission, steady-state stalling, and
+/// retirement without the full experiment runtime.
+fn launch_for(w: &Workload, cfg: &GpuConfig) -> LaunchConfig {
+    LaunchConfig::new(w.grid_ctas.min(2 * cfg.num_sms))
+}
+
+#[test]
+fn every_workload_technique_and_seed_is_skip_invariant() {
+    let mut any_skipped = false;
+    for w in suite::all() {
+        for technique in [Technique::Baseline, Technique::RegMutex] {
+            for seed_step in 0..3u64 {
+                // Distinct seeds perturb per-warp trip counts and divergence
+                // outcomes, changing where the steady-state windows fall.
+                let mut kernel = w.kernel.clone();
+                kernel.seed = kernel.seed.wrapping_add(seed_step * 7919);
+
+                let run = |skipping: bool| {
+                    let cfg = cfg_for(&w, skipping);
+                    let launch = launch_for(&w, &cfg);
+                    Session::new(cfg)
+                        .run(&kernel, launch, technique)
+                        .unwrap_or_else(|e| {
+                            panic!("{} ({technique}, seed step {seed_step}): {e}", w.name)
+                        })
+                };
+                let skip = run(true);
+                let tick = run(false);
+
+                assert_eq!(
+                    strip(&skip.stats),
+                    strip(&tick.stats),
+                    "{} ({technique}, seed step {seed_step}): stats diverge",
+                    w.name
+                );
+                // The reference loop never fast-forwards; the skipping loop
+                // must never do *more* work than it.
+                assert_eq!(tick.stats.skipped_cycles, 0);
+                assert!(skip.stats.step_calls <= tick.stats.step_calls);
+                any_skipped |= skip.stats.skipped_cycles > 0;
+            }
+        }
+    }
+    assert!(
+        any_skipped,
+        "no workload fast-forwarded a single cycle: skipping is silently disabled"
+    );
+}
+
+/// Run `w` under RegMutex with `plan` injected, returning the outcome and
+/// what the injectors recorded.
+fn run_faulted(
+    w: &Workload,
+    plan: &FaultPlan,
+    skipping: bool,
+) -> (Result<SimStats, RunError>, u64) {
+    let cfg = cfg_for(w, skipping);
+    let launch = launch_for(w, &cfg);
+    let log = Arc::new(FaultLog::new());
+    let res = Session::new(cfg)
+        .run_faulted(
+            &w.kernel,
+            launch,
+            Technique::RegMutex,
+            plan,
+            Arc::clone(&log),
+        )
+        .map(|rep| rep.stats);
+    (res, log.injections())
+}
+
+#[test]
+fn fault_campaigns_are_skip_invariant() {
+    let w = suite::by_name("Gaussian").expect("registered workload");
+    let home = w.table_config();
+
+    // A transient latency spike: the engine must land on both spike edges
+    // exactly so the latency change and the first-spike log note happen on
+    // the same cycles as in the tick loop.
+    let spike = FaultPlan::generate(FaultClass::MemLatencySpike, Severity::Light, 42, &home);
+    // A delayed release: exercises the injector's steady() gate (no
+    // fast-forward while a deferred release is in flight).
+    let delayed = FaultPlan::generate(FaultClass::DelayedRelease, Severity::Light, 42, &home);
+
+    for plan in [&spike, &delayed] {
+        let (skip_res, skip_inj) = run_faulted(&w, plan, true);
+        let (tick_res, tick_inj) = run_faulted(&w, plan, false);
+        let skip_stats = skip_res.unwrap_or_else(|e| panic!("{}: {e}", plan.describe()));
+        let tick_stats = tick_res.unwrap_or_else(|e| panic!("{}: {e}", plan.describe()));
+        assert_eq!(
+            strip(&skip_stats),
+            strip(&tick_stats),
+            "{}: stats diverge",
+            plan.describe()
+        );
+        assert_eq!(
+            skip_inj,
+            tick_inj,
+            "{}: injection counts diverge",
+            plan.describe()
+        );
+    }
+}
+
+#[test]
+fn deadlock_verdict_is_skip_invariant() {
+    // A spike deeper than the no-progress bound: the run cannot finish, and
+    // the skipping loop must pre-fire the deadlock detector with *exactly*
+    // the verdict the tick loop grinds its way to — same cycle, same
+    // diagnostics.
+    let w = suite::by_name("Gaussian").expect("registered workload");
+    let plan = FaultPlan::generate(
+        FaultClass::MemLatencySpike,
+        Severity::Severe,
+        7,
+        &w.table_config(),
+    );
+
+    let (skip_res, skip_inj) = run_faulted(&w, &plan, true);
+    let (tick_res, tick_inj) = run_faulted(&w, &plan, false);
+
+    let skip_err = skip_res.expect_err("severe spike must deadlock (skipping)");
+    let tick_err = tick_res.expect_err("severe spike must deadlock (tick)");
+    assert!(
+        matches!(skip_err, RunError::Sim(SimError::Deadlock { .. })),
+        "unexpected verdict: {skip_err:?}"
+    );
+    assert_eq!(skip_err, tick_err, "deadlock diagnostics diverge");
+    assert_eq!(skip_inj, tick_inj, "injection counts diverge");
+}
