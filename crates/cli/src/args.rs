@@ -37,6 +37,9 @@ pub enum Command {
         stall_multiplier: Option<u32>,
         /// Disable event-driven cycle skipping (tick every cycle).
         no_cycle_skip: bool,
+        /// Device-loop worker threads sharding the simulated SMs
+        /// (default: `REGMUTEX_SM_WORKERS` or 1 = serial).
+        sm_workers: Option<u32>,
     },
     /// `bench-loop` — wall-clock the simulation loop with cycle skipping
     /// on vs off over a workload basket; write `BENCH_simloop.json`.
@@ -47,6 +50,9 @@ pub enum Command {
         iters: usize,
         /// Output path for the JSON report.
         out: String,
+        /// Device-loop worker count for the parallel rows (default:
+        /// `REGMUTEX_SM_WORKERS` or 4).
+        sm_workers: Option<u32>,
     },
     /// `compare <app>` — run all techniques and print the comparison.
     Compare {
@@ -105,6 +111,9 @@ pub enum Command {
         cycle_budget: Option<u64>,
         /// Maximum concurrent connections.
         max_connections: usize,
+        /// Device-loop worker threads per simulation (default:
+        /// `REGMUTEX_SM_WORKERS` or 1 = serial).
+        sm_workers: Option<u32>,
     },
     /// `loadgen` — closed-loop load generator against a running server.
     Loadgen {
@@ -209,6 +218,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut cache_mb = 64usize;
             let mut cycle_budget = None;
             let mut max_connections = 64usize;
+            let mut sm_workers = None;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -225,6 +235,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--max-connections" => {
                         max_connections = value_of("--max-connections", it.next())?
                     }
+                    "--sm-workers" => sm_workers = Some(value_of("--sm-workers", it.next())?),
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -238,6 +249,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 cache_mb,
                 cycle_budget,
                 max_connections,
+                sm_workers,
             })
         }
         "loadgen" => {
@@ -320,6 +332,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut watchdog_cycles = None;
             let mut stall_multiplier = None;
             let mut no_cycle_skip = false;
+            let mut sm_workers = None;
             let mut it = rest.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -339,6 +352,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         stall_multiplier = Some(value_of("--stall-multiplier", it.next())?)
                     }
                     "--no-cycle-skip" => no_cycle_skip = true,
+                    "--sm-workers" => sm_workers = Some(value_of("--sm-workers", it.next())?),
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -351,12 +365,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 watchdog_cycles,
                 stall_multiplier,
                 no_cycle_skip,
+                sm_workers,
             })
         }
         "bench-loop" => {
             let mut apps = Vec::new();
             let mut iters = 3usize;
             let mut out = "BENCH_simloop.json".to_string();
+            let mut sm_workers = None;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -373,13 +389,19 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .ok_or_else(|| ParseError("--out needs a value".into()))?
                             .clone()
                     }
+                    "--sm-workers" => sm_workers = Some(value_of("--sm-workers", it.next())?),
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
             if iters == 0 {
                 return Err(ParseError("--iters must be at least 1".into()));
             }
-            Ok(Command::BenchLoop { apps, iters, out })
+            Ok(Command::BenchLoop {
+                apps,
+                iters,
+                out,
+                sm_workers,
+            })
         }
         "chaos" => {
             let mut apps = Vec::new();
@@ -444,8 +466,9 @@ USAGE:
   regmutex-cli run <app> [--technique baseline|regmutex|paired|rfv|owf]
                          [--half-rf] [--ctas N] [--force-es N]
                          [--watchdog-cycles N] [--stall-multiplier N]
-                         [--no-cycle-skip]
+                         [--no-cycle-skip] [--sm-workers N]
   regmutex-cli bench-loop [--apps A,B,...] [--iters N] [--out PATH]
+                          [--sm-workers N]
   regmutex-cli compare <app> [--half-rf] [--jobs N]
   regmutex-cli trace <app> [--max N]
   regmutex-cli sweep <app> [--jobs N]
@@ -454,7 +477,7 @@ USAGE:
                      [--expect-detections]
   regmutex-cli serve [--addr HOST:PORT] [--workers N] [--queue N]
                      [--cache-mb N] [--cycle-budget N]
-                     [--max-connections N]
+                     [--max-connections N] [--sm-workers N]
   regmutex-cli loadgen [--addr HOST:PORT] [--threads N] [--requests N]
                        [--seed N] [--apps A,B,...]
   regmutex-cli help
@@ -465,10 +488,13 @@ all cores). Output is identical for any worker count.
 
 The simulator fast-forwards over provably idle stretches (event-driven
 cycle skipping); results are bit-identical either way. --no-cycle-skip
-forces the tick-by-tick loop. bench-loop times both loops over a
-workload basket (median of --iters runs), cross-checks that their stats
-agree, and writes the measurements as JSON (exit 1 on any mismatch or
-if skipping is >10% slower overall).
+forces the tick-by-tick loop. One simulation can also shard its SMs
+across threads: --sm-workers N (or REGMUTEX_SM_WORKERS; default 1 =
+serial) steps the simulated SMs on N lockstep workers with bit-identical
+results at any count. bench-loop times both loops over a workload basket
+(median of --iters runs) plus a whole-device serial-vs-sharded pass,
+cross-checks that all stats agree, and writes the measurements as JSON
+(exit 1 on any mismatch or if skipping is >10% slower overall).
 
 chaos injects seeded register-manager faults (dropped/delayed releases,
 spurious acquires, corrupted LUT entries, stuck SRP bits, memory-latency
@@ -521,6 +547,7 @@ mod tests {
                 cache_mb: 64,
                 cycle_budget: None,
                 max_connections: 64,
+                sm_workers: None,
             })
         );
         assert_eq!(
@@ -546,6 +573,7 @@ mod tests {
                 cache_mb: 16,
                 cycle_budget: Some(1_000_000),
                 max_connections: 32,
+                sm_workers: None,
             })
         );
         assert!(parse(&v(&["serve", "--queue", "0"])).is_err());
@@ -632,6 +660,7 @@ mod tests {
                 watchdog_cycles: None,
                 stall_multiplier: None,
                 no_cycle_skip: false,
+                sm_workers: None,
             })
         );
     }
@@ -656,6 +685,7 @@ mod tests {
                 watchdog_cycles: Some(5_000_000),
                 stall_multiplier: Some(16),
                 no_cycle_skip: false,
+                sm_workers: None,
             })
         );
         assert!(parse(&v(&["run", "BFS", "--watchdog-cycles", "soon"])).is_err());
@@ -674,6 +704,7 @@ mod tests {
                 watchdog_cycles: None,
                 stall_multiplier: None,
                 no_cycle_skip: false,
+                sm_workers: None,
             })
         );
     }
@@ -691,8 +722,26 @@ mod tests {
                 watchdog_cycles: None,
                 stall_multiplier: None,
                 no_cycle_skip: true,
+                sm_workers: None,
             })
         );
+    }
+
+    #[test]
+    fn sm_workers_flag_on_all_three_subcommands() {
+        match parse(&v(&["run", "BFS", "--sm-workers", "4"])) {
+            Ok(Command::Run { sm_workers, .. }) => assert_eq!(sm_workers, Some(4)),
+            other => panic!("expected run to parse, got {other:?}"),
+        }
+        match parse(&v(&["bench-loop", "--sm-workers", "2"])) {
+            Ok(Command::BenchLoop { sm_workers, .. }) => assert_eq!(sm_workers, Some(2)),
+            other => panic!("expected bench-loop to parse, got {other:?}"),
+        }
+        match parse(&v(&["serve", "--sm-workers", "8"])) {
+            Ok(Command::Serve { sm_workers, .. }) => assert_eq!(sm_workers, Some(8)),
+            other => panic!("expected serve to parse, got {other:?}"),
+        }
+        assert!(parse(&v(&["run", "BFS", "--sm-workers", "many"])).is_err());
     }
 
     #[test]
@@ -703,6 +752,7 @@ mod tests {
                 apps: vec![],
                 iters: 3,
                 out: "BENCH_simloop.json".into(),
+                sm_workers: None,
             })
         );
         assert_eq!(
@@ -719,6 +769,7 @@ mod tests {
                 apps: vec!["Gaussian".into(), "BFS".into()],
                 iters: 7,
                 out: "/tmp/b.json".into(),
+                sm_workers: None,
             })
         );
         assert!(parse(&v(&["bench-loop", "--iters", "0"])).is_err());

@@ -31,6 +31,7 @@ fn main() {
             watchdog_cycles,
             stall_multiplier,
             no_cycle_skip,
+            sm_workers,
         } => commands::run(
             &app,
             technique,
@@ -40,9 +41,15 @@ fn main() {
             watchdog_cycles,
             stall_multiplier,
             no_cycle_skip,
+            sm_workers,
         ),
-        Command::BenchLoop { apps, iters, out } => {
-            exit_with(commands::bench_loop(&apps, iters, &out));
+        Command::BenchLoop {
+            apps,
+            iters,
+            out,
+            sm_workers,
+        } => {
+            exit_with(commands::bench_loop(&apps, iters, &out, sm_workers));
         }
         Command::Compare { app, half_rf, jobs } => commands::compare(&app, half_rf, jobs),
         Command::Serve {
@@ -52,6 +59,7 @@ fn main() {
             cache_mb,
             cycle_budget,
             max_connections,
+            sm_workers,
         } => {
             match commands::serve(
                 addr,
@@ -60,6 +68,7 @@ fn main() {
                 cache_mb,
                 cycle_budget,
                 max_connections,
+                sm_workers,
             ) {
                 Ok(()) => return,
                 Err(e) => {

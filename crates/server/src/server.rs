@@ -57,6 +57,11 @@ pub struct ServerConfig {
     pub limits: Limits,
     /// Maximum concurrent connections (beyond it: 503).
     pub max_connections: usize,
+    /// Device-loop worker threads per job (`GpuConfig::sm_workers`): 0 lets
+    /// each job resolve `REGMUTEX_SM_WORKERS` (default serial). Enters the
+    /// job fingerprint, so runs at different shard counts cache separately —
+    /// their reports are bit-identical regardless.
+    pub sm_workers: u32,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +74,7 @@ impl Default for ServerConfig {
             cycle_budget: None,
             limits: Limits::default(),
             max_connections: 64,
+            sm_workers: 0,
         }
     }
 }
@@ -348,11 +354,12 @@ fn parse_body(request: &Request) -> Result<Json, Response> {
 /// Build the job spec for one run request.
 fn build_spec(req: &RunRequest, state: &ServerState) -> JobSpec {
     let w = suite::by_name(&req.app).expect("validated by parse_run_request");
-    let cfg = if req.half_rf {
+    let mut cfg = if req.half_rf {
         GpuConfig::gtx480_half_rf()
     } else {
         GpuConfig::gtx480()
     };
+    cfg.sm_workers = state.cfg.sm_workers;
     let launch = LaunchConfig::new(req.ctas.unwrap_or(w.grid_ctas));
     let mut spec = JobSpec::new(
         format!("{}/{}", w.name, req.technique),

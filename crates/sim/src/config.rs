@@ -31,6 +31,17 @@ pub struct GpuConfig {
     /// evenly among `num_sms`, so simulating one SM with `1/num_sms` of the
     /// grid reproduces per-SM behaviour at a fraction of the cost. Set equal
     /// to `num_sms` for whole-device simulation.
+    ///
+    /// **Sampling contract** (`simulated_sms < num_sms`): this is explicit
+    /// *SM sampling*, not an approximation of the whole device. Only the
+    /// CTAs that [`LaunchConfig::ctas_for_sm`] assigns to SMs
+    /// `0..simulated_sms` execute; the tail assigned to the un-instantiated
+    /// SMs is intentionally never simulated and never appears in
+    /// [`crate::SimStats`] (`stats.ctas` equals
+    /// [`LaunchConfig::simulated_ctas`], not `grid_ctas`). Because the
+    /// remainder of an uneven split goes to the *low* SM ids, the sampled
+    /// SMs see the worst-case (largest) per-SM CTA load. Whole-device
+    /// counts require `simulated_sms == num_sms`.
     pub simulated_sms: u32,
     /// 32-bit thread-granular registers per SM (32 768 on Fermi = 128 KB).
     pub regs_per_sm: u32,
@@ -84,6 +95,15 @@ pub struct GpuConfig {
     /// tick loop's — but the legacy loop is kept behind this switch
     /// (`--no-cycle-skip` on the CLI) for differential testing.
     pub cycle_skipping: bool,
+    /// Worker threads the device loop shards its simulated SMs across.
+    /// `0` (the default everywhere) means *auto*: resolve
+    /// `REGMUTEX_SM_WORKERS` from the environment, falling back to `1`.
+    /// `1` is the serial loop; `N > 1` partitions the SMs over `N` scoped
+    /// threads stepping in lockstep epochs (see
+    /// [`resolved_sm_workers`](GpuConfig::resolved_sm_workers)). Results
+    /// are bit-identical at every worker count — this knob trades wall
+    /// clock only, exactly like `--jobs` for the sweep runner.
+    pub sm_workers: u32,
 }
 
 impl GpuConfig {
@@ -116,6 +136,7 @@ impl GpuConfig {
             stall_multiplier: 64,
             reg_banks: 0,
             cycle_skipping: true,
+            sm_workers: 0,
         }
     }
 
@@ -171,7 +192,24 @@ impl GpuConfig {
             stall_multiplier: 64,
             reg_banks: 0,
             cycle_skipping: true,
+            sm_workers: 0,
         }
+    }
+
+    /// Device-loop worker threads to actually use, resolved with the same
+    /// precedence as the sweep runner's `jobs_from_env`: an explicit
+    /// `sm_workers > 0` (the `--sm-workers` flag) wins, else a positive
+    /// `REGMUTEX_SM_WORKERS` environment variable, else `1` (serial).
+    /// Unparsable or zero env values fall through to the serial default.
+    pub fn resolved_sm_workers(&self) -> u32 {
+        if self.sm_workers > 0 {
+            return self.sm_workers;
+        }
+        std::env::var("REGMUTEX_SM_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
     }
 
     /// No-progress bound for the deadlock detector: the longest structural
@@ -231,6 +269,18 @@ impl LaunchConfig {
         let rem = self.grid_ctas % cfg.num_sms;
         per + u32::from(sm < rem)
     }
+
+    /// CTAs that actually execute under `cfg`'s sampling contract: the sum
+    /// of [`ctas_for_sm`](Self::ctas_for_sm) over the instantiated SMs
+    /// `0..simulated_sms`. Equals `grid_ctas` iff the whole device is
+    /// simulated (`simulated_sms >= num_sms`); otherwise the tail assigned
+    /// to un-instantiated SMs is deliberately dropped (see
+    /// [`GpuConfig::simulated_sms`]) and `SimStats::ctas` reports this
+    /// value, not `grid_ctas`.
+    pub fn simulated_ctas(&self, cfg: &GpuConfig) -> u32 {
+        let simulated = cfg.simulated_sms.min(cfg.num_sms).max(1);
+        (0..simulated).map(|sm| self.ctas_for_sm(sm, cfg)).sum()
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +338,37 @@ mod tests {
         assert_eq!(total, 31);
         assert_eq!(l.ctas_for_sm(0, &c), 3); // 31 = 2*15 + 1
         assert_eq!(l.ctas_for_sm(1, &c), 2);
+    }
+
+    #[test]
+    fn simulated_ctas_matches_sampling_contract() {
+        let mut c = GpuConfig::gtx480();
+        let l = LaunchConfig::new(31);
+        // One sampled SM: it gets the worst-case share (3 of 31 = 2*15+1).
+        assert_eq!(l.simulated_ctas(&c), 3);
+        // Whole device: every CTA executes, including the uneven tail.
+        c.simulated_sms = c.num_sms;
+        assert_eq!(l.simulated_ctas(&c), 31);
+        // Partial sampling: exactly the low SMs' shares, nothing more.
+        c.simulated_sms = 4;
+        assert_eq!(l.simulated_ctas(&c), 3 + 2 + 2 + 2);
+        // simulated_sms is clamped into 1..=num_sms.
+        c.simulated_sms = 0;
+        assert_eq!(l.simulated_ctas(&c), 3);
+        c.simulated_sms = 100;
+        assert_eq!(l.simulated_ctas(&c), 31);
+    }
+
+    #[test]
+    fn explicit_sm_workers_wins_over_auto() {
+        // Explicit values pass straight through; only 0 consults the
+        // environment (exercised end to end by the CI matrix, not here —
+        // env mutation is racy under the parallel test harness).
+        let mut c = GpuConfig::gtx480();
+        c.sm_workers = 7;
+        assert_eq!(c.resolved_sm_workers(), 7);
+        c.sm_workers = 1;
+        assert_eq!(c.resolved_sm_workers(), 1);
     }
 
     #[test]

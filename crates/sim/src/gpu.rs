@@ -24,6 +24,12 @@ pub enum SimError {
         cycle: u64,
         /// Last cycle with progress.
         last_progress: u64,
+        /// Simulated SM the diagnostics below were captured from: the
+        /// non-idle SM with the *oldest* progress (ties to the lowest id).
+        /// With uneven CTA tails (`grid_ctas % num_sms != 0`) the simulated
+        /// SMs do not run identical workloads, so the snapshot names the SM
+        /// that has been stuck longest rather than an arbitrary one.
+        sm_id: u32,
         /// Warps blocked at an `acq.es` when the detector fired.
         blocked_at_acquire: Vec<u32>,
         /// Warps holding their extended set (SRP occupancy) at that point.
@@ -70,12 +76,14 @@ impl core::fmt::Display for SimError {
             SimError::Deadlock {
                 cycle,
                 last_progress,
+                sm_id,
                 blocked_at_acquire,
                 srp_holders,
             } => write!(
                 f,
                 "no progress since cycle {last_progress} (watchdog fired at {cycle}): deadlock; \
-                 warps blocked at acq.es: {blocked_at_acquire:?}, SRP held by: {srp_holders:?}"
+                 on SM {sm_id}, warps blocked at acq.es: {blocked_at_acquire:?}, \
+                 SRP held by: {srp_holders:?}"
             ),
             SimError::WatchdogExpired { limit } => {
                 write!(f, "simulation exceeded {limit} cycles")
@@ -179,6 +187,292 @@ pub fn run_kernel_faulted(
     run_inner(cfg, kernel, launch, factory, false, Some((plan, &log))).map(|(stats, _)| stats)
 }
 
+/// Everything one shard of SMs reports after stepping a cycle: the inputs
+/// the device-level controller needs, already reduced over the shard.
+/// Shard outcomes combine associatively ([`ShardOutcome::fold`]), so the
+/// serial loop (one shard holding every SM) and the parallel loop (one
+/// shard per worker, folded in worker order) feed [`DeviceClock::decide`]
+/// bit-identical values.
+#[derive(Debug)]
+pub(crate) struct ShardOutcome {
+    /// Every SM in the shard is idle (retired all its CTAs).
+    pub(crate) all_idle: bool,
+    /// Every SM is idle or just executed a provably repeatable no-issue
+    /// step ([`Sm::can_skip`]).
+    pub(crate) all_skippable: bool,
+    /// Max `last_progress` over the shard.
+    pub(crate) last_progress: u64,
+    /// Min [`Sm::next_event_cycle`] over the shard's non-idle SMs; only
+    /// computed when the shard is all-skippable (it is unused otherwise),
+    /// `u64::MAX` when absent.
+    pub(crate) min_wake: u64,
+    /// Lowest-id faulting SM, if any step tripped the safety net.
+    pub(crate) fault: Option<(u32, IssueFault)>,
+    /// `(last_progress, sm_id)` of the non-idle SM with the oldest
+    /// progress — the deadlock snapshot candidate.
+    pub(crate) oldest: Option<(u64, u32)>,
+}
+
+/// Apply the fault plan's memory-latency spike for `now` and step every SM
+/// in `shard` (global ids `base..`), reducing the controller inputs. Wake
+/// hints are only gathered when `want_wake` (the run is skipping) — the
+/// tick loop never reads them.
+///
+/// All SMs step the cycle even after one faults: a worker cannot retract
+/// steps other shards already took in the same epoch, so the serial loop
+/// matches by also finishing the cycle and reporting the lowest-id fault.
+pub(crate) fn step_shard(
+    shard: &mut [Sm],
+    base: u32,
+    now: u64,
+    mem_extra: Option<u64>,
+    want_wake: bool,
+) -> ShardOutcome {
+    if let Some(extra) = mem_extra {
+        for sm in shard.iter_mut() {
+            sm.set_mem_extra_latency(extra);
+        }
+    }
+    let mut out = ShardOutcome {
+        all_idle: true,
+        all_skippable: true,
+        last_progress: 0,
+        min_wake: u64::MAX,
+        fault: None,
+        oldest: None,
+    };
+    for (i, sm) in shard.iter_mut().enumerate() {
+        let sm_id = base + i as u32;
+        if let Err(fault) = sm.step(now) {
+            if out.fault.is_none() {
+                out.fault = Some((sm_id, fault));
+            }
+        }
+        let idle = sm.idle();
+        out.all_idle &= idle;
+        out.all_skippable &= idle || sm.can_skip();
+        out.last_progress = out.last_progress.max(sm.last_progress);
+        if !idle && out.oldest.is_none_or(|o| (sm.last_progress, sm_id) < o) {
+            out.oldest = Some((sm.last_progress, sm_id));
+        }
+    }
+    if want_wake && out.all_skippable && !out.all_idle {
+        out.min_wake = shard
+            .iter()
+            .filter(|s| !s.idle())
+            .map(|s| s.next_event_cycle())
+            .min()
+            .unwrap_or(u64::MAX);
+    }
+    out
+}
+
+impl ShardOutcome {
+    /// Combine with the outcome of the next-higher shard. `fault` keeps the
+    /// lowest SM id (shards are laid out in ascending id order, so `self`'s
+    /// fault wins), every other field is a plain max/min/and reduction.
+    pub(crate) fn fold(mut self, next: ShardOutcome) -> ShardOutcome {
+        self.all_idle &= next.all_idle;
+        self.all_skippable &= next.all_skippable;
+        self.last_progress = self.last_progress.max(next.last_progress);
+        self.min_wake = self.min_wake.min(next.min_wake);
+        if self.fault.is_none() {
+            self.fault = next.fault;
+        }
+        self.oldest = match (self.oldest, next.oldest) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self
+    }
+}
+
+/// What the device controller decided after seeing a cycle's reduced
+/// [`ShardOutcome`].
+#[derive(Debug)]
+pub(crate) enum Decision {
+    /// All CTAs retired: stop and merge stats.
+    Done,
+    /// A safety-net fault fired at `cycle`; the caller still owns the
+    /// [`ShardOutcome`] and extracts the lowest-id fault from it.
+    Fault { cycle: u64 },
+    /// The no-progress detector fired; diagnostics must be snapshotted from
+    /// `sm_id` (the oldest-progress non-idle SM).
+    Deadlock {
+        cycle: u64,
+        last_progress: u64,
+        sm_id: u32,
+    },
+    /// The absolute cycle bound was (or provably will be) exceeded.
+    Watchdog,
+    /// Keep going: step cycle `next_now` next; if `skip_gap > 0`, fold that
+    /// many repeated no-issue cycles into every non-idle SM first.
+    Continue { next_now: u64, skip_gap: u64 },
+}
+
+/// The device-global control law shared verbatim by the serial and
+/// parallel loops: deadlock/watchdog detection and the event-driven
+/// fast-forward (the global min-wake reduction). One instance advances one
+/// run; both loops feed it identical reduced inputs, so every verdict —
+/// and its exact cycle — is worker-count-invariant by construction.
+pub(crate) struct DeviceClock<'p> {
+    now: u64,
+    stall_limit: u64,
+    watchdog: u64,
+    skipping: bool,
+    plan: Option<&'p FaultPlan>,
+}
+
+impl<'p> DeviceClock<'p> {
+    pub(crate) fn new(cfg: &GpuConfig, skipping: bool, plan: Option<&'p FaultPlan>) -> Self {
+        DeviceClock {
+            now: 0,
+            stall_limit: cfg.stall_limit(),
+            watchdog: cfg.watchdog_cycles,
+            skipping,
+            plan,
+        }
+    }
+
+    /// The cycle the next [`decide`](Self::decide) expects to have been
+    /// stepped (equals the last `Continue`'s `next_now`).
+    pub(crate) fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether this run fast-forwards (and therefore wants wake hints).
+    pub(crate) fn skipping(&self) -> bool {
+        self.skipping
+    }
+
+    /// Judge the cycle at `self.now` and advance the clock.
+    pub(crate) fn decide(&mut self, r: &ShardOutcome) -> Decision {
+        if r.fault.is_some() {
+            return Decision::Fault { cycle: self.now };
+        }
+        if r.all_idle {
+            return Decision::Done;
+        }
+        let oldest_sm = r.oldest.map(|(_, id)| id).unwrap_or_default();
+        if self.now > r.last_progress + self.stall_limit {
+            return Decision::Deadlock {
+                cycle: self.now,
+                last_progress: r.last_progress,
+                sm_id: oldest_sm,
+            };
+        }
+        self.now += 1;
+        if self.now >= self.watchdog {
+            return Decision::Watchdog;
+        }
+
+        // Event-driven fast-forward: when every busy SM just executed a
+        // provably repeatable no-issue step ([`Sm::can_skip`]), cycles
+        // `now .. target-1` would replay it byte-for-byte. Fold their stat
+        // deltas in multiplicatively and jump straight to the earliest cycle
+        // at which anything can change.
+        let mut skip_gap = 0;
+        if self.skipping && r.all_skippable {
+            let mut target = r.min_wake;
+            if let Some(plan) = self.plan {
+                // Land exactly on memory-latency-spike edges so the
+                // first-spike log note and `set_mem_extra_latency` happen on
+                // the same cycles as in the tick-by-tick loop.
+                if let Some(edge) = plan.next_mem_change_after(self.now - 1) {
+                    target = target.min(edge);
+                }
+            }
+            // First cycle at which the no-progress detector would fire. If
+            // that comes before any wake event (and before the watchdog),
+            // every intervening step is a replica of the current fully
+            // stalled one, so the verdict is already decided — report it
+            // without grinding through the replicas. Stats are discarded on
+            // error, so the gap needs no accounting. At `deadline ==
+            // target` the landing step must run first: it may issue and
+            // push `last_progress` forward.
+            let deadline = r.last_progress + self.stall_limit + 1;
+            if deadline < target && deadline < self.watchdog {
+                return Decision::Deadlock {
+                    cycle: deadline,
+                    last_progress: r.last_progress,
+                    sm_id: oldest_sm,
+                };
+            }
+            if self.watchdog <= target {
+                // The tick loop would replay stalled steps up to the bound
+                // and never reach a wake event.
+                return Decision::Watchdog;
+            }
+            if target > self.now {
+                skip_gap = target - self.now;
+                self.now = target;
+            }
+        }
+        Decision::Continue {
+            next_now: self.now,
+            skip_gap,
+        }
+    }
+
+    pub(crate) fn watchdog_error(&self) -> SimError {
+        SimError::WatchdogExpired {
+            limit: self.watchdog,
+        }
+    }
+}
+
+/// Map a shard-reported [`IssueFault`] to the public error, stamped with
+/// the cycle it fired on.
+pub(crate) fn fault_error(fault: IssueFault, cycle: u64) -> SimError {
+    match fault {
+        IssueFault::Ledger {
+            manager,
+            violation,
+            warp,
+            pc,
+        } => SimError::LedgerViolation {
+            manager,
+            violation,
+            warp,
+            pc,
+            cycle,
+        },
+        IssueFault::NoMapping {
+            manager,
+            warp,
+            reg,
+            pc,
+        } => SimError::NoMapping {
+            manager,
+            warp,
+            reg,
+            pc,
+            cycle,
+        },
+    }
+}
+
+/// Snapshot deadlock diagnostics from the decided SM and build the error.
+pub(crate) fn deadlock_error(
+    sms: &[Sm],
+    base: u32,
+    cycle: u64,
+    last_progress: u64,
+    sm_id: u32,
+) -> SimError {
+    let (blocked_at_acquire, srp_holders) = sms
+        .get((sm_id - base) as usize)
+        .map(|s| s.stall_snapshot())
+        .unwrap_or_default();
+    SimError::Deadlock {
+        cycle,
+        last_progress,
+        sm_id,
+        blocked_at_acquire,
+        srp_holders,
+    }
+}
+
 fn run_inner(
     cfg: &GpuConfig,
     kernel: &Kernel,
@@ -211,142 +505,18 @@ fn run_inner(
         }
     }
 
-    let stall_limit = cfg.stall_limit();
     // Tracing wants an event-per-cycle view (per-cycle acquire-stall
-    // events), so the fast-forward path is disabled for traced runs.
+    // events), so the fast-forward path is disabled for traced runs; the
+    // parallel loop is too (tracing is a single-SM debugging aid, and the
+    // serial path keeps its event stream trivially ordered).
     let skipping = cfg.cycle_skipping && !traced;
+    let workers = (cfg.resolved_sm_workers() as usize).clamp(1, sms.len());
+    let clock = DeviceClock::new(cfg, skipping, faults.map(|(plan, _)| plan));
 
-    let mut now = 0u64;
-    let mut mem_spike_noted = false;
-    loop {
-        if let Some((plan, log)) = faults {
-            let extra = plan.mem_extra_at(now);
-            if extra > 0 && !mem_spike_noted {
-                log.note(now);
-                mem_spike_noted = true;
-            }
-            for sm in &mut sms {
-                sm.set_mem_extra_latency(extra);
-            }
-        }
-        let mut all_idle = true;
-        let mut all_skippable = true;
-        for sm in &mut sms {
-            sm.step(now).map_err(|fault| match fault {
-                IssueFault::Ledger {
-                    manager,
-                    violation,
-                    warp,
-                    pc,
-                } => SimError::LedgerViolation {
-                    manager,
-                    violation,
-                    warp,
-                    pc,
-                    cycle: now,
-                },
-                IssueFault::NoMapping {
-                    manager,
-                    warp,
-                    reg,
-                    pc,
-                } => SimError::NoMapping {
-                    manager,
-                    warp,
-                    reg,
-                    pc,
-                    cycle: now,
-                },
-            })?;
-            let idle = sm.idle();
-            all_idle &= idle;
-            all_skippable &= idle || sm.can_skip();
-        }
-        if all_idle {
-            break;
-        }
-        let last_progress = sms.iter().map(|s| s.last_progress).max().unwrap_or(0);
-        if now > last_progress + stall_limit {
-            // Diagnostics from the first still-busy SM (simulated SMs run
-            // identical workloads, so one snapshot is representative).
-            let (blocked_at_acquire, srp_holders) = sms
-                .iter()
-                .find(|s| !s.idle())
-                .map(|s| s.stall_snapshot())
-                .unwrap_or_default();
-            return Err(SimError::Deadlock {
-                cycle: now,
-                last_progress,
-                blocked_at_acquire,
-                srp_holders,
-            });
-        }
-        now += 1;
-        if now >= cfg.watchdog_cycles {
-            return Err(SimError::WatchdogExpired {
-                limit: cfg.watchdog_cycles,
-            });
-        }
-
-        // Event-driven fast-forward: when every busy SM just executed a
-        // provably repeatable no-issue step ([`Sm::can_skip`]), cycles
-        // `now .. target-1` would replay it byte-for-byte. Fold their stat
-        // deltas in multiplicatively and jump straight to the earliest cycle
-        // at which anything can change.
-        if skipping && all_skippable {
-            let mut target = sms
-                .iter()
-                .filter(|s| !s.idle())
-                .map(|s| s.next_event_cycle())
-                .min()
-                .unwrap_or(u64::MAX);
-            if let Some((plan, _)) = faults {
-                // Land exactly on memory-latency-spike edges so the
-                // first-spike log note and `set_mem_extra_latency` happen on
-                // the same cycles as in the tick-by-tick loop.
-                if let Some(edge) = plan.next_mem_change_after(now - 1) {
-                    target = target.min(edge);
-                }
-            }
-            // First cycle at which the no-progress detector would fire. If
-            // that comes before any wake event (and before the watchdog),
-            // every intervening step is a replica of the current fully
-            // stalled one, so the verdict is already decided — report it
-            // without grinding through the replicas. Stats are discarded on
-            // error, so the gap needs no accounting. At `deadline ==
-            // target` the landing step must run first: it may issue and
-            // push `last_progress` forward.
-            let deadline = last_progress + stall_limit + 1;
-            if deadline < target && deadline < cfg.watchdog_cycles {
-                let (blocked_at_acquire, srp_holders) = sms
-                    .iter()
-                    .find(|s| !s.idle())
-                    .map(|s| s.stall_snapshot())
-                    .unwrap_or_default();
-                return Err(SimError::Deadlock {
-                    cycle: deadline,
-                    last_progress,
-                    blocked_at_acquire,
-                    srp_holders,
-                });
-            }
-            if cfg.watchdog_cycles <= target {
-                // The tick loop would replay stalled steps up to the bound
-                // and never reach a wake event.
-                return Err(SimError::WatchdogExpired {
-                    limit: cfg.watchdog_cycles,
-                });
-            }
-            if target > now {
-                let gap = target - now;
-                for sm in &mut sms {
-                    if !sm.idle() {
-                        sm.skip_ahead(gap);
-                    }
-                }
-                now = target;
-            }
-        }
+    if workers > 1 && !traced {
+        crate::parallel::run_parallel(&mut sms, workers, clock, faults)?;
+    } else {
+        run_serial(&mut sms, clock, faults)?;
     }
 
     let mut total = SimStats::default();
@@ -359,6 +529,50 @@ fn run_inner(
         .map(|sm| sm.take_trace())
         .unwrap_or_default();
     Ok((total, trace))
+}
+
+/// The single-threaded device loop: one shard holding every SM, stepped in
+/// the same epoch structure the parallel loop distributes.
+fn run_serial(
+    sms: &mut [Sm],
+    mut clock: DeviceClock<'_>,
+    faults: Option<(&FaultPlan, &Arc<FaultLog>)>,
+) -> Result<(), SimError> {
+    let mut mem_spike_noted = false;
+    loop {
+        let now = clock.now();
+        let mem_extra = faults.map(|(plan, log)| {
+            let extra = plan.mem_extra_at(now);
+            if extra > 0 && !mem_spike_noted {
+                log.note(now);
+                mem_spike_noted = true;
+            }
+            extra
+        });
+        let mut out = step_shard(sms, 0, now, mem_extra, clock.skipping());
+        match clock.decide(&out) {
+            Decision::Done => return Ok(()),
+            Decision::Fault { cycle } => {
+                let (_, fault) = out.fault.take().expect("decide saw a fault");
+                return Err(fault_error(fault, cycle));
+            }
+            Decision::Deadlock {
+                cycle,
+                last_progress,
+                sm_id,
+            } => return Err(deadlock_error(sms, 0, cycle, last_progress, sm_id)),
+            Decision::Watchdog => return Err(clock.watchdog_error()),
+            Decision::Continue { skip_gap, .. } => {
+                if skip_gap > 0 {
+                    for sm in sms.iter_mut() {
+                        if !sm.idle() {
+                            sm.skip_ahead(skip_gap);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

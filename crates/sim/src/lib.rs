@@ -36,6 +36,7 @@ mod gpu;
 pub mod manager;
 mod memory;
 pub mod occupancy;
+mod parallel;
 mod scheduler;
 mod simt;
 mod sm;

@@ -1,0 +1,329 @@
+//! Multi-threaded device loop: SM shards stepped in lockstep epochs.
+//!
+//! The serial loop in [`crate::gpu`] already has an epoch shape — step
+//! every SM at `now`, reduce idle/skippable/progress/wake hints, let the
+//! device controller pick the next cycle (or a verdict). This module
+//! distributes exactly that shape over a `std::thread::scope` worker pool:
+//!
+//! 1. **Phase A** — every worker applies the cycle's fault-plan memory
+//!    latency to its shard (a pure function of `now`, so no coordination),
+//!    steps each SM, and publishes its reduced [`ShardOutcome`].
+//! 2. **Barrier** — the calling thread (which owns shard 0 and acts as the
+//!    controller) folds the outcomes in ascending shard order and runs the
+//!    *same* [`DeviceClock::decide`] the serial loop uses, generalizing the
+//!    per-SM wake hints into a global min-wake reduction.
+//! 3. **Barrier** — workers read the broadcast command: step the next
+//!    agreed cycle (folding a skip gap into non-idle SMs first), or halt.
+//!
+//! Because the reduction is associative and the controller is shared code,
+//! fault `mem_extra` edges, the no-progress detector, and the watchdog all
+//! fire at exactly the same cycle at any worker count, and stats are merged
+//! by the caller in fixed SM-id order afterwards — results are
+//! bit-identical to the serial loop by construction.
+//!
+//! Epochs are far too frequent for `std::sync::Barrier` (a Mutex + Condvar
+//! sleep per wait); [`SpinBarrier`] is a sense-reversing barrier that spins
+//! briefly and then yields, which degrades gracefully when workers
+//! outnumber cores.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::fault::{FaultLog, FaultPlan};
+use crate::gpu::{
+    deadlock_error, fault_error, step_shard, Decision, DeviceClock, ShardOutcome, SimError,
+};
+use crate::sm::Sm;
+
+/// A sense-reversing (generation-counting) barrier. `wait` returns once
+/// all `total` participants have arrived; the last arrival flips the
+/// generation, releasing the spinners.
+pub(crate) struct SpinBarrier {
+    total: u32,
+    count: AtomicU32,
+    generation: AtomicU32,
+}
+
+impl SpinBarrier {
+    pub(crate) fn new(total: usize) -> Self {
+        SpinBarrier {
+            total: total as u32,
+            count: AtomicU32::new(0),
+            generation: AtomicU32::new(0),
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 64 {
+                    core::hint::spin_loop();
+                } else {
+                    // More shards than cores (or a descheduled peer): let
+                    // it run instead of burning the timeslice.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// The controller's per-epoch broadcast to every worker.
+enum Command {
+    /// Step cycle `now` next; non-idle SMs first fold `skip_gap` repeated
+    /// no-issue cycles (0 = plain tick).
+    Step { now: u64, skip_gap: u64 },
+    /// The run is over (all idle, or the controller holds an error). If
+    /// `snapshot_sm` names an SM, its owner publishes the deadlock
+    /// diagnostics before exiting.
+    Halt { snapshot_sm: Option<u32> },
+}
+
+/// How the loop ended, before diagnostics that live on other shards have
+/// been folded in (the deadlock snapshot is published by the owning worker
+/// on its way out and attached after the scope joins).
+enum Verdict {
+    AllIdle,
+    Failed(SimError),
+    /// Deadlock whose snapshot SM belongs to another shard.
+    DeadlockPending {
+        cycle: u64,
+        last_progress: u64,
+        sm_id: u32,
+    },
+}
+
+/// Run the device loop over `sms` with `workers` threads (caller
+/// guarantees `2 <= workers <= sms.len()`). `Ok(())` means every SM
+/// retired all its CTAs; the caller merges stats in SM-id order exactly as
+/// for the serial loop.
+pub(crate) fn run_parallel(
+    sms: &mut [Sm],
+    workers: usize,
+    clock: DeviceClock<'_>,
+    faults: Option<(&FaultPlan, &Arc<FaultLog>)>,
+) -> Result<(), SimError> {
+    // Contiguous shards in ascending SM-id order; ceil-divide so the count
+    // never exceeds `workers` and no shard is empty.
+    let shard_len = sms.len().div_ceil(workers);
+    let mut shards: Vec<(u32, &mut [Sm])> = Vec::with_capacity(workers);
+    let mut base = 0u32;
+    let mut rest = sms;
+    while !rest.is_empty() {
+        let take = shard_len.min(rest.len());
+        let (shard, tail) = rest.split_at_mut(take);
+        shards.push((base, shard));
+        base += take as u32;
+        rest = tail;
+    }
+    let nshards = shards.len();
+    let plan = faults.map(|(p, _)| p);
+    let want_wake = clock.skipping();
+
+    // Phase A ends at `arrive`; the controller's command is readable after
+    // `release`. Slots and the command cell are Mutex-protected for the
+    // compiler's benefit — the barriers serialize all actual access.
+    let arrive = SpinBarrier::new(nshards);
+    let release = SpinBarrier::new(nshards);
+    let slots: Vec<Mutex<Option<ShardOutcome>>> = (0..nshards).map(|_| Mutex::new(None)).collect();
+    let command: Mutex<Command> = Mutex::new(Command::Halt { snapshot_sm: None });
+    let snapshot: Mutex<Option<(Vec<u32>, Vec<u32>)>> = Mutex::new(None);
+
+    let mut shard_iter = shards.into_iter();
+    let (_, own_shard) = shard_iter.next().expect("at least one shard");
+
+    let verdict = std::thread::scope(|scope| {
+        for (wid, (shard_base, shard)) in shard_iter.enumerate() {
+            let (arrive, release) = (&arrive, &release);
+            let (slots, command, snapshot) = (&slots, &command, &snapshot);
+            let slot = wid + 1;
+            scope.spawn(move || {
+                let mut now = 0u64;
+                loop {
+                    let mem_extra = plan.map(|p| p.mem_extra_at(now));
+                    let out = step_shard(shard, shard_base, now, mem_extra, want_wake);
+                    *slots[slot].lock().unwrap() = Some(out);
+                    arrive.wait();
+                    // The controller reduces and decides here.
+                    release.wait();
+                    match *command.lock().unwrap() {
+                        Command::Step {
+                            now: next,
+                            skip_gap,
+                        } => {
+                            if skip_gap > 0 {
+                                for sm in shard.iter_mut() {
+                                    if !sm.idle() {
+                                        sm.skip_ahead(skip_gap);
+                                    }
+                                }
+                            }
+                            now = next;
+                        }
+                        Command::Halt { snapshot_sm } => {
+                            if let Some(id) = snapshot_sm {
+                                let local = id.wrapping_sub(shard_base) as usize;
+                                if let Some(sm) = shard.get(local) {
+                                    *snapshot.lock().unwrap() = Some(sm.stall_snapshot());
+                                }
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+
+        // The calling thread: worker for shard 0 plus the controller.
+        controller_loop(
+            own_shard, clock, faults, &arrive, &release, &slots, &command,
+        )
+    });
+
+    match verdict {
+        Verdict::AllIdle => Ok(()),
+        Verdict::Failed(err) => Err(err),
+        Verdict::DeadlockPending {
+            cycle,
+            last_progress,
+            sm_id,
+        } => {
+            // The owning worker published the snapshot before the scope
+            // joined.
+            let (blocked_at_acquire, srp_holders) =
+                snapshot.lock().unwrap().take().unwrap_or_default();
+            Err(SimError::Deadlock {
+                cycle,
+                last_progress,
+                sm_id,
+                blocked_at_acquire,
+                srp_holders,
+            })
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn controller_loop(
+    shard: &mut [Sm],
+    mut clock: DeviceClock<'_>,
+    faults: Option<(&FaultPlan, &Arc<FaultLog>)>,
+    arrive: &SpinBarrier,
+    release: &SpinBarrier,
+    slots: &[Mutex<Option<ShardOutcome>>],
+    command: &Mutex<Command>,
+) -> Verdict {
+    // Broadcast `cmd` and release the epoch. Must be called exactly once
+    // per `arrive.wait()` or the pool deadlocks.
+    let broadcast = |cmd: Command| {
+        *command.lock().unwrap() = cmd;
+        release.wait();
+    };
+    let mut mem_spike_noted = false;
+    loop {
+        let now = clock.now();
+        let mem_extra = faults.map(|(plan, log)| {
+            // Same bookkeeping as the serial loop; `FaultLog` is
+            // order-independent, so noting before the epoch's steps land is
+            // equivalent.
+            let extra = plan.mem_extra_at(now);
+            if extra > 0 && !mem_spike_noted {
+                log.note(now);
+                mem_spike_noted = true;
+            }
+            extra
+        });
+        let own = step_shard(shard, 0, now, mem_extra, clock.skipping());
+        arrive.wait();
+        // Fold worker outcomes in ascending shard order (associative, and
+        // the fault pick wants the lowest SM id).
+        let mut reduced = own;
+        for slot in &slots[1..] {
+            let next = slot.lock().unwrap().take().expect("worker published");
+            reduced = reduced.fold(next);
+        }
+        match clock.decide(&reduced) {
+            Decision::Done => {
+                broadcast(Command::Halt { snapshot_sm: None });
+                return Verdict::AllIdle;
+            }
+            Decision::Fault { cycle } => {
+                broadcast(Command::Halt { snapshot_sm: None });
+                let (_, fault) = reduced.fault.take().expect("decide saw a fault");
+                return Verdict::Failed(fault_error(fault, cycle));
+            }
+            Decision::Deadlock {
+                cycle,
+                last_progress,
+                sm_id,
+            } => {
+                return if (sm_id as usize) < shard.len() {
+                    broadcast(Command::Halt { snapshot_sm: None });
+                    Verdict::Failed(deadlock_error(shard, 0, cycle, last_progress, sm_id))
+                } else {
+                    // Another worker owns the snapshot SM: ask it to
+                    // publish the diagnostics on its way out.
+                    broadcast(Command::Halt {
+                        snapshot_sm: Some(sm_id),
+                    });
+                    Verdict::DeadlockPending {
+                        cycle,
+                        last_progress,
+                        sm_id,
+                    }
+                };
+            }
+            Decision::Watchdog => {
+                broadcast(Command::Halt { snapshot_sm: None });
+                return Verdict::Failed(clock.watchdog_error());
+            }
+            Decision::Continue { next_now, skip_gap } => {
+                broadcast(Command::Step {
+                    now: next_now,
+                    skip_gap,
+                });
+                if skip_gap > 0 {
+                    for sm in shard.iter_mut() {
+                        if !sm.idle() {
+                            sm.skip_ahead(skip_gap);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_barrier_synchronizes_rounds() {
+        // 4 threads × many rounds: a counter bumped between two waits must
+        // show every participant's bump to every participant, every round.
+        const THREADS: usize = 4;
+        const ROUNDS: u32 = 200;
+        let barrier = SpinBarrier::new(THREADS);
+        let counter = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for round in 1..=ROUNDS {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        assert_eq!(counter.load(Ordering::Relaxed), round * THREADS as u32);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+}

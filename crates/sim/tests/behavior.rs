@@ -316,3 +316,71 @@ fn multi_sm_simulation_merges_consistently() {
     assert_eq!(again.cycles, both.cycles);
     assert_eq!(again.checksum, both.checksum);
 }
+
+/// The `simulated_sms < num_sms` sampling contract: `stats.ctas` is exactly
+/// `LaunchConfig::simulated_ctas` — the shares of the instantiated SMs,
+/// never the whole grid — and an uneven tail (31 CTAs on 15 SMs) only
+/// executes in full under whole-device simulation.
+#[test]
+fn sampled_sm_cta_accounting_is_explicit() {
+    let mut b = KernelBuilder::new("sample");
+    b.threads_per_cta(32);
+    b.movi(r(0), 1);
+    b.ld_global(r(1), r(0));
+    b.st_global(r(1), r(1));
+    b.exit();
+    let k = b.build().unwrap();
+
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.num_sms = 15;
+    let launch = LaunchConfig::new(31); // 31 = 2*15 + 1: uneven tail
+
+    // One sampled SM: SM 0 holds the remainder, so 3 CTAs — not 31, and
+    // not the 2 a naive grid/num_sms division would predict.
+    cfg.simulated_sms = 1;
+    let sampled = run(&k, &cfg, 31);
+    assert_eq!(sampled.ctas, u64::from(launch.simulated_ctas(&cfg)));
+    assert_eq!(sampled.ctas, 3);
+
+    // A partial sample counts exactly the low SMs' shares.
+    cfg.simulated_sms = 4;
+    let partial = run(&k, &cfg, 31);
+    assert_eq!(partial.ctas, u64::from(launch.simulated_ctas(&cfg)));
+    assert_eq!(partial.ctas, 9); // 3 + 2 + 2 + 2
+
+    // Whole device: every CTA executes, including the tail.
+    cfg.simulated_sms = 15;
+    let whole = run(&k, &cfg, 31);
+    assert_eq!(whole.ctas, 31);
+    assert_eq!(whole.ctas, u64::from(launch.simulated_ctas(&cfg)));
+    assert_eq!(whole.warps, 31);
+}
+
+/// The parallel device loop is invisible: a whole-device run sharded over
+/// worker threads produces field-identical stats to the serial loop, at
+/// every worker count (including one that leaves some workers a short
+/// shard).
+#[test]
+fn sm_worker_count_is_stat_invariant() {
+    let mut b = KernelBuilder::new("workers");
+    b.threads_per_cta(64);
+    b.movi(r(0), 2);
+    let top = b.here();
+    b.ld_global(r(1), r(0));
+    b.iadd(r(0), r(1), r(0));
+    b.st_global(r(0), r(1));
+    b.bra_loop(top, TripCount::PerWarp { base: 2, spread: 3 });
+    b.exit();
+    let k = b.build().unwrap();
+
+    let mut cfg = GpuConfig::test_tiny();
+    cfg.num_sms = 15;
+    cfg.simulated_sms = 15;
+    cfg.sm_workers = 1;
+    let serial = run(&k, &cfg, 31);
+    for workers in [2, 4, 7, 15] {
+        cfg.sm_workers = workers;
+        let parallel = run(&k, &cfg, 31);
+        assert_eq!(parallel, serial, "stats diverge at sm_workers={workers}");
+    }
+}

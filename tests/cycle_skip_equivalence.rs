@@ -33,6 +33,22 @@ fn cfg_for(w: &Workload, skipping: bool) -> GpuConfig {
     cfg
 }
 
+/// The workload's home architecture as a whole-device simulation (every SM
+/// instantiated — with `launch_for`'s capped grids the CTA split across SMs
+/// is uneven, which is exactly what the parallel loop must not perturb)
+/// sharded over `workers` device-loop threads.
+fn cfg_whole_device(w: &Workload, workers: u32) -> GpuConfig {
+    let mut cfg = w.table_config();
+    cfg.simulated_sms = cfg.num_sms;
+    cfg.sm_workers = workers;
+    cfg
+}
+
+/// Worker counts the determinism sweeps pin: serial, even splits, and one
+/// that leaves the last shard short (15 SMs / 7 workers → 3-SM shards with
+/// a 1-SM tail; 4 workers → 4-SM shards with a 3-SM tail).
+const WORKER_COUNTS: [u32; 4] = [1, 2, 4, 7];
+
 /// Debug builds tick every cycle in the reference run, so shrink the grids:
 /// a couple of waves per SM exercises admission, steady-state stalling, and
 /// retirement without the full experiment runtime.
@@ -81,6 +97,34 @@ fn every_workload_technique_and_seed_is_skip_invariant() {
         any_skipped,
         "no workload fast-forwarded a single cycle: skipping is silently disabled"
     );
+}
+
+#[test]
+fn every_workload_and_technique_is_sm_worker_invariant() {
+    // Whole-device runs sharded across 1/2/4/7 device-loop workers must be
+    // *field*-identical — not merely `strip`-identical: the parallel loop
+    // reduces wake hints globally and merges stats in fixed SM-id order, so
+    // even the meta-counters (`skipped_cycles` max-merge, `step_calls`) may
+    // not move.
+    for w in suite::all() {
+        for technique in [Technique::Baseline, Technique::RegMutex] {
+            let launch = launch_for(&w, &w.table_config());
+            let run = |workers: u32| {
+                Session::new(cfg_whole_device(&w, workers))
+                    .run(&w.kernel, launch, technique)
+                    .unwrap_or_else(|e| panic!("{} ({technique}, {workers} workers): {e}", w.name))
+            };
+            let serial = run(1);
+            for workers in WORKER_COUNTS.into_iter().skip(1) {
+                let sharded = run(workers);
+                assert_eq!(
+                    sharded.stats, serial.stats,
+                    "{} ({technique}): stats diverge at sm_workers={workers}",
+                    w.name
+                );
+            }
+        }
+    }
 }
 
 /// Run `w` under RegMutex with `plan` injected, returning the outcome and
@@ -163,4 +207,124 @@ fn deadlock_verdict_is_skip_invariant() {
     );
     assert_eq!(skip_err, tick_err, "deadlock diagnostics diverge");
     assert_eq!(skip_inj, tick_inj, "injection counts diverge");
+}
+
+/// Whole-device faulted run at a given worker count.
+fn run_faulted_workers(
+    w: &Workload,
+    plan: &FaultPlan,
+    workers: u32,
+) -> (Result<SimStats, RunError>, u64) {
+    let cfg = cfg_whole_device(w, workers);
+    let launch = launch_for(w, &cfg);
+    let log = Arc::new(FaultLog::new());
+    let res = Session::new(cfg)
+        .run_faulted(
+            &w.kernel,
+            launch,
+            Technique::RegMutex,
+            plan,
+            Arc::clone(&log),
+        )
+        .map(|rep| rep.stats);
+    (res, log.injections())
+}
+
+#[test]
+fn fault_campaigns_are_sm_worker_invariant() {
+    // Every SM carries its own injector, so a whole-device campaign fires
+    // on all 15 — stats *and* the shared fault log must agree with the
+    // serial loop at every worker count (the `mem_extra` spike edges land
+    // on globally agreed cycles).
+    let w = suite::by_name("Gaussian").expect("registered workload");
+    let home = w.table_config();
+    let spike = FaultPlan::generate(FaultClass::MemLatencySpike, Severity::Light, 42, &home);
+    let delayed = FaultPlan::generate(FaultClass::DelayedRelease, Severity::Light, 42, &home);
+
+    for plan in [&spike, &delayed] {
+        let (serial_res, serial_inj) = run_faulted_workers(&w, plan, 1);
+        let serial_stats = serial_res.unwrap_or_else(|e| panic!("{}: {e}", plan.describe()));
+        for workers in WORKER_COUNTS.into_iter().skip(1) {
+            let (res, inj) = run_faulted_workers(&w, plan, workers);
+            let stats =
+                res.unwrap_or_else(|e| panic!("{} ({workers} workers): {e}", plan.describe()));
+            assert_eq!(
+                stats,
+                serial_stats,
+                "{}: stats diverge at sm_workers={workers}",
+                plan.describe()
+            );
+            assert_eq!(
+                inj,
+                serial_inj,
+                "{}: injection counts diverge at sm_workers={workers}",
+                plan.describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn deadlock_verdict_is_sm_worker_invariant() {
+    // A whole-device deadlock: the parallel controller must fire the
+    // no-progress detector on exactly the serial loop's cycle, name the
+    // same oldest-progress SM, and carry the identical warp diagnostics —
+    // even when that SM lives on a non-controller shard.
+    let w = suite::by_name("Gaussian").expect("registered workload");
+    let plan = FaultPlan::generate(
+        FaultClass::MemLatencySpike,
+        Severity::Severe,
+        7,
+        &w.table_config(),
+    );
+
+    let (serial_res, serial_inj) = run_faulted_workers(&w, &plan, 1);
+    let serial_err = serial_res.expect_err("severe spike must deadlock (serial)");
+    assert!(
+        matches!(serial_err, RunError::Sim(SimError::Deadlock { .. })),
+        "unexpected verdict: {serial_err:?}"
+    );
+    for workers in WORKER_COUNTS.into_iter().skip(1) {
+        let (res, inj) = run_faulted_workers(&w, &plan, workers);
+        let err = res.expect_err("severe spike must deadlock (sharded)");
+        assert_eq!(
+            err, serial_err,
+            "deadlock diagnostics diverge at sm_workers={workers}"
+        );
+        assert_eq!(
+            inj, serial_inj,
+            "injection counts diverge at sm_workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn watchdog_verdict_is_sm_worker_invariant() {
+    // An absolute cycle bound low enough that the run cannot finish: the
+    // sharded loops must pre-fire `WatchdogExpired` with the same verdict
+    // as the serial loop at every worker count.
+    let w = suite::by_name("Gaussian").expect("registered workload");
+    let launch = launch_for(&w, &w.table_config());
+    let run = |workers: u32| {
+        let mut cfg = cfg_whole_device(&w, workers);
+        cfg.watchdog_cycles = 2_000;
+        Session::new(cfg)
+            .run(&w.kernel, launch, Technique::RegMutex)
+            .map(|rep| rep.stats)
+    };
+    let serial_err = run(1).expect_err("bound too low to finish (serial)");
+    assert!(
+        matches!(
+            serial_err,
+            RunError::Sim(SimError::WatchdogExpired { limit: 2_000 })
+        ),
+        "unexpected verdict: {serial_err:?}"
+    );
+    for workers in WORKER_COUNTS.into_iter().skip(1) {
+        let err = run(workers).expect_err("bound too low to finish (sharded)");
+        assert_eq!(
+            err, serial_err,
+            "watchdog verdict diverges at sm_workers={workers}"
+        );
+    }
 }

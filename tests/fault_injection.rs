@@ -85,10 +85,12 @@ fn simulator_detects_rule2_deadlock_with_diagnostics() {
         SimError::Deadlock {
             cycle,
             last_progress,
+            sm_id,
             blocked_at_acquire,
             srp_holders,
         } => {
             assert!(cycle > last_progress);
+            assert_eq!(sm_id, 0, "single simulated SM: snapshot must name it");
             assert_eq!(
                 blocked_at_acquire,
                 vec![1],
@@ -98,6 +100,7 @@ fn simulator_detects_rule2_deadlock_with_diagnostics() {
             let msg = err_to_string(&SimError::Deadlock {
                 cycle,
                 last_progress,
+                sm_id,
                 blocked_at_acquire,
                 srp_holders,
             });
