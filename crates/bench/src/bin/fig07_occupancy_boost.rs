@@ -5,65 +5,23 @@
 //! before/after. Paper reference: 13% average reduction, up to 23% (BFS);
 //! SAD gains occupancy but little performance (SRP contention).
 //!
+//! The sweep itself lives in [`Fig07Source`]; this binary runs it on the
+//! in-process [`Runner`] executor. `regmutex-cli coordinator` runs the same
+//! source against a worker fleet with byte-identical output.
+//!
 //! `--jobs N` sets the simulation worker count (output is identical for
 //! any value).
 
-use regmutex::{cycle_reduction_percent, Technique};
-use regmutex_bench::{fmt_pct, GeoMean, JobSpec, Runner, Table};
-use regmutex_sim::GpuConfig;
-use regmutex_workloads::suite;
+use regmutex_bench::source::{Fig07Source, JobExecutor, JobSource};
+use regmutex_bench::Runner;
 
 fn main() {
     let runner = Runner::from_env();
-    let cfg = GpuConfig::gtx480();
-    let apps = suite::occupancy_limited();
-
-    let mut specs = Vec::new();
-    for w in &apps {
-        for t in [Technique::Baseline, Technique::RegMutex] {
-            specs.push(JobSpec::new(
-                format!("{}/{t}", w.name),
-                &w.kernel,
-                &cfg,
-                w.launch(),
-                t,
-            ));
-        }
-    }
-    let reports = runner.run_reports(&specs);
-
-    let mut table = Table::new(&[
-        "app",
-        "exec-cycle reduction",
-        "init occupancy",
-        "occupancy w/ RegMutex",
-        "acquire success",
-        "cycles base",
-        "cycles rm",
-    ]);
-    let mut avg = GeoMean::new();
-    for (w, pair) in apps.iter().zip(reports.chunks(2)) {
-        let (base, rm) = (&pair[0], &pair[1]);
-        assert_eq!(
-            base.stats.checksum, rm.stats.checksum,
-            "{}: functional divergence",
-            w.name
-        );
-        let red = cycle_reduction_percent(base, rm);
-        avg.push(red);
-        table.row(vec![
-            w.name.to_string(),
-            fmt_pct(red),
-            format!("{}%", base.occupancy_percent()),
-            format!("{}%", rm.occupancy_percent()),
-            fmt_pct(100.0 * rm.acquire_success_rate()),
-            base.cycles().to_string(),
-            rm.cycles().to_string(),
-        ]);
-    }
-    println!("Figure 7 — execution-cycle reduction with RegMutex (baseline GTX480)");
-    println!("(paper: avg 13%, BFS up to 23%, SAD small despite occupancy boost)\n");
-    table.print();
-    println!("\naverage reduction: {}", fmt_pct(avg.mean()));
+    let source = Fig07Source;
+    let jobs = source.jobs();
+    let results = runner.execute(&jobs).expect("fig07 jobs are all valid");
+    let (out, code) = source.render(&jobs, &results);
+    print!("{out}");
     eprintln!("{}", runner.summary());
+    std::process::exit(code);
 }

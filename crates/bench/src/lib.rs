@@ -15,8 +15,10 @@ pub mod cache;
 pub mod chaos;
 pub mod report;
 pub mod runner;
+pub mod source;
 
 pub use cache::{CachedResult, ResultCache, DEFAULT_CACHE_BUDGET};
 pub use chaos::{CampaignReport, CampaignSpec, Outcome};
 pub use report::{fmt_pct, GeoMean, RowArityError, Table};
 pub use runner::{error_table, JobSpec, Runner};
+pub use source::{Fig07Source, JobExecutor, JobSource, MatrixJob};

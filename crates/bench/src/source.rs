@@ -1,0 +1,297 @@
+//! Job sources and executors: the seam between *what* a sweep runs and
+//! *where* it runs.
+//!
+//! A [`JobSource`] describes a sweep as a list of [`MatrixJob`]s — the
+//! wire-level `(app, technique, half_rf, ctas, force_es, cycle_budget)`
+//! tuple every execution substrate understands — and knows how to render
+//! the results. A [`JobExecutor`] turns those jobs into [`CachedResult`]s:
+//! the in-process [`Runner`] is one executor, a fleet coordinator
+//! dispatching the same jobs to remote workers is another. Because the
+//! source renders purely from the returned reports (in submission order),
+//! a sweep's output is byte-identical across executors.
+
+use regmutex::{cycle_reduction_percent, RunError, Technique};
+use regmutex_compiler::CompileOptions;
+use regmutex_sim::{GpuConfig, LaunchConfig};
+use regmutex_workloads::suite;
+
+use crate::cache::CachedResult;
+use crate::report::{fmt_pct, GeoMean, Table};
+use crate::runner::{JobSpec, Runner};
+
+/// One sweep job, described at the workload-registry level rather than as
+/// a materialized [`JobSpec`]. This is exactly the information a
+/// `POST /v1/run` body carries, so a job can be executed locally (via
+/// [`MatrixJob::to_spec`]) or shipped to a `regmutex-server` worker and
+/// produce the same result either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixJob {
+    /// Human-readable label for error rows, e.g. `"BFS/regmutex"`.
+    pub label: String,
+    /// Workload name (must exist in the registry).
+    pub app: String,
+    /// Technique to run.
+    pub technique: Technique,
+    /// Run on the half-size register file.
+    pub half_rf: bool,
+    /// Grid-size override.
+    pub ctas: Option<u32>,
+    /// Forced `|Es|`.
+    pub force_es: Option<u16>,
+    /// Per-job cycle ceiling.
+    pub cycle_budget: Option<u64>,
+}
+
+impl MatrixJob {
+    /// A job with defaults for everything but the identity fields.
+    pub fn new(app: impl Into<String>, technique: Technique) -> Self {
+        let app = app.into();
+        MatrixJob {
+            label: format!("{app}/{technique}"),
+            app,
+            technique,
+            half_rf: false,
+            ctas: None,
+            force_es: None,
+            cycle_budget: None,
+        }
+    }
+
+    /// Materialize the [`JobSpec`] this job runs as — the same spec the
+    /// server builds for the equivalent `/v1/run` body, so local and
+    /// remote execution share one content fingerprint.
+    pub fn to_spec(&self) -> Result<JobSpec, String> {
+        let w = suite::by_name(&self.app).ok_or_else(|| {
+            let names: Vec<&str> = suite::all().iter().map(|w| w.name).collect();
+            format!(
+                "unknown workload '{}'; available: {}",
+                self.app,
+                names.join(", ")
+            )
+        })?;
+        let cfg = if self.half_rf {
+            GpuConfig::gtx480_half_rf()
+        } else {
+            GpuConfig::gtx480()
+        };
+        let launch = LaunchConfig::new(self.ctas.unwrap_or(w.grid_ctas));
+        let mut spec = JobSpec::new(
+            format!("{}/{}", w.name, self.technique),
+            &w.kernel,
+            &cfg,
+            launch,
+            self.technique,
+        )
+        .with_options(CompileOptions {
+            force_es: self.force_es,
+            force_apply: self.force_es.is_some(),
+        });
+        if let Some(b) = self.cycle_budget {
+            spec = spec.with_cycle_budget(b);
+        }
+        Ok(spec)
+    }
+}
+
+/// An execution substrate for [`MatrixJob`]s. Implementations must return
+/// one result per job, **in submission order** — the property every
+/// renderer's byte-stability rests on. Per-job failures are `Err` rows in
+/// the result vector (a labeled error row, never a missing one);
+/// `Err(String)` is reserved for substrate-level failures (no workers
+/// reachable, unknown workload) that prevent running the batch at all.
+pub trait JobExecutor {
+    /// Run the batch; `results.len() == jobs.len()` on success.
+    fn execute(&self, jobs: &[MatrixJob]) -> Result<Vec<CachedResult>, String>;
+}
+
+impl JobExecutor for Runner {
+    fn execute(&self, jobs: &[MatrixJob]) -> Result<Vec<CachedResult>, String> {
+        let specs = jobs
+            .iter()
+            .map(MatrixJob::to_spec)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.run_all(&specs))
+    }
+}
+
+/// A sweep: a batch of jobs plus the renderer that turns their results
+/// into the figure/table text. `render` sees results in submission order
+/// and must derive every printed value from the reports alone, so any
+/// conforming [`JobExecutor`] reproduces the same bytes.
+pub trait JobSource {
+    /// The jobs, in the order `render` expects them.
+    fn jobs(&self) -> Vec<MatrixJob>;
+    /// Render results (same order as [`JobSource::jobs`]) into the output
+    /// text plus a process exit code (0 = clean, non-zero = some job
+    /// failed or diverged; the text still renders what it can).
+    fn render(&self, jobs: &[MatrixJob], results: &[CachedResult]) -> (String, i32);
+}
+
+/// The Figure 7 sweep: the 8 occupancy-limited applications on the GTX480
+/// baseline, `baseline` vs `regmutex`, rendered as the execution-cycle
+/// reduction table. [`JobSource::render`] here is byte-identical to the
+/// `fig07_occupancy_boost` binary's historical output on a clean run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig07Source;
+
+impl JobSource for Fig07Source {
+    fn jobs(&self) -> Vec<MatrixJob> {
+        let mut jobs = Vec::new();
+        for w in suite::occupancy_limited() {
+            for t in [Technique::Baseline, Technique::RegMutex] {
+                jobs.push(MatrixJob::new(w.name, t));
+            }
+        }
+        jobs
+    }
+
+    fn render(&self, jobs: &[MatrixJob], results: &[CachedResult]) -> (String, i32) {
+        use std::fmt::Write as _;
+
+        let mut table = Table::new(&[
+            "app",
+            "exec-cycle reduction",
+            "init occupancy",
+            "occupancy w/ RegMutex",
+            "acquire success",
+            "cycles base",
+            "cycles rm",
+        ]);
+        let mut avg = GeoMean::new();
+        let mut failures: Vec<(String, RunError)> = Vec::new();
+        for (jpair, rpair) in jobs.chunks(2).zip(results.chunks(2)) {
+            let app = jpair[0].app.as_str();
+            let (base, rm) = match (&rpair[0], &rpair[1]) {
+                (Ok(b), Ok(r)) => (b, r),
+                (b, r) => {
+                    for (j, res) in jpair.iter().zip([b, r]) {
+                        if let Err(e) = res {
+                            failures.push((j.label.clone(), e.clone()));
+                        }
+                    }
+                    continue;
+                }
+            };
+            if base.stats.checksum != rm.stats.checksum {
+                failures.push((
+                    format!("{app}/regmutex"),
+                    RunError::Remote(format!(
+                        "functional divergence: baseline checksum {:#018x} != regmutex checksum {:#018x}",
+                        base.stats.checksum, rm.stats.checksum
+                    )),
+                ));
+                continue;
+            }
+            let red = cycle_reduction_percent(base, rm);
+            avg.push(red);
+            table.row(vec![
+                app.to_string(),
+                fmt_pct(red),
+                format!("{}%", base.occupancy_percent()),
+                format!("{}%", rm.occupancy_percent()),
+                fmt_pct(100.0 * rm.acquire_success_rate()),
+                base.cycles().to_string(),
+                rm.cycles().to_string(),
+            ]);
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 7 — execution-cycle reduction with RegMutex (baseline GTX480)"
+        );
+        let _ = writeln!(
+            out,
+            "(paper: avg 13%, BFS up to 23%, SAD small despite occupancy boost)\n"
+        );
+        out.push_str(&table.render());
+        let _ = writeln!(out, "\naverage reduction: {}", fmt_pct(avg.mean()));
+        if failures.is_empty() {
+            return (out, 0);
+        }
+        let width = failures
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(0)
+            .max("job".len());
+        let _ = writeln!(out, "\n{} of {} job(s) failed:", failures.len(), jobs.len());
+        let _ = writeln!(out, "  {:width$}  error", "job");
+        for (label, err) in &failures {
+            let _ = writeln!(out, "  {label:width$}  {err}");
+        }
+        (out, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::default_jobs;
+
+    #[test]
+    fn matrix_job_spec_matches_hand_built_spec() {
+        // The fig07 jobs must materialize into exactly the specs the
+        // figure binary has always built — same fingerprints, so local and
+        // fleet execution share cache entries and golden output.
+        let cfg = GpuConfig::gtx480();
+        for w in suite::occupancy_limited() {
+            for t in [Technique::Baseline, Technique::RegMutex] {
+                let by_hand =
+                    JobSpec::new(format!("{}/{t}", w.name), &w.kernel, &cfg, w.launch(), t);
+                let via_job = MatrixJob::new(w.name, t).to_spec().unwrap();
+                assert_eq!(
+                    by_hand.fingerprint(),
+                    via_job.fingerprint(),
+                    "{}/{t}",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_app_is_a_substrate_error() {
+        let err = MatrixJob::new("Nope", Technique::Baseline)
+            .to_spec()
+            .unwrap_err();
+        assert!(err.contains("available"), "{err}");
+        let runner = Runner::new(1);
+        assert!(runner
+            .execute(&[MatrixJob::new("Nope", Technique::Baseline)])
+            .is_err());
+    }
+
+    #[test]
+    fn fig07_render_marks_failures_as_rows_with_exit_3() {
+        let source = Fig07Source;
+        let jobs = source.jobs();
+        assert_eq!(jobs.len(), 16);
+        // Fake results: every pair errors, so the table is empty and every
+        // job shows up as a labeled error row.
+        let results: Vec<CachedResult> = jobs
+            .iter()
+            .map(|j| Err(RunError::Remote(format!("{}: gave up", j.label))))
+            .collect();
+        let (text, code) = source.render(&jobs, &results);
+        assert_eq!(code, 3);
+        assert!(text.contains("16 of 16 job(s) failed"), "{text}");
+        assert!(text.contains("BFS/regmutex"), "{text}");
+        assert!(text.contains("remote worker error"), "{text}");
+    }
+
+    #[test]
+    fn fig07_render_flags_checksum_divergence() {
+        let source = Fig07Source;
+        let jobs = source.jobs();
+        let runner = Runner::new(default_jobs());
+        let mut results = runner.execute(&jobs).unwrap();
+        // Corrupt one regmutex row's checksum: the renderer must surface
+        // it as a divergence error, not print a silently-wrong row.
+        if let Ok(r) = &mut results[1] {
+            r.stats.checksum ^= 0xdead_beef;
+        }
+        let (text, code) = source.render(&jobs, &results);
+        assert_eq!(code, 3);
+        assert!(text.contains("functional divergence"), "{text}");
+    }
+}

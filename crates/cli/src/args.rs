@@ -115,7 +115,8 @@ pub enum Command {
         /// `REGMUTEX_SM_WORKERS` or 1 = serial).
         sm_workers: Option<u32>,
     },
-    /// `loadgen` — closed-loop load generator against a running server.
+    /// `loadgen` — closed-loop load generator against a running server,
+    /// or (with `--fleet`) through the fault-tolerant coordinator.
     Loadgen {
         /// Server address (`host:port`).
         addr: String,
@@ -127,6 +128,42 @@ pub enum Command {
         seed: u64,
         /// Restrict sampling to these workloads (comma-separated).
         apps: Vec<String>,
+        /// Route every request through the fleet coordinator instead of
+        /// speaking raw HTTP at one server.
+        fleet: bool,
+        /// Worker addresses for `--fleet` (comma-separated `host:port`).
+        workers: Vec<String>,
+        /// Per-job cycle budget in fleet mode (tightens deadlines).
+        cycle_budget: Option<u64>,
+    },
+    /// `coordinator` — run the Fig 7 sweep across a fleet of workers with
+    /// retries, backoff, and failover.
+    Coordinator {
+        /// Worker addresses (comma-separated `host:port`).
+        workers: Vec<String>,
+        /// Fleet seed (backoff jitter).
+        seed: u64,
+        /// Concurrent dispatch threads.
+        threads: usize,
+        /// Attempts per job before giving up with a labeled error row.
+        max_attempts: u32,
+        /// Per-job cycle budget (tightens deadlines).
+        cycle_budget: Option<u64>,
+    },
+    /// `chaos-fleet` — network-fault campaign against a live two-worker
+    /// fleet; exits 1 on any lost or silently-wrong row.
+    ChaosFleet {
+        /// Fleet seeds per scenario (campaign uses seeds `1..=N`).
+        seeds: u64,
+        /// Restrict the campaign to one workload set (comma-separated;
+        /// empty = the default two sets).
+        apps: Vec<String>,
+        /// Per-job cycle budget (keeps scenarios fast).
+        cycle_budget: Option<u64>,
+        /// Connections forwarded cleanly before each fault engages.
+        trigger_after: usize,
+        /// Simulation worker threads per in-process server.
+        sim_workers: usize,
     },
     /// `help` — usage.
     Help,
@@ -258,6 +295,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut requests = 50usize;
             let mut seed = 0x5eed_2024u64;
             let mut apps = Vec::new();
+            let mut fleet = false;
+            let mut workers = Vec::new();
+            let mut cycle_budget = None;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -276,6 +316,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .ok_or_else(|| ParseError("--apps needs a value".into()))?;
                         apps = v.split(',').map(str::to_string).collect();
                     }
+                    "--fleet" => fleet = true,
+                    "--workers" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--workers needs a value".into()))?;
+                        workers = v.split(',').map(str::to_string).collect();
+                        fleet = true;
+                    }
+                    "--cycle-budget" => cycle_budget = Some(value_of("--cycle-budget", it.next())?),
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -284,12 +333,96 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--threads and --requests must be at least 1".into(),
                 ));
             }
+            if fleet && workers.is_empty() {
+                return Err(ParseError(
+                    "--fleet needs --workers HOST:PORT[,HOST:PORT...]".into(),
+                ));
+            }
             Ok(Command::Loadgen {
                 addr,
                 threads,
                 requests,
                 seed,
                 apps,
+                fleet,
+                workers,
+                cycle_budget,
+            })
+        }
+        "coordinator" => {
+            let mut workers = Vec::new();
+            let mut seed = 0x5eed_2024u64;
+            let mut threads = 4usize;
+            let mut max_attempts = 4u32;
+            let mut cycle_budget = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--workers" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--workers needs a value".into()))?;
+                        workers = v.split(',').map(str::to_string).collect();
+                    }
+                    "--seed" => seed = value_of("--seed", it.next())?,
+                    "--threads" => threads = value_of("--threads", it.next())?,
+                    "--max-attempts" => max_attempts = value_of("--max-attempts", it.next())?,
+                    "--cycle-budget" => cycle_budget = Some(value_of("--cycle-budget", it.next())?),
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if workers.is_empty() {
+                return Err(ParseError(
+                    "coordinator needs --workers HOST:PORT[,HOST:PORT...]".into(),
+                ));
+            }
+            if threads == 0 || max_attempts == 0 {
+                return Err(ParseError(
+                    "--threads and --max-attempts must be at least 1".into(),
+                ));
+            }
+            Ok(Command::Coordinator {
+                workers,
+                seed,
+                threads,
+                max_attempts,
+                cycle_budget,
+            })
+        }
+        "chaos-fleet" => {
+            let mut seeds = 4u64;
+            let mut apps = Vec::new();
+            let mut cycle_budget = Some(150_000u64);
+            let mut trigger_after = 0usize;
+            let mut sim_workers = 2usize;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--seeds" => seeds = value_of("--seeds", it.next())?,
+                    "--apps" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--apps needs a value".into()))?;
+                        apps = v.split(',').map(str::to_string).collect();
+                    }
+                    "--cycle-budget" => cycle_budget = Some(value_of("--cycle-budget", it.next())?),
+                    "--no-cycle-budget" => cycle_budget = None,
+                    "--trigger-after" => trigger_after = value_of("--trigger-after", it.next())?,
+                    "--sim-workers" => sim_workers = value_of("--sim-workers", it.next())?,
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if seeds == 0 || sim_workers == 0 {
+                return Err(ParseError(
+                    "--seeds and --sim-workers must be at least 1".into(),
+                ));
+            }
+            Ok(Command::ChaosFleet {
+                seeds,
+                apps,
+                cycle_budget,
+                trigger_after,
+                sim_workers,
             })
         }
         "disasm" => Ok(Command::Disasm {
@@ -480,6 +613,12 @@ USAGE:
                      [--max-connections N] [--sm-workers N]
   regmutex-cli loadgen [--addr HOST:PORT] [--threads N] [--requests N]
                        [--seed N] [--apps A,B,...]
+                       [--fleet --workers H:P,H:P,...] [--cycle-budget N]
+  regmutex-cli coordinator --workers H:P[,H:P...] [--seed N] [--threads N]
+                           [--max-attempts N] [--cycle-budget N]
+  regmutex-cli chaos-fleet [--seeds N] [--apps A,B,...] [--cycle-budget N]
+                           [--no-cycle-budget] [--trigger-after N]
+                           [--sim-workers N]
   regmutex-cli help
 
 The multi-simulation commands (compare, sweep, chaos) run their
@@ -508,7 +647,22 @@ serve runs the std-only HTTP simulation service (GET /healthz, GET
 /v1/shutdown): bounded job queue (429 + Retry-After when full), shared
 LRU result cache, Prometheus metrics, graceful SIGINT/SIGTERM drain.
 loadgen drives it closed-loop with a seeded workload mix and reports
-throughput, exact latency percentiles, backpressure and cache hits.
+throughput, exact latency percentiles, backpressure and cache hits
+(429s are retried per Retry-After, capped, and reported as goodput).
+
+coordinator schedules the Fig 7 sweep across N workers: consistent-hash
+routing by job fingerprint (cache affinity), per-job deadlines from the
+cycle budget, bounded retries with seeded-jittered exponential backoff,
+automatic re-dispatch away from dead or hung workers (strike-based
+quarantine + periodic /healthz re-admission), and response integrity
+checks. Output is byte-identical to the local sweep at any worker count;
+aggregated Prometheus metrics go to stderr. loadgen --fleet drives the
+same coordinator closed-loop and breaks traffic down per worker.
+
+chaos-fleet injects every network fault class (kill, hang, close-early,
+truncate, corrupt, delay) into a live two-worker fleet via a
+deterministic proxy and compares every row against a local golden run:
+exit 1 if any job was lost or any row silently wrong.
 ";
 
 #[cfg(test)]
@@ -590,6 +744,9 @@ mod tests {
                 requests: 50,
                 seed: 0x5eed_2024,
                 apps: vec![],
+                fleet: false,
+                workers: vec![],
+                cycle_budget: None,
             })
         );
         assert_eq!(
@@ -612,9 +769,107 @@ mod tests {
                 requests: 10,
                 seed: 7,
                 apps: vec!["BFS".into(), "SPMV".into()],
+                fleet: false,
+                workers: vec![],
+                cycle_budget: None,
             })
         );
         assert!(parse(&v(&["loadgen", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_fleet_mode() {
+        // --workers implies --fleet; --cycle-budget rides along.
+        assert_eq!(
+            parse(&v(&[
+                "loadgen",
+                "--workers",
+                "127.0.0.1:1,127.0.0.1:2",
+                "--cycle-budget",
+                "100000"
+            ])),
+            Ok(Command::Loadgen {
+                addr: "127.0.0.1:8077".into(),
+                threads: 4,
+                requests: 50,
+                seed: 0x5eed_2024,
+                apps: vec![],
+                fleet: true,
+                workers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+                cycle_budget: Some(100_000),
+            })
+        );
+        // --fleet without workers is an error.
+        assert!(parse(&v(&["loadgen", "--fleet"])).is_err());
+    }
+
+    #[test]
+    fn coordinator_requires_workers() {
+        assert!(parse(&v(&["coordinator"])).is_err());
+        assert_eq!(
+            parse(&v(&[
+                "coordinator",
+                "--workers",
+                "127.0.0.1:1,127.0.0.1:2,127.0.0.1:3",
+                "--seed",
+                "9",
+                "--threads",
+                "8",
+                "--max-attempts",
+                "5",
+                "--cycle-budget",
+                "50000"
+            ])),
+            Ok(Command::Coordinator {
+                workers: vec![
+                    "127.0.0.1:1".into(),
+                    "127.0.0.1:2".into(),
+                    "127.0.0.1:3".into()
+                ],
+                seed: 9,
+                threads: 8,
+                max_attempts: 5,
+                cycle_budget: Some(50_000),
+            })
+        );
+        assert!(parse(&v(&["coordinator", "--workers", "a", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn chaos_fleet_defaults_and_flags() {
+        assert_eq!(
+            parse(&v(&["chaos-fleet"])),
+            Ok(Command::ChaosFleet {
+                seeds: 4,
+                apps: vec![],
+                cycle_budget: Some(150_000),
+                trigger_after: 0,
+                sim_workers: 2,
+            })
+        );
+        assert_eq!(
+            parse(&v(&[
+                "chaos-fleet",
+                "--seeds",
+                "2",
+                "--apps",
+                "BFS,SPMV",
+                "--no-cycle-budget",
+                "--trigger-after",
+                "3",
+                "--sim-workers",
+                "1"
+            ])),
+            Ok(Command::ChaosFleet {
+                seeds: 2,
+                apps: vec!["BFS".into(), "SPMV".into()],
+                cycle_budget: None,
+                trigger_after: 3,
+                sim_workers: 1,
+            })
+        );
+        assert!(parse(&v(&["chaos-fleet", "--seeds", "0"])).is_err());
+        assert!(parse(&v(&["chaos-fleet", "--nope"])).is_err());
     }
 
     #[test]

@@ -5,8 +5,12 @@ use std::fmt::Write as _;
 
 use regmutex::{cycle_reduction_percent, Session, Technique, ALL_TECHNIQUES};
 use regmutex_bench::chaos::{run_campaign, CampaignSpec};
-use regmutex_bench::{runner::default_jobs, JobSpec, Runner};
+use regmutex_bench::{runner::default_jobs, Fig07Source, JobExecutor, JobSource, JobSpec, Runner};
 use regmutex_compiler::{analyze, live_trace, CompileOptions};
+use regmutex_fleet::{
+    run_fleet_campaign, run_fleet_loadgen, Coordinator, FleetCampaignSpec, FleetConfig,
+    FleetLoadgenConfig,
+};
 use regmutex_server::{LoadgenConfig, ServerConfig};
 use regmutex_sim::{GpuConfig, LaunchConfig};
 use regmutex_workloads::{suite, Workload};
@@ -614,6 +618,100 @@ pub fn serve(
     .map_err(|e| CommandError(format!("serve: {e}")))
 }
 
+/// `coordinator ...` — run the Fig 7 sweep across a fleet of workers.
+/// Returns `(sweep output, aggregated Prometheus metrics, exit code)`;
+/// the metrics go to stderr so the sweep on stdout stays byte-comparable
+/// to the local golden. Exit code 3 when any row is a labeled error row
+/// (a give-up after exhausting retries — never a missing row).
+pub fn coordinator(
+    workers: Vec<String>,
+    seed: u64,
+    threads: usize,
+    max_attempts: u32,
+    cycle_budget: Option<u64>,
+) -> Result<(String, String, i32), CommandError> {
+    let coordinator = Coordinator::new(FleetConfig {
+        workers,
+        seed,
+        dispatch_threads: threads,
+        max_attempts,
+        ..FleetConfig::default()
+    })
+    .map_err(CommandError)?;
+    let source = Fig07Source;
+    let mut jobs = source.jobs();
+    if cycle_budget.is_some() {
+        for j in &mut jobs {
+            j.cycle_budget = cycle_budget;
+        }
+    }
+    let results = coordinator.execute(&jobs).map_err(CommandError)?;
+    let (out, code) = source.render(&jobs, &results);
+    Ok((out, coordinator.render_metrics(), code))
+}
+
+/// `chaos-fleet ...` — the network-fault campaign. The second element of
+/// the pair is the process exit code: 1 when any job was lost or any row
+/// silently wrong.
+pub fn chaos_fleet(
+    seeds: u64,
+    apps: Vec<String>,
+    cycle_budget: Option<u64>,
+    trigger_after: usize,
+    sim_workers: usize,
+) -> Result<(String, i32), CommandError> {
+    let mut spec = FleetCampaignSpec {
+        seeds: (1..=seeds).collect(),
+        cycle_budget,
+        trigger_after,
+        sim_workers,
+        ..FleetCampaignSpec::default()
+    };
+    if !apps.is_empty() {
+        spec.app_sets = vec![apps];
+    }
+    let report = run_fleet_campaign(&spec).map_err(CommandError)?;
+    Ok(report.render())
+}
+
+/// `loadgen --fleet ...` — drive the coordinator closed-loop.
+pub fn fleet_loadgen(
+    workers: Vec<String>,
+    threads: usize,
+    requests: usize,
+    seed: u64,
+    apps: Vec<String>,
+    cycle_budget: Option<u64>,
+) -> Result<String, CommandError> {
+    let coordinator = Coordinator::new(FleetConfig {
+        workers,
+        seed,
+        ..FleetConfig::default()
+    })
+    .map_err(CommandError)?;
+    let report = run_fleet_loadgen(
+        &coordinator,
+        &FleetLoadgenConfig {
+            threads,
+            requests,
+            seed,
+            apps,
+            cycle_budget,
+        },
+    )
+    .map_err(CommandError)?;
+    let mut out = report.render();
+    out.push('\n');
+    if !report.nothing_dropped() {
+        return Err(CommandError(format!(
+            "fleet loadgen: {} of {} requests got no verdict\n{out}",
+            report.total - (report.ok + report.job_errors + report.gave_up),
+            report.total
+        )));
+    }
+    Ok(out)
+}
+
 /// `loadgen ...`
 pub fn loadgen(
     addr: String,
@@ -758,6 +856,28 @@ mod tests {
         assert_eq!(serial, parallel);
         assert_eq!(code, 0);
         assert!(serial.contains("|Es|"));
+    }
+
+    #[test]
+    fn coordinator_rejects_an_empty_fleet() {
+        let err = coordinator(vec![], 1, 2, 3, None).unwrap_err();
+        assert!(err.0.contains("fleet has no workers"), "{err}");
+    }
+
+    #[test]
+    fn fleet_loadgen_rejects_unknown_apps_before_sending_traffic() {
+        // The app filter is validated up front, so no worker is contacted
+        // and the bogus address never matters.
+        let err = fleet_loadgen(
+            vec!["127.0.0.1:1".into()],
+            1,
+            1,
+            1,
+            vec!["nope".into()],
+            None,
+        )
+        .unwrap_err();
+        assert!(err.0.contains("no requested app"), "{err}");
     }
 
     #[test]

@@ -83,7 +83,48 @@ fn main() {
             requests,
             seed,
             apps,
-        } => commands::loadgen(addr, threads, requests, seed, apps),
+            fleet,
+            workers,
+            cycle_budget,
+        } => {
+            if fleet {
+                commands::fleet_loadgen(workers, threads, requests, seed, apps, cycle_budget)
+            } else {
+                commands::loadgen(addr, threads, requests, seed, apps)
+            }
+        }
+        Command::Coordinator {
+            workers,
+            seed,
+            threads,
+            max_attempts,
+            cycle_budget,
+        } => match commands::coordinator(workers, seed, threads, max_attempts, cycle_budget) {
+            Ok((out, metrics, code)) => {
+                print!("{out}");
+                eprint!("{metrics}");
+                std::process::exit(code);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Command::ChaosFleet {
+            seeds,
+            apps,
+            cycle_budget,
+            trigger_after,
+            sim_workers,
+        } => {
+            exit_with(commands::chaos_fleet(
+                seeds,
+                apps,
+                cycle_budget,
+                trigger_after,
+                sim_workers,
+            ));
+        }
         Command::Trace { app, max_steps } => commands::trace(&app, max_steps),
         Command::Sweep { app, jobs } => {
             exit_with(commands::sweep(&app, jobs));

@@ -97,6 +97,11 @@ pub enum RunError {
     /// The simulation panicked (caught by a harness's isolation boundary;
     /// the payload is the panic message).
     Panicked(String),
+    /// A remote worker failed to produce this result (distributed sweeps:
+    /// the job was dispatched but retries were exhausted, or the worker
+    /// answered with a non-simulation error). The payload describes the
+    /// last failure.
+    Remote(String),
 }
 
 impl core::fmt::Display for RunError {
@@ -105,6 +110,7 @@ impl core::fmt::Display for RunError {
             RunError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
             RunError::Sim(e) => write!(f, "simulation failed: {e}"),
             RunError::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
+            RunError::Remote(msg) => write!(f, "remote worker error: {msg}"),
         }
     }
 }

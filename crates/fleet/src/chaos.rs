@@ -1,0 +1,368 @@
+//! Fleet chaos campaigns: inject every network fault class into a live
+//! two-worker fleet and prove the coordinator loses nothing and prints
+//! nothing silently wrong.
+//!
+//! Each scenario is one `(fault class, workload set, seed)` triple: two
+//! in-process `regmutex-server` workers boot on ephemeral ports, a
+//! [`FaultProxy`] wraps the first one, and a [`Coordinator`] runs the
+//! sweep against `[proxy, healthy]`. The fleet's results are compared
+//! row-by-row against a local [`Runner`] execution of the same jobs — the
+//! determinism golden. Two failure modes are tallied:
+//!
+//! * **lost** — the local run produced a report but the fleet produced an
+//!   error row (or no row). Retries and failover exist to make this zero.
+//! * **silently wrong** — both produced reports but cycles or checksum
+//!   differ. Integrity checks exist to make this zero: corrupted bytes
+//!   must become re-dispatches, never rows.
+//!
+//! The healthy second worker guarantees every fault class is recoverable,
+//! so a correct coordinator scores zero on both — which is exactly what
+//! `regmutex-cli chaos-fleet` asserts.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use regmutex::Technique;
+use regmutex_bench::{CachedResult, JobExecutor, MatrixJob, Runner, Table};
+use regmutex_server::{Server, ServerConfig};
+
+use crate::backoff::BackoffPolicy;
+use crate::coordinator::{Coordinator, FleetConfig};
+use crate::fault::{FaultKind, FaultPlan, FaultProxy};
+use crate::ring::Ring;
+
+/// Campaign shape: every fault class × every workload set × every seed.
+#[derive(Debug, Clone)]
+pub struct FleetCampaignSpec {
+    /// Fleet seeds (each reshuffles backoff jitter and lease interleaving).
+    pub seeds: Vec<u64>,
+    /// Workload sets; each runs `apps × {baseline, regmutex}`.
+    pub app_sets: Vec<Vec<String>>,
+    /// Fault classes to inject.
+    pub faults: Vec<FaultKind>,
+    /// Per-job cycle budget (keeps scenarios fast and deadlines tight).
+    pub cycle_budget: Option<u64>,
+    /// Connections the proxy forwards cleanly before the fault engages.
+    pub trigger_after: usize,
+    /// Simulation worker threads per in-process server.
+    pub sim_workers: usize,
+}
+
+impl Default for FleetCampaignSpec {
+    fn default() -> Self {
+        FleetCampaignSpec {
+            seeds: vec![1, 2, 3, 4],
+            app_sets: vec![
+                vec!["BFS".into(), "SPMV".into()],
+                vec!["Gaussian".into(), "SAD".into()],
+            ],
+            faults: vec![
+                FaultKind::KillWorker,
+                FaultKind::Hang,
+                FaultKind::CloseEarly,
+                FaultKind::Truncate,
+                FaultKind::Corrupt,
+                FaultKind::Delay(Duration::from_millis(2500)),
+            ],
+            cycle_budget: Some(150_000),
+            // Fault from the very first connection: the ring routes only
+            // a slice of each small sweep through the proxy, and a
+            // trigger of 1 could let that slice through cleanly — a
+            // vacuously green campaign.
+            trigger_after: 0,
+            sim_workers: 2,
+        }
+    }
+}
+
+/// One scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Fault class name.
+    pub fault: &'static str,
+    /// Workload set, comma-joined.
+    pub apps: String,
+    /// Fleet seed.
+    pub seed: u64,
+    /// Jobs in the sweep.
+    pub jobs: usize,
+    /// Rows the local run produced but the fleet lost to an error.
+    pub lost: usize,
+    /// Rows that differ from the local run in cycles or checksum.
+    pub silently_wrong: usize,
+    /// Worker faults the coordinator observed (shows the fault engaged).
+    pub worker_faults: u64,
+    /// Re-dispatches to another worker.
+    pub redispatches: u64,
+    /// 429 retries taken.
+    pub retries_429: u64,
+}
+
+/// The whole campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FleetCampaignReport {
+    /// Every scenario, in execution order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl FleetCampaignReport {
+    /// Total rows lost across the campaign.
+    pub fn lost_total(&self) -> usize {
+        self.scenarios.iter().map(|s| s.lost).sum()
+    }
+
+    /// Total silently-wrong rows across the campaign.
+    pub fn wrong_total(&self) -> usize {
+        self.scenarios.iter().map(|s| s.silently_wrong).sum()
+    }
+
+    /// Human-readable table plus verdict; exit code 0 only on a clean
+    /// campaign.
+    pub fn render(&self) -> (String, i32) {
+        use std::fmt::Write as _;
+        let mut table = Table::new(&[
+            "fault", "apps", "seed", "jobs", "lost", "wrong", "faults", "redisp", "429s",
+        ]);
+        for s in &self.scenarios {
+            table.row(vec![
+                s.fault.to_string(),
+                s.apps.clone(),
+                s.seed.to_string(),
+                s.jobs.to_string(),
+                s.lost.to_string(),
+                s.silently_wrong.to_string(),
+                s.worker_faults.to_string(),
+                s.redispatches.to_string(),
+                s.retries_429.to_string(),
+            ]);
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Fleet chaos campaign — {} scenarios (fault × workload set × seed)\n",
+            self.scenarios.len()
+        );
+        out.push_str(&table.render());
+        let lost = self.lost_total();
+        let wrong = self.wrong_total();
+        let _ = writeln!(
+            out,
+            "\ncampaign verdict: {lost} lost job(s), {wrong} silently-wrong row(s)"
+        );
+        (out, i32::from(lost > 0 || wrong > 0))
+    }
+}
+
+fn jobs_for(apps: &[String], cycle_budget: Option<u64>) -> Vec<MatrixJob> {
+    let mut jobs = Vec::new();
+    for app in apps {
+        for t in [Technique::Baseline, Technique::RegMutex] {
+            let mut j = MatrixJob::new(app.clone(), t);
+            j.cycle_budget = cycle_budget;
+            jobs.push(j);
+        }
+    }
+    jobs
+}
+
+/// Compare fleet results against the local golden run.
+fn compare(golden: &[CachedResult], fleet: &[CachedResult]) -> (usize, usize) {
+    let mut lost = 0;
+    let mut wrong = 0;
+    for (g, f) in golden.iter().zip(fleet) {
+        match (g, f) {
+            (Ok(g), Ok(f)) => {
+                if g.stats.cycles != f.stats.cycles || g.stats.checksum != f.stats.checksum {
+                    wrong += 1;
+                }
+            }
+            (Ok(_), Err(_)) => lost += 1,
+            // The local run failing is a job property, not a fleet loss.
+            (Err(_), _) => {}
+        }
+    }
+    if fleet.len() < golden.len() {
+        lost += golden.len() - fleet.len();
+    }
+    (lost, wrong)
+}
+
+fn server_config(sim_workers: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        sim_workers,
+        ..ServerConfig::default()
+    }
+}
+
+/// Run one scenario: two live workers, the first behind a faulted proxy.
+fn run_scenario(
+    fault: FaultKind,
+    apps: &[String],
+    seed: u64,
+    spec: &FleetCampaignSpec,
+    golden: &[CachedResult],
+) -> Result<ScenarioResult, String> {
+    let jobs = jobs_for(apps, spec.cycle_budget);
+    let faulted = Server::start(server_config(spec.sim_workers))
+        .map_err(|e| format!("boot faulted worker: {e}"))?;
+    let healthy = Server::start(server_config(spec.sim_workers))
+        .map_err(|e| format!("boot healthy worker: {e}"))?;
+    let proxy = FaultProxy::start(
+        faulted.local_addr().to_string(),
+        FaultPlan {
+            kind: fault,
+            after_connections: spec.trigger_after,
+        },
+    )
+    .map_err(|e| format!("boot fault proxy: {e}"))?;
+
+    // Put the proxy where the traffic actually goes. The ring is a pure
+    // function of fingerprints and fleet size, so a small sweep can
+    // legally route every primary around worker 0 — pick the index that
+    // owns the most primaries, or the scenario proves nothing.
+    let cfg = FleetConfig::default();
+    let ring = Ring::new(2, cfg.vnodes);
+    let mut primaries = [0usize; 2];
+    for job in &jobs {
+        if let Ok(spec) = job.to_spec() {
+            primaries[ring.route(spec.fingerprint())[0]] += 1;
+        }
+    }
+    let workers = if primaries[1] > primaries[0] {
+        vec![healthy.local_addr().to_string(), proxy.addr().to_string()]
+    } else {
+        vec![proxy.addr().to_string(), healthy.local_addr().to_string()]
+    };
+
+    let coordinator = Coordinator::new(FleetConfig {
+        workers,
+        seed,
+        dispatch_threads: 2,
+        max_attempts: 4,
+        backoff: BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+        },
+        deadline_base: Duration::from_secs(1),
+        deadline_cap: Duration::from_secs(2),
+        failure_threshold: 2,
+        probe_interval: Duration::from_millis(100),
+        probe_timeout: Duration::from_millis(200),
+        ..FleetConfig::default()
+    })?;
+    let results = coordinator.execute(&jobs)?;
+    let (lost, silently_wrong) = compare(golden, &results);
+    let m = coordinator.metrics();
+    let scenario = ScenarioResult {
+        fault: fault.name(),
+        apps: apps.join(","),
+        seed,
+        jobs: jobs.len(),
+        lost,
+        silently_wrong,
+        worker_faults: m.worker_faults.load(std::sync::atomic::Ordering::Relaxed),
+        redispatches: m.redispatches.load(std::sync::atomic::Ordering::Relaxed),
+        retries_429: m.retries_429.load(std::sync::atomic::Ordering::Relaxed),
+    };
+    proxy.shutdown();
+    faulted.shutdown_and_wait();
+    healthy.shutdown_and_wait();
+    Ok(scenario)
+}
+
+/// Run the whole campaign. The local golden for each workload set is
+/// computed once and reused across its scenarios.
+pub fn run_fleet_campaign(spec: &FleetCampaignSpec) -> Result<FleetCampaignReport, String> {
+    let runner = Runner::new(spec.sim_workers.max(1));
+    let mut goldens: HashMap<usize, Vec<CachedResult>> = HashMap::new();
+    for (i, apps) in spec.app_sets.iter().enumerate() {
+        goldens.insert(i, runner.execute(&jobs_for(apps, spec.cycle_budget))?);
+    }
+    let mut report = FleetCampaignReport::default();
+    for &fault in &spec.faults {
+        for (i, apps) in spec.app_sets.iter().enumerate() {
+            for &seed in &spec.seeds {
+                report
+                    .scenarios
+                    .push(run_scenario(fault, apps, seed, spec, &goldens[&i])?);
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmutex::{RunError, RunReport};
+
+    fn ok_report(cycles: u64, checksum: u64) -> CachedResult {
+        let stats = regmutex_sim::SimStats {
+            cycles,
+            checksum,
+            ..Default::default()
+        };
+        Ok(RunReport {
+            technique: Technique::Baseline,
+            kernel_name: "X".into(),
+            stats,
+            plan: None,
+            theoretical_occupancy_warps: 1,
+            max_warps: 1,
+            storage_overhead_bits: 0,
+        })
+    }
+
+    #[test]
+    fn compare_counts_lost_and_wrong_rows() {
+        let golden = vec![
+            ok_report(100, 1),
+            ok_report(200, 2),
+            ok_report(300, 3),
+            Err(RunError::Panicked("x".into())),
+        ];
+        let fleet = vec![
+            ok_report(100, 1),                       // identical
+            ok_report(201, 2),                       // wrong cycles
+            Err(RunError::Remote("gave up".into())), // lost
+            Err(RunError::Panicked("x".into())),     // both failed: fine
+        ];
+        assert_eq!(compare(&golden, &fleet), (1, 1));
+        assert_eq!(compare(&golden, &golden.clone()), (0, 0));
+    }
+
+    #[test]
+    fn report_renders_and_flags_dirty_campaigns() {
+        let mut r = FleetCampaignReport::default();
+        r.scenarios.push(ScenarioResult {
+            fault: "corrupt",
+            apps: "BFS,SPMV".into(),
+            seed: 1,
+            jobs: 4,
+            lost: 0,
+            silently_wrong: 0,
+            worker_faults: 2,
+            redispatches: 2,
+            retries_429: 0,
+        });
+        let (text, code) = r.render();
+        assert_eq!(code, 0);
+        assert!(
+            text.contains("0 lost job(s), 0 silently-wrong row(s)"),
+            "{text}"
+        );
+        r.scenarios[0].lost = 1;
+        let (text, code) = r.render();
+        assert_eq!(code, 1);
+        assert!(text.contains("1 lost job(s)"), "{text}");
+    }
+
+    #[test]
+    fn default_spec_covers_at_least_four_fault_classes() {
+        let spec = FleetCampaignSpec::default();
+        assert!(spec.faults.len() >= 4);
+        assert!(spec.app_sets.len() >= 2);
+        assert!(spec.seeds.len() >= 4);
+    }
+}

@@ -1,0 +1,363 @@
+//! Deterministic network-fault injection: a test-only TCP proxy that sits
+//! in front of one worker and misbehaves on cue.
+//!
+//! A [`FaultProxy`] forwards whole HTTP exchanges (`Connection: close`
+//! framing: request = head + `Content-Length` body, response = bytes
+//! until EOF) transparently until its trigger count is reached; from then
+//! on every connection suffers the planned [`FaultKind`]. The trigger is
+//! a connection *count*, not a timer, so a fixed job stream reproduces
+//! the same fault at the same point on every run — chaos campaigns are
+//! replayable.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The misbehavior a faulted connection suffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker is dead: connections are accepted and immediately
+    /// dropped, forever. (Accept-then-drop rather than refuse keeps the
+    /// port owned, exactly like a SIGKILLed process whose port lingers.)
+    KillWorker,
+    /// Read the request, then never reply — the client's deadline fires.
+    Hang,
+    /// Read the request, close without sending a byte.
+    CloseEarly,
+    /// Forward upstream but send only the first half of the response.
+    Truncate,
+    /// Forward upstream but flip bits in the response body.
+    Corrupt,
+    /// Forward upstream but deliver the response only after this delay —
+    /// past the client's deadline, the reply is late and its lease stale.
+    Delay(Duration),
+}
+
+impl FaultKind {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::KillWorker => "kill-worker",
+            FaultKind::Hang => "hang",
+            FaultKind::CloseEarly => "close-early",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Delay(_) => "delay",
+        }
+    }
+}
+
+/// When and how a proxy misbehaves.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// Connections forwarded cleanly before the fault engages.
+    pub after_connections: usize,
+}
+
+/// A fault-injecting TCP proxy in front of one upstream worker.
+pub struct FaultProxy {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    connections: Arc<AtomicUsize>,
+}
+
+impl FaultProxy {
+    /// Listen on an ephemeral localhost port, proxying to `upstream`.
+    pub fn start(upstream: impl Into<String>, plan: FaultPlan) -> std::io::Result<FaultProxy> {
+        let upstream = upstream.into();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicUsize::new(0));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || {
+                let mut conn_threads = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let n = connections.fetch_add(1, Ordering::SeqCst);
+                            let upstream = upstream.clone();
+                            let stop = Arc::clone(&stop);
+                            conn_threads.push(std::thread::spawn(move || {
+                                handle(stream, &upstream, plan, n, &stop);
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for t in conn_threads {
+                    let _ = t.join();
+                }
+            })
+        };
+        Ok(FaultProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The proxy's listen address (`host:port`) — what the coordinator is
+    /// pointed at instead of the worker.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> usize {
+        self.connections.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting and join every connection thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle(mut client: TcpStream, upstream: &str, plan: FaultPlan, n: usize, stop: &AtomicBool) {
+    let faulted = n >= plan.after_connections;
+    if faulted && plan.kind == FaultKind::KillWorker {
+        return; // drop without reading a byte
+    }
+    let Some(request) = read_raw_request(&mut client) else {
+        return;
+    };
+    if faulted {
+        match plan.kind {
+            FaultKind::Hang => {
+                // Hold the socket open, replying never; release only on
+                // proxy shutdown so tests don't leak threads.
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                return;
+            }
+            FaultKind::CloseEarly => return,
+            _ => {}
+        }
+    }
+    let Some(mut response) = forward(upstream, &request) else {
+        return;
+    };
+    if faulted {
+        match plan.kind {
+            FaultKind::Truncate => response.truncate(response.len() / 2),
+            FaultKind::Corrupt => {
+                // Flip bits in the back half of the *body*, leaving the
+                // head intact — the hardest corruption to notice without
+                // checksums, since the response still parses as HTTP.
+                let body_start = response
+                    .windows(4)
+                    .position(|w| w == b"\r\n\r\n")
+                    .map_or(0, |p| p + 4);
+                let start = body_start + (response.len() - body_start) / 2;
+                for b in &mut response[start..] {
+                    *b ^= 0x20;
+                }
+            }
+            FaultKind::Delay(d) => {
+                let mut waited = Duration::ZERO;
+                while waited < d && !stop.load(Ordering::SeqCst) {
+                    let step = Duration::from_millis(25).min(d - waited);
+                    std::thread::sleep(step);
+                    waited += step;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = client.write_all(&response);
+    let _ = client.flush();
+}
+
+/// Read one `Connection: close` HTTP request: head through CRLFCRLF plus
+/// `Content-Length` body bytes. Returns the raw bytes unmodified.
+fn read_raw_request(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        if buf.len() > 1 << 20 {
+            return None;
+        }
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = core::str::from_utf8(&buf[..head_end]).ok()?;
+    let content_length = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| v.trim())
+        })
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let total = head_end + 4 + content_length;
+    while buf.len() < total {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    Some(buf)
+}
+
+/// Replay `request` against the upstream and collect its full response.
+fn forward(upstream: &str, request: &[u8]) -> Option<Vec<u8>> {
+    let mut stream = TcpStream::connect(upstream).ok()?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+    stream.write_all(request).ok()?;
+    stream.flush().ok()?;
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => response.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    (!response.is_empty()).then_some(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A one-request echo "worker" that answers a canned HTTP response.
+    fn tiny_upstream(reply: &'static [u8]) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            while let Ok((mut s, _)) = listener.accept() {
+                let _ = read_raw_request(&mut s);
+                let _ = s.write_all(reply);
+            }
+        });
+        addr
+    }
+
+    const REPLY: &[u8] = b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\nconnection: close\r\n\r\nhello";
+
+    fn get(addr: &str) -> Result<regmutex_server::http::ClientResponse, String> {
+        regmutex_server::http::client_request(addr, "GET", "/", None, Duration::from_millis(500))
+            .map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn clean_connections_forward_transparently() {
+        let upstream = tiny_upstream(REPLY);
+        let proxy = FaultProxy::start(
+            upstream,
+            FaultPlan {
+                kind: FaultKind::CloseEarly,
+                after_connections: 100,
+            },
+        )
+        .unwrap();
+        let resp = get(proxy.addr()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hello");
+        assert_eq!(proxy.connections(), 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn kill_worker_drops_every_connection_after_the_trigger() {
+        let upstream = tiny_upstream(REPLY);
+        let proxy = FaultProxy::start(
+            upstream,
+            FaultPlan {
+                kind: FaultKind::KillWorker,
+                after_connections: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(get(proxy.addr()).unwrap().status, 200);
+        assert!(get(proxy.addr()).is_err());
+        assert!(get(proxy.addr()).is_err(), "dead stays dead");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn truncate_and_corrupt_mangle_the_response() {
+        let upstream = tiny_upstream(REPLY);
+        let trunc = FaultProxy::start(
+            upstream.clone(),
+            FaultPlan {
+                kind: FaultKind::Truncate,
+                after_connections: 0,
+            },
+        )
+        .unwrap();
+        // Half of the reply doesn't even contain the header terminator.
+        assert!(get(trunc.addr()).is_err());
+        trunc.shutdown();
+
+        let corrupt = FaultProxy::start(
+            upstream,
+            FaultPlan {
+                kind: FaultKind::Corrupt,
+                after_connections: 0,
+            },
+        )
+        .unwrap();
+        let resp = get(corrupt.addr()).unwrap();
+        assert_ne!(resp.body, b"hello", "body bytes must be flipped");
+        corrupt.shutdown();
+    }
+
+    #[test]
+    fn hang_trips_the_client_deadline() {
+        let upstream = tiny_upstream(REPLY);
+        let proxy = FaultProxy::start(
+            upstream,
+            FaultPlan {
+                kind: FaultKind::Hang,
+                after_connections: 0,
+            },
+        )
+        .unwrap();
+        let started = std::time::Instant::now();
+        assert!(get(proxy.addr()).is_err());
+        assert!(
+            started.elapsed() >= Duration::from_millis(400),
+            "timed out, not refused"
+        );
+        proxy.shutdown();
+    }
+}

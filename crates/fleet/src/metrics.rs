@@ -1,0 +1,293 @@
+//! Fleet-level Prometheus metrics: the coordinator's own counters plus a
+//! fold of every worker's `/metrics` scrape.
+//!
+//! The coordinator counts what only it can see — attempts, retries,
+//! backoff waits, re-dispatches, quarantines, give-ups — and renders them
+//! alongside per-worker `up`/`quarantined` gauges (from a live probe) and
+//! the fleet-wide cache hit rate (summed from each worker's
+//! `regmutex_cache_hits_total` / `regmutex_cache_misses_total`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use regmutex_server::http::client_request;
+
+use crate::worker::WorkerHandle;
+
+/// Per-worker dispatch tallies.
+#[derive(Debug, Default)]
+pub struct WorkerTally {
+    /// Dispatch attempts sent to this worker.
+    pub attempts: AtomicU64,
+    /// Attempts that returned a verified result.
+    pub ok: AtomicU64,
+    /// Worker faults attributed to this worker.
+    pub faults: AtomicU64,
+    /// Times this worker was newly quarantined.
+    pub quarantines: AtomicU64,
+}
+
+/// Coordinator-side counters. All relaxed atomics — monotone tallies.
+#[derive(Debug)]
+pub struct FleetMetrics {
+    /// Dispatch attempts across the fleet (includes retries).
+    pub attempts: AtomicU64,
+    /// Jobs that completed with a verified report.
+    pub jobs_ok: AtomicU64,
+    /// Of those, served from a worker's result cache.
+    pub jobs_cached: AtomicU64,
+    /// Jobs that failed deterministically (the worker answered; the
+    /// simulation itself failed). Not retried.
+    pub job_errors: AtomicU64,
+    /// Jobs abandoned after exhausting every attempt (labeled error rows).
+    pub gave_up: AtomicU64,
+    /// 429 responses retried after honoring `Retry-After`.
+    pub retries_429: AtomicU64,
+    /// Re-dispatches to a different worker after a worker fault.
+    pub redispatches: AtomicU64,
+    /// Worker faults observed (transport, timeout, integrity).
+    pub worker_faults: AtomicU64,
+    /// Replies rejected by integrity checks (checksum/app/lease mismatch,
+    /// unparsable body).
+    pub integrity_failures: AtomicU64,
+    /// Backoff sleeps taken.
+    pub backoff_waits: AtomicU64,
+    /// Total backoff time, microseconds.
+    pub backoff_us: AtomicU64,
+    /// One tally per worker, indexed like the coordinator's worker list.
+    pub per_worker: Vec<WorkerTally>,
+}
+
+impl FleetMetrics {
+    /// Zeroed metrics for a fleet of `workers`.
+    pub fn new(workers: usize) -> FleetMetrics {
+        FleetMetrics {
+            attempts: AtomicU64::new(0),
+            jobs_ok: AtomicU64::new(0),
+            jobs_cached: AtomicU64::new(0),
+            job_errors: AtomicU64::new(0),
+            gave_up: AtomicU64::new(0),
+            retries_429: AtomicU64::new(0),
+            redispatches: AtomicU64::new(0),
+            worker_faults: AtomicU64::new(0),
+            integrity_failures: AtomicU64::new(0),
+            backoff_waits: AtomicU64::new(0),
+            backoff_us: AtomicU64::new(0),
+            per_worker: (0..workers).map(|_| WorkerTally::default()).collect(),
+        }
+    }
+
+    /// Render the Prometheus exposition. Probes each worker (liveness
+    /// gauge) and scrapes its `/metrics` to fold cache counters; a worker
+    /// that does not answer within `scrape_timeout` reports `up 0` and
+    /// contributes nothing to the folded counters.
+    pub fn render(
+        &self,
+        workers: &[std::sync::Arc<WorkerHandle>],
+        scrape_timeout: Duration,
+    ) -> String {
+        let mut out = String::new();
+        let mut push = |line: String| {
+            out.push_str(&line);
+            out.push('\n');
+        };
+
+        push("# HELP regmutex_fleet_worker_up Worker answered a /healthz probe just now.".into());
+        push("# TYPE regmutex_fleet_worker_up gauge".into());
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut ups = Vec::with_capacity(workers.len());
+        for w in workers {
+            let up = w.probe(scrape_timeout).is_ok();
+            ups.push(up);
+            push(format!(
+                "regmutex_fleet_worker_up{{worker=\"{}\"}} {}",
+                w.addr,
+                u8::from(up)
+            ));
+            if up {
+                if let Ok(resp) = client_request(&w.addr, "GET", "/metrics", None, scrape_timeout) {
+                    let text = String::from_utf8_lossy(&resp.body).into_owned();
+                    cache_hits += scrape_counter(&text, "regmutex_cache_hits_total");
+                    cache_misses += scrape_counter(&text, "regmutex_cache_misses_total");
+                }
+            }
+        }
+
+        push("# HELP regmutex_fleet_worker_quarantined Worker is being routed around.".into());
+        push("# TYPE regmutex_fleet_worker_quarantined gauge".into());
+        for w in workers {
+            push(format!(
+                "regmutex_fleet_worker_quarantined{{worker=\"{}\"}} {}",
+                w.addr,
+                u8::from(w.is_quarantined())
+            ));
+        }
+
+        for (name, help) in [
+            ("attempts_total", "Dispatch attempts, including retries."),
+            ("ok_total", "Attempts that returned a verified result."),
+            ("faults_total", "Worker faults attributed to the worker."),
+            ("quarantines_total", "Times the worker was quarantined."),
+        ] {
+            push(format!("# HELP regmutex_fleet_worker_{name} {help}"));
+            push(format!("# TYPE regmutex_fleet_worker_{name} counter"));
+            for (w, t) in workers.iter().zip(&self.per_worker) {
+                let v = match name {
+                    "attempts_total" => t.attempts.load(Ordering::Relaxed),
+                    "ok_total" => t.ok.load(Ordering::Relaxed),
+                    "faults_total" => t.faults.load(Ordering::Relaxed),
+                    _ => t.quarantines.load(Ordering::Relaxed),
+                };
+                push(format!(
+                    "regmutex_fleet_worker_{name}{{worker=\"{}\"}} {v}",
+                    w.addr
+                ));
+            }
+        }
+
+        let scalars: [(&str, &str, u64); 9] = [
+            (
+                "jobs_ok_total",
+                "Jobs completed with a verified report.",
+                self.jobs_ok.load(Ordering::Relaxed),
+            ),
+            (
+                "jobs_cached_total",
+                "Jobs served from a worker result cache.",
+                self.jobs_cached.load(Ordering::Relaxed),
+            ),
+            (
+                "job_errors_total",
+                "Deterministic job failures (not retried).",
+                self.job_errors.load(Ordering::Relaxed),
+            ),
+            (
+                "gave_up_total",
+                "Jobs abandoned after exhausting attempts.",
+                self.gave_up.load(Ordering::Relaxed),
+            ),
+            (
+                "retries_429_total",
+                "429 responses retried after Retry-After.",
+                self.retries_429.load(Ordering::Relaxed),
+            ),
+            (
+                "redispatches_total",
+                "Jobs re-dispatched to another worker.",
+                self.redispatches.load(Ordering::Relaxed),
+            ),
+            (
+                "worker_faults_total",
+                "Transport/timeout/integrity faults.",
+                self.worker_faults.load(Ordering::Relaxed),
+            ),
+            (
+                "integrity_failures_total",
+                "Replies rejected by integrity checks.",
+                self.integrity_failures.load(Ordering::Relaxed),
+            ),
+            (
+                "backoff_waits_total",
+                "Backoff sleeps taken.",
+                self.backoff_waits.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, v) in scalars {
+            push(format!("# HELP regmutex_fleet_{name} {help}"));
+            push(format!("# TYPE regmutex_fleet_{name} counter"));
+            push(format!("regmutex_fleet_{name} {v}"));
+        }
+        push("# HELP regmutex_fleet_attempts_total Dispatch attempts across the fleet.".into());
+        push("# TYPE regmutex_fleet_attempts_total counter".into());
+        push(format!(
+            "regmutex_fleet_attempts_total {}",
+            self.attempts.load(Ordering::Relaxed)
+        ));
+        push("# HELP regmutex_fleet_backoff_seconds_total Total backoff wait time.".into());
+        push("# TYPE regmutex_fleet_backoff_seconds_total counter".into());
+        push(format!(
+            "regmutex_fleet_backoff_seconds_total {:.6}",
+            self.backoff_us.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+
+        push(
+            "# HELP regmutex_fleet_cache_hits_total Result-cache hits summed over workers.".into(),
+        );
+        push("# TYPE regmutex_fleet_cache_hits_total counter".into());
+        push(format!("regmutex_fleet_cache_hits_total {cache_hits}"));
+        push(
+            "# HELP regmutex_fleet_cache_misses_total Result-cache misses summed over workers."
+                .into(),
+        );
+        push("# TYPE regmutex_fleet_cache_misses_total counter".into());
+        push(format!("regmutex_fleet_cache_misses_total {cache_misses}"));
+        push("# HELP regmutex_fleet_cache_hit_rate Fleet-wide result-cache hit rate.".into());
+        push("# TYPE regmutex_fleet_cache_hit_rate gauge".into());
+        let total = cache_hits + cache_misses;
+        push(format!(
+            "regmutex_fleet_cache_hit_rate {:.6}",
+            if total == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / total as f64
+            }
+        ));
+        out
+    }
+}
+
+/// Sum every sample of `name` (bare or labeled) in a Prometheus text
+/// exposition. Integers only — the counters we fold are integral.
+fn scrape_counter(text: &str, name: &str) -> u64 {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let rest = l.strip_prefix(name)?;
+            let rest = rest
+                .strip_prefix('{')
+                .map_or(rest, |r| r.split_once('}').map_or(r, |(_, tail)| tail));
+            rest.trim().parse::<u64>().ok()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_counter_reads_bare_and_labeled_samples() {
+        let text = "# HELP regmutex_cache_hits_total x\n\
+                    regmutex_cache_hits_total 7\n\
+                    other_metric 99\n\
+                    labeled_total{app=\"BFS\"} 3\n\
+                    labeled_total{app=\"SAD\"} 4\n";
+        assert_eq!(scrape_counter(text, "regmutex_cache_hits_total"), 7);
+        assert_eq!(scrape_counter(text, "labeled_total"), 7);
+        assert_eq!(scrape_counter(text, "missing_total"), 0);
+    }
+
+    #[test]
+    fn render_reports_dead_workers_as_down() {
+        // Nothing listens on this address: up 0, no folded cache counters.
+        let metrics = FleetMetrics::new(1);
+        metrics.attempts.store(5, Ordering::Relaxed);
+        metrics.per_worker[0].attempts.store(5, Ordering::Relaxed);
+        let workers = vec![std::sync::Arc::new(WorkerHandle::new("127.0.0.1:1"))];
+        let text = metrics.render(&workers, Duration::from_millis(50));
+        assert!(
+            text.contains("regmutex_fleet_worker_up{worker=\"127.0.0.1:1\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("regmutex_fleet_attempts_total 5"), "{text}");
+        assert!(
+            text.contains("regmutex_fleet_worker_attempts_total{worker=\"127.0.0.1:1\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("regmutex_fleet_cache_hit_rate 0.000000"),
+            "{text}"
+        );
+    }
+}

@@ -50,4 +50,4 @@ pub mod signal;
 pub mod wire;
 
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
-pub use server::{serve_until_shutdown, Server, ServerConfig};
+pub use server::{serve_until_shutdown, spec_for_request, Server, ServerConfig};

@@ -30,6 +30,12 @@ pub struct LoadgenConfig {
     pub timeout: Duration,
     /// Restrict sampling to these workloads (empty = the full registry).
     pub apps: Vec<String>,
+    /// Retries per request on 429 before giving up (honoring the server's
+    /// `Retry-After` each time). 0 restores the fire-and-forget behaviour.
+    pub max_retries_429: usize,
+    /// Cap on a single `Retry-After` wait, so a hostile or confused server
+    /// can't stall a client thread arbitrarily long.
+    pub retry_after_cap: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -41,6 +47,8 @@ impl Default for LoadgenConfig {
             seed: 0x5eed_2024,
             timeout: Duration::from_secs(120),
             apps: Vec::new(),
+            max_retries_429: 3,
+            retry_after_cap: Duration::from_secs(2),
         }
     }
 }
@@ -54,8 +62,12 @@ pub struct LoadgenReport {
     pub ok: usize,
     /// 200 responses served from the result cache.
     pub cached: usize,
-    /// 429 backpressure rejections.
+    /// Requests that still saw 429 after every retry (gave up).
     pub rejected: usize,
+    /// 429 responses that were retried after honoring `Retry-After`
+    /// (attempt count, not request count; one request can retry several
+    /// times).
+    pub retried_429: usize,
     /// Any other status or transport error.
     pub failed: usize,
     /// Wall-clock duration of the whole run.
@@ -97,16 +109,29 @@ impl LoadgenReport {
         self.ok + self.rejected + self.failed == self.total
     }
 
+    /// Successfully completed requests per second — the throughput that
+    /// actually did work, as opposed to [`LoadgenReport::rps`]'s raw
+    /// response rate. Retried-then-succeeded requests count once.
+    pub fn goodput(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        self.ok as f64 / s
+    }
+
     /// Human-readable summary block.
     pub fn render(&self) -> String {
         format!(
             "requests      {}\n\
              ok            {}\n\
              cached        {} ({:.1}% hit rate)\n\
+             retried 429   {}\n\
              rejected 429  {}\n\
              failed        {}\n\
              elapsed       {:.2} s\n\
              throughput    {:.1} req/s\n\
+             goodput       {:.1} ok/s\n\
              latency p50   {:.3} ms\n\
              latency p95   {:.3} ms\n\
              latency p99   {:.3} ms",
@@ -114,10 +139,12 @@ impl LoadgenReport {
             self.ok,
             self.cached,
             100.0 * self.cache_hit_rate(),
+            self.retried_429,
             self.rejected,
             self.failed,
             self.elapsed.as_secs_f64(),
             self.rps(),
+            self.goodput(),
             self.percentile_us(50.0) as f64 / 1e3,
             self.percentile_us(95.0) as f64 / 1e3,
             self.percentile_us(99.0) as f64 / 1e3,
@@ -205,12 +232,23 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         report.ok += part.ok;
         report.cached += part.cached;
         report.rejected += part.rejected;
+        report.retried_429 += part.retried_429;
         report.failed += part.failed;
         report.latencies_us.extend(part.latencies_us);
     }
     report.elapsed = started.elapsed();
     report.latencies_us.sort_unstable();
     Ok(report)
+}
+
+/// The wait a 429 asked for: its `Retry-After` seconds, capped. A missing
+/// or unparsable header falls back to the cap (the server always sends the
+/// header; a proxy might strip it).
+fn retry_after_wait(resp: &crate::http::ClientResponse, cap: Duration) -> Duration {
+    resp.header("retry-after")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(cap, Duration::from_secs)
+        .min(cap)
 }
 
 fn worker(cfg: &LoadgenConfig, names: &[String], seed: u64) -> LoadgenReport {
@@ -224,38 +262,47 @@ fn worker(cfg: &LoadgenConfig, names: &[String], seed: u64) -> LoadgenReport {
             ("technique".into(), Json::Str((*technique).into())),
         ])
         .encode();
+        // One logical request: up to 1 + max_retries_429 attempts, backing
+        // off by the server's Retry-After between them. The latency sample
+        // is end-to-end (waits included) — the latency a polite client
+        // actually experiences under backpressure.
         let sent = Instant::now();
-        match client_request(
-            &cfg.addr,
-            "POST",
-            "/v1/run",
-            Some(body.as_bytes()),
-            cfg.timeout,
-        ) {
-            Ok(resp) => {
-                part.latencies_us
-                    .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-                match resp.status {
-                    200 => {
-                        part.ok += 1;
-                        let cached = core::str::from_utf8(&resp.body)
-                            .ok()
-                            .and_then(|t| json::parse(t).ok())
-                            .and_then(|v| v.get("cached").and_then(Json::as_bool))
-                            .unwrap_or(false);
-                        if cached {
-                            part.cached += 1;
-                        }
-                    }
-                    429 => part.rejected += 1,
-                    _ => part.failed += 1,
+        let mut attempts_left = cfg.max_retries_429;
+        let outcome = loop {
+            match client_request(
+                &cfg.addr,
+                "POST",
+                "/v1/run",
+                Some(body.as_bytes()),
+                cfg.timeout,
+            ) {
+                Ok(resp) if resp.status == 429 && attempts_left > 0 => {
+                    attempts_left -= 1;
+                    part.retried_429 += 1;
+                    std::thread::sleep(retry_after_wait(&resp, cfg.retry_after_cap));
                 }
+                other => break other,
             }
-            Err(_) => {
-                part.latencies_us
-                    .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-                part.failed += 1;
-            }
+        };
+        part.latencies_us
+            .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        match outcome {
+            Ok(resp) => match resp.status {
+                200 => {
+                    part.ok += 1;
+                    let cached = core::str::from_utf8(&resp.body)
+                        .ok()
+                        .and_then(|t| json::parse(t).ok())
+                        .and_then(|v| v.get("cached").and_then(Json::as_bool))
+                        .unwrap_or(false);
+                    if cached {
+                        part.cached += 1;
+                    }
+                }
+                429 => part.rejected += 1,
+                _ => part.failed += 1,
+            },
+            Err(_) => part.failed += 1,
         }
     }
     part
@@ -307,12 +354,34 @@ mod tests {
             ok: 7,
             cached: 4,
             rejected: 2,
+            retried_429: 5,
             failed: 1,
             elapsed: Duration::from_secs(1),
             latencies_us: vec![100, 200, 300],
         };
         let text = r.render();
         assert!(text.contains("rejected 429  2"), "{text}");
+        assert!(text.contains("retried 429   5"), "{text}");
+        assert!(text.contains("goodput       7.0 ok/s"), "{text}");
         assert!(text.contains("hit rate"), "{text}");
+    }
+
+    #[test]
+    fn retry_after_wait_parses_and_caps() {
+        use crate::http::ClientResponse;
+        let resp = |headers: Vec<(String, String)>| ClientResponse {
+            status: 429,
+            headers,
+            body: Vec::new(),
+        };
+        let cap = Duration::from_secs(2);
+        let with = resp(vec![("retry-after".into(), "1".into())]);
+        assert_eq!(retry_after_wait(&with, cap), Duration::from_secs(1));
+        let over = resp(vec![("retry-after".into(), "60".into())]);
+        assert_eq!(retry_after_wait(&over, cap), cap);
+        let missing = resp(vec![]);
+        assert_eq!(retry_after_wait(&missing, cap), cap);
+        let garbage = resp(vec![("retry-after".into(), "soon".into())]);
+        assert_eq!(retry_after_wait(&garbage, cap), cap);
     }
 }

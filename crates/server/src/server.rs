@@ -101,6 +101,8 @@ struct ServerState {
     inflight_jobs: AtomicUsize,
     /// Total 429 responses (mirrors metrics, readable without the map lock).
     rejected: AtomicU64,
+    /// When the server started (uptime in `/healthz`).
+    started: Instant,
 }
 
 /// A running simulation service. Dropping it without
@@ -130,6 +132,7 @@ impl Server {
             active_connections: AtomicUsize::new(0),
             inflight_jobs: AtomicUsize::new(0),
             rejected: AtomicU64::new(0),
+            started: Instant::now(),
             cfg,
         });
 
@@ -309,6 +312,9 @@ fn dispatch(request: &Request, state: &ServerState) -> Response {
     }
 }
 
+/// Readiness probe: everything a coordinator needs to rank this worker,
+/// from cheap atomic loads only (the plain-200 fast path stays fast —
+/// no simulation state is touched and nothing blocks).
 fn healthz(state: &ServerState) -> Response {
     let draining = state.draining.load(Ordering::SeqCst);
     let body = Json::Obj(vec![
@@ -316,7 +322,29 @@ fn healthz(state: &ServerState) -> Response {
             "status".into(),
             Json::Str(if draining { "draining" } else { "ok" }.into()),
         ),
+        ("draining".into(), Json::Bool(draining)),
         ("queue_depth".into(), Json::U64(state.queue.len() as u64)),
+        (
+            "queue_capacity".into(),
+            Json::U64(state.queue.capacity() as u64),
+        ),
+        (
+            "inflight_jobs".into(),
+            Json::U64(state.inflight_jobs.load(Ordering::SeqCst) as u64),
+        ),
+        (
+            "active_connections".into(),
+            Json::U64(state.active_connections.load(Ordering::SeqCst) as u64),
+        ),
+        ("cache_bytes".into(), Json::U64(state.cache.bytes() as u64)),
+        (
+            "cache_entries".into(),
+            Json::U64(state.cache.entries() as u64),
+        ),
+        (
+            "uptime_seconds".into(),
+            Json::U64(state.started.elapsed().as_secs()),
+        ),
         (
             "workers".into(),
             Json::U64(state.cfg.sim_workers.max(1) as u64),
@@ -351,15 +379,20 @@ fn parse_body(request: &Request) -> Result<Json, Response> {
         .map_err(|e| Response::json(400, wire::error_json(&format!("invalid JSON: {e}"))))
 }
 
-/// Build the job spec for one run request.
-fn build_spec(req: &RunRequest, state: &ServerState) -> JobSpec {
+/// Build the [`JobSpec`] a [`RunRequest`] runs as, under a server's
+/// `sm_workers` setting and cycle cap. Public so a coordinator can compute
+/// the *same* content fingerprint the worker will key its cache with —
+/// consistent-hash routing by that fingerprint shards the workers' LRU
+/// caches cleanly. With the defaults (`sm_workers = 0`, no server cap) the
+/// spec is identical to the one the local harness builds for the same job.
+pub fn spec_for_request(req: &RunRequest, sm_workers: u32, server_budget: Option<u64>) -> JobSpec {
     let w = suite::by_name(&req.app).expect("validated by parse_run_request");
     let mut cfg = if req.half_rf {
         GpuConfig::gtx480_half_rf()
     } else {
         GpuConfig::gtx480()
     };
-    cfg.sm_workers = state.cfg.sm_workers;
+    cfg.sm_workers = sm_workers;
     let launch = LaunchConfig::new(req.ctas.unwrap_or(w.grid_ctas));
     let mut spec = JobSpec::new(
         format!("{}/{}", w.name, req.technique),
@@ -372,7 +405,7 @@ fn build_spec(req: &RunRequest, state: &ServerState) -> JobSpec {
         force_es: req.force_es,
         force_apply: req.force_es.is_some(),
     });
-    let budget = match (req.cycle_budget, state.cfg.cycle_budget) {
+    let budget = match (req.cycle_budget, server_budget) {
         (Some(a), Some(b)) => Some(a.min(b)),
         (a, b) => a.or(b),
     };
@@ -380,6 +413,11 @@ fn build_spec(req: &RunRequest, state: &ServerState) -> JobSpec {
         spec = spec.with_cycle_budget(b);
     }
     spec
+}
+
+/// Build the job spec for one run request under this server's config.
+fn build_spec(req: &RunRequest, state: &ServerState) -> JobSpec {
+    spec_for_request(req, state.cfg.sm_workers, state.cfg.cycle_budget)
 }
 
 /// Outcome of pushing one job through the queue and waiting for it.
@@ -426,14 +464,23 @@ fn submit_and_wait(spec: JobSpec, state: &ServerState) -> JobOutcome {
 }
 
 /// Classify a finished job into an HTTP response, updating job metrics.
-fn job_response(app: &str, outcome: CachedResult, cached: bool, state: &ServerState) -> Response {
+fn job_response(
+    app: &str,
+    outcome: CachedResult,
+    cached: bool,
+    lease: Option<u64>,
+    state: &ServerState,
+) -> Response {
     match outcome {
         Ok(report) => {
             state.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
             if !cached {
                 state.metrics.sim.add(&report.stats);
             }
-            Response::json(200, wire::run_response_json(app, &report, cached).encode())
+            Response::json(
+                200,
+                wire::run_response_json(app, &report, cached, lease).encode(),
+            )
         }
         Err(RunError::Panicked(msg)) => {
             state.metrics.jobs_panicked.fetch_add(1, Ordering::Relaxed);
@@ -460,7 +507,9 @@ fn run_endpoint(request: &Request, state: &ServerState) -> Response {
     };
     let spec = build_spec(&run, state);
     match submit_and_wait(spec, state) {
-        JobOutcome::Done(outcome, cached) => job_response(&run.app, outcome, cached, state),
+        JobOutcome::Done(outcome, cached) => {
+            job_response(&run.app, outcome, cached, run.lease, state)
+        }
         JobOutcome::Rejected(resp) => resp,
     }
 }

@@ -48,6 +48,13 @@ pub struct RunRequest {
     pub force_es: Option<u16>,
     /// Per-request cycle budget (min-ed with the server's cap).
     pub cycle_budget: Option<u64>,
+    /// Opaque job lease id, echoed verbatim in the success response. A
+    /// coordinator re-dispatching a job after a timeout stamps each attempt
+    /// with a fresh lease, so a late reply from a presumed-dead worker can
+    /// be told apart from the attempt actually being waited on. Execution
+    /// is idempotent either way (results are content-addressed), so
+    /// re-execution of a leased job is always safe.
+    pub lease: Option<u64>,
 }
 
 fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, WireError> {
@@ -85,13 +92,14 @@ pub fn parse_run_request(v: &Json) -> Result<RunRequest, WireError> {
     let obj = v
         .as_obj()
         .ok_or_else(|| bad("body must be a JSON object"))?;
-    const KNOWN: [&str; 6] = [
+    const KNOWN: [&str; 7] = [
         "app",
         "technique",
         "half_rf",
         "ctas",
         "force_es",
         "cycle_budget",
+        "lease",
     ];
     if let Some((k, _)) = obj.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
         return Err(bad(format!("unknown field '{k}'")));
@@ -128,7 +136,35 @@ pub fn parse_run_request(v: &Json) -> Result<RunRequest, WireError> {
             .map(|n| narrow::<u16>(n, "force_es"))
             .transpose()?,
         cycle_budget: opt_u64(v, "cycle_budget")?,
+        lease: opt_u64(v, "lease")?,
     })
+}
+
+/// Encode a [`RunRequest`] as a `/v1/run` body — the client-side inverse
+/// of [`parse_run_request`], used by the fleet coordinator and tests.
+/// Defaults are omitted so the encoding round-trips through the strict
+/// parser.
+pub fn run_request_json(req: &RunRequest) -> Json {
+    let mut pairs = vec![
+        ("app".into(), Json::Str(req.app.clone())),
+        ("technique".into(), Json::Str(req.technique.to_string())),
+    ];
+    if req.half_rf {
+        pairs.push(("half_rf".into(), Json::Bool(true)));
+    }
+    if let Some(ctas) = req.ctas {
+        pairs.push(("ctas".into(), Json::U64(u64::from(ctas))));
+    }
+    if let Some(es) = req.force_es {
+        pairs.push(("force_es".into(), Json::U64(u64::from(es))));
+    }
+    if let Some(b) = req.cycle_budget {
+        pairs.push(("cycle_budget".into(), Json::U64(b)));
+    }
+    if let Some(lease) = req.lease {
+        pairs.push(("lease".into(), Json::U64(lease)));
+    }
+    Json::Obj(pairs)
 }
 
 /// The workload registry as machine-readable JSON — the same rows as
@@ -288,8 +324,10 @@ pub fn report_from_json(v: &Json) -> Result<RunReport, WireError> {
 }
 
 /// The `/v1/run` success body: the report plus request identity, derived
-/// convenience metrics, and whether the result came from the cache.
-pub fn run_response_json(app: &str, report: &RunReport, cached: bool) -> Json {
+/// convenience metrics, and whether the result came from the cache. A
+/// request that carried a lease id gets it echoed back (absent otherwise,
+/// keeping lease-less responses byte-stable).
+pub fn run_response_json(app: &str, report: &RunReport, cached: bool, lease: Option<u64>) -> Json {
     let mut pairs = vec![
         ("app".into(), Json::Str(app.to_string())),
         ("cached".into(), Json::Bool(cached)),
@@ -304,6 +342,9 @@ pub fn run_response_json(app: &str, report: &RunReport, cached: bool) -> Json {
             Json::Str(format!("{:#018x}", report.stats.checksum)),
         ),
     ];
+    if let Some(lease) = lease {
+        pairs.push(("lease".into(), Json::U64(lease)));
+    }
     if let Json::Obj(report_pairs) = report_to_json(report) {
         pairs.extend(report_pairs);
     }
@@ -404,6 +445,43 @@ mod tests {
         assert_eq!(r.ctas, Some(90));
         assert_eq!(r.force_es, Some(8));
         assert_eq!(r.cycle_budget, Some(5000));
+    }
+
+    #[test]
+    fn run_request_json_round_trips_through_the_strict_parser() {
+        for req in [
+            RunRequest {
+                app: "BFS".into(),
+                technique: Technique::RegMutex,
+                half_rf: false,
+                ctas: None,
+                force_es: None,
+                cycle_budget: None,
+                lease: None,
+            },
+            RunRequest {
+                app: "SAD".into(),
+                technique: Technique::Baseline,
+                half_rf: true,
+                ctas: Some(90),
+                force_es: Some(8),
+                cycle_budget: Some(5000),
+                lease: Some(0xfeed_beef_dead_cafe),
+            },
+        ] {
+            let body = run_request_json(&req).encode();
+            let back = parse_run_request(&parse(&body).unwrap()).unwrap();
+            assert_eq!(back, req, "{body}");
+        }
+    }
+
+    #[test]
+    fn lease_is_echoed_only_when_present() {
+        let report = sample_report(true);
+        let with = run_response_json("BFS", &report, false, Some(42)).encode();
+        assert!(with.contains("\"lease\":42"), "{with}");
+        let without = run_response_json("BFS", &report, false, None).encode();
+        assert!(!without.contains("\"lease\""), "{without}");
     }
 
     #[test]

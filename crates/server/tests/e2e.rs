@@ -261,6 +261,7 @@ fn loadgen_closed_loop_drops_nothing_and_hits_cache() {
         seed: 7,
         timeout: Duration::from_secs(120),
         apps: vec!["Gaussian".into(), "SPMV".into()],
+        ..LoadgenConfig::default()
     })
     .expect("loadgen runs");
 
