@@ -165,6 +165,38 @@ pub enum Command {
         /// Simulation worker threads per in-process server.
         sim_workers: usize,
     },
+    /// `fuzz` — mass kernel fuzzing with the differential cross-technique
+    /// oracle, locally or fanned out across a fleet.
+    Fuzz {
+        /// Campaign seed.
+        seed: u64,
+        /// Kernel count (the reproducible budget).
+        iters: u64,
+        /// Optional wall-clock budget in seconds (coarse; trades
+        /// byte-for-byte reproducibility for boundedness).
+        duration_secs: Option<u64>,
+        /// Simulation worker threads (default: all cores).
+        jobs: Option<usize>,
+        /// Device-loop worker threads per simulation.
+        sm_workers: Option<u32>,
+        /// Per-technique cycle budget before watchdog escalation.
+        cycle_budget: Option<u64>,
+        /// Stop scanning after this many divergences.
+        max_divergences: u64,
+        /// Write the JSON stats artifact to this path.
+        stats: Option<String>,
+        /// Replay one artifact file instead of running a campaign.
+        replay: Option<String>,
+        /// Planted manager fault, `class:severity:seed:technique`
+        /// (oracle self-test mode).
+        fault: Option<String>,
+        /// Skip minimization of found divergences.
+        no_minimize: bool,
+        /// Fan the campaign out across fleet workers.
+        fleet: bool,
+        /// Worker addresses for `--fleet` (comma-separated `host:port`).
+        workers: Vec<String>,
+    },
     /// `help` — usage.
     Help,
 }
@@ -198,6 +230,17 @@ fn value_of<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, P
     let v = v.ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
     v.parse()
         .map_err(|_| ParseError(format!("invalid value '{v}' for {flag}")))
+}
+
+/// Parse a u64 seed flag, accepting decimal or `0x`-prefixed hex (the
+/// form fuzz reports and artifacts print seeds in).
+fn seed_of(flag: &str, v: Option<&String>) -> Result<u64, ParseError> {
+    let v = v.ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+    let parsed = match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| ParseError(format!("invalid value '{v}' for {flag}")))
 }
 
 /// Parse the flags shared by `sweep` and `compare`: `--jobs N` (or
@@ -585,6 +628,101 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 expect_detections,
             })
         }
+        "fuzz" => {
+            let mut seed = 0x5eed_f022u64;
+            let mut iters = 1000u64;
+            let mut duration_secs = None;
+            let mut jobs = None;
+            let mut sm_workers = None;
+            let mut cycle_budget = None;
+            let mut max_divergences = 5u64;
+            let mut stats = None;
+            let mut replay = None;
+            let mut fault = None;
+            let mut no_minimize = false;
+            let mut fleet = false;
+            let mut workers = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--seed" => seed = seed_of("--seed", it.next())?,
+                    "--iters" => iters = value_of("--iters", it.next())?,
+                    "--duration-secs" => {
+                        duration_secs = Some(value_of("--duration-secs", it.next())?)
+                    }
+                    "--jobs" => jobs = Some(value_of("--jobs", it.next())?),
+                    "--sm-workers" => sm_workers = Some(value_of("--sm-workers", it.next())?),
+                    "--cycle-budget" => cycle_budget = Some(value_of("--cycle-budget", it.next())?),
+                    "--max-divergences" => {
+                        max_divergences = value_of("--max-divergences", it.next())?
+                    }
+                    "--stats" => {
+                        stats = Some(
+                            it.next()
+                                .ok_or_else(|| ParseError("--stats needs a path".into()))?
+                                .clone(),
+                        )
+                    }
+                    "--replay" => {
+                        replay = Some(
+                            it.next()
+                                .ok_or_else(|| ParseError("--replay needs a file".into()))?
+                                .clone(),
+                        )
+                    }
+                    "--fault" => {
+                        fault = Some(
+                            it.next()
+                                .ok_or_else(|| {
+                                    ParseError("--fault needs class:severity:seed:technique".into())
+                                })?
+                                .clone(),
+                        )
+                    }
+                    "--no-minimize" => no_minimize = true,
+                    "--fleet" => fleet = true,
+                    "--workers" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| ParseError("--workers needs a value".into()))?;
+                        workers = v.split(',').map(str::to_string).collect();
+                        fleet = true;
+                    }
+                    other => return Err(ParseError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if iters == 0 {
+                return Err(ParseError("--iters must be at least 1".into()));
+            }
+            if max_divergences == 0 {
+                return Err(ParseError("--max-divergences must be at least 1".into()));
+            }
+            if fleet && workers.is_empty() {
+                return Err(ParseError(
+                    "--fleet needs --workers HOST:PORT[,HOST:PORT...]".into(),
+                ));
+            }
+            if fleet && (replay.is_some() || fault.is_some()) {
+                return Err(ParseError(
+                    "--fleet cannot be combined with --replay or --fault".into(),
+                ));
+            }
+            Ok(Command::Fuzz {
+                seed,
+                iters,
+                duration_secs,
+                jobs,
+                sm_workers,
+                cycle_budget,
+                max_divergences,
+                stats,
+                replay,
+                fault,
+                no_minimize,
+                fleet,
+                workers,
+            })
+        }
         other => Err(ParseError(format!("unknown command '{other}'; try 'help'"))),
     }
 }
@@ -619,6 +757,11 @@ USAGE:
   regmutex-cli chaos-fleet [--seeds N] [--apps A,B,...] [--cycle-budget N]
                            [--no-cycle-budget] [--trigger-after N]
                            [--sim-workers N]
+  regmutex-cli fuzz [--seed N] [--iters N] [--duration-secs N] [--jobs N]
+                    [--sm-workers N] [--cycle-budget N]
+                    [--max-divergences N] [--stats PATH] [--no-minimize]
+                    [--replay FILE] [--fault CLASS:SEV:SEED:TECHNIQUE]
+                    [--fleet --workers H:P,H:P,...]
   regmutex-cli help
 
 The multi-simulation commands (compare, sweep, chaos) run their
@@ -663,6 +806,19 @@ chaos-fleet injects every network fault class (kill, hang, close-early,
 truncate, corrupt, delay) into a live two-worker fleet via a
 deterministic proxy and compares every row against a local golden run:
 exit 1 if any job was lost or any row silently wrong.
+
+fuzz generates --iters random kernels from --seed (kernel i is derived
+from mix(seed, i)) and runs each through every technique, checking
+checksum agreement, the RegMutex occupancy floor, and verdict symmetry;
+divergences are delta-debugged over the generator's decision trace into
+small replayable seed+trace artifacts (exit 1 if any are found). The
+report is byte-identical at any --jobs / --sm-workers count. --replay
+re-runs one artifact and exits 0 iff its documented outcome reproduces;
+--fault plants a register-manager fault (the oracle self-test: the
+campaign MUST diverge); --stats writes machine-readable counters
+including wall-clock throughput; --fleet shards the index range across
+workers' POST /v1/fuzz endpoints with failover and merges shard results
+in index order.
 ";
 
 #[cfg(test)]
@@ -1118,6 +1274,105 @@ mod tests {
         );
         assert!(parse(&v(&["sweep", "BFS", "--jobs", "many"])).is_err());
         assert!(parse(&v(&["sweep", "BFS", "--half-rf"])).is_err());
+    }
+
+    #[test]
+    fn fuzz_defaults_and_flags() {
+        assert_eq!(
+            parse(&v(&["fuzz"])),
+            Ok(Command::Fuzz {
+                seed: 0x5eed_f022,
+                iters: 1000,
+                duration_secs: None,
+                jobs: None,
+                sm_workers: None,
+                cycle_budget: None,
+                max_divergences: 5,
+                stats: None,
+                replay: None,
+                fault: None,
+                no_minimize: false,
+                fleet: false,
+                workers: vec![],
+            })
+        );
+        assert_eq!(
+            parse(&v(&[
+                "fuzz",
+                "--seed",
+                "42",
+                "--iters",
+                "500",
+                "--jobs",
+                "2",
+                "--sm-workers",
+                "4",
+                "--cycle-budget",
+                "100000",
+                "--max-divergences",
+                "3",
+                "--stats",
+                "/tmp/fuzz.json",
+                "--no-minimize",
+                "--fault",
+                "corrupt-lut:severe:3:regmutex"
+            ])),
+            Ok(Command::Fuzz {
+                seed: 42,
+                iters: 500,
+                duration_secs: None,
+                jobs: Some(2),
+                sm_workers: Some(4),
+                cycle_budget: Some(100_000),
+                max_divergences: 3,
+                stats: Some("/tmp/fuzz.json".into()),
+                replay: None,
+                fault: Some("corrupt-lut:severe:3:regmutex".into()),
+                no_minimize: true,
+                fleet: false,
+                workers: vec![],
+            })
+        );
+        // Seeds parse in the same hex form the reports print them in.
+        match parse(&v(&["fuzz", "--seed", "0xfa017"])) {
+            Ok(Command::Fuzz { seed, .. }) => assert_eq!(seed, 0xfa017),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["fuzz", "--iters", "0"])).is_err());
+        assert!(parse(&v(&["fuzz", "--max-divergences", "0"])).is_err());
+        assert!(parse(&v(&["fuzz", "--nope"])).is_err());
+    }
+
+    #[test]
+    fn fuzz_fleet_mode() {
+        // --workers implies --fleet.
+        match parse(&v(&["fuzz", "--workers", "127.0.0.1:1,127.0.0.1:2"])) {
+            Ok(Command::Fuzz { fleet, workers, .. }) => {
+                assert!(fleet);
+                assert_eq!(workers.len(), 2);
+            }
+            other => panic!("expected fuzz to parse, got {other:?}"),
+        }
+        assert!(parse(&v(&["fuzz", "--fleet"])).is_err());
+        // Fleet excludes single-kernel / fault-injection modes.
+        assert!(parse(&v(&[
+            "fuzz",
+            "--fleet",
+            "--workers",
+            "a:1",
+            "--replay",
+            "f"
+        ]))
+        .is_err());
+        assert!(parse(&v(&[
+            "fuzz",
+            "--fleet",
+            "--workers",
+            "a:1",
+            "--fault",
+            "corrupt-lut:severe:1:regmutex"
+        ]))
+        .is_err());
     }
 
     #[test]

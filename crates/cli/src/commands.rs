@@ -712,6 +712,88 @@ pub fn fleet_loadgen(
     Ok(out)
 }
 
+/// `fuzz ...` — mass kernel fuzzing with the differential oracle.
+///
+/// Three modes: `--replay FILE` re-runs one artifact (exit 0 iff its
+/// documented outcome reproduces); `--fleet` shards the campaign across
+/// workers' `/v1/fuzz` endpoints; otherwise a local campaign. In every
+/// mode exit code 1 means a divergence (or a replay mismatch).
+#[allow(clippy::too_many_arguments)]
+pub fn fuzz(
+    seed: u64,
+    iters: u64,
+    duration_secs: Option<u64>,
+    jobs: Option<usize>,
+    sm_workers: Option<u32>,
+    cycle_budget: Option<u64>,
+    max_divergences: u64,
+    stats: Option<String>,
+    replay: Option<String>,
+    fault: Option<String>,
+    no_minimize: bool,
+    fleet: bool,
+    workers: Vec<String>,
+) -> Result<(String, i32), CommandError> {
+    let mut oracle = regmutex_fuzz::OracleConfig {
+        sm_workers: sm_workers.unwrap_or(0),
+        ..regmutex_fuzz::OracleConfig::default()
+    };
+    if let Some(b) = cycle_budget {
+        oracle.cycle_budget = b;
+    }
+
+    if let Some(path) = replay {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CommandError(format!("read {path}: {e}")))?;
+        let artifact = regmutex_fuzz::Artifact::parse(&text)
+            .map_err(|e| CommandError(format!("{path}: {e}")))?;
+        let runner = Runner::new(jobs.unwrap_or_else(default_jobs));
+        return Ok(regmutex_fuzz::replay_artifact(&artifact, &runner, &oracle));
+    }
+
+    if fleet {
+        let started = std::time::Instant::now();
+        let cfg = regmutex_fleet::FuzzFanoutConfig {
+            workers,
+            seed,
+            iters,
+            cycle_budget: oracle.cycle_budget,
+            minimize: !no_minimize,
+            ..regmutex_fleet::FuzzFanoutConfig::default()
+        };
+        let report = regmutex_fleet::run_fuzz_fanout(&cfg).map_err(CommandError)?;
+        if let Some(path) = stats {
+            std::fs::write(&path, report.to_json(started.elapsed().as_millis()))
+                .map_err(|e| CommandError(format!("write {path}: {e}")))?;
+        }
+        return Ok(report.render(&cfg.workers));
+    }
+
+    let planted = match fault {
+        Some(spec) => Some(
+            regmutex_fuzz::parse_fault(&spec).map_err(|e| CommandError(format!("--fault: {e}")))?,
+        ),
+        None => None,
+    };
+    let cfg = regmutex_fuzz::CampaignConfig {
+        seed,
+        iters,
+        duration: duration_secs.map(std::time::Duration::from_secs),
+        oracle,
+        fault: planted,
+        minimize: !no_minimize,
+        max_divergences,
+        ..regmutex_fuzz::CampaignConfig::default()
+    };
+    let runner = Runner::new(jobs.unwrap_or_else(default_jobs));
+    let report = regmutex_fuzz::run_campaign(&cfg, &runner);
+    if let Some(path) = stats {
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| CommandError(format!("write {path}: {e}")))?;
+    }
+    Ok(report.render())
+}
+
 /// `loadgen ...`
 pub fn loadgen(
     addr: String,
@@ -878,6 +960,101 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.0.contains("no requested app"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_smoke_campaign_stats_and_replay() {
+        // A tiny clean campaign, with the stats artifact on disk.
+        let stats_path = std::env::temp_dir().join("regmutex_fuzz_cli_stats.json");
+        let (out, code) = fuzz(
+            0xfeed,
+            12,
+            None,
+            Some(2),
+            None,
+            None,
+            5,
+            Some(stats_path.to_string_lossy().into_owned()),
+            None,
+            None,
+            false,
+            false,
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("verdict: CLEAN"), "{out}");
+        let stats = std::fs::read_to_string(&stats_path).unwrap();
+        assert!(stats.contains("\"kernels\":12"), "{stats}");
+        let _ = std::fs::remove_file(&stats_path);
+
+        // A planted fault must diverge (exit 1) and print an artifact.
+        let (out, code) = fuzz(
+            0xfa_017,
+            60,
+            None,
+            Some(2),
+            None,
+            None,
+            1,
+            None,
+            None,
+            Some("stuck-srp-bit:severe:5:regmutex".into()),
+            false,
+            false,
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("verdict: DIVERGENT"), "{out}");
+        assert!(out.contains("# regmutex-fuzz artifact v1"), "{out}");
+
+        // Extract the artifact from the report and replay it: exit 0.
+        let artifact: String = out
+            .lines()
+            .skip_while(|l| !l.trim_start().starts_with("# regmutex-fuzz artifact"))
+            .take_while(|l| !l.trim().is_empty())
+            .map(|l| format!("{}\n", l.trim_start()))
+            .collect();
+        let artifact_path = std::env::temp_dir().join("regmutex_fuzz_cli_artifact.txt");
+        std::fs::write(&artifact_path, &artifact).unwrap();
+        let (out, code) = fuzz(
+            0,
+            1,
+            None,
+            Some(2),
+            None,
+            None,
+            1,
+            None,
+            Some(artifact_path.to_string_lossy().into_owned()),
+            None,
+            false,
+            false,
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("verdict: REPRODUCED"), "{out}");
+        let _ = std::fs::remove_file(&artifact_path);
+
+        // A malformed fault spec is a structured error.
+        assert!(fuzz(
+            1,
+            1,
+            None,
+            Some(1),
+            None,
+            None,
+            1,
+            None,
+            None,
+            Some("nope".into()),
+            false,
+            false,
+            vec![],
+        )
+        .is_err());
     }
 
     #[test]

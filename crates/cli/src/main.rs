@@ -125,6 +125,37 @@ fn main() {
                 sim_workers,
             ));
         }
+        Command::Fuzz {
+            seed,
+            iters,
+            duration_secs,
+            jobs,
+            sm_workers,
+            cycle_budget,
+            max_divergences,
+            stats,
+            replay,
+            fault,
+            no_minimize,
+            fleet,
+            workers,
+        } => {
+            exit_with(commands::fuzz(
+                seed,
+                iters,
+                duration_secs,
+                jobs,
+                sm_workers,
+                cycle_budget,
+                max_divergences,
+                stats,
+                replay,
+                fault,
+                no_minimize,
+                fleet,
+                workers,
+            ));
+        }
         Command::Trace { app, max_steps } => commands::trace(&app, max_steps),
         Command::Sweep { app, jobs } => {
             exit_with(commands::sweep(&app, jobs));

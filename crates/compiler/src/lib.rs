@@ -35,7 +35,10 @@ pub use cfg::{BasicBlock, Cfg};
 pub use compact::CompactError;
 pub use es_select::{barrier_live_max, select, CandidateEval, EsSelection, ES_FRACTIONS};
 pub use liveness::{analyze, Liveness};
-pub use pipeline::{compile, CompileOptions, CompiledKernel, Diagnostics, RegPlan};
+pub use pipeline::{
+    compile, CompileOptions, CompiledKernel, Diagnostics, FallbackClass, RegPlan, RejectStage,
+    RejectedCandidate,
+};
 pub use regions::{find_regions, region_spans, RegionError};
 pub use trace::{live_trace, live_trace_with, LiveTrace};
 pub use verify::{verify_transformed, VerifyError};

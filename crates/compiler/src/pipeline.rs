@@ -46,13 +46,49 @@ pub struct RegPlan {
     pub occupancy_warps: u32,
 }
 
+/// Pipeline stage at which a candidate was rejected (drives the
+/// [`FallbackClass`] classification the differential oracle consumes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RejectStage {
+    /// Failed the deadlock-avoidance viability rules (§III-A2).
+    Viability,
+    /// Region formation or index compaction failed (e.g. a barrier inside
+    /// every candidate region, no free base register).
+    Regions,
+    /// The candidate transformed cleanly but the static verifier rejected
+    /// the result.
+    Verification,
+}
+
 /// Per-candidate rejection record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RejectedCandidate {
     /// The `|Es|` that failed.
     pub es: u16,
+    /// Which stage rejected it.
+    pub stage: RejectStage,
     /// Human-readable reason.
     pub reason: String,
+}
+
+/// Why [`compile`] left a kernel untransformed — the verifier-level
+/// "expected rejection" classification. A fuzzing oracle uses this to
+/// *bless* the resulting behavior asymmetry: an untransformed technique
+/// must match the baseline exactly, and any divergence report names the
+/// class so expected rejections are distinguishable from real bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackClass {
+    /// Baseline occupancy is not register-limited; RegMutex leaves such
+    /// kernels alone by design.
+    NotRegisterLimited,
+    /// Every `|Es|` candidate failed the viability rules.
+    NoViableCandidate,
+    /// At least one viable candidate existed but region formation or
+    /// compaction failed for all of them.
+    RegionFormation,
+    /// At least one candidate reached the static verifier and was
+    /// rejected there.
+    VerificationFailed,
 }
 
 /// Compilation diagnostics.
@@ -90,6 +126,23 @@ impl CompiledKernel {
     /// True when acquire/release primitives were injected.
     pub fn is_transformed(&self) -> bool {
         self.plan.is_some()
+    }
+
+    /// Why the pipeline fell back to the untouched kernel, or `None` when
+    /// the transform was applied. The class is the *deepest* stage any
+    /// candidate reached: a verification rejection outranks a region
+    /// failure outranks plain non-viability.
+    pub fn fallback(&self) -> Option<FallbackClass> {
+        if self.plan.is_some() {
+            return None;
+        }
+        let deepest = self.diagnostics.rejected.iter().map(|r| r.stage).max();
+        Some(match deepest {
+            None => FallbackClass::NotRegisterLimited,
+            Some(RejectStage::Viability) => FallbackClass::NoViableCandidate,
+            Some(RejectStage::Regions) => FallbackClass::RegionFormation,
+            Some(RejectStage::Verification) => FallbackClass::VerificationFailed,
+        })
     }
 }
 
@@ -146,6 +199,7 @@ pub fn compile(
         if !cand.viable {
             diagnostics.rejected.push(RejectedCandidate {
                 es: cand.es,
+                stage: RejectStage::Viability,
                 reason: "fails deadlock-avoidance viability rules".into(),
             });
             continue;
@@ -155,6 +209,7 @@ pub fn compile(
             Err(e) => {
                 diagnostics.rejected.push(RejectedCandidate {
                     es: cand.es,
+                    stage: RejectStage::Regions,
                     reason: e.to_string(),
                 });
                 continue;
@@ -167,6 +222,7 @@ pub fn compile(
             Err(e) => {
                 diagnostics.rejected.push(RejectedCandidate {
                     es: cand.es,
+                    stage: RejectStage::Regions,
                     reason: e.to_string(),
                 });
                 continue;
@@ -177,6 +233,7 @@ pub fn compile(
         if let Err(e) = verify_transformed(&transformed, cand.bs) {
             diagnostics.rejected.push(RejectedCandidate {
                 es: cand.es,
+                stage: RejectStage::Verification,
                 reason: e.to_string(),
             });
             continue;
@@ -314,6 +371,45 @@ mod tests {
         .unwrap();
         assert!(!c.is_transformed());
         assert_eq!(c.diagnostics.rejected.len(), 1);
+    }
+
+    #[test]
+    fn fallback_classification() {
+        let cfg = GpuConfig::gtx480();
+
+        // Transformed kernel: no fallback.
+        let c = compile(&hungry_kernel(), &cfg, &CompileOptions::default()).unwrap();
+        assert_eq!(c.fallback(), None);
+
+        // Low-pressure kernel: never a transform candidate.
+        let mut b = KernelBuilder::new("small");
+        b.threads_per_cta(256);
+        b.movi(r(0), 1).st_global(r(0), r(0)).exit();
+        let c = compile(&b.build().unwrap(), &cfg, &CompileOptions::default()).unwrap();
+        assert_eq!(c.fallback(), Some(FallbackClass::NotRegisterLimited));
+
+        // Forced impossible Es: every candidate dies at viability.
+        let c = compile(
+            &hungry_kernel(),
+            &cfg,
+            &CompileOptions {
+                force_es: Some(24),
+                force_apply: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(c.fallback(), Some(FallbackClass::NoViableCandidate));
+        assert!(c
+            .diagnostics
+            .rejected
+            .iter()
+            .all(|r| r.stage == RejectStage::Viability));
+    }
+
+    #[test]
+    fn reject_stages_order_deepest_last() {
+        assert!(RejectStage::Viability < RejectStage::Regions);
+        assert!(RejectStage::Regions < RejectStage::Verification);
     }
 
     #[test]

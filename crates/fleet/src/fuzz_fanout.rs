@@ -1,0 +1,321 @@
+//! Fan a fuzzing campaign out across fleet workers.
+//!
+//! A fuzz campaign cannot ride the [`MatrixJob`](regmutex_bench::MatrixJob)
+//! path — that wire names registry workloads, while fuzz kernels exist
+//! only as `(seed, index)` pairs. Instead the coordinator shards the
+//! campaign's index range into disjoint `start..start+count` slices and
+//! POSTs each slice to a worker's `/v1/fuzz` endpoint; the worker
+//! regenerates every kernel locally from `mix(seed, index)`. Only a few
+//! integers cross the wire in each direction.
+//!
+//! Determinism contract: shard boundaries are a pure function of
+//! `(iters, shard_count)`, kernel `i` is the same kernel on every worker,
+//! and shard results are merged in shard order — so the merged counters
+//! (and any divergence artifacts) are identical to a local run over the
+//! same range, no matter which worker served which shard or how many
+//! attempts failover took.
+
+use std::time::Duration;
+
+use regmutex_server::http::client_request;
+use regmutex_server::json::{self, Json};
+
+/// Fan-out tunables.
+#[derive(Debug, Clone)]
+pub struct FuzzFanoutConfig {
+    /// Worker addresses (`host:port`), each running `regmutex-cli serve`.
+    pub workers: Vec<String>,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Total kernels across all shards.
+    pub iters: u64,
+    /// Shard count (0 = one shard per worker).
+    pub shards: u64,
+    /// Per-technique cycle budget forwarded to every worker.
+    pub cycle_budget: u64,
+    /// Ask workers to minimize divergences they find.
+    pub minimize: bool,
+    /// Attempts per shard before the fan-out fails (failover walks the
+    /// worker list from the shard's home worker).
+    pub max_attempts: u32,
+    /// Per-request timeout (a shard is one long-running request).
+    pub timeout: Duration,
+}
+
+impl Default for FuzzFanoutConfig {
+    fn default() -> Self {
+        FuzzFanoutConfig {
+            workers: Vec::new(),
+            seed: 0x5eed_f022,
+            iters: 1000,
+            shards: 0,
+            cycle_budget: 400_000,
+            minimize: true,
+            max_attempts: 4,
+            timeout: Duration::from_secs(600),
+        }
+    }
+}
+
+/// One shard's result, as merged into the fan-out report.
+#[derive(Debug, Clone)]
+struct ShardResult {
+    start: u64,
+    count: u64,
+    /// Worker index that finally served the shard.
+    worker: usize,
+    attempts: u32,
+    body: Json,
+}
+
+/// Merged counters and artifacts from a completed fan-out.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzFanoutReport {
+    /// Kernels evaluated across all shards.
+    pub kernels: u64,
+    /// Simulations submitted across all shards.
+    pub runs: u64,
+    /// Kernels with all invariants holding.
+    pub agreements: u64,
+    /// Divergences found.
+    pub divergences: u64,
+    /// Blessed watchdog escalations.
+    pub escalations: u64,
+    /// Divergence artifacts, in shard (= index) order.
+    pub artifacts: Vec<String>,
+    /// Per-shard `(start, count, worker, attempts)` attribution.
+    pub shards: Vec<(u64, u64, usize, u32)>,
+}
+
+/// Run the fan-out. Fails (with a description) only when a shard exhausts
+/// its attempts on every reachable worker — partial results are never
+/// reported as a complete campaign.
+pub fn run_fuzz_fanout(cfg: &FuzzFanoutConfig) -> Result<FuzzFanoutReport, String> {
+    if cfg.workers.is_empty() {
+        return Err("fuzz fan-out has no workers; pass at least one host:port".to_string());
+    }
+    if cfg.iters == 0 {
+        return Err("fuzz fan-out needs iters >= 1".to_string());
+    }
+    let n = cfg.workers.len();
+    let shards = if cfg.shards == 0 {
+        n as u64
+    } else {
+        cfg.shards
+    }
+    .min(cfg.iters);
+
+    let mut results = Vec::with_capacity(shards as usize);
+    for s in 0..shards {
+        // Even split; the first `iters % shards` shards take one extra.
+        let base = cfg.iters / shards;
+        let extra = u64::from(s < cfg.iters % shards);
+        let count = base + extra;
+        let start = s * base + s.min(cfg.iters % shards);
+        results.push(run_shard(cfg, s as usize, start, count)?);
+    }
+
+    let mut report = FuzzFanoutReport::default();
+    for r in &results {
+        let get = |k: &str| r.body.get(k).and_then(Json::as_u64).unwrap_or(0);
+        report.kernels += get("kernels");
+        report.runs += get("runs");
+        report.agreements += get("agreements");
+        report.divergences += get("divergences");
+        report.escalations += get("escalations");
+        if let Some(Json::Arr(items)) = r.body.get("artifacts") {
+            for a in items {
+                if let Some(text) = a.as_str() {
+                    report.artifacts.push(text.to_string());
+                }
+            }
+        }
+        report.shards.push((r.start, r.count, r.worker, r.attempts));
+    }
+    Ok(report)
+}
+
+/// Dispatch one shard with failover: attempt `a` goes to worker
+/// `(shard + a) % n`, so consecutive attempts walk the whole fleet before
+/// giving up, and a healthy fleet spreads shards round-robin.
+fn run_shard(
+    cfg: &FuzzFanoutConfig,
+    shard: usize,
+    start: u64,
+    count: u64,
+) -> Result<ShardResult, String> {
+    let n = cfg.workers.len();
+    let body = format!(
+        concat!(
+            "{{\"seed\":\"{:#x}\",\"start\":{},\"count\":{},",
+            "\"cycle_budget\":{},\"minimize\":{}}}"
+        ),
+        cfg.seed, start, count, cfg.cycle_budget, cfg.minimize
+    );
+    let mut last_err = String::new();
+    for attempt in 0..cfg.max_attempts {
+        let worker = (shard + attempt as usize) % n;
+        let addr = &cfg.workers[worker];
+        match client_request(
+            addr.as_str(),
+            "POST",
+            "/v1/fuzz",
+            Some(body.as_bytes()),
+            cfg.timeout,
+        ) {
+            Ok(resp) if resp.status == 200 => {
+                let text = core::str::from_utf8(&resp.body)
+                    .map_err(|_| format!("worker {addr}: non-UTF-8 fuzz reply"))?;
+                let parsed = json::parse(text)
+                    .map_err(|e| format!("worker {addr}: bad fuzz reply JSON: {e}"))?;
+                // Integrity: the worker must echo the shard it was asked
+                // to run; a mismatch is a corrupted reply, not a result.
+                let echo_start = parsed.get("start").and_then(Json::as_u64);
+                let echo_kernels = parsed.get("processed").and_then(Json::as_u64);
+                if echo_start != Some(start) || echo_kernels != Some(count) {
+                    last_err = format!(
+                        "worker {addr}: shard echo mismatch (want start {start} count {count}, \
+                         got {echo_start:?}/{echo_kernels:?})"
+                    );
+                    continue;
+                }
+                return Ok(ShardResult {
+                    start,
+                    count,
+                    worker,
+                    attempts: attempt + 1,
+                    body: parsed,
+                });
+            }
+            Ok(resp) => {
+                last_err = format!(
+                    "worker {addr}: HTTP {} {}",
+                    resp.status,
+                    String::from_utf8_lossy(&resp.body)
+                );
+            }
+            Err(e) => {
+                last_err = format!("worker {addr}: {e:?}");
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50 << attempt.min(4)));
+    }
+    Err(format!(
+        "shard {shard} ({start}..{}) failed after {} attempts; last error: {last_err}",
+        start + count,
+        cfg.max_attempts
+    ))
+}
+
+impl FuzzFanoutReport {
+    /// Render the fan-out report and exit code (0 clean, 1 divergent).
+    pub fn render(&self, workers: &[String]) -> (String, i32) {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fuzz fleet: {} kernels over {} shards on {} workers",
+            self.kernels,
+            self.shards.len(),
+            workers.len()
+        );
+        for (start, count, worker, attempts) in &self.shards {
+            let _ = writeln!(
+                out,
+                "  shard {start}..{} -> {} (attempt {attempts})",
+                start + count,
+                workers.get(*worker).map(String::as_str).unwrap_or("?"),
+            );
+        }
+        let _ = writeln!(out, "  runs         {}", self.runs);
+        let _ = writeln!(out, "  agreements   {}", self.agreements);
+        let _ = writeln!(out, "  divergences  {}", self.divergences);
+        let _ = writeln!(out, "  escalations  {}", self.escalations);
+        for (i, a) in self.artifacts.iter().enumerate() {
+            let _ = writeln!(out, "\ndivergence artifact {}:", i + 1);
+            for line in a.lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        let clean = self.divergences == 0;
+        let _ = writeln!(
+            out,
+            "\nverdict: {}",
+            if clean { "CLEAN" } else { "DIVERGENT" }
+        );
+        (out, i32::from(!clean))
+    }
+}
+
+impl FuzzFanoutReport {
+    /// Merged JSON stats — the fleet analogue of the local `--stats`
+    /// artifact. `elapsed_ms` is the coordinator's wall clock for the
+    /// whole fan-out, so `kernels_per_sec` measures fleet throughput.
+    pub fn to_json(&self, elapsed_ms: u128) -> String {
+        let kps = if elapsed_ms > 0 {
+            self.kernels as f64 * 1000.0 / elapsed_ms as f64
+        } else {
+            0.0
+        };
+        Json::Obj(vec![
+            ("kernels".into(), Json::U64(self.kernels)),
+            ("runs".into(), Json::U64(self.runs)),
+            ("agreements".into(), Json::U64(self.agreements)),
+            ("divergences".into(), Json::U64(self.divergences)),
+            ("escalations".into(), Json::U64(self.escalations)),
+            ("shards".into(), Json::U64(self.shards.len() as u64)),
+            ("elapsed_ms".into(), Json::U64(elapsed_ms as u64)),
+            ("kernels_per_sec".into(), Json::F64(kps)),
+            (
+                "artifacts".into(),
+                Json::Arr(
+                    self.artifacts
+                        .iter()
+                        .map(|a| Json::Str(a.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_json_encodes_counters() {
+        let report = FuzzFanoutReport {
+            kernels: 10,
+            runs: 50,
+            agreements: 10,
+            ..FuzzFanoutReport::default()
+        };
+        let j = report.to_json(2000);
+        assert!(j.contains("\"kernels\":10"), "{j}");
+        assert!(j.contains("\"kernels_per_sec\":5"), "{j}");
+    }
+
+    #[test]
+    fn shard_split_covers_the_range_exactly() {
+        for (iters, shards) in [(10u64, 3u64), (7, 7), (100, 4), (5, 8)] {
+            let shards = shards.min(iters);
+            let mut covered = Vec::new();
+            for s in 0..shards {
+                let base = iters / shards;
+                let extra = u64::from(s < iters % shards);
+                let count = base + extra;
+                let start = s * base + s.min(iters % shards);
+                covered.extend(start..start + count);
+            }
+            assert_eq!(covered, (0..iters).collect::<Vec<_>>(), "{iters}/{shards}");
+        }
+    }
+
+    #[test]
+    fn empty_fleet_is_an_error() {
+        let cfg = FuzzFanoutConfig::default();
+        assert!(run_fuzz_fanout(&cfg).is_err());
+    }
+}

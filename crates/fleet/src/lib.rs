@@ -44,6 +44,7 @@ pub mod backoff;
 pub mod chaos;
 pub mod coordinator;
 pub mod fault;
+pub mod fuzz_fanout;
 pub mod loadgen;
 pub mod metrics;
 pub mod ring;
@@ -53,6 +54,7 @@ pub use backoff::BackoffPolicy;
 pub use chaos::{run_fleet_campaign, FleetCampaignReport, FleetCampaignSpec, ScenarioResult};
 pub use coordinator::{Coordinator, FleetConfig, JobTrace};
 pub use fault::{FaultKind, FaultPlan, FaultProxy};
+pub use fuzz_fanout::{run_fuzz_fanout, FuzzFanoutConfig, FuzzFanoutReport};
 pub use loadgen::{run_fleet_loadgen, FleetLoadgenConfig, FleetLoadgenReport};
 pub use metrics::FleetMetrics;
 pub use ring::Ring;

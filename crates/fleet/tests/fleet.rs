@@ -198,3 +198,47 @@ fn fleet_loadgen_reports_per_worker_breakdown() {
         w.shutdown_and_wait();
     }
 }
+
+#[test]
+fn fuzz_fanout_matches_local_campaign_and_fails_over_dead_workers() {
+    use regmutex_fleet::{run_fuzz_fanout, FuzzFanoutConfig};
+
+    let w1 = start_worker();
+    let w2 = start_worker();
+    let cfg = FuzzFanoutConfig {
+        workers: vec![
+            // A dead address first: every shard homed there must fail over.
+            "127.0.0.1:1".to_string(),
+            w1.local_addr().to_string(),
+            w2.local_addr().to_string(),
+        ],
+        seed: 0xfee1,
+        iters: 24,
+        max_attempts: 3,
+        timeout: Duration::from_secs(120),
+        ..FuzzFanoutConfig::default()
+    };
+    let report = run_fuzz_fanout(&cfg).expect("fan-out completes despite the dead worker");
+    assert_eq!(report.kernels, 24);
+    assert_eq!(report.divergences, 0);
+
+    // The merged counters equal a local campaign over the same range.
+    let local = regmutex_fuzz::run_campaign(
+        &regmutex_fuzz::CampaignConfig {
+            seed: 0xfee1,
+            iters: 24,
+            ..regmutex_fuzz::CampaignConfig::default()
+        },
+        &Runner::new(2),
+    );
+    assert_eq!(report.kernels, local.stats.kernels);
+    assert_eq!(report.agreements, local.stats.agreements);
+    assert_eq!(report.escalations, local.stats.escalations);
+
+    let (text, code) = report.render(&cfg.workers);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("verdict: CLEAN"));
+
+    w1.shutdown_and_wait();
+    w2.shutdown_and_wait();
+}

@@ -1,0 +1,235 @@
+//! Replayable `seed+trace` artifacts — the exchange format between the
+//! fuzzer, the corpus under `tests/corpus/`, and `regmutex-cli fuzz
+//! --replay`.
+//!
+//! A line-oriented `key=value` text format (comments start with `#`):
+//!
+//! ```text
+//! # regmutex-fuzz artifact v1
+//! version=1
+//! seed=0x000000000000002a
+//! trace=3,0,1,17
+//! fault=corrupt-lut:severe:7:regmutex
+//! expect=divergence:regmutex:checksum
+//! note=planted corrupt-lut self-test
+//! ```
+//!
+//! `fault` and `note` are optional; `expect` is either `agreement` or
+//! `divergence:<technique>:<kind>`. Replaying an artifact regenerates the
+//! kernel from `(seed, trace)`, re-runs the oracle (with the planted fault
+//! if present) and compares the outcome with `expect`.
+
+use regmutex::Technique;
+use regmutex_sim::{FaultClass, Severity};
+
+use crate::oracle::{DivergenceKind, Outcome, PlantedFault};
+use crate::trace::{trace_from_text, trace_to_text};
+
+/// The outcome an artifact documents (and a replay must reproduce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// All techniques agree.
+    Agreement,
+    /// This technique diverges with this invariant class.
+    Divergence(Technique, DivergenceKind),
+}
+
+/// A parsed artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Generator seed.
+    pub seed: u64,
+    /// Canonical decision trace.
+    pub trace: Vec<u64>,
+    /// Planted manager fault, if the artifact documents an oracle
+    /// self-test divergence.
+    pub fault: Option<PlantedFault>,
+    /// The outcome replay must reproduce.
+    pub expect: Expectation,
+    /// Free-text provenance.
+    pub note: Option<String>,
+}
+
+impl Artifact {
+    /// Render the artifact text (ends with a newline).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# regmutex-fuzz artifact v1\nversion=1\n");
+        out.push_str(&format!("seed={:#018x}\n", self.seed));
+        out.push_str(&format!("trace={}\n", trace_to_text(&self.trace)));
+        if let Some(f) = &self.fault {
+            out.push_str(&format!(
+                "fault={}:{}:{}:{}\n",
+                f.class, f.severity, f.seed, f.technique
+            ));
+        }
+        match self.expect {
+            Expectation::Agreement => out.push_str("expect=agreement\n"),
+            Expectation::Divergence(t, k) => {
+                out.push_str(&format!("expect=divergence:{t}:{}\n", k.name()))
+            }
+        }
+        if let Some(n) = &self.note {
+            out.push_str(&format!("note={n}\n"));
+        }
+        out
+    }
+
+    /// Parse artifact text.
+    pub fn parse(text: &str) -> Result<Artifact, String> {
+        let mut seed = None;
+        let mut trace = None;
+        let mut fault = None;
+        let mut expect = None;
+        let mut note = None;
+        let mut version = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("malformed line '{line}'"))?;
+            match key.trim() {
+                "version" => version = Some(value.trim().to_string()),
+                "seed" => {
+                    let v = value.trim();
+                    let v = v.strip_prefix("0x").unwrap_or(v);
+                    seed = Some(
+                        u64::from_str_radix(v, 16).map_err(|_| format!("invalid seed '{v}'"))?,
+                    );
+                }
+                "trace" => trace = Some(trace_from_text(value)?),
+                "fault" => fault = Some(parse_fault(value.trim())?),
+                "expect" => expect = Some(parse_expect(value.trim())?),
+                "note" => note = Some(value.trim().to_string()),
+                other => return Err(format!("unknown artifact key '{other}'")),
+            }
+        }
+        match version.as_deref() {
+            Some("1") => {}
+            Some(v) => return Err(format!("unsupported artifact version '{v}'")),
+            None => return Err("missing version".into()),
+        }
+        Ok(Artifact {
+            seed: seed.ok_or("missing seed")?,
+            trace: trace.ok_or("missing trace")?,
+            fault,
+            expect: expect.ok_or("missing expect")?,
+            note,
+        })
+    }
+
+    /// True when `outcome` is what this artifact documents.
+    pub fn matches(&self, outcome: &Outcome) -> bool {
+        match (&self.expect, outcome) {
+            (Expectation::Agreement, Outcome::Agreement { .. }) => true,
+            (Expectation::Divergence(t, k), Outcome::Divergence(d)) => {
+                d.technique == *t && d.kind == *k
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Parse a `class:severity:seed:technique` fault spec (the artifact
+/// `fault=` value and the CLI `--fault` argument).
+pub fn parse_fault(s: &str) -> Result<PlantedFault, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 4 {
+        return Err(format!(
+            "invalid fault '{s}' (expected class:severity:seed:technique)"
+        ));
+    }
+    let class = fault_class_from(parts[0])?;
+    let severity = match parts[1] {
+        "light" => Severity::Light,
+        "severe" => Severity::Severe,
+        other => return Err(format!("unknown severity '{other}'")),
+    };
+    let seed = parts[2]
+        .parse::<u64>()
+        .map_err(|_| format!("invalid fault seed '{}'", parts[2]))?;
+    let technique = parts[3].parse::<Technique>().map_err(|e| e.to_string())?;
+    Ok(PlantedFault {
+        class,
+        severity,
+        seed,
+        technique,
+    })
+}
+
+/// Parse a [`FaultClass`] by its stable display name.
+pub fn fault_class_from(s: &str) -> Result<FaultClass, String> {
+    regmutex_sim::ALL_FAULT_CLASSES
+        .into_iter()
+        .find(|c| c.to_string() == s)
+        .ok_or_else(|| format!("unknown fault class '{s}'"))
+}
+
+fn parse_expect(s: &str) -> Result<Expectation, String> {
+    if s == "agreement" {
+        return Ok(Expectation::Agreement);
+    }
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() == 3 && parts[0] == "divergence" {
+        let t = parts[1].parse::<Technique>().map_err(|e| e.to_string())?;
+        let k = DivergenceKind::parse(parts[2])?;
+        return Ok(Expectation::Divergence(t, k));
+    }
+    Err(format!(
+        "invalid expect '{s}' (expected agreement | divergence:<technique>:<kind>)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_fields() {
+        let a = Artifact {
+            seed: 0x2a,
+            trace: vec![3, 0, 1, 17],
+            fault: Some(PlantedFault {
+                class: FaultClass::CorruptLut,
+                severity: Severity::Severe,
+                seed: 7,
+                technique: Technique::RegMutex,
+            }),
+            expect: Expectation::Divergence(Technique::RegMutex, DivergenceKind::Checksum),
+            note: Some("planted corrupt-lut self-test".into()),
+        };
+        assert_eq!(Artifact::parse(&a.to_text()).unwrap(), a);
+
+        let b = Artifact {
+            seed: u64::MAX,
+            trace: vec![],
+            fault: None,
+            expect: Expectation::Agreement,
+            note: None,
+        };
+        assert_eq!(Artifact::parse(&b.to_text()).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        assert!(Artifact::parse("").is_err());
+        assert!(Artifact::parse("version=1\nseed=0x1\n").is_err()); // no trace/expect
+        assert!(Artifact::parse("version=2\nseed=0x1\ntrace=-\nexpect=agreement\n").is_err());
+        assert!(
+            Artifact::parse("version=1\nseed=0x1\ntrace=-\nexpect=divergence:nope:checksum\n")
+                .is_err()
+        );
+        assert!(Artifact::parse("version=1\nseed=zz\ntrace=-\nexpect=agreement\n").is_err());
+        assert!(Artifact::parse("version=1\nbogus_key=1\n").is_err());
+    }
+
+    #[test]
+    fn fault_class_names_round_trip() {
+        for c in regmutex_sim::ALL_FAULT_CLASSES {
+            assert_eq!(fault_class_from(&c.to_string()).unwrap(), c);
+        }
+        assert!(fault_class_from("nope").is_err());
+    }
+}

@@ -38,6 +38,10 @@ pub struct KernelBuilder {
     threads_per_cta: u32,
     declared_regs: Option<u16>,
     seed: u64,
+    /// Structural misuse (double placement, foreign labels) recorded as it
+    /// happens and reported by [`KernelBuilder::build`] — the fluent
+    /// `&mut Self` API never panics on bad input.
+    errors: Vec<BuildKernelError>,
 }
 
 /// Errors from [`KernelBuilder::build`].
@@ -45,6 +49,10 @@ pub struct KernelBuilder {
 pub enum BuildKernelError {
     /// A label used by a branch was never [`KernelBuilder::place`]d.
     UnplacedLabel(usize),
+    /// A label was [`KernelBuilder::place`]d more than once.
+    LabelPlacedTwice(usize),
+    /// A label from a different builder (index out of range) was used.
+    UnknownLabel(usize),
     /// Structural validation of the finished kernel failed.
     Invalid(ValidateKernelError),
 }
@@ -53,6 +61,10 @@ impl core::fmt::Display for BuildKernelError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             BuildKernelError::UnplacedLabel(i) => write!(f, "label {i} was never placed"),
+            BuildKernelError::LabelPlacedTwice(i) => write!(f, "label {i} placed twice"),
+            BuildKernelError::UnknownLabel(i) => {
+                write!(f, "label {i} does not belong to this builder")
+            }
             BuildKernelError::Invalid(e) => write!(f, "invalid kernel: {e}"),
         }
     }
@@ -79,6 +91,7 @@ impl KernelBuilder {
             threads_per_cta: 256,
             declared_regs: None,
             seed: 0,
+            errors: Vec::new(),
         }
     }
 
@@ -130,12 +143,19 @@ impl KernelBuilder {
 
     /// Bind `label` to the current position.
     ///
-    /// # Panics
-    ///
-    /// Panics if the label was already placed.
+    /// Placing a label twice, or placing a label minted by a different
+    /// builder, is recorded and reported as an error by
+    /// [`KernelBuilder::build`] — never a panic.
     pub fn place(&mut self, label: Label) -> &mut Self {
-        assert!(self.labels[label.0].is_none(), "label placed twice");
-        self.labels[label.0] = Some(self.pc());
+        let pc = self.pc();
+        match self.labels.get_mut(label.0) {
+            None => self.errors.push(BuildKernelError::UnknownLabel(label.0)),
+            Some(slot) if slot.is_some() => {
+                self.errors
+                    .push(BuildKernelError::LabelPlacedTwice(label.0));
+            }
+            Some(slot) => *slot = Some(pc),
+        }
         self
     }
 
@@ -355,13 +375,23 @@ impl KernelBuilder {
     ///
     /// # Errors
     ///
+    /// The first structural misuse recorded during assembly (see
+    /// [`BuildKernelError::LabelPlacedTwice`] /
+    /// [`BuildKernelError::UnknownLabel`]), then
     /// [`BuildKernelError::UnplacedLabel`] if a referenced label was never
-    /// placed, or [`BuildKernelError::Invalid`] if structural validation
+    /// placed, then [`BuildKernelError::Invalid`] if structural validation
     /// fails.
     pub fn build(&self) -> Result<Kernel, BuildKernelError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
         let mut instrs = self.instrs.clone();
         for &(idx, label) in &self.fixups {
-            let pos = self.labels[label.0].ok_or(BuildKernelError::UnplacedLabel(label.0))?;
+            let pos = match self.labels.get(label.0) {
+                None => return Err(BuildKernelError::UnknownLabel(label.0)),
+                Some(None) => return Err(BuildKernelError::UnplacedLabel(label.0)),
+                Some(Some(pos)) => *pos,
+            };
             if let Op::Bra { ref mut target, .. } = instrs[idx].op {
                 *target = pos;
             }
@@ -475,12 +505,79 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "label placed twice")]
-    fn double_place_panics() {
+    fn double_place_is_reported_at_build() {
         let mut b = KernelBuilder::new("k");
         let l = b.new_label();
         b.place(l);
         b.place(l);
+        b.exit();
+        assert_eq!(b.build(), Err(BuildKernelError::LabelPlacedTwice(0)));
+    }
+
+    #[test]
+    fn foreign_label_is_reported_not_a_panic() {
+        let mut other = KernelBuilder::new("other");
+        let _ = other.new_label();
+        let foreign = other.new_label(); // index 1; this builder has none
+
+        let mut b = KernelBuilder::new("k");
+        b.place(foreign);
+        b.exit();
+        assert_eq!(b.build(), Err(BuildKernelError::UnknownLabel(1)));
+
+        let mut b = KernelBuilder::new("k");
+        b.bra_if(foreign, 500, None);
+        b.exit();
+        assert_eq!(b.build(), Err(BuildKernelError::UnknownLabel(1)));
+    }
+
+    #[test]
+    fn zero_trip_loop_builds() {
+        // Fixed(0) is legal to build; the simulator clamps trips to >= 1
+        // (the loop body always executes at least once).
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(0), 1);
+        let top = b.here();
+        b.iadd(r(0), r(0), r(0));
+        b.bra_loop(top, TripCount::Fixed(0));
+        b.exit();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn register_index_out_of_range_is_invalid() {
+        use crate::kernel::MAX_ARCH_REGS;
+        let mut b = KernelBuilder::new("k");
+        b.movi(r(MAX_ARCH_REGS), 1).exit();
+        assert_eq!(
+            b.build(),
+            Err(BuildKernelError::Invalid(
+                ValidateKernelError::RegisterOutOfRange {
+                    reg: MAX_ARCH_REGS,
+                    limit: MAX_ARCH_REGS,
+                }
+            ))
+        );
+    }
+
+    #[test]
+    fn empty_kernel_is_invalid() {
+        let b = KernelBuilder::new("k");
+        assert_eq!(
+            b.build(),
+            Err(BuildKernelError::Invalid(ValidateKernelError::Empty))
+        );
+    }
+
+    #[test]
+    fn misuse_error_messages_render() {
+        for (e, needle) in [
+            (BuildKernelError::UnplacedLabel(3), "never placed"),
+            (BuildKernelError::LabelPlacedTwice(1), "placed twice"),
+            (BuildKernelError::UnknownLabel(9), "does not belong"),
+        ] {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
     }
 
     #[test]

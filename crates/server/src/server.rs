@@ -266,6 +266,7 @@ fn route_label(path: &str) -> &'static str {
         "/v1/workloads" => "/v1/workloads",
         "/v1/run" => "/v1/run",
         "/v1/sweep" => "/v1/sweep",
+        "/v1/fuzz" => "/v1/fuzz",
         "/v1/shutdown" => "/v1/shutdown",
         _ => "other",
     }
@@ -303,6 +304,7 @@ fn dispatch(request: &Request, state: &ServerState) -> Response {
         ("GET", "/v1/workloads") => Response::json(200, wire::workloads_json().encode()),
         ("POST", "/v1/run") => run_endpoint(request, state),
         ("POST", "/v1/sweep") => sweep_endpoint(request, state),
+        ("POST", "/v1/fuzz") => fuzz_endpoint(request, state),
         ("POST", "/v1/shutdown") => {
             state.draining.store(true, Ordering::SeqCst);
             Response::json(200, r#"{"status":"draining"}"#)
@@ -639,6 +641,90 @@ fn sweep_endpoint(request: &Request, state: &ServerState) -> Response {
         ("rows".into(), Json::Arr(rows)),
     ]);
     Response::json(200, response.encode())
+}
+
+/// Upper bound on kernels per `/v1/fuzz` request (shard further instead).
+const FUZZ_MAX_COUNT: u64 = 100_000;
+
+/// Decode a u64 field that may arrive as a JSON number or a hex string
+/// (`"0x..."`), since campaign seeds use the full u64 range.
+fn parse_u64_field(v: &Json) -> Option<u64> {
+    if let Some(n) = v.as_u64() {
+        return Some(n);
+    }
+    let s = v.as_str()?;
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// `POST /v1/fuzz`: run one shard of a fuzzing campaign on this worker.
+///
+/// Body: `{"seed": <u64|hex string>, "start": <u64>, "count": <u64>,
+/// "cycle_budget"?: <u64>, "minimize"?: <bool>, "max_divergences"?: <u64>}`.
+/// Workers regenerate every kernel locally from `mix(seed, index)` over
+/// `start..start+count`, so the coordinator ships a few integers instead
+/// of kernels, and disjoint shards of one seed merged in index order are
+/// byte-identical to a local run of the whole range.
+///
+/// The shard runs synchronously on the connection thread against the
+/// shared runner/cache (fuzz jobs are batch work; the bounded sim queue
+/// stays free for interactive `/v1/run` traffic).
+fn fuzz_endpoint(request: &Request, state: &ServerState) -> Response {
+    if state.draining.load(Ordering::SeqCst) {
+        return Response::json(503, wire::error_json("server is draining"))
+            .with_header("retry-after", "1");
+    }
+    let body = match parse_body(request) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let seed = match body.get("seed").and_then(parse_u64_field) {
+        Some(s) => s,
+        None => {
+            return Response::json(
+                400,
+                wire::error_json("'seed' (u64 or hex string) is required"),
+            )
+        }
+    };
+    let count = match body.get("count").and_then(parse_u64_field) {
+        Some(c) if (1..=FUZZ_MAX_COUNT).contains(&c) => c,
+        Some(_) => {
+            return Response::json(
+                400,
+                wire::error_json(&format!("'count' must be in 1..={FUZZ_MAX_COUNT}")),
+            )
+        }
+        None => return Response::json(400, wire::error_json("'count' (u64) is required")),
+    };
+    let start = match body.get("start") {
+        None => 0,
+        Some(v) => match parse_u64_field(v) {
+            Some(s) => s,
+            None => return Response::json(400, wire::error_json("'start' must be a u64")),
+        },
+    };
+    let mut oracle = regmutex_fuzz::OracleConfig {
+        sm_workers: state.cfg.sm_workers,
+        ..regmutex_fuzz::OracleConfig::default()
+    };
+    if let Some(b) = body.get("cycle_budget").and_then(parse_u64_field) {
+        oracle.cycle_budget = b;
+    }
+    let cfg = regmutex_fuzz::CampaignConfig {
+        seed,
+        start,
+        iters: count,
+        oracle,
+        minimize: body.get("minimize").and_then(Json::as_bool).unwrap_or(true),
+        max_divergences: body
+            .get("max_divergences")
+            .and_then(parse_u64_field)
+            .unwrap_or(5),
+        ..regmutex_fuzz::CampaignConfig::default()
+    };
+    let report = regmutex_fuzz::run_campaign(&cfg, &state.runner);
+    Response::json(200, report.to_json())
 }
 
 /// Run a server until SIGINT/SIGTERM or `POST /v1/shutdown`, then drain

@@ -375,3 +375,42 @@ fn bad_request_corpus_never_hangs() {
     assert_eq!(health.status, 200);
     server.shutdown_and_wait();
 }
+
+#[test]
+fn fuzz_endpoint_runs_a_shard_and_validates_input() {
+    let server = start(1, 8);
+
+    // Missing/invalid fields: structured 400s.
+    for bad in [
+        r#"{"count":5}"#,
+        r#"{"seed":1}"#,
+        r#"{"seed":1,"count":0}"#,
+        r#"{"seed":1,"count":200000}"#,
+        r#"{"seed":"zz","count":5}"#,
+    ] {
+        let resp = call(&server, "POST", "/v1/fuzz", Some(bad));
+        assert_eq!(resp.status, 400, "{bad}");
+        assert!(body_json(&resp).get("error").is_some(), "{bad}");
+    }
+
+    // A tiny shard completes and reports campaign stats.
+    let resp = call(
+        &server,
+        "POST",
+        "/v1/fuzz",
+        Some(r#"{"seed":"0xfeed","start":3,"count":4}"#),
+    );
+    assert_eq!(
+        resp.status,
+        200,
+        "{:?}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    let body = body_json(&resp);
+    assert_eq!(body.get("kernels").and_then(Json::as_u64), Some(4));
+    assert_eq!(body.get("start").and_then(Json::as_u64), Some(3));
+    assert_eq!(body.get("divergences").and_then(Json::as_u64), Some(0));
+    assert!(body.get("elapsed_ms").is_some());
+
+    server.shutdown_and_wait();
+}

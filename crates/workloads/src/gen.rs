@@ -1,4 +1,6 @@
-//! Kernel-construction helpers shared by the workload generators.
+//! Kernel-construction helpers shared by the workload generators — and by
+//! the `regmutex-fuzz` random kernel generator, which composes the same
+//! vocabulary under random parameters.
 //!
 //! Every Table I application is synthesized from the same vocabulary real
 //! GPU kernels exhibit in Fig 1: long *low-pressure* phases (memory access,
@@ -7,6 +9,13 @@
 //! (unrolled filter banks, interpolation stencils, RNG chains). The helpers
 //! pin the spike's peak pressure exactly, so each generator reproduces its
 //! application's Table I register count.
+//!
+//! All helpers append instructions to a caller-supplied
+//! [`KernelBuilder`]; none of them branch, so control-flow structure
+//! (loops, `if` regions, divergence) stays in the caller's hands.
+//! Preconditions are `debug_assert`ed — violating them in release builds
+//! produces a kernel that may fail [`regmutex_isa::Kernel::validate`] or
+//! miss its target pressure, never memory unsafety.
 
 use regmutex_isa::{ArchReg, KernelBuilder, TripCount};
 
@@ -30,6 +39,13 @@ pub enum SpikeStyle {
 /// spike, peak pressure is `base_live + (hi − lo + 1)` at the first folding
 /// instruction; callers pick `lo`/`hi` so that this equals the application's
 /// register count.
+///
+/// # Preconditions (debug-asserted)
+///
+/// * `lo <= hi`;
+/// * `acc` and every seed live *below* the spike range (`index < lo`), so
+///   the spike registers are pure temporaries;
+/// * `seeds` is non-empty.
 pub fn pressure_spike(
     b: &mut KernelBuilder,
     lo: u16,
@@ -72,6 +88,9 @@ pub fn pressure_spike(
 /// Emit a dependent-load phase: `loads` global loads whose addresses chain
 /// through `acc` (each load's result feeds the next address), using `tmp` as
 /// the landing register. This is the latency-bound pattern occupancy hides.
+/// `acc` must hold a valid address before the first load (e.g. via
+/// [`KernelBuilder::movi`]); `tmp` and `acc` may not alias usefully but any
+/// distinct pair of registers is legal.
 pub fn dependent_loads(b: &mut KernelBuilder, acc: ArchReg, tmp: ArchReg, loads: u32) {
     for _ in 0..loads {
         b.ld_global(tmp, acc);
@@ -81,6 +100,11 @@ pub fn dependent_loads(b: &mut KernelBuilder, acc: ArchReg, tmp: ArchReg, loads:
 
 /// Emit an independent-load phase: loads from `addrs` landing in `tmps`,
 /// then folded into `acc` (memory-level parallelism within the warp).
+///
+/// # Preconditions (debug-asserted)
+///
+/// `addrs` and `tmps` have the same length. Peak extra pressure is
+/// `tmps.len()` (all landing registers live at the first fold).
 pub fn independent_loads(b: &mut KernelBuilder, addrs: &[ArchReg], tmps: &[ArchReg], acc: ArchReg) {
     debug_assert_eq!(addrs.len(), tmps.len());
     for (a, t) in addrs.iter().zip(tmps) {
@@ -93,7 +117,10 @@ pub fn independent_loads(b: &mut KernelBuilder, addrs: &[ArchReg], tmps: &[ArchR
 
 /// Emit a shared-memory exchange: store `v` at `addr`, barrier, load back.
 /// The caller is responsible for keeping the live count at the barrier under
-/// the base-set size (deadlock rule 2).
+/// the base-set size (deadlock rule 2), for declaring shared memory on the
+/// kernel ([`KernelBuilder::shmem_per_cta`]), and for only emitting the
+/// barrier in warp-uniform control flow (all warps of the CTA must reach
+/// it or the simulator reports a deadlock).
 pub fn shared_exchange(b: &mut KernelBuilder, addr: ArchReg, v: ArchReg, out: ArchReg) {
     b.st_shared(addr, v);
     b.bar();
@@ -107,7 +134,10 @@ pub fn epilogue(b: &mut KernelBuilder, addr: ArchReg, v: ArchReg) {
 }
 
 /// A warp-varying loop bound around `base` (±`spread`/2), modelling
-/// data-dependent trip counts.
+/// data-dependent trip counts. With `spread == 0` this still resolves
+/// per-warp (deterministically from the kernel seed) but every warp runs
+/// `base` trips; use [`TripCount::Fixed`] when warp-uniform control flow
+/// matters (e.g. a barrier inside the loop).
 pub fn varied(base: u32, spread: u32) -> TripCount {
     TripCount::PerWarp { base, spread }
 }
@@ -167,6 +197,42 @@ mod tests {
         epilogue(&mut b, r(0), r(4));
         let k = b.build().unwrap();
         assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn varied_is_per_warp() {
+        assert_eq!(varied(6, 4), TripCount::PerWarp { base: 6, spread: 4 });
+        assert_eq!(varied(3, 0), TripCount::PerWarp { base: 3, spread: 0 });
+    }
+
+    #[test]
+    fn epilogue_stores_then_exits() {
+        let mut b = KernelBuilder::new("ep");
+        b.movi(r(0), 64).movi(r(1), 7);
+        epilogue(&mut b, r(0), r(1));
+        let k = b.build().unwrap();
+        assert!(matches!(
+            k.instrs[k.len() - 2].op,
+            regmutex_isa::Op::St(regmutex_isa::Space::Global)
+        ));
+        assert!(matches!(k.instrs[k.len() - 1].op, regmutex_isa::Op::Exit));
+    }
+
+    #[test]
+    fn r_is_the_archreg_constructor() {
+        assert_eq!(r(5), ArchReg(5));
+    }
+
+    #[test]
+    fn independent_loads_pressure_is_bounded_by_tmps() {
+        let mut b = KernelBuilder::new("ind-pressure");
+        b.movi(r(0), 1).movi(r(1), 2).movi(r(2), 3).movi(r(6), 0);
+        independent_loads(&mut b, &[r(0), r(1), r(2)], &[r(3), r(4), r(5)], r(6));
+        epilogue(&mut b, r(0), r(6));
+        let k = b.build().unwrap();
+        // Addresses die as their loads consume them; the peak is the last
+        // load: its address + 2 landed + 1 landing + acc + epilogue addr.
+        assert_eq!(analyze(&k).max_pressure(), 6);
     }
 
     #[test]

@@ -18,6 +18,11 @@ pub mod apps;
 pub mod gen;
 pub mod suite;
 
+pub use gen::{
+    dependent_loads, epilogue, independent_loads, pressure_spike, r, shared_exchange, varied,
+    SpikeStyle,
+};
+
 use regmutex_isa::Kernel;
 use regmutex_sim::{GpuConfig, LaunchConfig};
 

@@ -17,10 +17,13 @@
 //!   injection, register index compaction,
 //! - [`sim`] — the cycle-level SM simulator substrate,
 //! - [`core`] — the RegMutex microarchitecture, baselines, and runner API,
-//! - [`workloads`] — the 16 synthetic Table I benchmark kernels.
+//! - [`workloads`] — the 16 synthetic Table I benchmark kernels,
+//! - [`fuzz`] — the differential fuzzing subsystem (generator, oracle,
+//!   minimizer, campaign driver).
 
 pub use regmutex as core;
 pub use regmutex_compiler as compiler;
+pub use regmutex_fuzz as fuzz;
 pub use regmutex_isa as isa;
 pub use regmutex_sim as sim;
 pub use regmutex_workloads as workloads;

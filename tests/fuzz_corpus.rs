@@ -1,0 +1,82 @@
+//! Regression corpus: every checked-in minimized fuzz artifact in
+//! `tests/corpus/` must replay to its recorded expectation, byte-for-byte
+//! deterministically. Divergence artifacts additionally stay small — the
+//! point of checking them in is that a human can read the kernel.
+
+use regmutex_bench::Runner;
+use regmutex_repro::fuzz::{replay, replay_artifact, Artifact, Expectation, OracleConfig};
+
+fn corpus() -> Vec<(String, Artifact)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("readable artifact");
+            let artifact = Artifact::parse(&text)
+                .unwrap_or_else(|e| panic!("{name}: malformed artifact: {e}"));
+            (name, artifact)
+        })
+        .collect()
+}
+
+#[test]
+fn every_corpus_artifact_reproduces_deterministically() {
+    let runner = Runner::new(2);
+    let oracle = OracleConfig::default();
+    let corpus = corpus();
+    assert!(!corpus.is_empty(), "corpus must not be empty");
+    for (name, artifact) in &corpus {
+        let (r1, c1) = replay_artifact(artifact, &runner, &oracle);
+        let (r2, c2) = replay_artifact(artifact, &runner, &oracle);
+        assert_eq!(c1, 0, "{name}: expectation not reproduced:\n{r1}");
+        assert_eq!(c2, 0, "{name}: second replay failed:\n{r2}");
+        assert_eq!(r1, r2, "{name}: replay must be deterministic");
+    }
+}
+
+#[test]
+fn corpus_artifacts_are_small_and_cover_both_expectations() {
+    let corpus = corpus();
+    let mut agreements = 0usize;
+    let mut fault_classes = std::collections::BTreeSet::new();
+    for (name, artifact) in &corpus {
+        let g = replay(artifact.seed, &artifact.trace);
+        assert_eq!(
+            g.trace, artifact.trace,
+            "{name}: checked-in trace must be canonical"
+        );
+        match &artifact.expect {
+            Expectation::Agreement => agreements += 1,
+            Expectation::Divergence(..) => {
+                assert!(
+                    g.kernel.len() <= 40,
+                    "{name}: divergence artifact too large ({} instructions)",
+                    g.kernel.len()
+                );
+                let fault = artifact.fault.expect("divergence artifacts carry a fault");
+                fault_classes.insert(fault.class.to_string());
+            }
+        }
+    }
+    assert!(agreements >= 1, "corpus needs an agreement artifact");
+    assert!(
+        fault_classes.len() >= 3,
+        "corpus should span fault classes, got {fault_classes:?}"
+    );
+    // The oracle self-test promise: at least one planted-fault reproducer
+    // minimized all the way down to a trivially readable kernel.
+    assert!(
+        corpus.iter().any(|(_, a)| {
+            matches!(a.expect, Expectation::Divergence(..))
+                && replay(a.seed, &a.trace).kernel.len() <= 25
+        }),
+        "at least one divergence artifact must be <= 25 instructions"
+    );
+}
