@@ -114,6 +114,10 @@ pub enum Command {
         /// Device-loop worker threads per simulation (default:
         /// `REGMUTEX_SM_WORKERS` or 1 = serial).
         sm_workers: Option<u32>,
+        /// Per-client token-bucket rate in requests/second (0 = off).
+        client_rate: f64,
+        /// Per-client token-bucket burst size.
+        client_burst: f64,
     },
     /// `loadgen` — closed-loop load generator against a running server,
     /// or (with `--fleet`) through the fault-tolerant coordinator.
@@ -135,6 +139,10 @@ pub enum Command {
         workers: Vec<String>,
         /// Per-job cycle budget in fleet mode (tightens deadlines).
         cycle_budget: Option<u64>,
+        /// Reuse connections across requests (HTTP/1.1 keep-alive).
+        keep_alive: bool,
+        /// Requests pipelined per round trip (1 = classic).
+        pipeline: usize,
     },
     /// `coordinator` — run the Fig 7 sweep across a fleet of workers with
     /// retries, backoff, and failover.
@@ -299,6 +307,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut cycle_budget = None;
             let mut max_connections = 64usize;
             let mut sm_workers = None;
+            let mut client_rate = 0.0f64;
+            let mut client_burst = 8.0f64;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -316,11 +326,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         max_connections = value_of("--max-connections", it.next())?
                     }
                     "--sm-workers" => sm_workers = Some(value_of("--sm-workers", it.next())?),
+                    "--client-rate" => client_rate = value_of("--client-rate", it.next())?,
+                    "--client-burst" => client_burst = value_of("--client-burst", it.next())?,
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
             if queue == 0 {
                 return Err(ParseError("--queue must be at least 1".into()));
+            }
+            if client_rate < 0.0 || client_burst < 0.0 {
+                return Err(ParseError(
+                    "--client-rate and --client-burst must be non-negative".into(),
+                ));
             }
             Ok(Command::Serve {
                 addr,
@@ -330,6 +347,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 cycle_budget,
                 max_connections,
                 sm_workers,
+                client_rate,
+                client_burst,
             })
         }
         "loadgen" => {
@@ -341,6 +360,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut fleet = false;
             let mut workers = Vec::new();
             let mut cycle_budget = None;
+            let mut keep_alive = true;
+            let mut pipeline = 1usize;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -368,6 +389,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         fleet = true;
                     }
                     "--cycle-budget" => cycle_budget = Some(value_of("--cycle-budget", it.next())?),
+                    "--keep-alive" => keep_alive = true,
+                    "--no-keep-alive" => keep_alive = false,
+                    "--pipeline" => pipeline = value_of("--pipeline", it.next())?,
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -381,6 +405,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--fleet needs --workers HOST:PORT[,HOST:PORT...]".into(),
                 ));
             }
+            if pipeline == 0 {
+                return Err(ParseError("--pipeline must be at least 1".into()));
+            }
+            if fleet && pipeline > 1 {
+                return Err(ParseError(
+                    "--pipeline applies to direct loadgen, not --fleet".into(),
+                ));
+            }
             Ok(Command::Loadgen {
                 addr,
                 threads,
@@ -390,6 +422,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 fleet,
                 workers,
                 cycle_budget,
+                keep_alive,
+                pipeline,
             })
         }
         "coordinator" => {
@@ -749,8 +783,10 @@ USAGE:
   regmutex-cli serve [--addr HOST:PORT] [--workers N] [--queue N]
                      [--cache-mb N] [--cycle-budget N]
                      [--max-connections N] [--sm-workers N]
+                     [--client-rate R] [--client-burst N]
   regmutex-cli loadgen [--addr HOST:PORT] [--threads N] [--requests N]
-                       [--seed N] [--apps A,B,...]
+                       [--seed N] [--apps A,B,...] [--no-keep-alive]
+                       [--pipeline N]
                        [--fleet --workers H:P,H:P,...] [--cycle-budget N]
   regmutex-cli coordinator --workers H:P[,H:P...] [--seed N] [--threads N]
                            [--max-attempts N] [--cycle-budget N]
@@ -787,11 +823,17 @@ caught. --watchdog-cycles and --stall-multiplier tune the detectors.
 
 serve runs the std-only HTTP simulation service (GET /healthz, GET
 /metrics, GET /v1/workloads, POST /v1/run, POST /v1/sweep, POST
-/v1/shutdown): bounded job queue (429 + Retry-After when full), shared
-LRU result cache, Prometheus metrics, graceful SIGINT/SIGTERM drain.
-loadgen drives it closed-loop with a seeded workload mix and reports
-throughput, exact latency percentiles, backpressure and cache hits
-(429s are retried per Retry-After, capped, and reported as goodput).
+/v1/shutdown) on a raw-epoll event loop: HTTP/1.1 keep-alive with
+bounded pipelining, chunked streaming for sweeps and fuzz progress,
+bounded job queue (429 + Retry-After when full), shared LRU result
+cache, per-client token-bucket fairness (--client-rate req/s with
+--client-burst headroom; 0 = off), Prometheus metrics, and graceful
+SIGINT/SIGTERM drain. loadgen drives it closed-loop over persistent
+connections (--no-keep-alive for one connection per request,
+--pipeline N for N requests per round trip) with a seeded workload mix
+and reports throughput, exact latency percentiles, connection reuse,
+backpressure and cache hits (429s are retried per Retry-After, capped,
+and reported as goodput; pipelined batches skip retries).
 
 coordinator schedules the Fig 7 sweep across N workers: consistent-hash
 routing by job fingerprint (cache affinity), per-job deadlines from the
@@ -858,6 +900,8 @@ mod tests {
                 cycle_budget: None,
                 max_connections: 64,
                 sm_workers: None,
+                client_rate: 0.0,
+                client_burst: 8.0,
             })
         );
         assert_eq!(
@@ -874,7 +918,11 @@ mod tests {
                 "--cycle-budget",
                 "1000000",
                 "--max-connections",
-                "32"
+                "32",
+                "--client-rate",
+                "50.5",
+                "--client-burst",
+                "4"
             ])),
             Ok(Command::Serve {
                 addr: "0.0.0.0:9000".into(),
@@ -884,9 +932,12 @@ mod tests {
                 cycle_budget: Some(1_000_000),
                 max_connections: 32,
                 sm_workers: None,
+                client_rate: 50.5,
+                client_burst: 4.0,
             })
         );
         assert!(parse(&v(&["serve", "--queue", "0"])).is_err());
+        assert!(parse(&v(&["serve", "--client-rate", "-1"])).is_err());
         assert!(parse(&v(&["serve", "--what"])).is_err());
     }
 
@@ -903,6 +954,8 @@ mod tests {
                 fleet: false,
                 workers: vec![],
                 cycle_budget: None,
+                keep_alive: true,
+                pipeline: 1,
             })
         );
         assert_eq!(
@@ -917,7 +970,10 @@ mod tests {
                 "--seed",
                 "7",
                 "--apps",
-                "BFS,SPMV"
+                "BFS,SPMV",
+                "--no-keep-alive",
+                "--pipeline",
+                "8"
             ])),
             Ok(Command::Loadgen {
                 addr: "127.0.0.1:1234".into(),
@@ -928,9 +984,25 @@ mod tests {
                 fleet: false,
                 workers: vec![],
                 cycle_budget: None,
+                keep_alive: false,
+                pipeline: 8,
             })
         );
+        // --keep-alive restores the default (last flag wins).
+        match parse(&v(&["loadgen", "--no-keep-alive", "--keep-alive"])) {
+            Ok(Command::Loadgen { keep_alive, .. }) => assert!(keep_alive),
+            other => panic!("expected loadgen to parse, got {other:?}"),
+        }
         assert!(parse(&v(&["loadgen", "--threads", "0"])).is_err());
+        assert!(parse(&v(&["loadgen", "--pipeline", "0"])).is_err());
+        assert!(parse(&v(&[
+            "loadgen",
+            "--workers",
+            "127.0.0.1:1",
+            "--pipeline",
+            "4"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -953,6 +1025,8 @@ mod tests {
                 fleet: true,
                 workers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
                 cycle_budget: Some(100_000),
+                keep_alive: true,
+                pipeline: 1,
             })
         );
         // --fleet without workers is an error.

@@ -599,6 +599,8 @@ pub fn serve(
     cycle_budget: Option<u64>,
     max_connections: usize,
     sm_workers: Option<u32>,
+    client_rate: f64,
+    client_burst: f64,
 ) -> Result<(), CommandError> {
     let env = std::env::var("REGMUTEX_JOBS").ok();
     let sim_workers = workers
@@ -613,6 +615,8 @@ pub fn serve(
         max_connections,
         // 0 = auto: each job's device loop resolves REGMUTEX_SM_WORKERS.
         sm_workers: sm_workers.unwrap_or(0),
+        client_rate,
+        client_burst,
         ..ServerConfig::default()
     })
     .map_err(|e| CommandError(format!("serve: {e}")))
@@ -795,12 +799,15 @@ pub fn fuzz(
 }
 
 /// `loadgen ...`
+#[allow(clippy::too_many_arguments)]
 pub fn loadgen(
     addr: String,
     threads: usize,
     requests: usize,
     seed: u64,
     apps: Vec<String>,
+    keep_alive: bool,
+    pipeline: usize,
 ) -> Result<String, CommandError> {
     let report = regmutex_server::run_loadgen(&LoadgenConfig {
         addr,
@@ -808,6 +815,8 @@ pub fn loadgen(
         requests,
         seed,
         apps,
+        keep_alive,
+        pipeline,
         ..LoadgenConfig::default()
     })
     .map_err(CommandError)?;

@@ -60,6 +60,8 @@ fn main() {
             cycle_budget,
             max_connections,
             sm_workers,
+            client_rate,
+            client_burst,
         } => {
             match commands::serve(
                 addr,
@@ -69,6 +71,8 @@ fn main() {
                 cycle_budget,
                 max_connections,
                 sm_workers,
+                client_rate,
+                client_burst,
             ) {
                 Ok(()) => return,
                 Err(e) => {
@@ -86,11 +90,13 @@ fn main() {
             fleet,
             workers,
             cycle_budget,
+            keep_alive,
+            pipeline,
         } => {
             if fleet {
                 commands::fleet_loadgen(workers, threads, requests, seed, apps, cycle_budget)
             } else {
-                commands::loadgen(addr, threads, requests, seed, apps)
+                commands::loadgen(addr, threads, requests, seed, apps, keep_alive, pipeline)
             }
         }
         Command::Coordinator {

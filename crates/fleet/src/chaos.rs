@@ -249,6 +249,9 @@ fn run_scenario(
         failure_threshold: 2,
         probe_interval: Duration::from_millis(100),
         probe_timeout: Duration::from_millis(200),
+        // The fault proxy forwards one exchange per connection and frames
+        // the upstream response by EOF; keep-alive would stall it.
+        keep_alive: false,
         ..FleetConfig::default()
     })?;
     let results = coordinator.execute(&jobs)?;

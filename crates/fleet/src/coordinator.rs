@@ -50,7 +50,6 @@ use std::time::Duration;
 
 use regmutex::{RunError, RunReport};
 use regmutex_bench::{CachedResult, JobExecutor, MatrixJob};
-use regmutex_server::http::client_request;
 use regmutex_server::json::{self, Json};
 use regmutex_server::wire::{report_from_json, run_request_json, RunRequest};
 
@@ -92,6 +91,9 @@ pub struct FleetConfig {
     pub probe_timeout: Duration,
     /// Virtual nodes per worker on the routing ring.
     pub vnodes: usize,
+    /// Reuse worker connections across dispatches (HTTP keep-alive).
+    /// Off for chaos campaigns: the fault proxy frames responses by EOF.
+    pub keep_alive: bool,
 }
 
 impl Default for FleetConfig {
@@ -111,6 +113,7 @@ impl Default for FleetConfig {
             probe_interval: Duration::from_millis(250),
             probe_timeout: Duration::from_millis(500),
             vnodes: 32,
+            keep_alive: true,
         }
     }
 }
@@ -156,7 +159,7 @@ impl Coordinator {
         let workers: Vec<Arc<WorkerHandle>> = cfg
             .workers
             .iter()
-            .map(|a| Arc::new(WorkerHandle::new(a.clone())))
+            .map(|a| Arc::new(WorkerHandle::with_keep_alive(a.clone(), cfg.keep_alive)))
             .collect();
         let ring = Ring::new(workers.len(), cfg.vnodes.max(1));
         let metrics = Arc::new(FleetMetrics::new(workers.len()));
@@ -308,13 +311,7 @@ impl Coordinator {
         .encode();
         let mut tries_429 = 0u32;
         loop {
-            let resp = match client_request(
-                &worker.addr,
-                "POST",
-                "/v1/run",
-                Some(body.as_bytes()),
-                deadline,
-            ) {
+            let resp = match worker.request("POST", "/v1/run", Some(body.as_bytes()), deadline) {
                 Ok(resp) => resp,
                 Err(e) => return Attempt::Fault(format!("transport: {e}")),
             };

@@ -10,8 +10,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use regmutex_server::http::client_request;
-
 use crate::worker::WorkerHandle;
 
 /// Per-worker dispatch tallies.
@@ -106,7 +104,7 @@ impl FleetMetrics {
                 u8::from(up)
             ));
             if up {
-                if let Ok(resp) = client_request(&w.addr, "GET", "/metrics", None, scrape_timeout) {
+                if let Ok(resp) = w.request("GET", "/metrics", None, scrape_timeout) {
                     let text = String::from_utf8_lossy(&resp.body).into_owned();
                     cache_hits += scrape_counter(&text, "regmutex_cache_hits_total");
                     cache_misses += scrape_counter(&text, "regmutex_cache_misses_total");

@@ -10,11 +10,19 @@
 //! attempt that happened to land). A deterministic job failure (the
 //! worker *answered*, the simulation itself failed) is not a strike — the
 //! worker is healthy, the job is not.
+//!
+//! Every handle also owns a small keep-alive connection pool
+//! ([`WorkerHandle::request`]): dispatch threads check a persistent
+//! [`HttpClient`] out, run one exchange, and return it — so a steady job
+//! stream reuses a few warm sockets instead of paying a TCP handshake per
+//! attempt. A client whose exchange *failed* is dropped, never pooled:
+//! its socket state can't be trusted. Chaos campaigns construct handles
+//! with keep-alive off, because the fault proxy frames responses by EOF.
 
 use std::sync::Mutex;
 use std::time::Duration;
 
-use regmutex_server::http::client_request;
+use regmutex_server::http::{ClientResponse, HttpClient, HttpError};
 use regmutex_server::json::{self, Json};
 
 /// What `GET /healthz` reports about a worker.
@@ -71,21 +79,71 @@ struct Health {
     quarantined: bool,
 }
 
+/// Idle pooled connections kept per worker (dispatch threads beyond this
+/// just open-and-return; the pool bounds sockets, not concurrency).
+const POOL_CAP: usize = 8;
+
 /// One worker the coordinator dispatches to.
 #[derive(Debug)]
 pub struct WorkerHandle {
     /// `host:port` of the worker's HTTP endpoint.
     pub addr: String,
     health: Mutex<Health>,
+    keep_alive: bool,
+    pool: Mutex<Vec<HttpClient>>,
 }
 
 impl WorkerHandle {
-    /// A healthy handle for `addr`.
+    /// A healthy handle for `addr` with connection reuse on.
     pub fn new(addr: impl Into<String>) -> WorkerHandle {
+        WorkerHandle::with_keep_alive(addr, true)
+    }
+
+    /// A healthy handle with explicit connection-reuse policy. Pass
+    /// `false` when something between coordinator and worker (e.g. the
+    /// chaos fault proxy) frames responses by connection close.
+    pub fn with_keep_alive(addr: impl Into<String>, keep_alive: bool) -> WorkerHandle {
         WorkerHandle {
             addr: addr.into(),
             health: Mutex::new(Health::default()),
+            keep_alive,
+            pool: Mutex::new(Vec::new()),
         }
+    }
+
+    /// One HTTP exchange against this worker through the connection pool.
+    ///
+    /// Checks a pooled client out (or opens one), runs the request with
+    /// `timeout` as both connect and socket deadline, and pools the
+    /// client back only on success — a failed exchange retires its
+    /// connection.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        timeout: Duration,
+    ) -> Result<ClientResponse, HttpError> {
+        let mut client = self
+            .pool
+            .lock()
+            .expect("conn pool lock")
+            .pop()
+            .unwrap_or_else(|| HttpClient::new(self.addr.clone(), timeout, self.keep_alive));
+        client.set_timeout(timeout);
+        let result = client.request(method, path, body);
+        if result.is_ok() && self.keep_alive {
+            let mut pool = self.pool.lock().expect("conn pool lock");
+            if pool.len() < POOL_CAP {
+                pool.push(client);
+            }
+        }
+        result
+    }
+
+    /// Idle pooled connections right now (observability for tests).
+    pub fn pooled_connections(&self) -> usize {
+        self.pool.lock().expect("conn pool lock").len()
     }
 
     /// Whether the dispatcher should route around this worker.
@@ -121,7 +179,8 @@ impl WorkerHandle {
 
     /// `GET /healthz` — `Ok` only for a 200 with `status == "ok"`.
     pub fn probe(&self, timeout: Duration) -> Result<WorkerStatus, String> {
-        let resp = client_request(&self.addr, "GET", "/healthz", None, timeout)
+        let resp = self
+            .request("GET", "/healthz", None, timeout)
             .map_err(|e| e.to_string())?;
         if resp.status != 200 {
             return Err(format!("healthz status {}", resp.status));

@@ -6,9 +6,12 @@
 //! (`regmutex-cli loadgen`) for measuring it.
 //!
 //! Everything is `std`-only to preserve the fully offline build: sockets
-//! are `std::net`, JSON is [`json`], HTTP framing is [`http`], the job
-//! queue is a `Mutex`/`Condvar` [`queue::BoundedQueue`], and metrics are
-//! atomics rendered as Prometheus text ([`metrics`]).
+//! are `std::net` driven by a raw-epoll event loop ([`poll`] +
+//! `event_loop`), JSON is [`json`], HTTP framing is [`http`]
+//! (keep-alive, bounded pipelining, chunked streaming), connection
+//! deadlines come from a [`timer`] wheel, the job queue is a
+//! `Mutex`/`Condvar` [`queue::BoundedQueue`], and metrics are atomics
+//! rendered as Prometheus text ([`metrics`]).
 //!
 //! ## Routes
 //!
@@ -40,13 +43,16 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod event_loop;
 pub mod http;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
+pub mod poll;
 pub mod queue;
 pub mod server;
 pub mod signal;
+pub mod timer;
 pub mod wire;
 
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};

@@ -9,10 +9,21 @@
 //!
 //! Latency percentiles are exact (computed from the sorted client-side
 //! sample set), unlike the server's bucketed histogram.
+//!
+//! Each thread drives one [`HttpClient`]: with keep-alive (the default)
+//! all of a thread's requests share one connection unless the server
+//! closes it; with `keep_alive: false` every request pays a fresh TCP
+//! handshake — the pre-event-loop behaviour, kept measurable for
+//! before/after comparison. The report carries per-connection request
+//! counts so reuse is visible, not assumed. With `pipeline > 1` each
+//! thread writes that many requests per round trip and reads the
+//! responses back in order — the syscall-amortised mode that measures
+//! the server's event loop rather than the scheduler's context-switch
+//! rate.
 
 use std::time::{Duration, Instant};
 
-use crate::http::client_request;
+use crate::http::{client_request, HttpClient};
 use crate::json::{self, Json};
 
 /// Load-generator parameters.
@@ -36,6 +47,17 @@ pub struct LoadgenConfig {
     /// Cap on a single `Retry-After` wait, so a hostile or confused server
     /// can't stall a client thread arbitrarily long.
     pub retry_after_cap: Duration,
+    /// Reuse connections across requests (HTTP/1.1 keep-alive). `false`
+    /// restores one-connection-per-request for comparison runs.
+    pub keep_alive: bool,
+    /// Requests pipelined per round trip (1 = classic request/response).
+    /// Values above 1 batch that many requests into one write and read
+    /// the responses back in order, amortising syscalls and context
+    /// switches; the server answers at most 8 per read, so deeper
+    /// windows only queue client-side. Pipelined batches skip 429
+    /// retries (a batch is not safely re-issuable piecemeal), and each
+    /// request's latency sample is its batch's full round trip.
+    pub pipeline: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -49,6 +71,8 @@ impl Default for LoadgenConfig {
             apps: Vec::new(),
             max_retries_429: 3,
             retry_after_cap: Duration::from_secs(2),
+            keep_alive: true,
+            pipeline: 1,
         }
     }
 }
@@ -74,6 +98,10 @@ pub struct LoadgenReport {
     pub elapsed: Duration,
     /// Per-request latencies in microseconds, sorted ascending.
     pub latencies_us: Vec<u64>,
+    /// Connections opened across all client threads.
+    pub connections: usize,
+    /// Requests completed per connection, across all threads.
+    pub conn_requests: Vec<u64>,
 }
 
 impl LoadgenReport {
@@ -120,6 +148,14 @@ impl LoadgenReport {
         self.ok as f64 / s
     }
 
+    /// Mean requests per connection (1.0 without keep-alive).
+    pub fn requests_per_conn(&self) -> f64 {
+        if self.conn_requests.is_empty() {
+            return 0.0;
+        }
+        self.conn_requests.iter().sum::<u64>() as f64 / self.conn_requests.len() as f64
+    }
+
     /// Human-readable summary block.
     pub fn render(&self) -> String {
         format!(
@@ -129,6 +165,7 @@ impl LoadgenReport {
              retried 429   {}\n\
              rejected 429  {}\n\
              failed        {}\n\
+             connections   {} ({:.1} req/conn)\n\
              elapsed       {:.2} s\n\
              throughput    {:.1} req/s\n\
              goodput       {:.1} ok/s\n\
@@ -142,6 +179,8 @@ impl LoadgenReport {
             self.retried_429,
             self.rejected,
             self.failed,
+            self.connections,
+            self.requests_per_conn(),
             self.elapsed.as_secs_f64(),
             self.rps(),
             self.goodput(),
@@ -167,10 +206,6 @@ impl Rng {
         x ^= x >> 27;
         self.0 = x;
         x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
-        &items[(self.next() % items.len() as u64) as usize]
     }
 }
 
@@ -235,6 +270,8 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         report.retried_429 += part.retried_429;
         report.failed += part.failed;
         report.latencies_us.extend(part.latencies_us);
+        report.connections += part.connections;
+        report.conn_requests.extend(part.conn_requests);
     }
     report.elapsed = started.elapsed();
     report.latencies_us.sort_unstable();
@@ -251,60 +288,113 @@ fn retry_after_wait(resp: &crate::http::ClientResponse, cap: Duration) -> Durati
         .min(cap)
 }
 
+/// Tally one response into the report (no-retry classification).
+fn tally(resp: &crate::http::ClientResponse, part: &mut LoadgenReport) {
+    match resp.status {
+        200 => {
+            part.ok += 1;
+            // The server encodes canonically, so a substring scan is
+            // exact here and much cheaper than a JSON parse.
+            if resp
+                .body
+                .windows(b"\"cached\":true".len())
+                .any(|w| w == b"\"cached\":true")
+            {
+                part.cached += 1;
+            }
+        }
+        429 => part.rejected += 1,
+        _ => part.failed += 1,
+    }
+}
+
 fn worker(cfg: &LoadgenConfig, names: &[String], seed: u64) -> LoadgenReport {
     let mut rng = Rng::new(seed);
     let mut part = LoadgenReport::default();
-    for _ in 0..cfg.requests {
-        let app = rng.pick(names);
-        let technique = rng.pick(&TECHNIQUES);
-        let body = Json::Obj(vec![
-            ("app".into(), Json::Str(app.clone())),
-            ("technique".into(), Json::Str((*technique).into())),
-        ])
-        .encode();
-        // One logical request: up to 1 + max_retries_429 attempts, backing
-        // off by the server's Retry-After between them. The latency sample
-        // is end-to-end (waits included) — the latency a polite client
-        // actually experiences under backpressure.
-        let sent = Instant::now();
-        let mut attempts_left = cfg.max_retries_429;
-        let outcome = loop {
-            match client_request(
-                &cfg.addr,
-                "POST",
-                "/v1/run",
-                Some(body.as_bytes()),
-                cfg.timeout,
-            ) {
-                Ok(resp) if resp.status == 429 && attempts_left > 0 => {
-                    attempts_left -= 1;
-                    part.retried_429 += 1;
-                    std::thread::sleep(retry_after_wait(&resp, cfg.retry_after_cap));
-                }
-                other => break other,
-            }
-        };
-        part.latencies_us
-            .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-        match outcome {
-            Ok(resp) => match resp.status {
-                200 => {
-                    part.ok += 1;
-                    let cached = core::str::from_utf8(&resp.body)
-                        .ok()
-                        .and_then(|t| json::parse(t).ok())
-                        .and_then(|v| v.get("cached").and_then(Json::as_bool))
-                        .unwrap_or(false);
-                    if cached {
-                        part.cached += 1;
+    let mut client = HttpClient::new(cfg.addr.clone(), cfg.timeout, cfg.keep_alive);
+    // Request bodies are pure functions of (app, technique): precompute
+    // every combination once so the hot loop does no JSON encoding.
+    let bodies: Vec<Vec<u8>> = names
+        .iter()
+        .flat_map(|app| {
+            TECHNIQUES.iter().map(move |technique| {
+                Json::Obj(vec![
+                    ("app".into(), Json::Str(app.clone())),
+                    ("technique".into(), Json::Str((*technique).into())),
+                ])
+                .encode()
+                .into_bytes()
+            })
+        })
+        .collect();
+    let pipeline = cfg.pipeline.max(1);
+    if pipeline > 1 {
+        // Pipelined mode: sample a full window up front (same two rng
+        // draws per request, so a seed reproduces the same stream at any
+        // depth), write it as one batch, read the responses in order.
+        let mut remaining = cfg.requests;
+        while remaining > 0 {
+            let n = pipeline.min(remaining);
+            remaining -= n;
+            let idxs: Vec<usize> = (0..n)
+                .map(|_| {
+                    let app_idx = (rng.next() % names.len() as u64) as usize;
+                    let tech_idx = (rng.next() % TECHNIQUES.len() as u64) as usize;
+                    app_idx * TECHNIQUES.len() + tech_idx
+                })
+                .collect();
+            let batch: Vec<&[u8]> = idxs.iter().map(|&i| bodies[i].as_slice()).collect();
+            let sent = Instant::now();
+            let outcome = client.request_batch("POST", "/v1/run", &batch);
+            let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            match outcome {
+                Ok(resps) => {
+                    for resp in &resps {
+                        part.latencies_us.push(us);
+                        tally(resp, &mut part);
                     }
                 }
-                429 => part.rejected += 1,
-                _ => part.failed += 1,
-            },
-            Err(_) => part.failed += 1,
+                Err(_) => {
+                    for _ in 0..n {
+                        part.latencies_us.push(us);
+                        part.failed += 1;
+                    }
+                }
+            }
+        }
+    } else {
+        for _ in 0..cfg.requests {
+            // Same two rng draws (app, then technique) as the pre-pool
+            // code, so a seed reproduces the same request stream.
+            let app_idx = (rng.next() % names.len() as u64) as usize;
+            let tech_idx = (rng.next() % TECHNIQUES.len() as u64) as usize;
+            let body = &bodies[app_idx * TECHNIQUES.len() + tech_idx];
+            // One logical request: up to 1 + max_retries_429 attempts,
+            // backing off by the server's Retry-After between them. The
+            // latency sample is end-to-end (waits included) — the latency
+            // a polite client actually experiences under backpressure.
+            let sent = Instant::now();
+            let mut attempts_left = cfg.max_retries_429;
+            let outcome = loop {
+                match client.request("POST", "/v1/run", Some(body)) {
+                    Ok(resp) if resp.status == 429 && attempts_left > 0 => {
+                        attempts_left -= 1;
+                        part.retried_429 += 1;
+                        std::thread::sleep(retry_after_wait(&resp, cfg.retry_after_cap));
+                    }
+                    other => break other,
+                }
+            };
+            part.latencies_us
+                .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            match outcome {
+                Ok(resp) => tally(&resp, &mut part),
+                Err(_) => part.failed += 1,
+            }
         }
     }
+    part.connections = client.connections_opened as usize;
+    part.conn_requests = client.conn_request_counts();
     part
 }
 
@@ -358,12 +448,16 @@ mod tests {
             failed: 1,
             elapsed: Duration::from_secs(1),
             latencies_us: vec![100, 200, 300],
+            connections: 2,
+            conn_requests: vec![6, 4],
         };
         let text = r.render();
         assert!(text.contains("rejected 429  2"), "{text}");
         assert!(text.contains("retried 429   5"), "{text}");
         assert!(text.contains("goodput       7.0 ok/s"), "{text}");
         assert!(text.contains("hit rate"), "{text}");
+        assert!(text.contains("connections   2 (5.0 req/conn)"), "{text}");
+        assert!((r.requests_per_conn() - 5.0).abs() < 1e-9);
     }
 
     #[test]

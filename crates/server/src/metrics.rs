@@ -66,6 +66,56 @@ impl Histogram {
     }
 }
 
+/// Bucket upper bounds for the requests-per-connection histogram:
+/// 1 (Connection: close clients) through deep keep-alive reuse.
+pub const COUNT_BUCKETS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// A fixed-bucket histogram over small integer counts (requests served
+/// per connection).
+#[derive(Default)]
+pub struct CountHistogram {
+    buckets: [AtomicU64; COUNT_BUCKETS.len()],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl CountHistogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        for (i, le) in COUNT_BUCKETS.iter().enumerate() {
+            if v <= *le {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations (connections closed).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations (requests served over closed connections).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, le) in COUNT_BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum.load(Ordering::Relaxed));
+        let _ = writeln!(out, "{name}_count {count}");
+    }
+}
+
 /// Aggregated simulation counters (summed over every completed job).
 #[derive(Default)]
 pub struct SimTotals {
@@ -122,6 +172,12 @@ pub struct Metrics {
     pub jobs_failed: AtomicU64,
     /// Jobs completing successfully.
     pub jobs_ok: AtomicU64,
+    /// Requests served per keep-alive connection, observed at close.
+    pub requests_per_conn: CountHistogram,
+    /// Job requests refused by the per-client token bucket (429).
+    pub throttled: AtomicU64,
+    /// Rows/lines delivered over chunked streaming responses.
+    pub streamed_rows: AtomicU64,
     /// Aggregated counters over completed simulations.
     pub sim: SimTotals,
 }
@@ -200,6 +256,31 @@ impl Metrics {
             "regmutex_active_connections",
             gauges.active_connections,
         );
+        // Event-loop serving metrics. `regmutex_http_connections_active`
+        // intentionally mirrors `regmutex_active_connections` under the
+        // http-prefixed name the fleet probe loop scrapes.
+        gauge(
+            &mut out,
+            "regmutex_http_connections_active",
+            gauges.active_connections,
+        );
+        gauge(
+            &mut out,
+            "regmutex_http_pipeline_depth",
+            gauges.pipeline_depth,
+        );
+        counter(
+            &mut out,
+            "regmutex_http_throttled_total",
+            self.throttled.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "regmutex_http_streamed_rows_total",
+            self.streamed_rows.load(Ordering::Relaxed),
+        );
+        self.requests_per_conn
+            .render("regmutex_http_requests_per_connection", &mut out);
         counter(&mut out, "regmutex_cache_hits_total", gauges.cache_hits);
         counter(&mut out, "regmutex_cache_misses_total", gauges.cache_misses);
         counter(
@@ -265,6 +346,8 @@ pub struct ServiceGauges {
     pub inflight_jobs: u64,
     /// Open client connections.
     pub active_connections: u64,
+    /// Parsed requests waiting in per-connection pipelines.
+    pub pipeline_depth: u64,
     /// Result-cache hits.
     pub cache_hits: u64,
     /// Result-cache misses.
@@ -313,6 +396,47 @@ mod tests {
             "{text}"
         );
         assert_eq!(m.requests_with_status(200), 3);
+    }
+
+    #[test]
+    fn count_histogram_and_loop_series_render() {
+        let m = Metrics::default();
+        m.requests_per_conn.observe(1);
+        m.requests_per_conn.observe(8);
+        m.requests_per_conn.observe(1000); // above every bound → +Inf only
+        m.throttled.fetch_add(2, Ordering::Relaxed);
+        m.streamed_rows.fetch_add(7, Ordering::Relaxed);
+        let text = m.render(&ServiceGauges {
+            active_connections: 3,
+            pipeline_depth: 5,
+            ..ServiceGauges::default()
+        });
+        assert!(
+            text.contains("regmutex_http_requests_per_connection_bucket{le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("regmutex_http_requests_per_connection_bucket{le=\"8\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("regmutex_http_requests_per_connection_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("regmutex_http_requests_per_connection_sum 1009"),
+            "{text}"
+        );
+        assert!(
+            text.contains("regmutex_http_connections_active 3"),
+            "{text}"
+        );
+        assert!(text.contains("regmutex_http_pipeline_depth 5"), "{text}");
+        assert!(text.contains("regmutex_http_throttled_total 2"), "{text}");
+        assert!(
+            text.contains("regmutex_http_streamed_rows_total 7"),
+            "{text}"
+        );
     }
 
     #[test]

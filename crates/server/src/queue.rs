@@ -63,6 +63,25 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Enqueue ignoring the capacity bound; fails only when closed.
+    ///
+    /// This is for *continuations of already-admitted work* (the next
+    /// point of a sweep whose baseline was admitted): backpressure was
+    /// applied at admission, and a drain promises admitted work will
+    /// finish, so its follow-on jobs must not be bounced by `Full`. At
+    /// most one overflow job exists per in-flight sweep, so the overshoot
+    /// is bounded by the connection cap.
+    pub fn push_overflow(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.takers.notify_one();
+        Ok(())
+    }
+
     /// Blocking dequeue. `None` means the queue is closed **and** drained
     /// — the consumer should exit.
     pub fn pop(&self) -> Option<T> {
@@ -116,6 +135,20 @@ mod tests {
         assert!(q.try_push(3).is_ok());
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn push_overflow_ignores_capacity_but_not_close() {
+        let q = BoundedQueue::new(1);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+        assert!(q.push_overflow(2).is_ok(), "overflow push beats Full");
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.push_overflow(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -1,14 +1,25 @@
-//! SIGINT/SIGTERM → a process-wide shutdown flag.
+//! SIGINT/SIGTERM → a process-wide shutdown flag (+ event-loop wake).
 //!
-//! The accept loop polls (non-blocking accept + short sleep), so the
-//! handler only needs to flip an `AtomicBool` — the single operation that
-//! is unconditionally async-signal-safe. No channels, no allocation, no
-//! locks in the handler. On non-Unix targets installation is a no-op and
-//! `POST /v1/shutdown` remains the way to stop the daemon.
+//! The handler flips an `AtomicBool` and, when a wake fd has been
+//! registered with [`set_wake_fd`], writes one token to that eventfd —
+//! both operations are async-signal-safe (`write(2)` is on the POSIX
+//! safe list). No channels, no allocation, no locks in the handler. The
+//! eventfd write is what lets a SIGTERM interrupt `epoll_wait`
+//! immediately instead of waiting out the current tick. On non-Unix
+//! targets installation is a no-op and `POST /v1/shutdown` remains the
+//! way to stop the daemon.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// The eventfd the handler nudges, or -1 when no loop is registered.
+static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
+
+/// Register the event loop's wake eventfd with the signal handler.
+pub fn set_wake_fd(fd: std::os::fd::RawFd) {
+    WAKE_FD.store(fd, Ordering::SeqCst);
+}
 
 /// Whether a termination signal has been received (or [`raise`] called).
 pub fn triggered() -> bool {
@@ -30,6 +41,8 @@ mod imp {
 
     extern "C" fn on_signal(_sig: i32) {
         SHUTDOWN.store(true, Ordering::SeqCst);
+        // Wake the epoll loop so the drain starts now, not next tick.
+        crate::poll::wake_raw(super::WAKE_FD.load(Ordering::SeqCst));
     }
 
     /// Install the handler for SIGINT and SIGTERM.

@@ -109,11 +109,10 @@ pub fn parse_run_request(v: &Json) -> Result<RunRequest, WireError> {
         .and_then(Json::as_str)
         .ok_or_else(|| bad("missing or non-string field 'app'"))?
         .to_string();
-    if suite::by_name(&app).is_none() {
-        let names: Vec<&str> = suite::all().iter().map(|w| w.name).collect();
+    if !suite::is_app(&app) {
         return Err(bad(format!(
             "unknown workload '{app}'; available: {}",
-            names.join(", ")
+            suite::names().join(", ")
         )));
     }
     let technique = match v.get("technique") {

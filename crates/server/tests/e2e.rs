@@ -5,7 +5,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use regmutex_server::http::{client_request, ClientResponse, Limits};
+use regmutex_server::http::{client_request, ClientResponse, HttpClient, Limits};
 use regmutex_server::json::{self, Json};
 use regmutex_server::{run_loadgen, LoadgenConfig, Server, ServerConfig};
 
@@ -412,5 +412,402 @@ fn fuzz_endpoint_runs_a_shard_and_validates_input() {
     assert_eq!(body.get("divergences").and_then(Json::as_u64), Some(0));
     assert!(body.get("elapsed_ms").is_some());
 
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_across_requests() {
+    let server = start(1, 8);
+    let mut client = HttpClient::new(
+        server.local_addr().to_string(),
+        Duration::from_secs(120),
+        true,
+    );
+
+    let run = r#"{"app":"Gaussian","technique":"baseline"}"#;
+    for _ in 0..3 {
+        let resp = client
+            .request("POST", "/v1/run", Some(run.as_bytes()))
+            .expect("run over keep-alive");
+        assert_eq!(resp.status, 200);
+    }
+    for _ in 0..3 {
+        let resp = client
+            .request("GET", "/healthz", None)
+            .expect("healthz over keep-alive");
+        assert_eq!(resp.status, 200);
+    }
+    assert_eq!(client.connections_opened, 1, "all six requests, one socket");
+    assert_eq!(client.conn_request_counts(), vec![6]);
+
+    // Without keep-alive every request opens its own connection.
+    let mut oneshot = HttpClient::new(
+        server.local_addr().to_string(),
+        Duration::from_secs(120),
+        false,
+    );
+    for _ in 0..2 {
+        assert_eq!(
+            oneshot.request("GET", "/healthz", None).unwrap().status,
+            200
+        );
+    }
+    assert_eq!(oneshot.connections_opened, 2);
+    assert_eq!(oneshot.conn_request_counts(), vec![1, 1]);
+
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let server = start(1, 8);
+    let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Three requests in one write; the middle one is distinguishable by
+    // status so reordering can't go unnoticed.
+    let batch = b"GET /healthz HTTP/1.1\r\n\r\n\
+                  GET /v1/nope HTTP/1.1\r\n\r\n\
+                  GET /v1/workloads HTTP/1.1\r\nconnection: close\r\n\r\n";
+    s.write_all(batch).expect("pipelined write");
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).expect("read all responses");
+    let reply = String::from_utf8_lossy(&out);
+
+    let statuses: Vec<&str> = reply
+        .match_indices("HTTP/1.1 ")
+        .map(|(i, _)| &reply[i + 9..i + 12])
+        .collect();
+    assert_eq!(statuses, vec!["200", "404", "200"], "{reply}");
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn pipelining_deeper_than_the_server_window_still_answers_everything() {
+    // A burst deeper than max_pipeline (8) parks the excess bytes in the
+    // connection's read buffer with no further EPOLLIN coming (the peer
+    // is waiting on these very responses) — the loop must re-parse as
+    // the window drains, and must not 408 the parked complete requests.
+    let server = start(1, 8);
+    let mut client = HttpClient::new(
+        server.local_addr().to_string(),
+        Duration::from_secs(30),
+        true,
+    );
+    let body = br#"{"app":"Gaussian","technique":"baseline"}"# as &[u8];
+    assert_eq!(
+        client
+            .request("POST", "/v1/run", Some(body))
+            .unwrap()
+            .status,
+        200
+    );
+
+    let batch: Vec<&[u8]> = vec![body; 32];
+    let resps = client
+        .request_batch("POST", "/v1/run", &batch)
+        .expect("deep pipelined batch");
+    assert_eq!(resps.len(), 32);
+    assert!(resps.iter().all(|r| r.status == 200), "all 200s");
+    assert_eq!(client.connections_opened, 1, "one connection throughout");
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn streamed_sweep_concatenates_to_the_buffered_body() {
+    let server = start(1, 8);
+    let sweep = r#"{"app":"Gaussian","es":[2,4]}"#;
+
+    // Warm every (app, es) result first so both passes below are fully
+    // cached — otherwise the `cached` flags in the rows would differ.
+    assert_eq!(call(&server, "POST", "/v1/sweep", Some(sweep)).status, 200);
+
+    let streamed = call(&server, "POST", "/v1/sweep", Some(sweep));
+    assert_eq!(streamed.status, 200);
+    assert_eq!(streamed.header("transfer-encoding"), Some("chunked"));
+
+    let buffered = call(
+        &server,
+        "POST",
+        "/v1/sweep",
+        Some(r#"{"app":"Gaussian","es":[2,4],"stream":false}"#),
+    );
+    assert_eq!(buffered.status, 200);
+    assert_eq!(buffered.header("transfer-encoding"), None);
+
+    assert_eq!(
+        streamed.body, buffered.body,
+        "chunked concatenation must be byte-identical to the buffered body"
+    );
+    // And the body is one valid sweep document.
+    let v = body_json(&streamed);
+    assert_eq!(
+        v.get("rows").and_then(Json::as_arr).map(|r| r.len()),
+        Some(2)
+    );
+    server.shutdown_and_wait();
+}
+
+/// Corpus extensions for the event loop: fragmented heads, pipelined
+/// garbage, oversized chunk extensions, and dripped headers.
+#[test]
+fn fragmented_and_pipelined_hostile_input() {
+    let limits = Limits {
+        read_timeout: Duration::from_millis(300),
+        ..Limits::default()
+    };
+    let server = start_with(1, 4, limits);
+    let addr = server.local_addr();
+
+    // A head split mid-header across packets parses once completed.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(b"GET /healthz HTT").unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        s.write_all(b"P/1.1\r\nx-split: mid-hea").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        s.write_all(b"der\r\nconnection: close\r\n\r\n").unwrap();
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        let reply = String::from_utf8_lossy(&out);
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+    }
+
+    // Garbage pipelined after a valid request: the valid one answers 200,
+    // the garbage answers 400, then the connection closes.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(b"GET /healthz HTTP/1.1\r\n\r\nGARBAGE\r\n\r\n")
+            .unwrap();
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        let reply = String::from_utf8_lossy(&out);
+        let statuses: Vec<&str> = reply
+            .match_indices("HTTP/1.1 ")
+            .map(|(i, _)| &reply[i + 9..i + 12])
+            .collect();
+        assert_eq!(statuses, vec!["200", "400"], "{reply}");
+    }
+
+    // A chunked body with an oversized chunk extension: rejected with a
+    // structured 400 (chunked request bodies are not accepted), no hang.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut raw = b"POST /v1/run HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n0;".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 4096));
+        raw.extend_from_slice(b"\r\n\r\n");
+        let _ = s.write_all(&raw);
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        let reply = String::from_utf8_lossy(&out);
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    }
+
+    // Slow-drip header bytes: each write arrives before a per-read
+    // timeout would fire, but the *absolute* request deadline still does
+    // — SO_RCVTIMEO could be reset forever, the timer wheel cannot.
+    {
+        let started = Instant::now();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        for chunk in [b"G", b"E", b"T", b" ", b"/", b"h", b"e", b"a"] {
+            if s.write_all(chunk).is_err() {
+                break; // server already answered 408 and closed
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        let reply = String::from_utf8_lossy(&out);
+        assert!(reply.starts_with("HTTP/1.1 408"), "{reply}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "drip must be cut off by the deadline, not a long stall"
+        );
+    }
+
+    // The server survives all of it.
+    assert_eq!(call(&server, "GET", "/healthz", None).status, 200);
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn per_client_token_bucket_throttles_with_retry_after() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        sim_workers: 1,
+        queue_capacity: 8,
+        client_rate: 1.0,
+        client_burst: 1.0,
+        ..ServerConfig::default()
+    })
+    .expect("bind test server");
+
+    let run = r#"{"app":"Gaussian","technique":"baseline"}"#;
+    let first = call(&server, "POST", "/v1/run", Some(run));
+    assert_eq!(first.status, 200, "burst allows the first request");
+
+    let mut throttled = 0;
+    for _ in 0..3 {
+        let resp = call(&server, "POST", "/v1/run", Some(run));
+        if resp.status == 429 {
+            assert!(resp.header("retry-after").is_some());
+            assert!(body_json(&resp).get("error").is_some());
+            throttled += 1;
+        }
+    }
+    assert!(throttled > 0, "same-client burst must hit the token bucket");
+
+    // Health and metrics are never throttled, and the throttle is counted.
+    let health = call(&server, "GET", "/healthz", None);
+    assert_eq!(health.status, 200);
+    let h = body_json(&health);
+    assert!(h.get("throttled_total").and_then(Json::as_u64).unwrap() >= 1);
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn drain_finishes_streamed_sweep_and_closes_idle_keepalive() {
+    let server = start(1, 8);
+    let addr = server.local_addr();
+
+    // One idle keep-alive connection, already past its first exchange.
+    let mut idle = TcpStream::connect(addr).expect("connect idle");
+    idle.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    idle.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    let mut first = vec![0u8; 4096];
+    let n = idle.read(&mut first).expect("idle first response");
+    assert!(n > 0);
+
+    // One streamed sweep in flight while the drain begins.
+    let streamer = std::thread::spawn(move || {
+        client_request(
+            addr,
+            "POST",
+            "/v1/sweep",
+            Some(br#"{"app":"SPMV","es":[2,4,8]}"#.as_slice()),
+            Duration::from_secs(120),
+        )
+        .expect("in-flight streamed sweep survives the drain")
+    });
+    wait_for_metric(&server, "regmutex_inflight_jobs 1");
+
+    assert_eq!(call(&server, "POST", "/v1/shutdown", None).status, 200);
+    server.shutdown_and_wait();
+
+    // Every admitted sweep point was simulated and streamed back whole.
+    let resp = streamer.join().unwrap();
+    assert_eq!(resp.status, 200);
+    let v = body_json(&resp);
+    assert_eq!(
+        v.get("rows").and_then(Json::as_arr).map(|r| r.len()),
+        Some(3)
+    );
+
+    // The idle connection was closed promptly, not abandoned: the next
+    // read sees EOF (or a reset), never a hang.
+    let mut buf = [0u8; 64];
+    match idle.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => {
+            // Tolerate a final in-flight response fragment, then EOF.
+            assert!(n <= buf.len());
+            assert_eq!(idle.read(&mut buf).unwrap_or(0), 0, "EOF after drain");
+        }
+        Err(_) => {} // reset is an acceptable close
+    }
+}
+
+#[test]
+fn healthz_and_metrics_surface_the_connection_series() {
+    let server = start(1, 8);
+
+    // Generate a little of everything: runs over keep-alive + a stream.
+    let mut client = HttpClient::new(
+        server.local_addr().to_string(),
+        Duration::from_secs(120),
+        true,
+    );
+    let run = r#"{"app":"Gaussian","technique":"baseline"}"#;
+    for _ in 0..2 {
+        assert_eq!(
+            client
+                .request("POST", "/v1/run", Some(run.as_bytes()))
+                .unwrap()
+                .status,
+            200
+        );
+    }
+    let sweep = call(
+        &server,
+        "POST",
+        "/v1/sweep",
+        Some(r#"{"app":"Gaussian","es":[2]}"#),
+    );
+    assert_eq!(sweep.status, 200);
+
+    let health = body_json(&call(&server, "GET", "/healthz", None));
+    for key in [
+        "active_connections",
+        "pipeline_depth",
+        "throttled_total",
+        "streamed_rows_total",
+    ] {
+        assert!(health.get(key).and_then(Json::as_u64).is_some(), "{key}");
+    }
+    assert!(
+        health
+            .get("streamed_rows_total")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+
+    let metrics = call(&server, "GET", "/metrics", None);
+    let text = String::from_utf8_lossy(&metrics.body).to_string();
+    for series in [
+        "regmutex_http_connections_active",
+        "regmutex_http_pipeline_depth",
+        "regmutex_http_throttled_total",
+        "regmutex_http_streamed_rows_total",
+        "regmutex_http_requests_per_connection_bucket",
+    ] {
+        assert!(text.contains(series), "missing {series} in:\n{text}");
+    }
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn fuzz_progress_mode_streams_ndjson() {
+    let server = start(1, 8);
+    let resp = call(
+        &server,
+        "POST",
+        "/v1/fuzz",
+        Some(r#"{"seed":"0xfeed","count":4,"progress":true}"#),
+    );
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
+
+    let text = core::str::from_utf8(&resp.body).expect("UTF-8 NDJSON");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert!(lines.len() >= 2, "progress + final report: {text}");
+    for line in &lines {
+        json::parse(line).unwrap_or_else(|e| panic!("bad NDJSON line {line:?}: {e}"));
+    }
+    let progress = json::parse(lines[0]).unwrap();
+    assert_eq!(
+        progress.get("event").and_then(Json::as_str),
+        Some("progress"),
+        "{text}"
+    );
+    let last = json::parse(lines[lines.len() - 1]).unwrap();
+    assert_eq!(last.get("kernels").and_then(Json::as_u64), Some(4));
+    assert_eq!(last.get("divergences").and_then(Json::as_u64), Some(0));
     server.shutdown_and_wait();
 }

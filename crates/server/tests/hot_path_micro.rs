@@ -1,0 +1,95 @@
+//! Microbenchmarks for the warm request path, printed with
+//! `--nocapture`. No timing assertions (CI machines vary); these exist
+//! to make hot-path regressions one command to spot — the first run
+//! caught `parse_run_request` constructing all 16 workloads (72 µs) per
+//! request just to validate the app name.
+use std::time::Instant;
+
+use regmutex_server::http::{self, Limits, Response};
+use regmutex_server::json;
+
+#[test]
+fn hot_path_micro() {
+    let body = br#"{"app":"Gaussian","technique":"baseline"}"#;
+    let raw = format!(
+        "POST /v1/run HTTP/1.1\r\nhost: 127.0.0.1:8177\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
+        body.len()
+    );
+    let mut req_bytes = raw.into_bytes();
+    req_bytes.extend_from_slice(body);
+    let limits = Limits::default();
+
+    const N: u32 = 100_000;
+
+    let t = Instant::now();
+    for _ in 0..N {
+        let r = http::parse_request_buf(&req_bytes, &limits)
+            .unwrap()
+            .unwrap();
+        std::hint::black_box(r);
+    }
+    eprintln!("parse_request_buf: {:?}/iter", t.elapsed() / N);
+
+    let t = Instant::now();
+    for _ in 0..N {
+        let v = json::parse(core::str::from_utf8(body).unwrap()).unwrap();
+        std::hint::black_box(v);
+    }
+    eprintln!("json::parse body: {:?}/iter", t.elapsed() / N);
+
+    let parsed = json::parse(core::str::from_utf8(body).unwrap()).unwrap();
+    let t = Instant::now();
+    for _ in 0..N {
+        let r = regmutex_server::wire::parse_run_request(&parsed).unwrap();
+        std::hint::black_box(r);
+    }
+    eprintln!("parse_run_request: {:?}/iter", t.elapsed() / N);
+
+    let resp_body = r#"{"app":"Gaussian","technique":"baseline","cached":true,"stats":{"cycles":123456,"instructions":9999}}"#;
+    let t = Instant::now();
+    for _ in 0..N {
+        let resp = Response::json(200, resp_body.to_string());
+        let b = http::encode_response(&resp, true);
+        std::hint::black_box(b);
+    }
+    eprintln!("Response+encode: {:?}/iter", t.elapsed() / N);
+}
+
+#[test]
+fn pipelined_route_cost() {
+    use regmutex_server::http::HttpClient;
+    use regmutex_server::server::{Server, ServerConfig};
+    use std::time::Duration;
+
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        sim_workers: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut client = HttpClient::new(
+        server.local_addr().to_string(),
+        Duration::from_secs(10),
+        true,
+    );
+    let run = br#"{"app":"Gaussian","technique":"baseline"}"# as &[u8];
+    client.request("POST", "/v1/run", Some(run)).unwrap(); // warm
+
+    const ROUNDS: u32 = 300;
+    let healthz: Vec<&[u8]> = vec![&[]; 16];
+    let t = Instant::now();
+    for _ in 0..ROUNDS {
+        let r = client.request_batch("GET", "/healthz", &healthz).unwrap();
+        assert_eq!(r.len(), 16);
+    }
+    eprintln!("healthz batch16: {:?}/req", t.elapsed() / (ROUNDS * 16));
+
+    let runs: Vec<&[u8]> = vec![run; 16];
+    let t = Instant::now();
+    for _ in 0..ROUNDS {
+        let r = client.request_batch("POST", "/v1/run", &runs).unwrap();
+        assert_eq!(r.len(), 16);
+    }
+    eprintln!("warm run batch16: {:?}/req", t.elapsed() / (ROUNDS * 16));
+    server.shutdown_and_wait();
+}

@@ -50,6 +50,21 @@ pub fn by_name(name: &str) -> Option<Workload> {
         .find(|w| w.name.eq_ignore_ascii_case(name))
 }
 
+/// The 16 application names in Table I order, built once. Request
+/// validation goes through this: constructing every workload (16 full
+/// kernels) per lookup is fine for a bench harness but not on a serving
+/// hot path.
+pub fn names() -> &'static [&'static str] {
+    static NAMES: std::sync::OnceLock<Vec<&'static str>> = std::sync::OnceLock::new();
+    NAMES.get_or_init(|| all().iter().map(|w| w.name).collect())
+}
+
+/// Whether a (case-insensitive) name is one of the 16 applications,
+/// without constructing any of them.
+pub fn is_app(name: &str) -> bool {
+    names().iter().any(|n| n.eq_ignore_ascii_case(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
