@@ -196,6 +196,28 @@ impl ResultCache {
     }
 }
 
+/// A second, durable result tier behind the in-memory LRU.
+///
+/// The runner consults the tier only on a cache miss and writes every
+/// freshly simulated result through to it, so a tier-backed process
+/// warm-starts from results computed before a crash or restart. The
+/// concrete implementation (an on-disk content-addressed store keyed by
+/// [`JobSpec::fingerprint`](crate::JobSpec::fingerprint)) lives in the
+/// server crate, which owns the lossless report serialization; this
+/// trait keeps `bench` decoupled from that codec.
+///
+/// Implementations may decline to persist some values — the disk tier
+/// stores only `Ok` reports, because a deterministic simulation that
+/// failed once fails identically when re-run, and errors carry
+/// structured payloads that do not round-trip losslessly.
+pub trait DurableTier: Send + Sync {
+    /// Fetch the result stored under `key`, if any.
+    fn load(&self, key: u64) -> Option<CachedResult>;
+    /// Persist `value` under `key` (best-effort; errors degrade, never
+    /// abort).
+    fn save(&self, key: u64, value: &CachedResult);
+}
+
 /// Deterministic size estimate for one cached result. Exact heap
 /// accounting is not worth the fragility; this tracks the dominant terms
 /// (fixed struct overhead, the kernel name, and the stall-attribution

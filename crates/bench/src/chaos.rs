@@ -18,11 +18,14 @@
 //! Every job is panic-isolated and capped by a cycle budget derived from
 //! its golden run, so a campaign always terminates with a full report.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use regmutex::{RunError, Session, Technique};
+use regmutex_durable::Journal;
 use regmutex_sim::fault::{FaultClass, FaultLog, FaultPlan, Severity};
 use regmutex_sim::{GpuConfig, SimError};
 use regmutex_workloads::{suite, Workload};
@@ -263,10 +266,211 @@ impl CampaignReport {
     }
 }
 
+/// Encode one [`Outcome`] as a journal field (colon-separated, no
+/// whitespace; losslessly decoded by [`decode_outcome`]).
+fn encode_outcome(o: &Outcome) -> String {
+    match o {
+        Outcome::NotTriggered => "not-triggered".to_string(),
+        Outcome::Benign => "benign".to_string(),
+        Outcome::Detected {
+            detector,
+            cycles_to_detection,
+        } => match cycles_to_detection {
+            Some(t) => format!("detected:{detector}:{t}"),
+            None => format!("detected:{detector}:-"),
+        },
+        Outcome::SilentCorruption { expected, got } => {
+            format!("silent:{expected:#018x}:{got:#018x}")
+        }
+    }
+}
+
+/// Decode an [`Outcome`] journal field; `None` on anything unexpected
+/// (the record is then treated as missing and the injection re-runs).
+fn decode_outcome(s: &str) -> Option<Outcome> {
+    match s {
+        "not-triggered" => return Some(Outcome::NotTriggered),
+        "benign" => return Some(Outcome::Benign),
+        _ => {}
+    }
+    let mut parts = s.split(':');
+    match parts.next()? {
+        "detected" => {
+            // Map back onto the classifier's static detector names.
+            let detector = match parts.next()? {
+                "ledger" => "ledger",
+                "translation" => "translation",
+                "deadlock" => "deadlock",
+                "watchdog" => "watchdog",
+                "panic" => "panic",
+                "other" => "other",
+                _ => return None,
+            };
+            let ttd = match parts.next()? {
+                "-" => None,
+                t => Some(t.parse::<u64>().ok()?),
+            };
+            if parts.next().is_some() {
+                return None;
+            }
+            Some(Outcome::Detected {
+                detector,
+                cycles_to_detection: ttd,
+            })
+        }
+        "silent" => {
+            let hex = |p: &str| u64::from_str_radix(p.strip_prefix("0x")?, 16).ok();
+            let expected = hex(parts.next()?)?;
+            let got = hex(parts.next()?)?;
+            if parts.next().is_some() {
+                return None;
+            }
+            Some(Outcome::SilentCorruption { expected, got })
+        }
+        _ => None,
+    }
+}
+
+/// The campaign-identity line pinned as the journal's first record: a
+/// resume against a journal whose meta differs from the current
+/// invocation is a diagnosed refusal, because injection indices would
+/// mean different jobs.
+fn meta_line(spec: &CampaignSpec) -> String {
+    let opt = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+    format!(
+        "meta kind=chaos technique={} seeds={} watchdog={} stall={} matrix={} workloads={}",
+        spec.technique,
+        spec.seeds,
+        opt(spec.watchdog_cycles),
+        opt(spec.stall_multiplier.map(u64::from)),
+        FAULT_MATRIX.len(),
+        spec.workloads.join(",")
+    )
+}
+
+/// Durable campaign state for `chaos --journal`: the append handle plus
+/// the injections replayed from a previous run.
+#[derive(Debug)]
+pub struct ChaosJournal {
+    journal: Mutex<Journal>,
+    completed: HashMap<usize, Outcome>,
+}
+
+impl ChaosJournal {
+    fn log_path(dir: &Path) -> std::path::PathBuf {
+        dir.join("journal.log")
+    }
+
+    /// Start a fresh campaign journal under `dir` (truncating any
+    /// previous journal there).
+    pub fn create(dir: &Path, spec: &CampaignSpec) -> Result<ChaosJournal, String> {
+        let mut journal = Journal::create(&Self::log_path(dir))
+            .map_err(|e| format!("cannot create journal in {}: {e}", dir.display()))?;
+        journal.append(&meta_line(spec));
+        journal.sync();
+        Ok(ChaosJournal {
+            journal: Mutex::new(journal),
+            completed: HashMap::new(),
+        })
+    }
+
+    /// Resume from an existing journal: verify the campaign meta matches
+    /// this invocation, then fold every intact `inj` record. Recovery
+    /// diagnostics (torn tail, quarantined records) go to stderr.
+    pub fn resume(dir: &Path, spec: &CampaignSpec) -> Result<ChaosJournal, String> {
+        let (journal, replay) = Journal::open(&Self::log_path(dir)).map_err(|e| e.to_string())?;
+        for d in &replay.diagnostics {
+            eprintln!("[chaos] journal recovery: {d}");
+        }
+        let mut records = replay.records.iter();
+        match records.next() {
+            Some(meta) if *meta == meta_line(spec) => {}
+            Some(meta) => {
+                return Err(format!(
+                    "journal campaign mismatch: journal has `{meta}`, \
+                     this invocation is `{}`; refusing to resume",
+                    meta_line(spec)
+                ))
+            }
+            None => {
+                // Recovery ate everything (or the journal never got its
+                // meta): nothing to resume, start clean on the same file.
+                return ChaosJournal::create(dir, spec);
+            }
+        }
+        let mut completed = HashMap::new();
+        for rec in records {
+            if let Some((index, outcome)) = parse_injection_record(rec) {
+                // Keep the first occurrence: duplicated records (replayed
+                // writes) must not flip an outcome.
+                completed.entry(index).or_insert(outcome);
+            }
+        }
+        Ok(ChaosJournal {
+            journal: Mutex::new(journal),
+            completed,
+        })
+    }
+
+    /// Injections already completed by a previous run.
+    pub fn completed(&self) -> usize {
+        self.completed.len()
+    }
+
+    fn record(&self, index: usize, outcome: &Outcome) {
+        self.journal.lock().unwrap().append(&format!(
+            "inj index={index} outcome={}",
+            encode_outcome(outcome)
+        ));
+    }
+
+    /// Flush batched appends (checkpoint boundary).
+    pub fn sync(&self) {
+        self.journal.lock().unwrap().sync();
+    }
+}
+
+fn parse_injection_record(rec: &str) -> Option<(usize, Outcome)> {
+    let rest = rec.strip_prefix("inj index=")?;
+    let (index, outcome) = rest.split_once(" outcome=")?;
+    Some((index.parse().ok()?, decode_outcome(outcome)?))
+}
+
+/// How a durable campaign ended.
+pub enum ChaosRun {
+    /// Every injection classified; the full report.
+    Complete(CampaignReport),
+    /// The cancel check fired first: progress is journaled, the rest of
+    /// the matrix is waiting for `--resume`.
+    Checkpointed {
+        /// Injections classified so far (including replayed ones).
+        completed: usize,
+        /// Total matrix size.
+        total: usize,
+    },
+}
+
 /// Run a campaign. Fails early (with a message) only on setup errors: an
 /// unknown workload name, or a golden run that does not complete cleanly.
 /// Injection failures never abort the campaign — they are the data.
 pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignReport, String> {
+    match run_campaign_durable(spec, None, None)? {
+        ChaosRun::Complete(report) => Ok(report),
+        ChaosRun::Checkpointed { .. } => unreachable!("no cancel check installed"),
+    }
+}
+
+/// [`run_campaign`] with durability hooks: completed injections are
+/// journaled as they land (any completion order), replayed injections are
+/// skipped on resume, and `cancel` is polled between injections for the
+/// graceful checkpoint-and-exit path. The final report is assembled in
+/// deterministic submission order, so a resumed campaign renders
+/// byte-identically to an uninterrupted one at any worker count.
+pub fn run_campaign_durable(
+    spec: &CampaignSpec,
+    journal: Option<&ChaosJournal>,
+    cancel: Option<&(dyn Fn() -> bool + Sync)>,
+) -> Result<ChaosRun, String> {
     // Resolve workloads and establish each one's golden (fault-free) run.
     let mut targets: Vec<(Workload, GpuConfig, u64, u64)> = Vec::new();
     for name in &spec.workloads {
@@ -311,14 +515,47 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignReport, String> {
         }
     }
 
-    let done: Mutex<Vec<(usize, Injection)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    // Seed the result set with injections replayed from the journal (the
+    // outcome is journaled; label/class/severity re-derive from the
+    // deterministic job list, which the verified meta record pins).
+    let mut replayed: Vec<(usize, Injection)> = Vec::new();
+    if let Some(j) = journal {
+        for (&index, outcome) in &j.completed {
+            let Some(job) = jobs.get(index) else { continue };
+            replayed.push((
+                index,
+                Injection {
+                    label: job.label.clone(),
+                    class: job.class,
+                    severity: job.severity,
+                    outcome: outcome.clone(),
+                },
+            ));
+        }
+    }
+    let skip: std::collections::HashSet<usize> = replayed.iter().map(|(n, _)| *n).collect();
+
+    let done: Mutex<Vec<(usize, Injection)>> = Mutex::new(replayed);
     let cursor = AtomicUsize::new(0);
+    let stopped = AtomicBool::new(false);
     let workers = spec.jobs.max(1).min(jobs.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if stopped.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some(c) = cancel {
+                    if c() {
+                        stopped.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
                 let n = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(n) else { break };
+                if skip.contains(&n) {
+                    continue;
+                }
                 let (w, cfg, golden_cycles, golden_checksum) = &targets[job.windex];
                 let outcome = run_one(
                     w,
@@ -330,6 +567,9 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignReport, String> {
                     *golden_cycles,
                     *golden_checksum,
                 );
+                if let Some(j) = journal {
+                    j.record(n, &outcome);
+                }
                 done.lock().unwrap().push((
                     n,
                     Injection {
@@ -343,13 +583,22 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignReport, String> {
         }
     });
 
+    if let Some(j) = journal {
+        j.sync();
+    }
     let mut results = done.into_inner().unwrap();
+    if results.len() < jobs.len() {
+        return Ok(ChaosRun::Checkpointed {
+            completed: results.len(),
+            total: jobs.len(),
+        });
+    }
     results.sort_by_key(|(n, _)| *n);
-    Ok(CampaignReport {
+    Ok(ChaosRun::Complete(CampaignReport {
         injections: results.into_iter().map(|(_, i)| i).collect(),
         technique: spec.technique,
         workloads: targets.len(),
-    })
+    }))
 }
 
 /// One injection run: wrap the manager in a `FaultInjector`, cap the run
@@ -442,6 +691,101 @@ mod tests {
         };
         let err = run_campaign(&spec).unwrap_err();
         assert!(err.contains("NoSuchApp"), "{err}");
+    }
+
+    #[test]
+    fn outcome_codec_round_trips() {
+        let outcomes = [
+            Outcome::NotTriggered,
+            Outcome::Benign,
+            Outcome::Detected {
+                detector: "ledger",
+                cycles_to_detection: Some(123),
+            },
+            Outcome::Detected {
+                detector: "watchdog",
+                cycles_to_detection: None,
+            },
+            Outcome::SilentCorruption {
+                expected: 0xdead_beef,
+                got: 0x1234,
+            },
+        ];
+        for o in &outcomes {
+            assert_eq!(decode_outcome(&encode_outcome(o)).as_ref(), Some(o));
+        }
+        assert_eq!(decode_outcome("detected:made-up-detector:5"), None);
+        assert_eq!(decode_outcome("silent:nothex:0x1"), None);
+        assert_eq!(decode_outcome("detected:ledger:3:extra"), None);
+        assert_eq!(decode_outcome(""), None);
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            workloads: vec!["BFS".into()],
+            seeds: 1,
+            technique: Technique::RegMutex,
+            jobs: 2,
+            watchdog_cycles: None,
+            stall_multiplier: None,
+        }
+    }
+
+    fn journal_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "rmx-chaos-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_to_identical_report() {
+        let spec = tiny_spec();
+        let golden = run_campaign(&spec).expect("golden campaign");
+
+        // Run with a journal, cancelling after a few completions.
+        let dir = journal_dir("resume");
+        let journal = ChaosJournal::create(&dir, &spec).unwrap();
+        let polls = AtomicUsize::new(0);
+        let cancel = move || polls.fetch_add(1, Ordering::Relaxed) >= 6;
+        let first =
+            run_campaign_durable(&spec, Some(&journal), Some(&cancel)).expect("setup must succeed");
+        let completed = match first {
+            ChaosRun::Checkpointed { completed, total } => {
+                assert_eq!(total, FAULT_MATRIX.len());
+                assert!(completed < total, "cancel must leave work behind");
+                completed
+            }
+            ChaosRun::Complete(_) => panic!("cancel must checkpoint"),
+        };
+        drop(journal);
+
+        // Resume: replay the journal, run only the remainder, and the
+        // assembled report must byte-match the uninterrupted golden.
+        let journal = ChaosJournal::resume(&dir, &spec).unwrap();
+        assert_eq!(journal.completed(), completed);
+        match run_campaign_durable(&spec, Some(&journal), None).unwrap() {
+            ChaosRun::Complete(report) => {
+                assert_eq!(report.render(), golden.render());
+            }
+            ChaosRun::Checkpointed { .. } => panic!("no cancel on resume"),
+        }
+    }
+
+    #[test]
+    fn resume_with_different_campaign_is_refused() {
+        let spec = tiny_spec();
+        let dir = journal_dir("mismatch");
+        drop(ChaosJournal::create(&dir, &spec).unwrap());
+        let mut other = spec.clone();
+        other.seeds = 3;
+        let err = ChaosJournal::resume(&dir, &other).unwrap_err();
+        assert!(err.contains("refusing to resume"), "{err}");
+        // The matching spec resumes fine.
+        assert!(ChaosJournal::resume(&dir, &spec).is_ok());
     }
 
     #[test]

@@ -17,8 +17,8 @@ pub mod report;
 pub mod runner;
 pub mod source;
 
-pub use cache::{CachedResult, ResultCache, DEFAULT_CACHE_BUDGET};
-pub use chaos::{CampaignReport, CampaignSpec, Outcome};
+pub use cache::{CachedResult, DurableTier, ResultCache, DEFAULT_CACHE_BUDGET};
+pub use chaos::{CampaignReport, CampaignSpec, ChaosJournal, ChaosRun, Outcome};
 pub use report::{fmt_pct, GeoMean, RowArityError, Table};
 pub use runner::{error_table, JobSpec, Runner};
 pub use source::{Fig07Source, JobExecutor, JobSource, MatrixJob};

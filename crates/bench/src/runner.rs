@@ -37,7 +37,7 @@ use regmutex_compiler::CompileOptions;
 use regmutex_isa::Kernel;
 use regmutex_sim::{GpuConfig, LaunchConfig};
 
-use crate::cache::{CachedResult, ResultCache, DEFAULT_CACHE_BUDGET};
+use crate::cache::{CachedResult, DurableTier, ResultCache, DEFAULT_CACHE_BUDGET};
 
 /// One simulation to run: everything [`Session::run`] needs, plus a label
 /// used in error messages.
@@ -168,6 +168,9 @@ impl Fnv1a {
 pub struct Runner {
     jobs: usize,
     cache: Arc<ResultCache>,
+    /// Optional durable spill tier consulted on cache misses and written
+    /// through on fresh simulations (see [`DurableTier`]).
+    tier: Option<Arc<dyn DurableTier>>,
 }
 
 impl Runner {
@@ -182,7 +185,21 @@ impl Runner {
         Runner {
             jobs: jobs.max(1),
             cache,
+            tier: None,
         }
+    }
+
+    /// Attach a durable result tier: cache misses probe it before
+    /// simulating, and fresh results are written through to it. Results
+    /// are keyed by [`JobSpec::fingerprint`], so a tier loaded from disk
+    /// is exactly as trustworthy as the cache it backs.
+    pub fn set_tier(&mut self, tier: Arc<dyn DurableTier>) {
+        self.tier = Some(tier);
+    }
+
+    /// The attached durable tier, if any.
+    pub fn tier(&self) -> Option<&Arc<dyn DurableTier>> {
+        self.tier.as_ref()
     }
 
     /// An engine sized from the environment, in precedence order:
@@ -239,6 +256,12 @@ impl Runner {
             } else if let Some(v) = self.cache.probe(*k) {
                 local.insert(*k, v);
                 self.cache.note_hit();
+            } else if let Some(v) = self.tier.as_ref().and_then(|t| t.load(*k)) {
+                // Durable-tier warm start: promote into the cache so the
+                // rest of the process sees it at memory speed.
+                self.cache.insert(*k, v.clone());
+                local.insert(*k, v);
+                self.cache.note_hit();
             } else if scheduled.insert(*k) {
                 todo.push(i);
                 self.cache.note_miss();
@@ -268,6 +291,9 @@ impl Runner {
         // Publish results to the shared cache and the batch-local map, then
         // assemble the batch in submission order.
         for (k, r) in fresh.into_inner().unwrap() {
+            if let Some(t) = &self.tier {
+                t.save(k, &r);
+            }
             self.cache.insert(k, r.clone());
             local.insert(k, r);
         }
@@ -290,8 +316,16 @@ impl Runner {
             self.cache.note_hit();
             return (v, true);
         }
+        if let Some(v) = self.tier.as_ref().and_then(|t| t.load(key)) {
+            self.cache.insert(key, v.clone());
+            self.cache.note_hit();
+            return (v, true);
+        }
         self.cache.note_miss();
         let result = run_isolated(spec);
+        if let Some(t) = &self.tier {
+            t.save(key, &result);
+        }
         self.cache.insert(key, result.clone());
         (result, false)
     }
@@ -645,6 +679,56 @@ mod tests {
             assert_eq!(a.stats.checksum, b.stats.checksum);
         }
         assert!(runner.cache().evictions() > 0, "a 1-byte budget must evict");
+    }
+
+    #[test]
+    fn durable_tier_warm_starts_a_cold_cache() {
+        #[derive(Default)]
+        struct MemTier {
+            map: Mutex<HashMap<u64, CachedResult>>,
+            saves: AtomicUsize,
+        }
+        impl DurableTier for MemTier {
+            fn load(&self, key: u64) -> Option<CachedResult> {
+                self.map.lock().unwrap().get(&key).cloned()
+            }
+            fn save(&self, key: u64, value: &CachedResult) {
+                self.saves.fetch_add(1, Ordering::Relaxed);
+                self.map.lock().unwrap().insert(key, value.clone());
+            }
+        }
+
+        let tier = Arc::new(MemTier::default());
+        let batch = specs();
+
+        let mut a = Runner::new(2);
+        a.set_tier(Arc::clone(&tier) as Arc<dyn DurableTier>);
+        let first = a.run_reports(&batch);
+        assert_eq!(tier.saves.load(Ordering::Relaxed), batch.len());
+
+        // A different runner with a cold cache but the same tier must not
+        // simulate anything — every job is a (tier) hit, and the results
+        // match the originals exactly.
+        let mut b = Runner::with_cache(2, ResultCache::shared(DEFAULT_CACHE_BUDGET));
+        b.set_tier(Arc::clone(&tier) as Arc<dyn DurableTier>);
+        let second = b.run_reports(&batch);
+        assert_eq!(b.cache_misses(), 0, "tier must serve the warm start");
+        assert_eq!(b.cache_hits(), batch.len() as u64);
+        for (x, y) in first.iter().zip(&second) {
+            assert_eq!(x.stats.cycles, y.stats.cycles);
+            assert_eq!(x.stats.checksum, y.stats.checksum);
+        }
+
+        // run_one probes the tier too.
+        let mut c = Runner::with_cache(1, ResultCache::shared(DEFAULT_CACHE_BUDGET));
+        c.set_tier(tier as Arc<dyn DurableTier>);
+        let (res, cached) = c.run_one(&batch[0]);
+        assert!(cached, "tier hit must report as cached");
+        assert_eq!(
+            res.unwrap().stats.checksum,
+            first[0].stats.checksum,
+            "tier round-trip changed the result"
+        );
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub enum Command {
         app: String,
         /// Simulation worker threads (default: all cores).
         jobs: Option<usize>,
+        /// Durable campaign directory (journal + result store).
+        journal: Option<String>,
+        /// Resume the journaled campaign instead of starting fresh.
+        resume: bool,
     },
     /// `chaos [<app>...]` — a seeded fault-injection campaign against the
     /// safety net.
@@ -95,6 +99,10 @@ pub enum Command {
         /// Fail (exit 1) unless every fault class was detected at least
         /// once.
         expect_detections: bool,
+        /// Durable campaign directory (journal + result store).
+        journal: Option<String>,
+        /// Resume the journaled campaign instead of starting fresh.
+        resume: bool,
     },
     /// `serve` — run the HTTP simulation service.
     Serve {
@@ -118,6 +126,8 @@ pub enum Command {
         client_rate: f64,
         /// Per-client token-bucket burst size.
         client_burst: f64,
+        /// Persist the result cache here; a restarted server warm-starts.
+        cache_dir: Option<String>,
     },
     /// `loadgen` — closed-loop load generator against a running server,
     /// or (with `--fleet`) through the fault-tolerant coordinator.
@@ -157,6 +167,10 @@ pub enum Command {
         max_attempts: u32,
         /// Per-job cycle budget (tightens deadlines).
         cycle_budget: Option<u64>,
+        /// Durable campaign directory (journal + result store).
+        journal: Option<String>,
+        /// Resume the journaled campaign instead of starting fresh.
+        resume: bool,
     },
     /// `chaos-fleet` — network-fault campaign against a live two-worker
     /// fleet; exits 1 on any lost or silently-wrong row.
@@ -204,6 +218,10 @@ pub enum Command {
         fleet: bool,
         /// Worker addresses for `--fleet` (comma-separated `host:port`).
         workers: Vec<String>,
+        /// Durable campaign directory (journal + result store).
+        journal: Option<String>,
+        /// Resume the journaled campaign instead of starting fresh.
+        resume: bool,
     },
     /// `help` — usage.
     Help,
@@ -220,6 +238,15 @@ impl core::fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// Validate the `--journal DIR` / `--resume` pair shared by the campaign
+/// verbs: `--resume` is meaningless without a journal to resume from.
+fn check_journal(journal: &Option<String>, resume: bool) -> Result<(), ParseError> {
+    if resume && journal.is_none() {
+        return Err(ParseError("--resume needs --journal DIR".into()));
+    }
+    Ok(())
+}
 
 fn technique_from(s: &str) -> Result<Technique, ParseError> {
     match s.to_ascii_lowercase().as_str() {
@@ -309,6 +336,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut sm_workers = None;
             let mut client_rate = 0.0f64;
             let mut client_burst = 8.0f64;
+            let mut cache_dir = None;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -328,6 +356,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--sm-workers" => sm_workers = Some(value_of("--sm-workers", it.next())?),
                     "--client-rate" => client_rate = value_of("--client-rate", it.next())?,
                     "--client-burst" => client_burst = value_of("--client-burst", it.next())?,
+                    "--cache-dir" => {
+                        cache_dir = Some(
+                            it.next()
+                                .ok_or_else(|| ParseError("--cache-dir needs a directory".into()))?
+                                .clone(),
+                        )
+                    }
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -349,6 +384,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 sm_workers,
                 client_rate,
                 client_burst,
+                cache_dir,
             })
         }
         "loadgen" => {
@@ -432,6 +468,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut threads = 4usize;
             let mut max_attempts = 4u32;
             let mut cycle_budget = None;
+            let mut journal = None;
+            let mut resume = false;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -445,9 +483,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--threads" => threads = value_of("--threads", it.next())?,
                     "--max-attempts" => max_attempts = value_of("--max-attempts", it.next())?,
                     "--cycle-budget" => cycle_budget = Some(value_of("--cycle-budget", it.next())?),
+                    "--journal" => {
+                        journal = Some(
+                            it.next()
+                                .ok_or_else(|| ParseError("--journal needs a directory".into()))?
+                                .clone(),
+                        )
+                    }
+                    "--resume" => resume = true,
                     other => return Err(ParseError(format!("unknown flag '{other}'"))),
                 }
             }
+            check_journal(&journal, resume)?;
             if workers.is_empty() {
                 return Err(ParseError(
                     "coordinator needs --workers HOST:PORT[,HOST:PORT...]".into(),
@@ -464,6 +511,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 threads,
                 max_attempts,
                 cycle_budget,
+                journal,
+                resume,
             })
         }
         "chaos-fleet" => {
@@ -522,8 +571,37 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         "sweep" => {
-            let (jobs, _) = sweep_flags(rest, &[])?;
-            Ok(Command::Sweep { app: app()?, jobs })
+            let mut jobs = None;
+            let mut journal = None;
+            let mut resume = false;
+            let mut it = rest.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--jobs" => jobs = Some(value_of("--jobs", it.next())?),
+                    "--journal" => {
+                        journal = Some(
+                            it.next()
+                                .ok_or_else(|| ParseError("--journal needs a directory".into()))?
+                                .clone(),
+                        )
+                    }
+                    "--resume" => resume = true,
+                    other => {
+                        if let Some(v) = other.strip_prefix("--jobs=") {
+                            jobs = Some(value_of("--jobs", Some(&v.to_string()))?);
+                        } else {
+                            return Err(ParseError(format!("unknown flag '{other}'")));
+                        }
+                    }
+                }
+            }
+            check_journal(&journal, resume)?;
+            Ok(Command::Sweep {
+                app: app()?,
+                jobs,
+                journal,
+                resume,
+            })
         }
         "compare" => {
             let (jobs, seen) = sweep_flags(rest, &["--half-rf"])?;
@@ -621,10 +699,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut watchdog_cycles = None;
             let mut stall_multiplier = None;
             let mut expect_detections = false;
+            let mut journal = None;
+            let mut resume = false;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--seeds" => seeds = value_of("--seeds", it.next())?,
+                    "--journal" => {
+                        journal = Some(
+                            it.next()
+                                .ok_or_else(|| ParseError("--journal needs a directory".into()))?
+                                .clone(),
+                        )
+                    }
+                    "--resume" => resume = true,
                     "--technique" | "-t" => {
                         technique = technique_from(
                             it.next()
@@ -652,6 +740,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             if seeds == 0 {
                 return Err(ParseError("--seeds must be at least 1".into()));
             }
+            check_journal(&journal, resume)?;
             Ok(Command::Chaos {
                 apps,
                 seeds,
@@ -660,6 +749,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 watchdog_cycles,
                 stall_multiplier,
                 expect_detections,
+                journal,
+                resume,
             })
         }
         "fuzz" => {
@@ -676,6 +767,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut no_minimize = false;
             let mut fleet = false;
             let mut workers = Vec::new();
+            let mut journal = None;
+            let mut resume = false;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -714,6 +807,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         )
                     }
                     "--no-minimize" => no_minimize = true,
+                    "--journal" => {
+                        journal = Some(
+                            it.next()
+                                .ok_or_else(|| ParseError("--journal needs a directory".into()))?
+                                .clone(),
+                        )
+                    }
+                    "--resume" => resume = true,
                     "--fleet" => fleet = true,
                     "--workers" => {
                         let v = it
@@ -741,6 +842,17 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--fleet cannot be combined with --replay or --fault".into(),
                 ));
             }
+            check_journal(&journal, resume)?;
+            if journal.is_some() && fleet {
+                return Err(ParseError(
+                    "--journal applies to local campaigns, not --fleet".into(),
+                ));
+            }
+            if journal.is_some() && replay.is_some() {
+                return Err(ParseError(
+                    "--journal applies to campaigns, not --replay".into(),
+                ));
+            }
             Ok(Command::Fuzz {
                 seed,
                 iters,
@@ -755,6 +867,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 no_minimize,
                 fleet,
                 workers,
+                journal,
+                resume,
             })
         }
         other => Err(ParseError(format!("unknown command '{other}'; try 'help'"))),
@@ -776,20 +890,22 @@ USAGE:
                           [--sm-workers N]
   regmutex-cli compare <app> [--half-rf] [--jobs N]
   regmutex-cli trace <app> [--max N]
-  regmutex-cli sweep <app> [--jobs N]
+  regmutex-cli sweep <app> [--jobs N] [--journal DIR [--resume]]
   regmutex-cli chaos [<app>...] [--seeds N] [--technique T] [--jobs N]
                      [--watchdog-cycles N] [--stall-multiplier N]
-                     [--expect-detections]
+                     [--expect-detections] [--journal DIR [--resume]]
   regmutex-cli serve [--addr HOST:PORT] [--workers N] [--queue N]
                      [--cache-mb N] [--cycle-budget N]
                      [--max-connections N] [--sm-workers N]
                      [--client-rate R] [--client-burst N]
+                     [--cache-dir DIR]
   regmutex-cli loadgen [--addr HOST:PORT] [--threads N] [--requests N]
                        [--seed N] [--apps A,B,...] [--no-keep-alive]
                        [--pipeline N]
                        [--fleet --workers H:P,H:P,...] [--cycle-budget N]
   regmutex-cli coordinator --workers H:P[,H:P...] [--seed N] [--threads N]
                            [--max-attempts N] [--cycle-budget N]
+                           [--journal DIR [--resume]]
   regmutex-cli chaos-fleet [--seeds N] [--apps A,B,...] [--cycle-budget N]
                            [--no-cycle-budget] [--trigger-after N]
                            [--sim-workers N]
@@ -798,6 +914,7 @@ USAGE:
                     [--max-divergences N] [--stats PATH] [--no-minimize]
                     [--replay FILE] [--fault CLASS:SEV:SEED:TECHNIQUE]
                     [--fleet --workers H:P,H:P,...]
+                    [--journal DIR [--resume]]
   regmutex-cli help
 
 The multi-simulation commands (compare, sweep, chaos) run their
@@ -848,6 +965,18 @@ chaos-fleet injects every network fault class (kill, hang, close-early,
 truncate, corrupt, delay) into a live two-worker fleet via a
 deterministic proxy and compares every row against a local golden run:
 exit 1 if any job was lost or any row silently wrong.
+
+The campaign verbs (sweep, chaos, fuzz, coordinator) can run durably:
+--journal DIR appends every completion to a checksummed journal in DIR
+and spills results into a content-addressed store there, SIGINT/SIGTERM
+checkpoints cleanly (exit 4, progress saved), and --resume replays the
+journal, skips finished work, and produces byte-identical final output
+to an uninterrupted run — at any --jobs / --sm-workers / worker count.
+A journal from a different campaign is refused; corrupted journal
+records are diagnosed on stderr and the affected work re-runs. serve
+--cache-dir DIR persists the result cache the same way, so a restarted
+server comes up warm. If the journal disk fails mid-run (ENOSPC, EIO),
+the campaign finishes in memory-only mode with a one-time warning.
 
 fuzz generates --iters random kernels from --seed (kernel i is derived
 from mix(seed, i)) and runs each through every technique, checking
@@ -902,6 +1031,7 @@ mod tests {
                 sm_workers: None,
                 client_rate: 0.0,
                 client_burst: 8.0,
+                cache_dir: None,
             })
         );
         assert_eq!(
@@ -934,6 +1064,7 @@ mod tests {
                 sm_workers: None,
                 client_rate: 50.5,
                 client_burst: 4.0,
+                cache_dir: None,
             })
         );
         assert!(parse(&v(&["serve", "--queue", "0"])).is_err());
@@ -1060,6 +1191,8 @@ mod tests {
                 threads: 8,
                 max_attempts: 5,
                 cycle_budget: Some(50_000),
+                journal: None,
+                resume: false,
             })
         );
         assert!(parse(&v(&["coordinator", "--workers", "a", "--threads", "0"])).is_err());
@@ -1272,6 +1405,8 @@ mod tests {
                 watchdog_cycles: None,
                 stall_multiplier: None,
                 expect_detections: false,
+                journal: None,
+                resume: false,
             })
         );
         assert_eq!(
@@ -1297,6 +1432,8 @@ mod tests {
                 watchdog_cycles: None,
                 stall_multiplier: Some(32),
                 expect_detections: true,
+                journal: None,
+                resume: false,
             })
         );
         assert!(parse(&v(&["chaos", "--seeds", "0"])).is_err());
@@ -1328,14 +1465,18 @@ mod tests {
             parse(&v(&["sweep", "BFS"])),
             Ok(Command::Sweep {
                 app: "BFS".into(),
-                jobs: None
+                jobs: None,
+                journal: None,
+                resume: false,
             })
         );
         assert_eq!(
             parse(&v(&["sweep", "BFS", "--jobs", "4"])),
             Ok(Command::Sweep {
                 app: "BFS".into(),
-                jobs: Some(4)
+                jobs: Some(4),
+                journal: None,
+                resume: false,
             })
         );
         assert_eq!(
@@ -1368,6 +1509,8 @@ mod tests {
                 no_minimize: false,
                 fleet: false,
                 workers: vec![],
+                journal: None,
+                resume: false,
             })
         );
         assert_eq!(
@@ -1405,6 +1548,8 @@ mod tests {
                 no_minimize: true,
                 fleet: false,
                 workers: vec![],
+                journal: None,
+                resume: false,
             })
         );
         // Seeds parse in the same hex form the reports print them in.
@@ -1447,6 +1592,79 @@ mod tests {
             "corrupt-lut:severe:1:regmutex"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn journal_and_resume_flags() {
+        // Every campaign verb takes --journal DIR, optionally --resume.
+        match parse(&v(&["sweep", "BFS", "--journal", "/tmp/j", "--resume"])) {
+            Ok(Command::Sweep {
+                journal, resume, ..
+            }) => {
+                assert_eq!(journal.as_deref(), Some("/tmp/j"));
+                assert!(resume);
+            }
+            other => panic!("expected sweep to parse, got {other:?}"),
+        }
+        match parse(&v(&["chaos", "BFS", "--journal", "/tmp/j"])) {
+            Ok(Command::Chaos {
+                journal, resume, ..
+            }) => {
+                assert_eq!(journal.as_deref(), Some("/tmp/j"));
+                assert!(!resume);
+            }
+            other => panic!("expected chaos to parse, got {other:?}"),
+        }
+        match parse(&v(&["fuzz", "--journal", "/tmp/j", "--resume"])) {
+            Ok(Command::Fuzz {
+                journal, resume, ..
+            }) => {
+                assert_eq!(journal.as_deref(), Some("/tmp/j"));
+                assert!(resume);
+            }
+            other => panic!("expected fuzz to parse, got {other:?}"),
+        }
+        match parse(&v(&[
+            "coordinator",
+            "--workers",
+            "a:1",
+            "--journal",
+            "/tmp/j",
+        ])) {
+            Ok(Command::Coordinator {
+                journal, resume, ..
+            }) => {
+                assert_eq!(journal.as_deref(), Some("/tmp/j"));
+                assert!(!resume);
+            }
+            other => panic!("expected coordinator to parse, got {other:?}"),
+        }
+        // --resume without --journal is a usage error, on every verb.
+        for bad in [
+            vec!["sweep", "BFS", "--resume"],
+            vec!["chaos", "--resume"],
+            vec!["fuzz", "--resume"],
+            vec!["coordinator", "--workers", "a:1", "--resume"],
+        ] {
+            assert!(parse(&v(&bad)).is_err(), "{bad:?} should be rejected");
+        }
+        // The journal drives a local campaign loop; fleet fan-out and
+        // single-artifact replay don't have one.
+        assert!(parse(&v(&["fuzz", "--journal", "/tmp/j", "--workers", "a:1"])).is_err());
+        assert!(parse(&v(&["fuzz", "--journal", "/tmp/j", "--replay", "f"])).is_err());
+        // A value-less --journal is rejected.
+        assert!(parse(&v(&["sweep", "BFS", "--journal"])).is_err());
+    }
+
+    #[test]
+    fn serve_cache_dir_flag() {
+        match parse(&v(&["serve", "--cache-dir", "/tmp/cache"])) {
+            Ok(Command::Serve { cache_dir, .. }) => {
+                assert_eq!(cache_dir.as_deref(), Some("/tmp/cache"));
+            }
+            other => panic!("expected serve to parse, got {other:?}"),
+        }
+        assert!(parse(&v(&["serve", "--cache-dir"])).is_err());
     }
 
     #[test]

@@ -1,19 +1,40 @@
 //! Command implementations. Each returns its output as a `String` so tests
 //! can assert on it; `main.rs` prints.
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
 
 use regmutex::{cycle_reduction_percent, Session, Technique, ALL_TECHNIQUES};
-use regmutex_bench::chaos::{run_campaign, CampaignSpec};
-use regmutex_bench::{runner::default_jobs, Fig07Source, JobExecutor, JobSource, JobSpec, Runner};
-use regmutex_compiler::{analyze, live_trace, CompileOptions};
-use regmutex_fleet::{
-    run_fleet_campaign, run_fleet_loadgen, Coordinator, FleetCampaignSpec, FleetConfig,
-    FleetLoadgenConfig,
+use regmutex_bench::chaos::{run_campaign, run_campaign_durable, CampaignSpec, ChaosRun};
+use regmutex_bench::{
+    runner::default_jobs, ChaosJournal, Fig07Source, JobExecutor, JobSource, JobSpec, Runner,
 };
-use regmutex_server::{LoadgenConfig, ServerConfig};
+use regmutex_compiler::{analyze, live_trace, CompileOptions};
+use regmutex_durable::Journal;
+use regmutex_fleet::{
+    is_checkpoint, run_fleet_campaign, run_fleet_loadgen, Coordinator, FleetCampaignSpec,
+    FleetConfig, FleetJournal, FleetLoadgenConfig,
+};
+use regmutex_server::{signal, DiskTier, LoadgenConfig, ServerConfig};
 use regmutex_sim::{GpuConfig, LaunchConfig};
 use regmutex_workloads::{suite, Workload};
+
+/// Exit code for a graceful SIGINT/SIGTERM checkpoint: the campaign is
+/// incomplete but its progress is journaled and `--resume` will finish it.
+/// Distinct from 0 (clean), 1 (failure), 2 (usage), 3 (partial rows).
+pub const CHECKPOINT_EXIT: i32 = 4;
+
+/// The standard checkpoint epilogue: flush already happened, tell the
+/// user how to pick the campaign back up.
+fn checkpoint_hint(verb: &str, dir: &Path, completed: u64, total: u64) -> String {
+    format!(
+        "{verb}: checkpointed at {completed} of {total}; \
+         resume with --journal {} --resume\n",
+        dir.display()
+    )
+}
 
 /// Errors surfaced to the user.
 #[derive(Debug)]
@@ -470,13 +491,80 @@ pub fn trace(app: &str, max_steps: usize) -> Result<String, CommandError> {
     Ok(out)
 }
 
+/// The sweep's durable campaign state: a checksummed journal pinning the
+/// workload identity and recording per-job completions, plus the set of
+/// fingerprints a previous run already finished. Results themselves live
+/// in the content-addressed [`DiskTier`] the runner probes before
+/// simulating, so replayed rows cost a disk read, not a simulation.
+struct SweepJournal {
+    journal: Journal,
+    replayed: HashSet<u64>,
+}
+
+impl SweepJournal {
+    fn meta(app: &str) -> String {
+        format!("meta kind=sweep app={app}")
+    }
+
+    fn open(dir: &Path, app: &str, resume: bool) -> Result<SweepJournal, CommandError> {
+        let path = dir.join("journal.log");
+        if !resume {
+            let mut journal = Journal::create(&path).map_err(|e| {
+                CommandError(format!("cannot create journal in {}: {e}", dir.display()))
+            })?;
+            journal.append(&Self::meta(app));
+            journal.sync();
+            return Ok(SweepJournal {
+                journal,
+                replayed: HashSet::new(),
+            });
+        }
+        let (journal, replay) =
+            Journal::open(&path).map_err(|e| CommandError(format!("open journal: {e}")))?;
+        for d in &replay.diagnostics {
+            eprintln!("[sweep] journal recovery: {d}");
+        }
+        let mut records = replay.records.iter();
+        match records.next() {
+            Some(meta) if *meta == Self::meta(app) => {}
+            Some(meta) => {
+                return Err(CommandError(format!(
+                    "journal campaign mismatch: journal has `{meta}`, this invocation \
+                     is `{}`; refusing to resume",
+                    Self::meta(app)
+                )));
+            }
+            None => return SweepJournal::open(dir, app, false),
+        }
+        let replayed = records
+            .filter_map(|r| {
+                r.strip_prefix("job-ok fp=")
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+            })
+            .collect();
+        Ok(SweepJournal { journal, replayed })
+    }
+
+    fn job_ok(&mut self, fp: u64) {
+        if !self.replayed.contains(&fp) {
+            self.journal.append(&format!("job-ok fp={fp:016x}"));
+        }
+    }
+}
+
 /// `sweep <app>`. The second element of the pair is the process exit code:
 /// 0 when every `|Es|` row simulated, 3 when any row errored (the table
-/// still renders — partial results beat none).
-pub fn sweep(app: &str, jobs: Option<usize>) -> Result<(String, i32), CommandError> {
+/// still renders — partial results beat none), [`CHECKPOINT_EXIT`] when a
+/// journaled run was interrupted by SIGINT/SIGTERM.
+pub fn sweep(
+    app: &str,
+    jobs: Option<usize>,
+    journal_dir: Option<&str>,
+    resume: bool,
+) -> Result<(String, i32), CommandError> {
     let w = lookup(app)?;
     let cfg = w.table_config();
-    let runner = Runner::new(jobs.unwrap_or_else(default_jobs));
+    let mut runner = Runner::new(jobs.unwrap_or_else(default_jobs));
     const ES_VALUES: [u16; 6] = [2, 4, 6, 8, 10, 12];
 
     let mut specs = vec![JobSpec::new(
@@ -501,7 +589,47 @@ pub fn sweep(app: &str, jobs: Option<usize>) -> Result<(String, i32), CommandErr
             }),
         );
     }
-    let mut results = runner.run_all(&specs).into_iter();
+    let collected = match journal_dir {
+        None => runner.run_all(&specs),
+        Some(dir) => {
+            // Durable mode: persist results content-addressed, journal
+            // completions, and poll for SIGINT/SIGTERM between batches.
+            signal::install();
+            let dir = Path::new(dir);
+            let tier = DiskTier::shared(dir).map_err(|e| {
+                CommandError(format!("open result store in {}: {e}", dir.display()))
+            })?;
+            runner.set_tier(tier);
+            let mut journal = SweepJournal::open(dir, app, resume)?;
+            if resume && !journal.replayed.is_empty() {
+                eprintln!(
+                    "[sweep] resuming: {} of {} jobs already journaled",
+                    journal.replayed.len(),
+                    specs.len()
+                );
+            }
+            let mut collected = Vec::with_capacity(specs.len());
+            for batch in specs.chunks(runner.jobs().max(1)) {
+                if signal::triggered() {
+                    journal.journal.sync();
+                    let msg =
+                        checkpoint_hint("sweep", dir, collected.len() as u64, specs.len() as u64);
+                    eprint!("{msg}");
+                    return Ok((String::new(), CHECKPOINT_EXIT));
+                }
+                let results = runner.run_all(batch);
+                for (result, spec) in results.iter().zip(batch) {
+                    if result.is_ok() {
+                        journal.job_ok(spec.fingerprint());
+                    }
+                }
+                collected.extend(results);
+            }
+            journal.journal.sync();
+            collected
+        }
+    };
+    let mut results = collected.into_iter();
     let base = results
         .next()
         .expect("baseline job submitted")
@@ -552,7 +680,8 @@ pub fn sweep(app: &str, jobs: Option<usize>) -> Result<(String, i32), CommandErr
 
 /// `chaos [<app>...]`. The second element of the pair is the process exit
 /// code: 1 when the campaign observed silent corruption, or when
-/// `expect_detections` is set and some fault class was never caught.
+/// `expect_detections` is set and some fault class was never caught;
+/// [`CHECKPOINT_EXIT`] when a journaled run was interrupted.
 #[allow(clippy::too_many_arguments)]
 pub fn chaos(
     apps: &[String],
@@ -562,6 +691,8 @@ pub fn chaos(
     watchdog_cycles: Option<u64>,
     stall_multiplier: Option<u32>,
     expect_detections: bool,
+    journal_dir: Option<&str>,
+    resume: bool,
 ) -> Result<(String, i32), CommandError> {
     let mut spec = CampaignSpec::default_campaign(jobs.unwrap_or_else(default_jobs));
     if !apps.is_empty() {
@@ -571,7 +702,34 @@ pub fn chaos(
     spec.technique = technique;
     spec.watchdog_cycles = watchdog_cycles;
     spec.stall_multiplier = stall_multiplier;
-    let report = run_campaign(&spec).map_err(CommandError)?;
+    let report = match journal_dir {
+        None => run_campaign(&spec).map_err(CommandError)?,
+        Some(dir) => {
+            signal::install();
+            let dir = Path::new(dir);
+            let journal = if resume {
+                ChaosJournal::resume(dir, &spec)
+            } else {
+                ChaosJournal::create(dir, &spec)
+            }
+            .map_err(CommandError)?;
+            if resume && journal.completed() > 0 {
+                eprintln!(
+                    "[chaos] resuming: {} injections already journaled",
+                    journal.completed()
+                );
+            }
+            let cancel: &(dyn Fn() -> bool + Sync) = &signal::triggered;
+            match run_campaign_durable(&spec, Some(&journal), Some(cancel)).map_err(CommandError)? {
+                ChaosRun::Complete(report) => report,
+                ChaosRun::Checkpointed { completed, total } => {
+                    let msg = checkpoint_hint("chaos", dir, completed as u64, total as u64);
+                    eprint!("{msg}");
+                    return Ok((String::new(), CHECKPOINT_EXIT));
+                }
+            }
+        }
+    };
 
     let mut out = report.render();
     let mut code = 0;
@@ -601,6 +759,7 @@ pub fn serve(
     sm_workers: Option<u32>,
     client_rate: f64,
     client_burst: f64,
+    cache_dir: Option<String>,
 ) -> Result<(), CommandError> {
     let env = std::env::var("REGMUTEX_JOBS").ok();
     let sim_workers = workers
@@ -617,6 +776,7 @@ pub fn serve(
         sm_workers: sm_workers.unwrap_or(0),
         client_rate,
         client_burst,
+        cache_dir,
         ..ServerConfig::default()
     })
     .map_err(|e| CommandError(format!("serve: {e}")))
@@ -626,15 +786,19 @@ pub fn serve(
 /// Returns `(sweep output, aggregated Prometheus metrics, exit code)`;
 /// the metrics go to stderr so the sweep on stdout stays byte-comparable
 /// to the local golden. Exit code 3 when any row is a labeled error row
-/// (a give-up after exhausting retries — never a missing row).
+/// (a give-up after exhausting retries — never a missing row);
+/// [`CHECKPOINT_EXIT`] when a journaled run was interrupted.
+#[allow(clippy::too_many_arguments)]
 pub fn coordinator(
     workers: Vec<String>,
     seed: u64,
     threads: usize,
     max_attempts: u32,
     cycle_budget: Option<u64>,
+    journal_dir: Option<&str>,
+    resume: bool,
 ) -> Result<(String, String, i32), CommandError> {
-    let coordinator = Coordinator::new(FleetConfig {
+    let mut coordinator = Coordinator::new(FleetConfig {
         workers,
         seed,
         dispatch_threads: threads,
@@ -642,6 +806,40 @@ pub fn coordinator(
         ..FleetConfig::default()
     })
     .map_err(CommandError)?;
+    if let Some(dir) = journal_dir {
+        signal::install();
+        let dir = Path::new(dir);
+        let tier = DiskTier::shared(dir)
+            .map_err(|e| CommandError(format!("open result store in {}: {e}", dir.display())))?;
+        coordinator.set_tier(tier);
+        // The campaign identity pins the job matrix (which jobs run), not
+        // the throughput knobs — the determinism contract lets a resumed
+        // run use a different worker list, seed, or thread count.
+        let campaign = format!(
+            "fig07 budget={}",
+            cycle_budget.map_or_else(|| "-".to_string(), |b| b.to_string())
+        );
+        let journal = if resume {
+            FleetJournal::resume(dir, &campaign)
+        } else {
+            FleetJournal::create(dir, &campaign)
+        }
+        .map_err(CommandError)?;
+        let journal = Arc::new(journal);
+        if resume {
+            if journal.completed() > 0 {
+                eprintln!(
+                    "[coordinator] resuming: {} jobs already journaled",
+                    journal.completed()
+                );
+            }
+            // Restore journaled circuit-breaker state; execute() re-probes
+            // before dispatching so a recovered worker is re-admitted.
+            coordinator.quarantine_workers(journal.quarantined());
+        }
+        coordinator.set_journal(journal);
+        coordinator.set_cancel(Arc::new(signal::triggered));
+    }
     let source = Fig07Source;
     let mut jobs = source.jobs();
     if cycle_budget.is_some() {
@@ -649,7 +847,15 @@ pub fn coordinator(
             j.cycle_budget = cycle_budget;
         }
     }
-    let results = coordinator.execute(&jobs).map_err(CommandError)?;
+    let results = match coordinator.execute(&jobs) {
+        Ok(results) => results,
+        Err(e) if is_checkpoint(&e) => {
+            let dir = journal_dir.unwrap_or_default();
+            eprintln!("coordinator: {e}; resume with --journal {dir} --resume");
+            return Ok((String::new(), coordinator.render_metrics(), CHECKPOINT_EXIT));
+        }
+        Err(e) => return Err(CommandError(e)),
+    };
     let (out, code) = source.render(&jobs, &results);
     Ok((out, coordinator.render_metrics(), code))
 }
@@ -737,6 +943,8 @@ pub fn fuzz(
     no_minimize: bool,
     fleet: bool,
     workers: Vec<String>,
+    journal_dir: Option<&str>,
+    resume: bool,
 ) -> Result<(String, i32), CommandError> {
     let mut oracle = regmutex_fuzz::OracleConfig {
         sm_workers: sm_workers.unwrap_or(0),
@@ -789,8 +997,39 @@ pub fn fuzz(
         max_divergences,
         ..regmutex_fuzz::CampaignConfig::default()
     };
-    let runner = Runner::new(jobs.unwrap_or_else(default_jobs));
-    let report = regmutex_fuzz::run_campaign(&cfg, &runner);
+    let mut runner = Runner::new(jobs.unwrap_or_else(default_jobs));
+    let report = match journal_dir {
+        None => regmutex_fuzz::run_campaign(&cfg, &runner),
+        Some(dir) => {
+            signal::install();
+            let dir = Path::new(dir);
+            let tier = DiskTier::shared(dir).map_err(|e| {
+                CommandError(format!("open result store in {}: {e}", dir.display()))
+            })?;
+            runner.set_tier(tier);
+            let journal = if resume {
+                regmutex_fuzz::FuzzJournal::resume(dir, &cfg)
+            } else {
+                regmutex_fuzz::FuzzJournal::create(dir, &cfg)
+            }
+            .map_err(CommandError)?;
+            if resume && journal.completed() > 0 {
+                eprintln!(
+                    "[fuzz] resuming: {} kernels already journaled",
+                    journal.completed()
+                );
+            }
+            let cancel: &dyn Fn() -> bool = &signal::triggered;
+            match regmutex_fuzz::run_campaign_durable(&cfg, &runner, Some(&journal), Some(cancel)) {
+                regmutex_fuzz::FuzzRun::Complete(report) => report,
+                regmutex_fuzz::FuzzRun::Checkpointed { completed, total } => {
+                    let msg = checkpoint_hint("fuzz", dir, completed, total);
+                    eprint!("{msg}");
+                    return Ok((String::new(), CHECKPOINT_EXIT));
+                }
+            }
+        }
+    };
     if let Some(path) = stats {
         std::fs::write(&path, report.to_json())
             .map_err(|e| CommandError(format!("write {path}: {e}")))?;
@@ -942,8 +1181,8 @@ mod tests {
 
     #[test]
     fn sweep_is_worker_count_independent() {
-        let (serial, code) = sweep("BFS", Some(1)).unwrap();
-        let (parallel, _) = sweep("BFS", Some(4)).unwrap();
+        let (serial, code) = sweep("BFS", Some(1), None, false).unwrap();
+        let (parallel, _) = sweep("BFS", Some(4), None, false).unwrap();
         assert_eq!(serial, parallel);
         assert_eq!(code, 0);
         assert!(serial.contains("|Es|"));
@@ -951,7 +1190,7 @@ mod tests {
 
     #[test]
     fn coordinator_rejects_an_empty_fleet() {
-        let err = coordinator(vec![], 1, 2, 3, None).unwrap_err();
+        let err = coordinator(vec![], 1, 2, 3, None, None, false).unwrap_err();
         assert!(err.0.contains("fleet has no workers"), "{err}");
     }
 
@@ -989,6 +1228,8 @@ mod tests {
             false,
             false,
             vec![],
+            None,
+            false,
         )
         .unwrap();
         assert_eq!(code, 0, "{out}");
@@ -1012,6 +1253,8 @@ mod tests {
             false,
             false,
             vec![],
+            None,
+            false,
         )
         .unwrap();
         assert_eq!(code, 1, "{out}");
@@ -1041,6 +1284,8 @@ mod tests {
             false,
             false,
             vec![],
+            None,
+            false,
         )
         .unwrap();
         assert_eq!(code, 0, "{out}");
@@ -1062,8 +1307,36 @@ mod tests {
             false,
             false,
             vec![],
+            None,
+            false,
         )
         .is_err());
+    }
+
+    #[test]
+    fn sweep_journal_roundtrip_is_byte_identical() {
+        let dir =
+            std::env::temp_dir().join(format!("rmx-cli-sweep-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().into_owned();
+
+        let (golden, _) = sweep("BFS", Some(2), None, false).unwrap();
+        let (journaled, code) = sweep("BFS", Some(2), Some(&dir_s), false).unwrap();
+        assert_eq!(code, 0);
+        assert_eq!(journaled, golden, "journaling must not change the output");
+        assert!(dir.join("journal.log").is_file());
+        assert!(dir.join("store").is_dir());
+
+        // Resume after completion: every row replays from the durable
+        // tier, at a different worker count, byte-identically.
+        let (resumed, code) = sweep("BFS", Some(1), Some(&dir_s), true).unwrap();
+        assert_eq!(code, 0);
+        assert_eq!(resumed, golden);
+
+        // A journal from a different campaign is refused.
+        let err = sweep("SAD", Some(1), Some(&dir_s), true).unwrap_err();
+        assert!(err.0.contains("refusing to resume"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1074,6 +1347,8 @@ mod tests {
             Technique::RegMutex,
             Some(4),
             None,
+            None,
+            false,
             None,
             false,
         )

@@ -62,6 +62,7 @@ fn main() {
             sm_workers,
             client_rate,
             client_burst,
+            cache_dir,
         } => {
             match commands::serve(
                 addr,
@@ -73,6 +74,7 @@ fn main() {
                 sm_workers,
                 client_rate,
                 client_burst,
+                cache_dir,
             ) {
                 Ok(()) => return,
                 Err(e) => {
@@ -105,7 +107,17 @@ fn main() {
             threads,
             max_attempts,
             cycle_budget,
-        } => match commands::coordinator(workers, seed, threads, max_attempts, cycle_budget) {
+            journal,
+            resume,
+        } => match commands::coordinator(
+            workers,
+            seed,
+            threads,
+            max_attempts,
+            cycle_budget,
+            journal.as_deref(),
+            resume,
+        ) {
             Ok((out, metrics, code)) => {
                 print!("{out}");
                 eprint!("{metrics}");
@@ -145,6 +157,8 @@ fn main() {
             no_minimize,
             fleet,
             workers,
+            journal,
+            resume,
         } => {
             exit_with(commands::fuzz(
                 seed,
@@ -160,11 +174,18 @@ fn main() {
                 no_minimize,
                 fleet,
                 workers,
+                journal.as_deref(),
+                resume,
             ));
         }
         Command::Trace { app, max_steps } => commands::trace(&app, max_steps),
-        Command::Sweep { app, jobs } => {
-            exit_with(commands::sweep(&app, jobs));
+        Command::Sweep {
+            app,
+            jobs,
+            journal,
+            resume,
+        } => {
+            exit_with(commands::sweep(&app, jobs, journal.as_deref(), resume));
         }
         Command::Chaos {
             apps,
@@ -174,6 +195,8 @@ fn main() {
             watchdog_cycles,
             stall_multiplier,
             expect_detections,
+            journal,
+            resume,
         } => {
             exit_with(commands::chaos(
                 &apps,
@@ -183,6 +206,8 @@ fn main() {
                 watchdog_cycles,
                 stall_multiplier,
                 expect_detections,
+                journal.as_deref(),
+                resume,
             ));
         }
     };

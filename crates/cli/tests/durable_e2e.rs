@@ -1,0 +1,254 @@
+//! Crash-kill end-to-end tests for the durable campaign state.
+//!
+//! The adversarial contract from the durability design: a campaign that
+//! is SIGKILLed at an arbitrary point — including mid-record writes —
+//! and then resumed must produce final output *byte-identical* to an
+//! uninterrupted golden run, or refuse with a diagnosis. Never silent
+//! divergence. Each test kills a real `regmutex-cli` process at several
+//! pseudo-randomized points (seeded from the clock, printed for
+//! reproducibility), resumes, and byte-diffs.
+
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use std::io::{BufRead, BufReader};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_regmutex-cli"))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("rmx-durable-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A tiny deterministic PRNG seeded from the wall clock; the seed is
+/// printed so a failing schedule can be replayed by hand.
+struct Rng(u64);
+
+impl Rng {
+    fn from_clock(tag: &str) -> Rng {
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .expect("clock after epoch")
+            .subsec_nanos() as u64
+            | 1;
+        eprintln!("[{tag}] kill-schedule seed: {seed:#x}");
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        // splitmix64 step — quality is irrelevant, variety is the point.
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A kill delay between 10% and 80% of the golden wall time.
+    fn kill_delay(&mut self, golden: Duration) -> Duration {
+        let frac = 10 + self.next() % 71; // 10..=80 percent
+        golden.mul_f64(frac as f64 / 100.0)
+    }
+}
+
+/// Spawn `args`, send `signal` after `delay`, and reap. Returns the
+/// process output; `None` exit status fields mean it died to the signal.
+fn run_and_signal(args: &[&str], signal: &str, delay: Duration) -> Output {
+    let child = cli()
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn regmutex-cli");
+    std::thread::sleep(delay);
+    let _ = Command::new("kill")
+        .args([signal, &child.id().to_string()])
+        .status();
+    child.wait_with_output().expect("reap child")
+}
+
+fn run_to_completion(args: &[&str]) -> Output {
+    cli().args(args).output().expect("run regmutex-cli")
+}
+
+#[test]
+fn fuzz_campaign_survives_sigkill_storm_byte_identically() {
+    let dir = temp_dir("fuzz");
+    let dir_s = dir.to_string_lossy().into_owned();
+    let base = ["fuzz", "--seed", "0xc1", "--iters", "120", "--jobs", "2"];
+
+    // The uninterrupted golden run (no journal anywhere near it).
+    let t0 = Instant::now();
+    let golden = run_to_completion(&base);
+    let golden_wall = t0.elapsed();
+    let golden_out = String::from_utf8(golden.stdout).expect("utf-8 report");
+    assert!(
+        golden_out.contains("verdict:"),
+        "golden produced no report:\n{golden_out}"
+    );
+
+    let mut rng = Rng::from_clock("fuzz");
+    let mut journaled: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+    journaled.extend(["--journal".to_string(), dir_s.clone()]);
+
+    // Round 0 is a graceful SIGTERM (checkpoint-and-exit, satellite
+    // path); rounds 1-2 are SIGKILL — no flush, torn tails allowed.
+    for (round, sig) in ["-TERM", "-KILL", "-KILL"].iter().enumerate() {
+        let mut args: Vec<&str> = journaled.iter().map(String::as_str).collect();
+        if round > 0 {
+            args.push("--resume");
+        }
+        let out = run_and_signal(&args, sig, rng.kill_delay(golden_wall));
+        if out.status.success() {
+            // The campaign outran the kill: its output must already be
+            // golden, and the remaining rounds have nothing to interrupt.
+            assert_eq!(
+                String::from_utf8_lossy(&out.stdout),
+                golden_out,
+                "a completed round must match the golden run"
+            );
+            break;
+        }
+        if *sig == "-TERM" {
+            // Graceful checkpoint: distinct exit code and a resume hint
+            // (unless the signal landed before the handler installed).
+            if let Some(code) = out.status.code() {
+                let err = String::from_utf8_lossy(&out.stderr);
+                assert_eq!(code, 4, "graceful checkpoint exit code; stderr: {err}");
+                assert!(
+                    err.contains("--resume"),
+                    "checkpoint must print the resume hint: {err}"
+                );
+            }
+        }
+    }
+
+    // Final resume: runs to completion and byte-matches the golden.
+    let mut args: Vec<&str> = journaled.iter().map(String::as_str).collect();
+    args.push("--resume");
+    let fin = run_to_completion(&args);
+    let fin_out = String::from_utf8_lossy(&fin.stdout);
+    assert_eq!(
+        fin.status.code(),
+        golden.status.code(),
+        "resumed exit code differs; stderr: {}",
+        String::from_utf8_lossy(&fin.stderr)
+    );
+    assert_eq!(
+        fin_out, golden_out,
+        "resumed fuzz report must be byte-identical to the uninterrupted run"
+    );
+
+    // And a warm re-resume of the *finished* campaign is also identical.
+    let again = run_to_completion(&args);
+    assert_eq!(String::from_utf8_lossy(&again.stdout), golden_out);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Reap the child on scope exit so a failing assertion never leaks a
+/// live server process past the test run.
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Boot `regmutex-cli serve` on an ephemeral port and parse the bound
+/// address from its banner line.
+fn spawn_worker() -> (KillOnDrop, String) {
+    let mut child = cli()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn regmutex-cli serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve prints its banner before exiting")
+            .expect("readable stdout");
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address after the scheme")
+                .to_string();
+        }
+    };
+    std::thread::spawn(move || for _ in lines {});
+    (KillOnDrop(child), addr)
+}
+
+#[test]
+fn fleet_sweep_survives_coordinator_sigkills_byte_identically() {
+    use regmutex_bench::{Fig07Source, JobExecutor, JobSource, Runner};
+
+    // The golden is the local sweep: the fleet determinism contract says
+    // the coordinator output is byte-identical to it at any worker count.
+    let source = Fig07Source;
+    let jobs = source.jobs();
+    let t0 = Instant::now();
+    let local = Runner::new(2).execute(&jobs).expect("local run");
+    let golden_wall = t0.elapsed();
+    let (golden_out, golden_code) = source.render(&jobs, &local);
+    assert_eq!(golden_code, 0, "local fig07 must be clean:\n{golden_out}");
+
+    let (_w1, addr1) = spawn_worker();
+    let (_w2, addr2) = spawn_worker();
+    let workers = format!("{addr1},{addr2}");
+
+    let dir = temp_dir("fleet");
+    let dir_s = dir.to_string_lossy().into_owned();
+    let base = [
+        "coordinator",
+        "--workers",
+        workers.as_str(),
+        "--threads",
+        "4",
+        "--journal",
+        dir_s.as_str(),
+    ];
+
+    // The coordinator process dies three times; the workers live on, so
+    // each resume finds their caches warm *and* the journal's cursor.
+    let mut rng = Rng::from_clock("fleet");
+    for round in 0..3 {
+        let mut args: Vec<&str> = base.to_vec();
+        if round > 0 {
+            args.push("--resume");
+        }
+        let out = run_and_signal(&args, "-KILL", rng.kill_delay(golden_wall));
+        if out.status.success() {
+            assert_eq!(
+                String::from_utf8_lossy(&out.stdout),
+                golden_out,
+                "a completed round must match the golden run"
+            );
+            break;
+        }
+    }
+
+    let mut args: Vec<&str> = base.to_vec();
+    args.push("--resume");
+    let fin = run_to_completion(&args);
+    assert_eq!(
+        fin.status.code(),
+        Some(0),
+        "final resume must complete; stderr: {}",
+        String::from_utf8_lossy(&fin.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&fin.stdout),
+        golden_out,
+        "resumed fleet sweep must be byte-identical to the local golden"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,255 @@
+//! The content-addressed on-disk result store.
+//!
+//! One file per result under the store directory, named by the 64-bit
+//! job fingerprint (`<dir>/0123456789abcdef`). Each file carries a
+//! checksummed header:
+//!
+//! ```text
+//! RMXSTORE1 <key hex> <payload len> <fnv hex>\n
+//! <payload bytes>
+//! ```
+//!
+//! Writes go through a tempfile + atomic rename, so a SIGKILL can never
+//! leave a half-written result under a final name; readers verify the
+//! key, length, and checksum and treat any mismatch as a miss (counted,
+//! never trusted). Because the key is a content fingerprint, the store
+//! is safely shared across campaigns and across the local runner, the
+//! fleet coordinator, and a warm-starting server.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::{fnv1a, note_degradation};
+
+const HEADER_MAGIC: &str = "RMXSTORE1";
+
+/// Content-addressed result store. All methods take `&self`; the store
+/// is safe to share across worker threads.
+pub struct ResultStore {
+    dir: PathBuf,
+    degraded: AtomicBool,
+    warned: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) the store directory.
+    pub fn open(dir: &Path) -> io::Result<ResultStore> {
+        fs::create_dir_all(dir)?;
+        Ok(ResultStore {
+            dir: dir.to_path_buf(),
+            degraded: AtomicBool::new(false),
+            warned: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}"))
+    }
+
+    /// Fetch the payload stored under `key`, verifying the header and
+    /// checksum. A corrupt or mismatched file is a counted miss — the
+    /// caller recomputes; the bad bytes are never returned.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let mut raw = Vec::new();
+        match File::open(self.path_for(key)).and_then(|mut f| f.read_to_end(&mut raw)) {
+            Ok(_) => {}
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        match verify(key, &raw) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload.to_vec())
+            }
+            None => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store `payload` under `key` via tempfile + atomic rename. Write
+    /// errors degrade the store to read-only (one-time warning +
+    /// process counter) instead of aborting.
+    pub fn put(&self, key: u64, payload: &[u8]) {
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Err(e) = self.put_inner(key, payload) {
+            self.degraded.store(true, Ordering::Relaxed);
+            note_degradation(
+                &format!("result-store write under {} failed", self.dir.display()),
+                &e,
+                &self.warned,
+            );
+        }
+    }
+
+    fn put_inner(&self, key: u64, payload: &[u8]) -> io::Result<()> {
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{}-{key:016x}", std::process::id()));
+        let mut f = File::create(&tmp)?;
+        f.write_all(
+            format!(
+                "{HEADER_MAGIC} {key:016x} {} {:016x}\n",
+                payload.len(),
+                fnv1a(payload)
+            )
+            .as_bytes(),
+        )?;
+        f.write_all(payload)?;
+        f.sync_data()?;
+        fs::rename(&tmp, self.path_for(key))?;
+        Ok(())
+    }
+
+    /// Whether a (valid-looking) entry exists; cheap existence probe.
+    pub fn contains(&self, key: u64) -> bool {
+        self.path_for(key).exists()
+    }
+
+    /// Verified reads since open.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Failed reads since open (absent or corrupt).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Reads rejected for corruption (subset of misses).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// True once a write error has downgraded this store to read-only.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries on disk (diagnostics only).
+    pub fn entries(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.flatten()
+                    .filter(|e| {
+                        e.file_name()
+                            .to_str()
+                            .is_some_and(|n| n.len() == 16 && !n.starts_with('.'))
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// Validate a store file against its key; returns the payload slice.
+fn verify(key: u64, raw: &[u8]) -> Option<&[u8]> {
+    let nl = raw.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&raw[..nl]).ok()?;
+    let mut parts = header.split(' ');
+    if parts.next()? != HEADER_MAGIC {
+        return None;
+    }
+    let file_key = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let len: usize = parts.next()?.parse().ok()?;
+    let sum = u64::from_str_radix(parts.next()?, 16).ok()?;
+    if parts.next().is_some() || file_key != key {
+        return None;
+    }
+    let payload = &raw[nl + 1..];
+    if payload.len() != len || fnv1a(payload) != sum {
+        return None;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpstore(tag: &str) -> ResultStore {
+        let d = std::env::temp_dir().join(format!(
+            "rmx-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        ResultStore::open(&d).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trips() {
+        let s = tmpstore("roundtrip");
+        assert_eq!(s.get(0xfeed), None);
+        s.put(0xfeed, b"hello durable world");
+        assert_eq!(s.get(0xfeed).as_deref(), Some(&b"hello durable world"[..]));
+        assert!(s.contains(0xfeed));
+        assert!(!s.contains(0xbeef));
+        assert_eq!(s.entries(), 1);
+        assert_eq!((s.hits(), s.misses()), (1, 1));
+    }
+
+    #[test]
+    fn overwrite_is_atomic_and_idempotent() {
+        let s = tmpstore("overwrite");
+        s.put(7, b"first");
+        s.put(7, b"second");
+        assert_eq!(s.get(7).as_deref(), Some(&b"second"[..]));
+        assert_eq!(s.entries(), 1);
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_rejected_miss() {
+        let s = tmpstore("corrupt");
+        s.put(42, b"precious bytes");
+        let path = s.path_for(42);
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        fs::write(&path, &raw).unwrap();
+        assert_eq!(s.get(42), None);
+        assert_eq!(s.rejected(), 1);
+    }
+
+    #[test]
+    fn truncated_file_is_a_rejected_miss() {
+        let s = tmpstore("truncated");
+        s.put(42, b"precious bytes");
+        let path = s.path_for(42);
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() - 4]).unwrap();
+        assert_eq!(s.get(42), None);
+        assert_eq!(s.rejected(), 1);
+    }
+
+    #[test]
+    fn key_mismatch_is_rejected() {
+        // A file renamed to the wrong fingerprint must not be trusted.
+        let s = tmpstore("keymismatch");
+        s.put(1, b"payload for key one");
+        fs::rename(s.path_for(1), s.path_for(2)).unwrap();
+        assert_eq!(s.get(2), None);
+        assert_eq!(s.rejected(), 1);
+    }
+
+    #[test]
+    fn empty_payloads_are_valid() {
+        let s = tmpstore("empty");
+        s.put(9, b"");
+        assert_eq!(s.get(9).as_deref(), Some(&b""[..]));
+    }
+}

@@ -49,14 +49,21 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use regmutex::{RunError, RunReport};
-use regmutex_bench::{CachedResult, JobExecutor, MatrixJob};
+use regmutex_bench::{CachedResult, DurableTier, JobExecutor, MatrixJob};
 use regmutex_server::json::{self, Json};
 use regmutex_server::wire::{report_from_json, run_request_json, RunRequest};
 
 use crate::backoff::BackoffPolicy;
+use crate::journal::FleetJournal;
 use crate::metrics::FleetMetrics;
 use crate::ring::Ring;
 use crate::worker::WorkerHandle;
+
+/// True when an [`JobExecutor::execute`] error is a graceful checkpoint
+/// (the cancel hook fired; progress is journaled) rather than a failure.
+pub fn is_checkpoint(err: &str) -> bool {
+    err.starts_with("checkpointed:")
+}
 
 /// Coordinator configuration.
 #[derive(Debug, Clone)]
@@ -147,6 +154,9 @@ pub struct Coordinator {
     ring: Ring,
     metrics: Arc<FleetMetrics>,
     lease_counter: AtomicU64,
+    tier: Option<Arc<dyn DurableTier>>,
+    journal: Option<Arc<FleetJournal>>,
+    cancel: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
 }
 
 impl Coordinator {
@@ -169,7 +179,63 @@ impl Coordinator {
             ring,
             metrics,
             lease_counter: AtomicU64::new(0),
+            tier: None,
+            journal: None,
+            cancel: None,
         })
+    }
+
+    /// Attach a durable result tier. Before dispatching, each unique job
+    /// is probed by fingerprint; a hit replays from disk without touching
+    /// a worker. Every verified result is saved back, so a killed sweep
+    /// resumes from its last completed job.
+    pub fn set_tier(&mut self, tier: Arc<dyn DurableTier>) {
+        self.tier = Some(tier);
+    }
+
+    /// Attach a campaign journal: verified completions and worker
+    /// quarantine transitions are appended as they happen.
+    pub fn set_journal(&mut self, journal: Arc<FleetJournal>) {
+        self.journal = Some(journal);
+    }
+
+    /// Install a cancellation hook, polled by dispatch threads between
+    /// jobs. When it fires, [`JobExecutor::execute`] stops claiming work,
+    /// flushes the journal, and returns a [`is_checkpoint`] error.
+    pub fn set_cancel(&mut self, cancel: Arc<dyn Fn() -> bool + Send + Sync>) {
+        self.cancel = Some(cancel);
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c())
+    }
+
+    /// Apply journaled quarantine state during resume replay. Always
+    /// paired with the pre-dispatch [`Coordinator::reprobe_quarantined`]
+    /// pass, so a worker that recovered while the campaign was down is
+    /// re-admitted instead of staying benched on stale state.
+    pub fn quarantine_workers(&self, addrs: &[String]) {
+        for w in &self.workers {
+            if addrs.iter().any(|a| *a == w.addr) {
+                w.quarantine();
+            }
+        }
+    }
+
+    /// Synchronously probe every quarantined worker once, re-admitting
+    /// (and journaling) those that answer. Returns how many came back.
+    pub fn reprobe_quarantined(&self) -> usize {
+        let mut readmitted = 0;
+        for w in &self.workers {
+            if w.is_quarantined() && w.probe(self.cfg.probe_timeout).is_ok() {
+                w.readmit();
+                if let Some(j) = &self.journal {
+                    j.readmit(&w.addr);
+                }
+                readmitted += 1;
+            }
+        }
+        readmitted
     }
 
     /// The coordinator's own counters.
@@ -223,6 +289,22 @@ impl Coordinator {
     }
 
     fn run_fingerprinted(&self, job: &MatrixJob, fingerprint: u64) -> (CachedResult, JobTrace) {
+        // Durable warm start: a fingerprint already in the result store
+        // was verified end-to-end by a previous run (or this one) — no
+        // worker round-trip needed. A corrupt store entry reads as a
+        // miss, so the job simply re-dispatches.
+        if let Some(v) = self.tier.as_ref().and_then(|t| t.load(fingerprint)) {
+            if let Some(j) = &self.journal {
+                j.job_ok(fingerprint);
+            }
+            self.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
+            self.metrics.jobs_cached.fetch_add(1, Ordering::Relaxed);
+            let trace = JobTrace {
+                cached: true,
+                ..JobTrace::default()
+            };
+            return (v, trace);
+        }
         let order = self.ring.route(fingerprint);
         let deadline = self.deadline_for(job);
         let mut trace = JobTrace::default();
@@ -248,7 +330,13 @@ impl Coordinator {
                 .fetch_add(1, Ordering::Relaxed);
             match self.attempt_once(worker, job, deadline, &mut trace) {
                 Attempt::Verified(report, cached) => {
-                    worker.note_success();
+                    self.note_worker_ok(worker);
+                    if let Some(t) = &self.tier {
+                        t.save(fingerprint, &Ok((*report).clone()));
+                    }
+                    if let Some(j) = &self.journal {
+                        j.job_ok(fingerprint);
+                    }
                     trace.cached = cached;
                     self.metrics.jobs_ok.fetch_add(1, Ordering::Relaxed);
                     self.metrics.per_worker[widx]
@@ -261,7 +349,7 @@ impl Coordinator {
                 }
                 Attempt::JobError(e) => {
                     // The worker answered; the job itself is the failure.
-                    worker.note_success();
+                    self.note_worker_ok(worker);
                     self.metrics.job_errors.fetch_add(1, Ordering::Relaxed);
                     return (Err(e), trace);
                 }
@@ -274,6 +362,9 @@ impl Coordinator {
                         self.metrics.per_worker[widx]
                             .quarantines
                             .fetch_add(1, Ordering::Relaxed);
+                        if let Some(j) = &self.journal {
+                            j.quarantine(&worker.addr);
+                        }
                     }
                     last_fault = format!("worker {}: {desc}", worker.addr);
                 }
@@ -398,6 +489,17 @@ impl Coordinator {
         Attempt::Verified(Box::new(report), cached)
     }
 
+    /// A dispatch got an answer: clear strikes, journaling the
+    /// re-admission if the worker had been quarantined (last-resort hit).
+    fn note_worker_ok(&self, worker: &WorkerHandle) {
+        if worker.is_quarantined() {
+            if let Some(j) = &self.journal {
+                j.readmit(&worker.addr);
+            }
+        }
+        worker.note_success();
+    }
+
     /// Poll quarantined workers; a passing `/healthz` probe re-admits.
     fn probe_loop(&self, stop: &AtomicBool) {
         let tick = Duration::from_millis(25);
@@ -412,6 +514,9 @@ impl Coordinator {
             for w in &self.workers {
                 if w.is_quarantined() && w.probe(self.cfg.probe_timeout).is_ok() {
                     w.readmit();
+                    if let Some(j) = &self.journal {
+                        j.readmit(&w.addr);
+                    }
                 }
             }
         }
@@ -439,6 +544,10 @@ impl JobExecutor for Coordinator {
     /// local `Runner`'s contract, so renderers can't tell the substrates
     /// apart.
     fn execute(&self, jobs: &[MatrixJob]) -> Result<Vec<CachedResult>, String> {
+        // Resume replay may have restored quarantine state that went
+        // stale while the campaign was down: give every benched worker
+        // one synchronous probe before routing around it.
+        self.reprobe_quarantined();
         let specs = jobs
             .iter()
             .map(MatrixJob::to_spec)
@@ -456,6 +565,7 @@ impl JobExecutor for Coordinator {
             (0..jobs.len()).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         let stop_probing = AtomicBool::new(false);
+        let interrupted = AtomicBool::new(false);
         let threads = self.cfg.dispatch_threads.clamp(1, unique.len().max(1));
         std::thread::scope(|s| {
             let prober = s.spawn(|| self.probe_loop(&stop_probing));
@@ -465,7 +575,12 @@ impl JobExecutor for Coordinator {
                 let unique = &unique;
                 let results = &results;
                 let fingerprints = &fingerprints;
+                let interrupted = &interrupted;
                 handles.push(s.spawn(move || loop {
+                    if self.cancelled() {
+                        interrupted.store(true, Ordering::SeqCst);
+                        break;
+                    }
                     let u = cursor.fetch_add(1, Ordering::SeqCst);
                     if u >= unique.len() {
                         break;
@@ -481,6 +596,19 @@ impl JobExecutor for Coordinator {
             stop_probing.store(true, Ordering::SeqCst);
             prober.join().expect("prober thread panicked");
         });
+        if let Some(j) = &self.journal {
+            j.sync();
+        }
+        if interrupted.load(Ordering::SeqCst) {
+            let done = unique
+                .iter()
+                .filter(|&&i| results[i].lock().expect("result slot lock").is_some())
+                .count();
+            return Err(format!(
+                "checkpointed: {done} of {} unique jobs complete",
+                unique.len()
+            ));
+        }
         Ok(fingerprints
             .iter()
             .map(|fp| {
@@ -588,6 +716,82 @@ mod tests {
             }
         }
         assert!(c.metrics().integrity_failures.load(Ordering::Relaxed) >= 4);
+    }
+
+    #[test]
+    fn durable_tier_serves_jobs_without_touching_a_worker() {
+        struct MemTier(Mutex<HashMap<u64, CachedResult>>);
+        impl DurableTier for MemTier {
+            fn load(&self, k: u64) -> Option<CachedResult> {
+                self.0.lock().unwrap().get(&k).cloned()
+            }
+            fn save(&self, k: u64, v: &CachedResult) {
+                self.0.lock().unwrap().insert(k, v.clone());
+            }
+        }
+        let job = MatrixJob::new("BFS", Technique::Baseline);
+        let spec = job.to_spec().unwrap();
+        let fp = spec.fingerprint();
+        let want = regmutex_bench::Runner::new(1).run_all(&[spec]).remove(0);
+        let tier = Arc::new(MemTier(Mutex::new(HashMap::from([(fp, want.clone())]))));
+        // Nothing listens on this address: a dispatch would fail loudly.
+        let mut c = Coordinator::new(FleetConfig {
+            workers: vec!["127.0.0.1:1".into()],
+            ..FleetConfig::default()
+        })
+        .unwrap();
+        c.set_tier(tier);
+        let (res, trace) = c.run_traced(&job);
+        assert!(trace.cached && trace.attempts == 0, "{trace:?}");
+        assert_eq!(
+            res.unwrap().stats.checksum,
+            want.unwrap().stats.checksum,
+            "tier result must be the verified one"
+        );
+        assert_eq!(c.metrics().jobs_cached.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cancel_checkpoints_instead_of_dispatching() {
+        let mut c = coordinator(vec!["127.0.0.1:1".into()]);
+        c.set_cancel(Arc::new(|| true));
+        let err = c
+            .execute(&[MatrixJob::new("BFS", Technique::Baseline)])
+            .unwrap_err();
+        assert!(is_checkpoint(&err), "{err}");
+        assert_eq!(c.metrics().attempts.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn journaled_quarantine_is_applied_and_dead_workers_stay_benched() {
+        let c = coordinator(vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()]);
+        c.quarantine_workers(&["127.0.0.1:2".into()]);
+        assert!(!c.workers[0].is_quarantined());
+        assert!(c.workers[1].is_quarantined());
+        // The address is dead, so the re-probe fails and the quarantine
+        // (correctly) survives.
+        assert_eq!(c.reprobe_quarantined(), 0);
+        assert!(c.workers[1].is_quarantined());
+    }
+
+    #[test]
+    fn reprobe_readmits_a_recovered_worker() {
+        // A journaled quarantine from a previous run must not bench a
+        // worker that is answering /healthz now (satellite of the resume
+        // contract: stale quarantine state is advisory, not permanent).
+        let server = regmutex_server::Server::start(regmutex_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            sim_workers: 1,
+            ..regmutex_server::ServerConfig::default()
+        })
+        .expect("boot worker");
+        let addr = server.local_addr().to_string();
+        let c = coordinator(vec![addr.clone()]);
+        c.quarantine_workers(std::slice::from_ref(&addr));
+        assert!(c.workers[0].is_quarantined());
+        assert_eq!(c.reprobe_quarantined(), 1);
+        assert!(!c.workers[0].is_quarantined());
+        server.shutdown_and_wait();
     }
 
     #[test]

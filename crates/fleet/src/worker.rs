@@ -170,6 +170,13 @@ impl WorkerHandle {
         false
     }
 
+    /// Quarantine directly — used when resuming a journaled campaign to
+    /// restore circuit-breaker state (the resume path re-probes before
+    /// dispatching, so this never permanently benches a healthy worker).
+    pub fn quarantine(&self) {
+        self.health.lock().expect("health lock").quarantined = true;
+    }
+
     /// Re-admit after a successful health probe.
     pub fn readmit(&self) {
         let mut h = self.health.lock().expect("health lock");

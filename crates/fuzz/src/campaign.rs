@@ -17,6 +17,7 @@ use regmutex_isa::mix;
 
 use crate::artifact::{Artifact, Expectation};
 use crate::gen::{generate, Generated};
+use crate::journal::{FuzzJournal, KernelRecord};
 use crate::minimize::minimize;
 use crate::oracle::{
     run_faulted, run_faulted_pair, run_local, run_pair, Divergence, OracleConfig, Outcome,
@@ -133,10 +134,45 @@ pub struct FuzzReport {
     pub divergences: Vec<FoundDivergence>,
 }
 
+/// How a durable campaign ended.
+pub enum FuzzRun {
+    /// The full index range evaluated (or a duration/divergence cap hit,
+    /// exactly as an uninterrupted run would).
+    Complete(FuzzReport),
+    /// The cancel check fired first: progress is journaled, the rest of
+    /// the range is waiting for `--resume`.
+    Checkpointed {
+        /// Kernels evaluated so far (including replayed ones).
+        completed: u64,
+        /// Total iteration budget.
+        total: u64,
+    },
+}
+
 /// Run a campaign on `runner`. Fault-free campaigns batch all techniques
 /// of `cfg.batch` kernels into single [`Runner::run_all`] calls; planted
 /// -fault campaigns run kernel-at-a-time through fresh sessions.
 pub fn run_campaign(cfg: &CampaignConfig, runner: &Runner) -> FuzzReport {
+    match run_campaign_durable(cfg, runner, None, None) {
+        FuzzRun::Complete(report) => report,
+        FuzzRun::Checkpointed { .. } => unreachable!("no cancel check installed"),
+    }
+}
+
+/// [`run_campaign`] with durability hooks: every evaluated kernel is
+/// journaled as it lands, kernels replayed from the journal are folded
+/// into the report without re-simulating, and `cancel` is polled at
+/// batch boundaries for the graceful checkpoint-and-exit path. Because
+/// kernel `i` depends only on `mix(seed, i)` and `runs` is attributed
+/// per kernel at evaluation time, a resumed campaign renders
+/// byte-identically to an uninterrupted one regardless of where the
+/// interruption fell relative to batch boundaries.
+pub fn run_campaign_durable(
+    cfg: &CampaignConfig,
+    runner: &Runner,
+    journal: Option<&FuzzJournal>,
+    cancel: Option<&dyn Fn() -> bool>,
+) -> FuzzRun {
     let started = Instant::now();
     let hits0 = runner.cache_hits();
     let misses0 = runner.cache_misses();
@@ -144,42 +180,77 @@ pub fn run_campaign(cfg: &CampaignConfig, runner: &Runner) -> FuzzReport {
     let mut divergences = Vec::new();
     let mut index = cfg.start;
     let end = cfg.start.saturating_add(cfg.iters);
+    let mut capped = false;
 
-    'outer: while index < end {
+    // Replay: fold the journal's contiguous prefix of completed kernels.
+    // A gap (missing or undecodable record) stops the fold; everything
+    // past it re-runs, which is safe because evaluation is deterministic.
+    if let Some(j) = journal {
+        while index < end && !capped {
+            let Some(rec) = j.replayed(index) else { break };
+            stats.kernels += 1;
+            match rec {
+                KernelRecord::Agreement { runs, escalations } => {
+                    stats.runs += runs;
+                    stats.agreements += 1;
+                    stats.escalations += u64::from(*escalations);
+                }
+                KernelRecord::Divergence { runs, found } => {
+                    stats.runs += runs;
+                    stats.divergences += 1;
+                    stats.minimize_steps += found.minimize_steps;
+                    stats.minimize_tests += found.minimize_tests;
+                    divergences.push(found.clone());
+                    capped = stats.divergences >= cfg.max_divergences;
+                }
+            }
+            index += 1;
+        }
+    }
+
+    'outer: while index < end && !capped {
         if let Some(d) = cfg.duration {
             if started.elapsed() >= d {
                 break;
             }
+        }
+        if cancel.is_some_and(|c| c()) {
+            if let Some(j) = journal {
+                j.sync();
+            }
+            return FuzzRun::Checkpointed {
+                completed: index - cfg.start,
+                total: cfg.iters,
+            };
         }
         let batch_end = end.min(index + cfg.batch as u64);
         let kernels: Vec<(u64, Generated)> = (index..batch_end)
             .map(|i| (i, generate(mix(cfg.seed, i))))
             .collect();
 
-        let outcomes: Vec<Outcome> = if let Some(fault) = &cfg.fault {
-            kernels
-                .iter()
-                .map(|(_, g)| {
-                    stats.runs += 5;
-                    run_faulted(g, &cfg.oracle, fault)
-                })
-                .collect()
-        } else {
-            // One big submission: the runner parallelizes across kernels
-            // *and* techniques; results come back in submission order.
+        // One big submission: the runner parallelizes across kernels
+        // *and* techniques; results come back in submission order.
+        // (Planted-fault campaigns go kernel-at-a-time through fresh
+        // sessions instead, so the fault never pollutes the cache.)
+        let prefetched: Option<Vec<_>> = if cfg.fault.is_none() {
             let specs: Vec<JobSpec> = kernels
                 .iter()
                 .flat_map(|(_, g)| crate::oracle::specs_for(g, &cfg.oracle))
                 .collect();
-            stats.runs += specs.len() as u64;
-            let results = runner.run_all(&specs);
-            kernels
-                .iter()
-                .zip(results.chunks(5))
-                .map(|((_, g), chunk)| {
-                    crate::oracle::evaluate(g, chunk, &cfg.oracle, |t| {
+            Some(runner.run_all(&specs))
+        } else {
+            None
+        };
+
+        for (n, (i, g)) in kernels.into_iter().enumerate() {
+            let runs_before = stats.runs;
+            stats.runs += 5;
+            let outcome = match (&cfg.fault, &prefetched) {
+                (Some(fault), _) => run_faulted(&g, &cfg.oracle, fault),
+                (None, Some(results)) => {
+                    crate::oracle::evaluate(&g, &results[n * 5..n * 5 + 5], &cfg.oracle, |t| {
                         stats.runs += 1;
-                        let spec = crate::oracle::specs_for(g, &cfg.oracle)
+                        let spec = crate::oracle::specs_for(&g, &cfg.oracle)
                             .into_iter()
                             .find(|s| s.technique == t)
                             .expect("technique spec exists")
@@ -188,20 +259,36 @@ pub fn run_campaign(cfg: &CampaignConfig, runner: &Runner) -> FuzzReport {
                             );
                         runner.run_all(&[spec]).remove(0)
                     })
-                })
-                .collect()
-        };
-
-        for ((i, g), outcome) in kernels.into_iter().zip(outcomes) {
+                }
+                (None, None) => unreachable!("fault-free batches are prefetched"),
+            };
             stats.kernels += 1;
             match outcome {
                 Outcome::Agreement { escalations } => {
                     stats.agreements += 1;
                     stats.escalations += u64::from(escalations);
+                    if let Some(j) = journal {
+                        j.record(
+                            i,
+                            &KernelRecord::Agreement {
+                                runs: stats.runs - runs_before,
+                                escalations,
+                            },
+                        );
+                    }
                 }
                 Outcome::Divergence(d) => {
                     stats.divergences += 1;
                     let found = shrink_divergence(cfg, runner, i, g, d, &mut stats);
+                    if let Some(j) = journal {
+                        j.record(
+                            i,
+                            &KernelRecord::Divergence {
+                                runs: stats.runs - runs_before,
+                                found: found.clone(),
+                            },
+                        );
+                    }
                     divergences.push(found);
                     if stats.divergences >= cfg.max_divergences {
                         index = i + 1;
@@ -213,16 +300,19 @@ pub fn run_campaign(cfg: &CampaignConfig, runner: &Runner) -> FuzzReport {
         index = batch_end;
     }
 
+    if let Some(j) = journal {
+        j.sync();
+    }
     stats.cache_hits = runner.cache_hits() - hits0;
     stats.cache_misses = runner.cache_misses() - misses0;
     stats.elapsed = started.elapsed();
-    FuzzReport {
+    FuzzRun::Complete(FuzzReport {
         seed: cfg.seed,
         start: cfg.start,
         processed: index - cfg.start,
         stats,
         divergences,
-    }
+    })
 }
 
 /// Minimize one divergence (or package it unminimized) into an artifact.
@@ -522,6 +612,126 @@ mod tests {
         assert_eq!(c1, 0, "{r1}");
         assert_eq!(c2, 0);
         assert_eq!(r1, r2);
+    }
+
+    fn journal_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "rmx-fuzzjournal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// A planted-fault campaign small enough for tests but rich enough
+    /// to exercise both record kinds (agreements and divergences).
+    fn faulted_cfg() -> CampaignConfig {
+        CampaignConfig {
+            seed: 0xfa_017,
+            iters: 24,
+            fault: Some(PlantedFault {
+                class: FaultClass::StuckSrpBit,
+                severity: Severity::Severe,
+                seed: 5,
+                technique: Technique::RegMutex,
+            }),
+            minimize_tests: 300,
+            max_divergences: 3,
+            batch: 4,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_to_identical_report() {
+        let runner = Runner::new(2);
+        let cfg = faulted_cfg();
+        let (golden, golden_code) = run_campaign(&cfg, &runner).render();
+
+        let dir = journal_dir("resume");
+        let journal = crate::journal::FuzzJournal::create(&dir, &cfg).unwrap();
+        let polls = std::sync::atomic::AtomicU32::new(0);
+        let cancel = || polls.fetch_add(1, std::sync::atomic::Ordering::Relaxed) >= 2;
+        let run = run_campaign_durable(&cfg, &runner, Some(&journal), Some(&cancel));
+        let FuzzRun::Checkpointed { completed, total } = run else {
+            panic!("campaign must checkpoint on cancel");
+        };
+        assert!(completed > 0 && completed < total, "{completed}/{total}");
+        drop(journal);
+
+        let resumed = crate::journal::FuzzJournal::resume(&dir, &cfg).unwrap();
+        assert_eq!(resumed.completed() as u64, completed);
+        let run = run_campaign_durable(&cfg, &runner, Some(&resumed), None);
+        let FuzzRun::Complete(report) = run else {
+            panic!("uncancelled resume must complete");
+        };
+        let (text, code) = report.render();
+        assert_eq!(code, golden_code);
+        assert_eq!(text, golden, "resumed render must be byte-identical");
+    }
+
+    #[test]
+    fn resume_with_different_campaign_is_refused() {
+        let cfg = quick_cfg(8);
+        let dir = journal_dir("mismatch");
+        drop(crate::journal::FuzzJournal::create(&dir, &cfg).unwrap());
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        let err = crate::journal::FuzzJournal::resume(&dir, &other).unwrap_err();
+        assert!(err.contains("refusing to resume"), "{err}");
+        assert!(crate::journal::FuzzJournal::resume(&dir, &cfg).is_ok());
+    }
+
+    #[test]
+    fn journal_gap_falls_back_to_rerun() {
+        // A record that is not part of the contiguous prefix must be
+        // ignored (the fold stops at the first gap), so a journal whose
+        // early records were quarantined still resumes correctly by
+        // re-running from the gap.
+        let runner = Runner::new(2);
+        let cfg = quick_cfg(8);
+        let (golden, _) = run_campaign(&cfg, &runner).render();
+
+        let dir = journal_dir("gap");
+        let journal = crate::journal::FuzzJournal::create(&dir, &cfg).unwrap();
+        journal.sync();
+        drop(journal);
+        // Plant an out-of-prefix record with corrupt counters at index 5.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("journal.log"))
+                .unwrap();
+            // Hand-build a valid journal record the hard way: reuse the
+            // public journal by appending through a scratch FuzzJournal
+            // would re-write the meta, so splice raw bytes instead.
+            let payload = b"ok index=5 runs=999 esc=9";
+            let mut rec = Vec::new();
+            rec.extend_from_slice(b"RMXR");
+            rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in (payload.len() as u32)
+                .to_le_bytes()
+                .iter()
+                .chain(payload.iter())
+            {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            rec.extend_from_slice(&h.to_le_bytes());
+            rec.extend_from_slice(payload);
+            f.write_all(&rec).unwrap();
+        }
+        let resumed = crate::journal::FuzzJournal::resume(&dir, &cfg).unwrap();
+        assert_eq!(resumed.completed(), 1, "planted record must decode");
+        let FuzzRun::Complete(report) = run_campaign_durable(&cfg, &runner, Some(&resumed), None)
+        else {
+            panic!("must complete");
+        };
+        assert_eq!(report.render().0, golden, "gap must force a full re-run");
     }
 
     #[test]

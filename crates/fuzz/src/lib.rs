@@ -35,15 +35,18 @@
 pub mod artifact;
 pub mod campaign;
 pub mod gen;
+pub mod journal;
 pub mod minimize;
 pub mod oracle;
 pub mod trace;
 
 pub use artifact::{parse_fault, Artifact, Expectation};
 pub use campaign::{
-    replay_artifact, run_campaign, CampaignConfig, CampaignStats, FoundDivergence, FuzzReport,
+    replay_artifact, run_campaign, run_campaign_durable, CampaignConfig, CampaignStats,
+    FoundDivergence, FuzzReport, FuzzRun,
 };
 pub use gen::{generate, replay, Generated};
+pub use journal::FuzzJournal;
 pub use minimize::{minimize, Minimized};
 pub use oracle::{Divergence, DivergenceKind, OracleConfig, Outcome, PlantedFault};
 pub use trace::{trace_from_text, trace_to_text, Decisions};

@@ -48,6 +48,7 @@ pub mod http;
 pub mod json;
 pub mod loadgen;
 pub mod metrics;
+pub mod persist;
 pub mod poll;
 pub mod queue;
 pub mod server;
@@ -56,4 +57,5 @@ pub mod timer;
 pub mod wire;
 
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use persist::DiskTier;
 pub use server::{serve_until_shutdown, spec_for_request, Server, ServerConfig};

@@ -281,6 +281,11 @@ impl Metrics {
         );
         self.requests_per_conn
             .render("regmutex_http_requests_per_connection", &mut out);
+        counter(
+            &mut out,
+            "regmutex_durable_degradations_total",
+            gauges.durable_degradations,
+        );
         counter(&mut out, "regmutex_cache_hits_total", gauges.cache_hits);
         counter(&mut out, "regmutex_cache_misses_total", gauges.cache_misses);
         counter(
@@ -358,6 +363,9 @@ pub struct ServiceGauges {
     pub cache_bytes: u64,
     /// Result-cache resident entries.
     pub cache_entries: u64,
+    /// Durable journal/store writers downgraded to in-memory-only after
+    /// an I/O error (process-wide; see `regmutex_durable`).
+    pub durable_degradations: u64,
 }
 
 #[cfg(test)]

@@ -80,6 +80,11 @@ pub struct ServerConfig {
     /// `serve` daemon; embedded servers drain via
     /// [`Server::shutdown_and_wait`] instead).
     pub drain_on_signal: bool,
+    /// Durable result tier directory (`serve --cache-dir`): results are
+    /// written through to `<dir>/store` and probed on cache misses, so a
+    /// restarted server comes up warm. `None` keeps the cache
+    /// memory-only.
+    pub cache_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +101,7 @@ impl Default for ServerConfig {
             client_rate: 0.0,
             client_burst: 8.0,
             drain_on_signal: false,
+            cache_dir: None,
         }
     }
 }
@@ -191,8 +197,19 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let cache = ResultCache::shared(cfg.cache_budget);
+        let mut runner = Runner::with_cache(1, Arc::clone(&cache));
+        if let Some(dir) = &cfg.cache_dir {
+            // A broken cache dir must not stop the service from coming up;
+            // it just serves cold (and says so once).
+            match crate::persist::DiskTier::shared(std::path::Path::new(dir)) {
+                Ok(tier) => runner.set_tier(tier),
+                Err(e) => eprintln!(
+                    "warning: cache-dir {dir} unavailable ({e}); serving without a durable tier"
+                ),
+            }
+        }
         let state = Arc::new(ServerState {
-            runner: Runner::with_cache(1, Arc::clone(&cache)),
+            runner,
             queue: BoundedQueue::new(cfg.queue_capacity),
             metrics: Metrics::default(),
             cache,
@@ -462,6 +479,7 @@ fn metrics(state: &ServerState) -> Response {
         cache_evictions: state.cache.evictions(),
         cache_bytes: state.cache.bytes() as u64,
         cache_entries: state.cache.entries() as u64,
+        durable_degradations: regmutex_durable::degradation_count(),
     };
     Response::text(200, state.metrics.render(&gauges))
 }
